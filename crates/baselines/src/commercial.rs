@@ -1,0 +1,153 @@
+//! The "Commercial" adder baseline (paper Fig. 5).
+//!
+//! Commercial synthesis tools instantiate an adder architecture from an
+//! internal library chosen per timing constraint. This module provides that
+//! library — the regular structures plus the sparse-tree family — and a
+//! chooser that, like the tool, synthesizes each candidate at a delay
+//! target and keeps the best.
+
+use netlist::Library;
+use prefix_graph::{structures, PrefixGraph};
+use synth::optimizer::{optimize, OptimizerConfig};
+use synth::sta::{self, TimingConstraints};
+
+/// The architecture library a commercial tool selects from.
+pub fn commercial_library(n: u16) -> Vec<(String, PrefixGraph)> {
+    let mut lib: Vec<(String, PrefixGraph)> = vec![
+        ("ripple".into(), PrefixGraph::ripple(n)),
+        ("sklansky".into(), structures::sklansky(n)),
+        ("brent_kung".into(), structures::brent_kung(n)),
+        ("kogge_stone".into(), structures::kogge_stone(n)),
+        ("ladner_fischer".into(), structures::ladner_fischer(n)),
+    ];
+    for s in [2u16, 4, 8] {
+        if s < n {
+            lib.push((
+                format!("sparse_ks_{s}"),
+                structures::sparse_kogge_stone(n, s),
+            ));
+        }
+    }
+    lib.dedup_by(|a, b| a.1 == b.1);
+    lib
+}
+
+/// One tool-instantiated adder result at a delay target.
+#[derive(Clone, Debug)]
+pub struct CommercialChoice {
+    /// The chosen architecture's name.
+    pub architecture: String,
+    /// Achieved delay, ns.
+    pub delay: f64,
+    /// Achieved area, µm².
+    pub area: f64,
+}
+
+/// Synthesizes every library architecture at `target` and returns the
+/// best outcome (commercial-tool behaviour: meet timing at minimum area,
+/// otherwise be as fast as possible).
+pub fn choose_at_target(
+    n: u16,
+    lib: &Library,
+    cfg: &OptimizerConfig,
+    target: f64,
+) -> CommercialChoice {
+    let cons = TimingConstraints::uniform(lib);
+    let mut best: Option<CommercialChoice> = None;
+    for (name, graph) in commercial_library(n) {
+        let nl = netlist::adder::generate(&graph);
+        let out = optimize(&nl, lib, &cons, target, cfg);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let b_met = b.delay <= target + 1e-9;
+                match (out.met, b_met) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    (true, true) => out.area < b.area,
+                    (false, false) => out.delay < b.delay,
+                }
+            }
+        };
+        if better {
+            best = Some(CommercialChoice {
+                architecture: name,
+                delay: out.delay,
+                area: out.area,
+            });
+        }
+    }
+    best.expect("library is nonempty")
+}
+
+/// Sweeps the commercial chooser across delay targets between the fastest
+/// and slowest achievable, returning one choice per target — the
+/// "Commercial" series of the paper's Fig. 5.
+pub fn commercial_sweep(
+    n: u16,
+    lib: &Library,
+    cfg: &OptimizerConfig,
+    num_targets: usize,
+) -> Vec<CommercialChoice> {
+    // Range: relaxed Brent-Kung (slow end) down to aggressive Kogge-Stone.
+    let cons = TimingConstraints::uniform(lib);
+    let bk = netlist::adder::generate(&structures::brent_kung(n));
+    let slow = sta::analyze(&bk, lib, &cons, 1.0).critical_delay;
+    let ks = netlist::adder::generate(&structures::kogge_stone(n));
+    let fast = optimize(&ks, lib, &cons, 0.0, cfg).delay;
+    (0..num_targets)
+        .map(|i| {
+            let t = fast + (slow - fast) * i as f64 / (num_targets.max(2) - 1) as f64;
+            choose_at_target(n, lib, cfg, t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_contains_distinct_architectures() {
+        let lib = commercial_library(16);
+        assert!(lib.len() >= 6, "library too small: {}", lib.len());
+        for (name, g) in &lib {
+            g.verify_legal().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(g.n(), 16);
+        }
+    }
+
+    #[test]
+    fn chooser_prefers_cheap_architectures_at_loose_targets() {
+        let lib = Library::nangate45();
+        let cfg = OptimizerConfig::fast();
+        let loose = choose_at_target(16, &lib, &cfg, 2.0);
+        // A very loose target is met by the smallest architecture — never
+        // Kogge-Stone (largest).
+        assert_ne!(loose.architecture, "kogge_stone", "{loose:?}");
+        assert!(loose.delay <= 2.0);
+    }
+
+    #[test]
+    fn chooser_switches_architecture_with_target() {
+        let lib = Library::nangate45();
+        let cfg = OptimizerConfig::fast();
+        let tight = choose_at_target(16, &lib, &cfg, 0.18);
+        let loose = choose_at_target(16, &lib, &cfg, 1.5);
+        assert_ne!(
+            tight.architecture, loose.architecture,
+            "tool must adapt its choice"
+        );
+    }
+
+    #[test]
+    fn sweep_produces_monotone_tradeoff_ends() {
+        let lib = Library::nangate45();
+        let choices = commercial_sweep(8, &lib, &OptimizerConfig::fast(), 5);
+        assert_eq!(choices.len(), 5);
+        let first = &choices[0];
+        let last = &choices[choices.len() - 1];
+        assert!(first.delay <= last.delay, "targets ascend");
+        assert!(first.area >= last.area, "tight end costs more area");
+    }
+}

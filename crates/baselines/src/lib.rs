@@ -1,0 +1,28 @@
+//! Baseline prefix-adder optimizers the paper compares against.
+//!
+//! - [`sa`]: simulated annealing over the unrestricted prefix-graph space
+//!   with the analytical cost model — Moto & Kaneko, ISCAS 2018 (ref. \[14\]);
+//! - [`pruned`]: pruned structural search with (size, level, fanout)
+//!   dominance pruning in the spirit of Roy et al., TCAD 2014 (ref. \[15\]);
+//! - [`crosslayer`]: the machine-learning cross-layer approach of Ma et
+//!   al., TCAD 2019 (ref. \[10\]) — candidate generation, a learned metric
+//!   predictor, and synthesis of the predicted-Pareto subset;
+//! - [`commercial`]: a stand-in for the commercial tool's adder library
+//!   (Fig. 5): pick the best architecture from a parameterized family per
+//!   delay target.
+//!
+//! Exact reimplementations of \[10\] and \[15\] are impossible from the
+//! PrefixRL paper alone; these are documented approximations (DESIGN.md §2)
+//! that fill the same role in every figure.
+
+#![warn(missing_docs)]
+
+pub mod commercial;
+pub mod crosslayer;
+pub mod pruned;
+pub mod sa;
+
+pub use commercial::commercial_library;
+pub use crosslayer::{cross_layer, CrossLayerConfig};
+pub use pruned::{pruned_search, PrunedSearchConfig};
+pub use sa::{anneal, sa_frontier, SaConfig};

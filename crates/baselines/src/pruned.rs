@@ -1,0 +1,236 @@
+//! Pruned structural search (in the spirit of ref. \[15\], Roy et al.).
+//!
+//! Reference \[15\] prunes the intractable prefix-adder space with heuristic
+//! rules (level/fanout bounds, dominance) until exhaustive search becomes
+//! feasible. This module implements the same idea as a generational beam
+//! search: starting from the regular structures, all single-node
+//! modifications are scored under the analytical model, dominated and
+//! constraint-violating candidates are pruned, and a bounded beam of
+//! Pareto-diverse survivors seeds the next generation. The collected pool
+//! plays the role of \[15\]'s pruned adder set in every figure (and feeds
+//! the cross-layer baseline of ref. \[10\]).
+
+use prefix_graph::{analytical, structures, PrefixGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Pruned-search parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PrunedSearchConfig {
+    /// Beam width per generation.
+    pub beam_width: usize,
+    /// Generations of expansion.
+    pub generations: usize,
+    /// Maximum node fanout allowed (\[15\] prunes high-fanout structures).
+    pub max_fanout: u16,
+    /// Maximum logic level allowed, as a slack over `⌈log₂N⌉`.
+    pub level_slack: u16,
+    /// Cap on the returned pool size (kept Pareto-diverse).
+    pub pool_limit: usize,
+}
+
+impl Default for PrunedSearchConfig {
+    fn default() -> Self {
+        PrunedSearchConfig {
+            beam_width: 24,
+            generations: 24,
+            max_fanout: 8,
+            level_slack: 4,
+            pool_limit: 1200,
+        }
+    }
+}
+
+impl PrunedSearchConfig {
+    /// A reduced-effort configuration for tests.
+    pub fn fast() -> Self {
+        PrunedSearchConfig {
+            beam_width: 10,
+            generations: 8,
+            pool_limit: 200,
+            ..PrunedSearchConfig::default()
+        }
+    }
+}
+
+fn log2_ceil(n: u16) -> u16 {
+    (n as u32).next_power_of_two().trailing_zeros() as u16
+}
+
+/// Runs the pruned search, returning the collected design pool (deduped,
+/// constraint-satisfying, capped at `pool_limit` by Pareto layering).
+pub fn pruned_search(n: u16, cfg: &PrunedSearchConfig) -> Vec<PrefixGraph> {
+    let max_level = log2_ceil(n) + cfg.level_slack;
+    let admissible = |g: &PrefixGraph| g.max_fanout() <= cfg.max_fanout && g.depth() <= max_level;
+    let score = |g: &PrefixGraph| {
+        let m = analytical::evaluate(g);
+        (m.area, m.delay)
+    };
+
+    let mut pool: BTreeMap<Vec<u64>, (PrefixGraph, (f64, f64))> = BTreeMap::new();
+    let mut beam: Vec<PrefixGraph> = structures::all_regular()
+        .into_iter()
+        .map(|(_, ctor)| ctor(n))
+        .chain((0..4).map(|s| structures::sparse_kogge_stone(n, 1 << s)))
+        .filter(admissible)
+        .collect();
+    // Ripple never meets the level bound but is the canonical seed for
+    // low-area regions; admit it regardless.
+    beam.push(PrefixGraph::ripple(n));
+    for g in &beam {
+        pool.insert(g.canonical_key(), (g.clone(), score(g)));
+    }
+
+    for _ in 0..cfg.generations {
+        let mut candidates: Vec<(PrefixGraph, (f64, f64))> = Vec::new();
+        for g in &beam {
+            for action in g.legal_actions() {
+                let cand = g.with_action(action).expect("legal");
+                if !admissible(&cand) {
+                    continue;
+                }
+                let key = cand.canonical_key();
+                if pool.contains_key(&key) {
+                    continue;
+                }
+                let s = score(&cand);
+                pool.insert(key, (cand.clone(), s));
+                candidates.push((cand, s));
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        beam = select_beam(candidates, cfg.beam_width);
+    }
+
+    let mut all: Vec<(PrefixGraph, (f64, f64))> = pool.into_values().collect();
+    // Keep the pool bounded via successive Pareto layers (diversity over
+    // pure greed, as [15]'s pruned set spans the whole trade-off).
+    let mut kept = Vec::new();
+    while !all.is_empty() && kept.len() < cfg.pool_limit {
+        let layer = pareto_layer(&all);
+        let mut rest = Vec::new();
+        for (i, item) in all.into_iter().enumerate() {
+            if layer.contains(&i) && kept.len() < cfg.pool_limit {
+                kept.push(item.0);
+            } else {
+                rest.push(item);
+            }
+        }
+        all = rest;
+        if kept.len() >= cfg.pool_limit {
+            break;
+        }
+    }
+    kept
+}
+
+/// Indices of the non-dominated entries.
+fn pareto_layer(items: &[(PrefixGraph, (f64, f64))]) -> Vec<usize> {
+    let mut layer = Vec::new();
+    'outer: for (i, (_, (a, d))) in items.iter().enumerate() {
+        for (j, (_, (a2, d2))) in items.iter().enumerate() {
+            if i != j && a2 <= a && d2 <= d && (a2 < a || d2 < d) {
+                continue 'outer;
+            }
+        }
+        layer.push(i);
+    }
+    layer
+}
+
+/// Picks a Pareto-diverse beam: non-dominated first, then best scalarized
+/// at a spread of weights.
+fn select_beam(mut candidates: Vec<(PrefixGraph, (f64, f64))>, width: usize) -> Vec<PrefixGraph> {
+    candidates.sort_by(|x, y| x.1 .0.total_cmp(&y.1 .0).then(x.1 .1.total_cmp(&y.1 .1)));
+    let layer = pareto_layer(&candidates);
+    let mut chosen: Vec<usize> = layer.into_iter().take(width).collect();
+    // Fill remaining slots with scalarized winners at spread weights.
+    let mut w = 0.1;
+    while chosen.len() < width && chosen.len() < candidates.len() {
+        let best = candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !chosen.contains(i))
+            .min_by(|(_, x), (_, y)| {
+                let cx = w * x.1 .0 + (1.0 - w) * x.1 .1;
+                let cy = w * y.1 .0 + (1.0 - w) * y.1 .1;
+                cx.total_cmp(&cy)
+            })
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => chosen.push(i),
+            None => break,
+        }
+        w = if w >= 0.9 { 0.1 } else { w + 0.2 };
+    }
+    chosen
+        .into_iter()
+        .map(|i| candidates[i].0.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_legal_and_deduped() {
+        let pool = pruned_search(16, &PrunedSearchConfig::fast());
+        assert!(pool.len() > 20, "pool too small: {}", pool.len());
+        let mut keys = std::collections::HashSet::new();
+        for g in &pool {
+            g.verify_legal().unwrap();
+            assert!(keys.insert(g.canonical_key()), "duplicate design");
+        }
+    }
+
+    #[test]
+    fn respects_fanout_and_level_bounds() {
+        let cfg = PrunedSearchConfig {
+            max_fanout: 4,
+            level_slack: 2,
+            ..PrunedSearchConfig::fast()
+        };
+        let max_level = 4 + 2;
+        for g in pruned_search(16, &cfg) {
+            // The ripple seed is exempt from the level bound by design.
+            if g.size() == 15 {
+                continue;
+            }
+            assert!(g.max_fanout() <= 4, "fanout violated");
+            assert!(g.depth() <= max_level, "level violated");
+        }
+    }
+
+    #[test]
+    fn finds_designs_off_the_regular_frontier() {
+        // The search must discover designs the seed structures don't
+        // contain (analytically non-dominated by any regular structure).
+        let pool = pruned_search(16, &PrunedSearchConfig::fast());
+        let regular: Vec<(f64, f64)> = structures::all_regular()
+            .iter()
+            .map(|(_, ctor)| {
+                let m = analytical::evaluate(&ctor(16));
+                (m.area, m.delay)
+            })
+            .collect();
+        let novel = pool.iter().any(|g| {
+            let m = analytical::evaluate(g);
+            regular
+                .iter()
+                .all(|&(a, d)| !(a <= m.area && d <= m.delay))
+        });
+        assert!(novel, "search never escaped the seeds");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = pruned_search(12, &PrunedSearchConfig::fast());
+        let b = pruned_search(12, &PrunedSearchConfig::fast());
+        let ka: Vec<_> = a.iter().map(|g| g.canonical_key()).collect();
+        let kb: Vec<_> = b.iter().map(|g| g.canonical_key()).collect();
+        assert_eq!(ka, kb);
+    }
+}

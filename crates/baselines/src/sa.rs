@@ -1,0 +1,218 @@
+//! Simulated annealing over prefix graphs (ref. \[14\], Moto & Kaneko).
+//!
+//! Random add/delete moves (with the same legalization as the RL
+//! environment) are accepted by the Metropolis criterion on a scalarized
+//! analytical cost. As the paper notes, SA is inherently sequential, so
+//! synthesis in the loop is infeasible — which is exactly the comparison
+//! Fig. 6 makes: SA optimizes the analytical model well but its designs
+//! degrade through physical synthesis.
+
+use prefix_graph::{analytical, Action, Node, PrefixGraph};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Simulated-annealing hyper-parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Proposal steps.
+    pub iterations: usize,
+    /// Initial temperature (in units of scalarized cost).
+    pub t_start: f64,
+    /// Final temperature.
+    pub t_end: f64,
+    /// Restarts (best-of is returned).
+    pub restarts: usize,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        // The normalized analytical cost changes by ~0.01–0.05 per move, so
+        // the temperature ladder brackets that scale.
+        SaConfig {
+            iterations: 6000,
+            t_start: 0.08,
+            t_end: 5e-4,
+            restarts: 2,
+        }
+    }
+}
+
+impl SaConfig {
+    /// A reduced-effort configuration for tests.
+    pub fn fast() -> Self {
+        SaConfig {
+            iterations: 1200,
+            restarts: 1,
+            ..SaConfig::default()
+        }
+    }
+}
+
+/// Proposes one random legal move (add or delete with legalization).
+fn random_move(g: &PrefixGraph, rng: &mut StdRng) -> Option<Action> {
+    let n = g.n();
+    // Rejection-sample a position; fall back to enumeration when sparse.
+    for _ in 0..16 {
+        let m = rng.random_range(2..n);
+        let l = rng.random_range(1..m);
+        let node = Node::new(m, l);
+        if g.can_add(node) {
+            return Some(Action::Add(node));
+        }
+        if g.is_deletable(node) {
+            return Some(Action::Delete(node));
+        }
+    }
+    let actions = g.legal_actions();
+    if actions.is_empty() {
+        None
+    } else {
+        Some(actions[rng.random_range(0..actions.len())])
+    }
+}
+
+/// Anneals from `start` against an arbitrary cost, returning the best
+/// graph found and its cost.
+pub fn anneal(
+    start: PrefixGraph,
+    cost: &dyn Fn(&PrefixGraph) -> f64,
+    cfg: &SaConfig,
+    rng: &mut StdRng,
+) -> (PrefixGraph, f64) {
+    let mut best = (start.clone(), cost(&start));
+    for _ in 0..cfg.restarts.max(1) {
+        let mut cur = start.clone();
+        let mut cur_cost = cost(&cur);
+        for i in 0..cfg.iterations {
+            let frac = i as f64 / cfg.iterations.max(1) as f64;
+            // Exponential cooling schedule.
+            let temp = cfg.t_start * (cfg.t_end / cfg.t_start).powf(frac);
+            let Some(action) = random_move(&cur, rng) else {
+                break;
+            };
+            let cand = cur.with_action(action).expect("move was legal");
+            let cand_cost = cost(&cand);
+            let accept = cand_cost <= cur_cost
+                || rng.random::<f64>() < ((cur_cost - cand_cost) / temp).exp();
+            if accept {
+                cur = cand;
+                cur_cost = cand_cost;
+                if cur_cost < best.1 {
+                    best = (cur.clone(), cur_cost);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// The scalarized analytical cost of ref. \[14\]: `w·area + (1-w)·delay`,
+/// with area and delay normalized by the ripple-carry values so weights
+/// trade comparable units.
+pub fn analytical_cost(n: u16, w_area: f64) -> impl Fn(&PrefixGraph) -> f64 {
+    let base = analytical::evaluate(&PrefixGraph::ripple(n));
+    move |g: &PrefixGraph| {
+        let m = analytical::evaluate(g);
+        w_area * m.area / base.area + (1.0 - w_area) * m.delay / base.delay
+    }
+}
+
+/// Runs SA at several scalarization weights (as \[14\] does to trace its
+/// frontier), returning the distinct best designs.
+pub fn sa_frontier(
+    n: u16,
+    weights: &[f64],
+    cfg: &SaConfig,
+    seed: u64,
+) -> Vec<PrefixGraph> {
+    let mut out: Vec<PrefixGraph> = Vec::new();
+    for (i, &w) in weights.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ ((i as u64 + 1) * 0x9e37_79b9));
+        let cost = analytical_cost(n, w);
+        let (g, _) = anneal(PrefixGraph::ripple(n), &cost, cfg, &mut rng);
+        if !out.contains(&g) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefix_graph::structures;
+
+    #[test]
+    fn improves_on_start_cost() {
+        // Under the ripple-normalized cost, ripple-carry is optimal at
+        // area-heavy weights (it *is* the minimum-area design), so test at
+        // a delay-heavy weight where shortcuts certainly pay.
+        let mut rng = StdRng::seed_from_u64(1);
+        let cost = analytical_cost(16, 0.15);
+        let start = PrefixGraph::ripple(16);
+        let (best, best_cost) = anneal(start.clone(), &cost, &SaConfig::fast(), &mut rng);
+        assert!(best_cost < cost(&start), "SA failed to improve");
+        best.verify_legal().unwrap();
+    }
+
+    #[test]
+    fn weight_extremes_trade_objectives() {
+        let cfg = SaConfig::fast();
+        let mut rng_a = StdRng::seed_from_u64(2);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        let (small, _) = anneal(
+            PrefixGraph::ripple(16),
+            &analytical_cost(16, 0.98),
+            &cfg,
+            &mut rng_a,
+        );
+        let (fast, _) = anneal(
+            PrefixGraph::ripple(16),
+            &analytical_cost(16, 0.02),
+            &cfg,
+            &mut rng_b,
+        );
+        let ms = analytical::evaluate(&small);
+        let mf = analytical::evaluate(&fast);
+        assert!(ms.area <= mf.area, "area-weighted SA bigger than delay-weighted");
+        assert!(mf.delay <= ms.delay, "delay-weighted SA slower");
+    }
+
+    #[test]
+    fn sa_beats_regular_structures_at_midweight() {
+        // The analytical-cost landscape is what [14] optimizes; SA should
+        // at least match the best regular structure on its own objective.
+        let cost = analytical_cost(32, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, sa_cost) = anneal(
+            PrefixGraph::ripple(32),
+            &cost,
+            &SaConfig::default(),
+            &mut rng,
+        );
+        let best_regular = structures::all_regular()
+            .iter()
+            .map(|(_, ctor)| cost(&ctor(32)))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            sa_cost <= best_regular * 1.05,
+            "SA {sa_cost} vs regular {best_regular}"
+        );
+    }
+
+    #[test]
+    fn frontier_returns_distinct_legal_designs() {
+        let designs = sa_frontier(12, &[0.2, 0.5, 0.8], &SaConfig::fast(), 7);
+        assert!(!designs.is_empty());
+        for g in &designs {
+            g.verify_legal().unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = sa_frontier(10, &[0.5], &SaConfig::fast(), 11);
+        let b = sa_frontier(10, &[0.5], &SaConfig::fast(), 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig. 5a/5b — cross-library generalization: PrefixRL adders trained on
+//! the open 45 nm flow are re-synthesized with the "commercial" effort
+//! optimizer on the 8 nm-class library, against regular adders and the
+//! tool's own architecture choices.
+
+use baselines::commercial::commercial_sweep;
+use netlist::Library;
+use prefix_graph::{structures, PrefixGraph};
+use prefixrl_bench as support;
+use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::cache::CachedEvaluator;
+use prefixrl_core::evaluator::{ObjectivePoint, SynthesisEvaluator};
+use prefixrl_core::frontier::sweep_front;
+use prefixrl_core::pareto::ParetoFront;
+use std::sync::Arc;
+use synth::optimizer::OptimizerConfig;
+use synth::sweep::SweepConfig;
+
+fn run(n: u16, weights: &[f64], steps: u64, targets: usize, tag: &str) {
+    let train_lib = Library::nangate45();
+    let target_lib = Library::tech8();
+    let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    println!("\nFig. 5 ({tag}): train on {}, evaluate on {}", train_lib.name(), target_lib.name());
+
+    // Train on the OPEN library (as the paper does)…
+    let mut rl_designs: Vec<(String, PrefixGraph)> = Vec::new();
+    for (i, &w) in weights.iter().enumerate() {
+        let evaluator = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+            train_lib.clone(),
+            SweepConfig::fast(),
+            w,
+        )));
+        let mut cfg = AgentConfig::small(n, w as f32, steps);
+        cfg.env = prefixrl_core::env::EnvConfig::synthesis(n);
+        cfg.seed = 300 + i as u64;
+        let result = train(&cfg, evaluator);
+        // The paper picks 7 Pareto-optimal adders to transfer.
+        for (k, (_, g)) in support::spread_front(&result.front(), 4).iter().enumerate() {
+            rl_designs.push((format!("PrefixRL(w={w:.2})#{k}"), g.clone()));
+        }
+    }
+    rl_designs.truncate(7);
+    println!("  transferring {} Pareto-optimal PrefixRL adders", rl_designs.len());
+
+    // …then synthesize everything with the commercial-effort flow on tech8.
+    let commercial_cfg = SweepConfig {
+        optimizer: OptimizerConfig::commercial(),
+        ..SweepConfig::commercial()
+    };
+    let rl_front = sweep_front(&rl_designs, &target_lib, &commercial_cfg, targets, threads);
+    let regulars: Vec<(String, PrefixGraph)> = [
+        ("Sklansky", structures::sklansky as fn(u16) -> PrefixGraph),
+        ("KoggeStone", structures::kogge_stone),
+        ("BrentKung", structures::brent_kung),
+    ]
+    .iter()
+    .map(|(name, ctor)| (name.to_string(), ctor(n)))
+    .collect();
+    let reg_front = sweep_front(&regulars, &target_lib, &commercial_cfg, targets, threads);
+
+    // The tool's own adders ("Commercial"): best architecture per target.
+    let choices = commercial_sweep(n, &target_lib, &OptimizerConfig::commercial(), targets);
+    let mut tool_front: ParetoFront<String> = ParetoFront::new();
+    for c in &choices {
+        tool_front.insert(
+            ObjectivePoint { area: c.area, delay: c.delay },
+            format!("Commercial[{}]", c.architecture),
+        );
+    }
+
+    support::print_front("PrefixRL (transferred)", &rl_front);
+    support::print_front("Regular", &reg_front);
+    support::print_front("Commercial", &tool_front);
+    support::report_saving("PrefixRL", &rl_front, "Regular", &reg_front);
+    support::report_saving("PrefixRL", &rl_front, "Commercial", &tool_front);
+    support::write_json(
+        &format!("fig5_{tag}"),
+        &serde_json::json!({
+            "n": n,
+            "prefixrl": support::front_json(&rl_front),
+            "regular": support::front_json(&reg_front),
+            "commercial": support::front_json(&tool_front),
+        }),
+    );
+}
+
+fn main() {
+    match support::scale() {
+        support::Scale::Quick => {
+            run(8, &[0.3, 0.7], 800, 10, "32b_quick");
+            run(16, &[0.3, 0.7], 600, 10, "64b_quick");
+        }
+        support::Scale::Paper => {
+            let w: Vec<f64> = (0..15).map(|i| 0.10 + 0.89 * i as f64 / 14.0).collect();
+            run(32, &w, 500_000, 12, "32b");
+            run(64, &w, 500_000, 12, "64b");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Fig. 6a/6b — the importance of synthesis in the loop.
+//!
+//! (a) Train Analytical-PrefixRL agents on the analytical model of \[14\] and
+//!     compare against SA and PS under analytical metrics: RL dominates.
+//! (b) Push the same designs through timing-driven synthesis: the ordering
+//!     changes — PS/regulars synthesize better than analytically-optimized
+//!     designs, while synthesis-in-the-loop PrefixRL (Fig. 4) leads.
+
+use baselines::pruned::{pruned_search, PrunedSearchConfig};
+use baselines::sa::{sa_frontier, SaConfig};
+use netlist::Library;
+use prefix_graph::{analytical, PrefixGraph};
+use prefixrl_bench as support;
+use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::cache::CachedEvaluator;
+use prefixrl_core::evaluator::{AnalyticalEvaluator, ObjectivePoint, SynthesisEvaluator};
+use prefixrl_core::frontier::sweep_front;
+use prefixrl_core::pareto::ParetoFront;
+use std::sync::Arc;
+use synth::sweep::SweepConfig;
+
+fn analytical_front(designs: &[(String, PrefixGraph)]) -> ParetoFront<String> {
+    designs
+        .iter()
+        .map(|(label, g)| {
+            let m = analytical::evaluate(g);
+            (
+                ObjectivePoint { area: m.area, delay: m.delay },
+                label.clone(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let (n, weights, steps, targets): (u16, Vec<f64>, u64, usize) = match support::scale() {
+        support::Scale::Quick => (12, vec![0.1, 0.25, 0.45, 0.7], 3500, 8),
+        support::Scale::Paper => (
+            32,
+            (0..15).map(|i| 0.10 + 0.89 * i as f64 / 14.0).collect(),
+            100_000,
+            40,
+        ),
+    };
+    println!("Fig. 6 reproduction: {n}-bit adders");
+    let lib = Library::nangate45();
+    let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+
+    // Analytical-PrefixRL agents (trained on [14]'s model).
+    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+    let mut rl_designs: Vec<(String, PrefixGraph)> = Vec::new();
+    for (i, &w) in weights.iter().enumerate() {
+        let mut cfg = AgentConfig::small(n, w as f32, steps);
+        cfg.seed = 400 + i as u64;
+        let result = train(&cfg, evaluator.clone());
+        for (k, (_, g)) in support::spread_front(&result.front(), 10).iter().enumerate() {
+            rl_designs.push((format!("AnalyticalRL(w={w:.2})#{k}"), g.clone()));
+        }
+        println!("  agent w_area={w:.2} done ({} designs)", result.designs.len());
+    }
+
+    // SA [14] and PS [15] design sets.
+    let sa: Vec<(String, PrefixGraph)> =
+        sa_frontier(n, &[0.05, 0.15, 0.3, 0.5, 0.7, 0.9], &SaConfig::default(), 13)
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| (format!("SA#{i}"), g))
+            .collect();
+    let ps: Vec<(String, PrefixGraph)> = pruned_search(n, &PrunedSearchConfig::fast())
+        .into_iter()
+        .take(24)
+        .enumerate()
+        .map(|(i, g)| (format!("PS#{i}"), g))
+        .collect();
+
+    // --- Fig. 6a: analytical metrics -------------------------------------
+    let rl_a = analytical_front(&rl_designs);
+    let sa_a = analytical_front(&sa);
+    let ps_a = analytical_front(&ps);
+    support::print_front("Fig6a Analytical-PrefixRL (analytical)", &rl_a);
+    support::print_front("Fig6a SA (analytical)", &sa_a);
+    support::print_front("Fig6a PS (analytical)", &ps_a);
+    support::report_saving("Analytical-PrefixRL", &rl_a, "SA", &sa_a);
+    support::report_saving("Analytical-PrefixRL", &rl_a, "PS", &ps_a);
+
+    // --- Fig. 6b: the same designs after synthesis -----------------------
+    let cfg = SweepConfig::paper();
+    let rl_s = sweep_front(&rl_designs, &lib, &cfg, targets, threads);
+    let sa_s = sweep_front(&sa, &lib, &cfg, targets, threads);
+    let ps_s = sweep_front(&ps, &lib, &cfg, targets, threads);
+    // Synthesis-in-the-loop PrefixRL reference (one mid-weight agent).
+    let mut loop_designs: Vec<(String, PrefixGraph)> = Vec::new();
+    {
+        let ev = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+            lib.clone(),
+            SweepConfig::fast(),
+            0.5,
+        )));
+        let mut cfg_rl = AgentConfig::small(n, 0.5, steps.min(900));
+        cfg_rl.env = prefixrl_core::env::EnvConfig::synthesis(n);
+        cfg_rl.seed = 500;
+        let result = train(&cfg_rl, ev);
+        for (k, (_, g)) in support::spread_front(&result.front(), 10).iter().enumerate() {
+            loop_designs.push((format!("PrefixRL#{k}"), g.clone()));
+        }
+    }
+    let loop_s = sweep_front(&loop_designs, &lib, &cfg, targets, threads);
+    support::print_front("Fig6b Analytical-PrefixRL (synthesized)", &rl_s);
+    support::print_front("Fig6b SA (synthesized)", &sa_s);
+    support::print_front("Fig6b PS (synthesized)", &ps_s);
+    support::print_front("Fig6b PrefixRL synthesis-in-loop (synthesized)", &loop_s);
+    println!("\nFig. 6b orderings (min achievable delay):");
+    for (name, f) in [
+        ("Analytical-PrefixRL", &rl_s),
+        ("SA", &sa_s),
+        ("PS", &ps_s),
+        ("PrefixRL-in-loop", &loop_s),
+    ] {
+        if let Some(p) = f.points().first() {
+            println!("  {name:<22} fastest delay {:.4} at area {:.1}", p.delay, p.area);
+        }
+    }
+    support::write_json(
+        "fig6",
+        &serde_json::json!({
+            "n": n,
+            "analytical": {
+                "rl": support::front_json(&rl_a),
+                "sa": support::front_json(&sa_a),
+                "ps": support::front_json(&ps_a),
+            },
+            "synthesized": {
+                "rl_analytical": support::front_json(&rl_s),
+                "sa": support::front_json(&sa_s),
+                "ps": support::front_json(&ps_s),
+                "rl_in_loop": support::front_json(&loop_s),
+            },
+        }),
+    );
+}

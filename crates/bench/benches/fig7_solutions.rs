@@ -1,0 +1,36 @@
+//! Fig. 7 — sample learned PrefixRL solutions, rendered as ASCII diagrams
+//! (and DOT files under target/prefixrl-results/ for graphical rendering).
+
+use prefixrl_bench as support;
+use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::cache::CachedEvaluator;
+use prefixrl_core::evaluator::AnalyticalEvaluator;
+use std::sync::Arc;
+
+fn main() {
+    let (n, steps) = match support::scale() {
+        support::Scale::Quick => (16u16, 2500u64),
+        support::Scale::Paper => (64u16, 100_000u64),
+    };
+    println!("Fig. 7 reproduction: learned {n}-bit PrefixRL solutions\n");
+    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+    let mut shown = 0;
+    for (i, w) in [0.25f32, 0.6, 0.9].into_iter().enumerate() {
+        let mut cfg = AgentConfig::small(n, w, steps);
+        cfg.seed = 600 + i as u64;
+        let result = train(&cfg, evaluator.clone());
+        if let Some((g, p)) = result.best_scalarized(w as f64, 0.05, 0.25) {
+            println!(
+                "--- agent w_area={w}: size {}, depth {}, fanout {}, area {:.0}, delay {:.1} ---",
+                g.size(), g.depth(), g.max_fanout(), p.area, p.delay
+            );
+            println!("{}", prefix_graph::render::ascii(g));
+            let dot = prefix_graph::render::dot(g);
+            let path = support::results_dir().join(format!("fig7_w{w}.dot"));
+            std::fs::write(&path, dot).expect("write dot");
+            println!("[artifact] {}\n", path.display());
+            shown += 1;
+        }
+    }
+    assert!(shown > 0, "no solutions rendered");
+}

@@ -1,0 +1,94 @@
+//! Section V-C / IV-D systems claims: parallel synthesis speedup (the paper
+//! reports 8× from its asynchronous infrastructure) and synthesis-cache hit
+//! rates during training (50% at 32b, 10% at 64b in the paper).
+
+use netlist::Library;
+use prefix_graph::{Action, Node, PrefixGraph};
+use prefixrl_bench as support;
+use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::cache::CachedEvaluator;
+use prefixrl_core::evaluator::SynthesisEvaluator;
+use prefixrl_core::parallel::{evaluate_batch, train_async};
+use std::sync::Arc;
+use std::time::Instant;
+use synth::sweep::SweepConfig;
+
+fn main() {
+    let lib = Library::nangate45();
+    let (n, jobs, steps) = match support::scale() {
+        support::Scale::Quick => (16u16, 32usize, 600u64),
+        support::Scale::Paper => (32u16, 192, 20_000),
+    };
+    println!("Scaling reproduction (n={n})\n");
+
+    // --- Parallel synthesis speedup --------------------------------------
+    // A batch of distinct graphs (ripple + random shortcut patterns).
+    let graphs: Vec<PrefixGraph> = (0..jobs)
+        .map(|i| {
+            let mut g = PrefixGraph::ripple(n);
+            let m = 2 + (i as u16 * 3) % (n - 2);
+            let l = 1 + (i as u16) % m.max(2).min(n - 2).max(1);
+            let node = Node::new(m.max(l + 1), l.min(m.max(l + 1) - 1));
+            let _ = g.apply(Action::Add(node));
+            g
+        })
+        .collect();
+    let evaluator = SynthesisEvaluator::new(lib.clone(), SweepConfig::fast(), 0.5);
+    let mut base_ms = 0.0;
+    println!("parallel synthesis of {jobs} states:");
+    let max_threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(8);
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > max_threads * 2 {
+            break;
+        }
+        let t = Instant::now();
+        let _ = evaluate_batch(&graphs, &evaluator, threads);
+        let ms = t.elapsed().as_secs_f64() * 1000.0;
+        if threads == 1 {
+            base_ms = ms;
+        }
+        println!(
+            "  {threads:>2} workers: {ms:>8.1} ms  speedup {:.2}x",
+            base_ms / ms
+        );
+    }
+
+    // --- Cache hit rate during training -----------------------------------
+    println!("\ncache hit rate during synthesis-in-loop training:");
+    for width in [8u16, 12, 16] {
+        let ev = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+            lib.clone(),
+            SweepConfig::fast(),
+            0.5,
+        )));
+        let mut cfg = AgentConfig::small(width, 0.5, steps);
+        cfg.env = prefixrl_core::env::EnvConfig::synthesis(width);
+        let _ = train(&cfg, ev.clone());
+        println!(
+            "  {width:>2}b: {:>5.1}% hits over {} evaluations ({} unique states)",
+            100.0 * ev.hit_rate(),
+            ev.hits() + ev.misses(),
+            ev.unique_states()
+        );
+    }
+
+    // --- Async actor/learner throughput ----------------------------------
+    println!("\nasync actor/learner (paper Sec. IV-D architecture):");
+    for actors in [1usize, 2, 4] {
+        let ev = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+            lib.clone(),
+            SweepConfig::fast(),
+            0.5,
+        )));
+        let mut cfg = AgentConfig::tiny(8, 0.5);
+        cfg.total_steps = steps;
+        let t = Instant::now();
+        let result = train_async(&cfg, ev.clone(), actors);
+        println!(
+            "  {actors} actors: {:>6.1} env-steps/s ({} designs, hit rate {:.0}%)",
+            steps as f64 / t.elapsed().as_secs_f64(),
+            result.designs.len(),
+            100.0 * ev.hit_rate(),
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Table I — comparison of 16b, 32b and 64b PrefixRL adder design:
+//! action-space size |A|, per-state synthesis time (Sklansky at 4 timing
+//! constraints, as the paper footnotes), per-gradient-step training time,
+//! and the model configuration rows.
+
+use netlist::Library;
+use prefix_graph::structures;
+use prefixrl_bench as support;
+use prefixrl_core::env::EnvConfig;
+use prefixrl_core::evaluator::AnalyticalEvaluator;
+use prefixrl_core::qnet::{PrefixQNet, QNetConfig};
+use rl::QNetwork;
+use std::sync::Arc;
+use std::time::Instant;
+use synth::sweep::{sweep_graph, SweepConfig};
+
+fn main() {
+    let lib = Library::nangate45();
+    let scale = support::scale();
+    let widths: [u16; 3] = [16, 32, 64];
+    println!("Table I reproduction ({scale:?} scale)\n");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "Statistic", "16b", "32b", "64b"
+    );
+
+    // |A| — exact, matches the paper (105 / 465 / 1953).
+    let a: Vec<String> = widths
+        .iter()
+        .map(|&n| prefix_graph::PrefixGraph::ripple(n).interior_positions().to_string())
+        .collect();
+    println!("{:<28} {:>12} {:>12} {:>12}", "|A|", a[0], a[1], a[2]);
+
+    // Synthesis time: Sklansky evaluated at 4 timing constraints.
+    let mut synth_ms = Vec::new();
+    for &n in &widths {
+        let g = structures::sklansky(n);
+        let reps = if n == 64 { 3 } else { 5 };
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = sweep_graph(&g, &lib, &SweepConfig::paper());
+        }
+        synth_ms.push(t.elapsed().as_secs_f64() * 1000.0 / reps as f64);
+    }
+    println!(
+        "{:<28} {:>11.1}ms {:>11.1}ms {:>11.1}ms",
+        "Synthesis time", synth_ms[0], synth_ms[1], synth_ms[2]
+    );
+
+    // Train iteration time at this reproduction's scales (paper ran B=32,
+    // C=256 on GPUs; quick scale uses the CPU config, paper scale builds
+    // the full network for 16b only to keep runtime sane).
+    let mut train_ms = Vec::new();
+    let mut model_rows: Vec<(usize, usize, usize)> = Vec::new(); // (B, C, batch)
+    for &n in &widths {
+        let (qcfg, batch) = match scale {
+            support::Scale::Quick => (QNetConfig::small(n), if n == 64 { 4 } else { 12 }),
+            support::Scale::Paper => (QNetConfig::paper(n), if n == 64 { 6 } else { 96 }),
+        };
+        model_rows.push((qcfg.blocks, qcfg.channels, batch));
+        let mut q = PrefixQNet::new(&qcfg);
+        let env = prefixrl_core::env::PrefixEnv::new(
+            EnvConfig::analytical(n),
+            Arc::new(AnalyticalEvaluator),
+        );
+        let f = env.features();
+        let states: Vec<&[f32]> = (0..batch).map(|_| f.as_slice()).collect();
+        let reps = if n == 64 { 2 } else { 4 };
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = q.forward(&states, true);
+            let grad = vec![vec![[1e-3f32; 2]; q.num_actions()]; batch];
+            q.apply_gradient(&grad);
+        }
+        train_ms.push(t.elapsed().as_secs_f64() * 1000.0 / reps as f64);
+    }
+    println!(
+        "{:<28} {:>11.1}ms {:>11.1}ms {:>11.1}ms",
+        "Train iteration time", train_ms[0], train_ms[1], train_ms[2]
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "# of residual blocks", model_rows[0].0, model_rows[1].0, model_rows[2].0
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "channels", model_rows[0].1, model_rows[1].1, model_rows[2].1
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "per-batch size", model_rows[0].2, model_rows[1].2, model_rows[2].2
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "# of data-parallel GPUs", "n/a (CPU)", "n/a (CPU)", "n/a (CPU)"
+    );
+    support::write_json(
+        "table1",
+        &serde_json::json!({
+            "widths": widths,
+            "action_space": [105, 465, 1953],
+            "synthesis_ms": synth_ms,
+            "train_iteration_ms": train_ms,
+        }),
+    );
+}

@@ -1,0 +1,127 @@
+//! Shared support for the figure/table harnesses in `benches/`.
+//!
+//! Every harness honours `PREFIXRL_SCALE`:
+//!
+//! - `quick` (default): CPU-sized widths and training budgets that finish in
+//!   minutes and preserve the qualitative shape of each figure;
+//! - `paper`: the paper's widths (32b/64b) and budgets — sized for a long
+//!   unattended run.
+//!
+//! Results print as aligned tables and are also written as JSON under
+//! `target/prefixrl-results/` for EXPERIMENTS.md bookkeeping.
+
+use prefixrl_core::evaluator::ObjectivePoint;
+use prefixrl_core::pareto::ParetoFront;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Experiment scale selected by `PREFIXRL_SCALE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale reproduction preserving qualitative shape.
+    Quick,
+    /// The paper's full problem sizes and budgets.
+    Paper,
+}
+
+/// Reads the scale from the environment.
+pub fn scale() -> Scale {
+    match std::env::var("PREFIXRL_SCALE").as_deref() {
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Quick,
+    }
+}
+
+/// Where JSON artifacts are written.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/prefixrl-results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a JSON artifact.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create artifact");
+    f.write_all(serde_json::to_string_pretty(value).unwrap().as_bytes())
+        .expect("write artifact");
+    println!("[artifact] {}", path.display());
+}
+
+/// Prints a named series of (area, delay) points as the paper's figures
+/// tabulate them, in increasing delay order.
+pub fn print_series(name: &str, points: &[(f64, f64)]) {
+    println!("\n== {name} ==");
+    println!("{:>12} {:>12}", "area", "delay");
+    let mut sorted = points.to_vec();
+    sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (area, delay) in sorted {
+        println!("{area:>12.2} {delay:>12.4}");
+    }
+}
+
+/// Prints a Pareto front with labels.
+pub fn print_front<T: std::fmt::Display>(name: &str, front: &ParetoFront<T>) {
+    println!("\n== {name} (Pareto front, {} points) ==", front.len());
+    println!("{:>12} {:>12}  {}", "area", "delay", "design");
+    for (p, label) in front.iter() {
+        println!("{:>12.2} {:>12.4}  {label}", p.area, p.delay);
+    }
+}
+
+/// Serializes a front for artifacts.
+pub fn front_json<T: std::fmt::Display>(front: &ParetoFront<T>) -> serde_json::Value {
+    serde_json::Value::Array(
+        front
+            .iter()
+            .map(|(p, label)| {
+                serde_json::json!({
+                    "area": p.area,
+                    "delay": p.delay,
+                    "label": label.to_string(),
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Compares two fronts with the paper's headline metric.
+pub fn report_saving<A: std::fmt::Display, B: std::fmt::Display>(
+    ours_name: &str,
+    ours: &ParetoFront<A>,
+    base_name: &str,
+    base: &ParetoFront<B>,
+) {
+    match ours.max_area_saving_vs(base) {
+        Some((saving, delay)) => println!(
+            "{ours_name} vs {base_name}: max area saving {saving:.1}% at delay {delay:.4}; dominates = {}",
+            ours.pareto_dominates(base)
+        ),
+        None => println!("{ours_name} vs {base_name}: no overlapping delay range"),
+    }
+}
+
+/// Collects points from a front.
+pub fn front_points<T>(front: &ParetoFront<T>) -> Vec<(f64, f64)> {
+    front.points().iter().map(|p| (p.area, p.delay)).collect()
+}
+
+/// Inserts a labelled point set into a new front.
+pub fn front_of(points: &[(ObjectivePoint, String)]) -> ParetoFront<String> {
+    points.iter().cloned().collect()
+}
+
+/// Selects up to `limit` front members spread evenly across the delay range
+/// (taking only the fastest members would drop the small-area end).
+pub fn spread_front<T: Clone>(front: &ParetoFront<T>, limit: usize) -> Vec<(ObjectivePoint, T)> {
+    let all: Vec<(ObjectivePoint, T)> = front.iter().map(|(p, t)| (*p, t.clone())).collect();
+    if all.len() <= limit {
+        return all;
+    }
+    (0..limit)
+        .map(|i| {
+            let idx = i * (all.len() - 1) / (limit - 1);
+            all[idx].clone()
+        })
+        .collect()
+}

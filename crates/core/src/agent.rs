@@ -1,0 +1,314 @@
+//! The PrefixRL training loop.
+//!
+//! One agent is trained per scalarization weight `w`; the paper trains 15
+//! agents with `w_area ∈ [0.10, 0.99]` and assembles the Pareto frontier
+//! from the designs they discover. Every state visited during training is
+//! harvested into the design pool (with its evaluated objectives), which is
+//! what the figure harnesses bin into fronts.
+
+use crate::env::{EnvConfig, PrefixEnv};
+use crate::evaluator::{Evaluator, ObjectivePoint};
+use crate::pareto::ParetoFront;
+use crate::qnet::{PrefixQNet, QNetConfig};
+use prefix_graph::PrefixGraph;
+use rand::prelude::*;
+use rl::{DoubleDqn, DqnConfig, EpsilonSchedule, ReplayBuffer, Transition};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Full configuration of one PrefixRL agent.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Environment settings.
+    pub env: EnvConfig,
+    /// Q-network settings.
+    pub qnet: QNetConfig,
+    /// Double-DQN settings (includes the scalarization weight).
+    pub dqn: DqnConfig,
+    /// Total environment steps.
+    pub total_steps: u64,
+    /// Replay buffer capacity (paper: 4×10⁵).
+    pub replay_capacity: usize,
+    /// Exploration start ε.
+    pub eps_start: f64,
+    /// Exploration end ε (annealed to ~0 as in the paper).
+    pub eps_end: f64,
+    /// Steps over which ε anneals.
+    pub eps_decay_steps: u64,
+    /// Gradient steps per environment step.
+    pub train_every: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl AgentConfig {
+    /// A minimal configuration for unit tests (analytical reward scale).
+    pub fn tiny(n: u16, w_area: f32) -> Self {
+        AgentConfig {
+            env: EnvConfig::analytical(n),
+            qnet: QNetConfig::tiny(n),
+            dqn: DqnConfig {
+                batch_size: 16,
+                min_replay: 64,
+                ..DqnConfig::paper(w_area)
+            },
+            total_steps: 300,
+            replay_capacity: 4_000,
+            eps_start: 1.0,
+            eps_end: 0.05,
+            eps_decay_steps: 200,
+            train_every: 1,
+            seed: 0,
+        }
+    }
+
+    /// A CPU-tractable experiment configuration.
+    pub fn small(n: u16, w_area: f32, total_steps: u64) -> Self {
+        AgentConfig {
+            env: EnvConfig::analytical(n),
+            qnet: QNetConfig::small(n),
+            dqn: DqnConfig {
+                batch_size: 16,
+                min_replay: 200,
+                ..DqnConfig::paper(w_area)
+            },
+            total_steps,
+            replay_capacity: 20_000,
+            eps_start: 1.0,
+            eps_end: 0.02,
+            eps_decay_steps: total_steps * 3 / 4,
+            train_every: 1,
+            seed: 0,
+        }
+    }
+
+    /// The paper's full-scale configuration (5×10⁵ steps, B=32, C=256,
+    /// replay 4×10⁵, Adam 4e-5) — constructible but sized for a cluster.
+    pub fn paper(n: u16, w_area: f32) -> Self {
+        AgentConfig {
+            env: EnvConfig::synthesis(n),
+            qnet: QNetConfig::paper(n),
+            dqn: DqnConfig::paper(w_area),
+            total_steps: 500_000,
+            replay_capacity: 400_000,
+            eps_start: 1.0,
+            eps_end: 0.0,
+            eps_decay_steps: 400_000,
+            train_every: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Everything a training run produces.
+pub struct TrainResult {
+    /// Every distinct design visited, with its evaluated objectives.
+    pub designs: Vec<(PrefixGraph, ObjectivePoint)>,
+    /// Per-gradient-step losses.
+    pub losses: Vec<f32>,
+    /// Scalarized episode returns (training diagnostic).
+    pub episode_returns: Vec<f64>,
+    /// Environment steps executed.
+    pub steps: u64,
+}
+
+impl TrainResult {
+    /// The Pareto front over all visited designs.
+    pub fn front(&self) -> ParetoFront<PrefixGraph> {
+        self.designs
+            .iter()
+            .map(|(g, p)| (*p, g.clone()))
+            .collect()
+    }
+
+    /// The design minimizing the scalarized objective.
+    pub fn best_scalarized(
+        &self,
+        w_area: f64,
+        c_area: f64,
+        c_delay: f64,
+    ) -> Option<&(PrefixGraph, ObjectivePoint)> {
+        self.designs.iter().min_by(|a, b| {
+            let cost = |p: &ObjectivePoint| {
+                w_area * c_area * p.area + (1.0 - w_area) * c_delay * p.delay
+            };
+            cost(&a.1).total_cmp(&cost(&b.1))
+        })
+    }
+}
+
+/// Trains one PrefixRL agent, returning the trainer and the run record.
+pub fn train_with_agent(
+    cfg: &AgentConfig,
+    evaluator: Arc<dyn Evaluator>,
+) -> (DoubleDqn<PrefixQNet>, TrainResult) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut env = PrefixEnv::new(cfg.env.clone(), Arc::clone(&evaluator));
+    let online = PrefixQNet::new(&cfg.qnet);
+    let target = PrefixQNet::new(&QNetConfig {
+        seed: cfg.qnet.seed ^ 0x5eed,
+        ..cfg.qnet.clone()
+    });
+    let mut dqn = DoubleDqn::new(online, target, cfg.dqn.clone());
+    let mut replay = ReplayBuffer::new(cfg.replay_capacity);
+    let schedule = EpsilonSchedule::linear(cfg.eps_start, cfg.eps_end, cfg.eps_decay_steps);
+
+    let mut designs: HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)> = HashMap::new();
+    let record =
+        |designs: &mut HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>, env: &PrefixEnv| {
+            designs
+                .entry(env.graph().canonical_key())
+                .or_insert_with(|| (env.graph().clone(), env.metrics()));
+        };
+
+    let mut losses = Vec::new();
+    let mut episode_returns = Vec::new();
+    let mut episode_return = 0.0f64;
+    env.reset(&mut rng);
+    record(&mut designs, &env);
+    for step in 0..cfg.total_steps {
+        let eps = schedule.value(step);
+        let state = env.features();
+        let mask = env.action_mask();
+        let action = dqn
+            .select_action(&state, &mask, eps, &mut rng)
+            .expect("prefix env always has a legal action");
+        let outcome = env.step_flat(action);
+        record(&mut designs, &env);
+        episode_return += (cfg.dqn.weight[0] * outcome.reward[0]
+            + cfg.dqn.weight[1] * outcome.reward[1]) as f64;
+        replay.push(Transition {
+            state,
+            action,
+            reward: outcome.reward,
+            next_state: env.features(),
+            next_mask: env.action_mask(),
+            done: false, // no terminal states; truncation bootstraps
+        });
+        if cfg.train_every > 0 && step % cfg.train_every == 0 {
+            if let Some(loss) = dqn.train_step(&replay, &mut rng) {
+                losses.push(loss);
+            }
+        }
+        if outcome.truncated {
+            episode_returns.push(episode_return);
+            episode_return = 0.0;
+            env.reset(&mut rng);
+            record(&mut designs, &env);
+        }
+    }
+    let result = TrainResult {
+        designs: designs.into_values().collect(),
+        losses,
+        episode_returns,
+        steps: cfg.total_steps,
+    };
+    (dqn, result)
+}
+
+/// Trains one PrefixRL agent and returns the run record.
+pub fn train(cfg: &AgentConfig, evaluator: Arc<dyn Evaluator>) -> TrainResult {
+    train_with_agent(cfg, evaluator).1
+}
+
+/// Rolls out the greedy policy (ε = 0) from each starting state, returning
+/// the designs visited — how trained agents emit their final adders.
+pub fn greedy_rollout(
+    dqn: &mut DoubleDqn<PrefixQNet>,
+    cfg: &EnvConfig,
+    evaluator: Arc<dyn Evaluator>,
+    episodes: usize,
+    seed: u64,
+) -> Vec<(PrefixGraph, ObjectivePoint)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut env = PrefixEnv::new(cfg.clone(), evaluator);
+    let mut out: HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)> = HashMap::new();
+    for _ in 0..episodes {
+        env.reset(&mut rng);
+        out.entry(env.graph().canonical_key())
+            .or_insert_with(|| (env.graph().clone(), env.metrics()));
+        loop {
+            let state = env.features();
+            let mask = env.action_mask();
+            let Some(a) = dqn.greedy_action(&state, &mask) else {
+                break;
+            };
+            let outcome = env.step_flat(a);
+            out.entry(env.graph().canonical_key())
+                .or_insert_with(|| (env.graph().clone(), env.metrics()));
+            if outcome.truncated {
+                break;
+            }
+        }
+    }
+    out.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachedEvaluator;
+    use crate::evaluator::AnalyticalEvaluator;
+
+    #[test]
+    fn tiny_training_run_completes_and_harvests_designs() {
+        let cfg = AgentConfig::tiny(8, 0.5);
+        let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+        let result = train(&cfg, eval.clone());
+        assert_eq!(result.steps, 300);
+        assert!(result.designs.len() > 20, "only {} designs", result.designs.len());
+        assert!(!result.losses.is_empty(), "training never started");
+        // The cache must have seen repeated states (start states recur).
+        assert!(eval.hits() > 0);
+        // All harvested designs are legal.
+        for (g, p) in &result.designs {
+            g.verify_legal().unwrap();
+            assert!(p.area > 0.0 && p.delay > 0.0);
+        }
+    }
+
+    #[test]
+    fn front_is_nonempty_and_consistent() {
+        let cfg = AgentConfig::tiny(8, 0.3);
+        let result = train(&cfg, Arc::new(AnalyticalEvaluator));
+        let front = result.front();
+        assert!(!front.is_empty());
+        // No design may dominate a front member.
+        for (p, _) in front.iter() {
+            for (_, q) in &result.designs {
+                assert!(!q.dominates(p), "front member dominated");
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_under_seed() {
+        let cfg = AgentConfig::tiny(8, 0.5);
+        let a = train(&cfg, Arc::new(AnalyticalEvaluator));
+        let b = train(&cfg, Arc::new(AnalyticalEvaluator));
+        assert_eq!(a.designs.len(), b.designs.len());
+        assert_eq!(a.losses.len(), b.losses.len());
+        assert_eq!(a.losses.first(), b.losses.first());
+        assert_eq!(a.losses.last(), b.losses.last());
+    }
+
+    #[test]
+    fn greedy_rollout_emits_designs() {
+        let cfg = AgentConfig::tiny(8, 0.5);
+        let eval: Arc<dyn Evaluator> = Arc::new(AnalyticalEvaluator);
+        let (mut dqn, _) = train_with_agent(&cfg, Arc::clone(&eval));
+        let designs = greedy_rollout(&mut dqn, &cfg.env, eval, 2, 7);
+        assert!(designs.len() > 2);
+    }
+
+    #[test]
+    fn best_scalarized_tracks_weight() {
+        let cfg = AgentConfig::tiny(8, 0.5);
+        let result = train(&cfg, Arc::new(AnalyticalEvaluator));
+        let small = result.best_scalarized(1.0, 1.0, 1.0).unwrap();
+        let fast = result.best_scalarized(0.0, 1.0, 1.0).unwrap();
+        assert!(small.1.area <= fast.1.area);
+        assert!(fast.1.delay <= small.1.delay);
+    }
+}

@@ -1,0 +1,198 @@
+//! Reward oracles: analytical and synthesis-in-the-loop evaluation.
+//!
+//! The environment asks an [`Evaluator`] for the `(area, delay)` of a prefix
+//! graph. Two implementations mirror the paper's two settings:
+//!
+//! - [`AnalyticalEvaluator`] — the model of Moto & Kaneko \[14\] used for the
+//!   "Analytical-PrefixRL" agents of Section V-D (microseconds per state);
+//! - [`SynthesisEvaluator`] — the full Fig. 3 pipeline: generate the adder
+//!   netlist, run timing-driven synthesis at a handful of delay targets,
+//!   PCHIP-interpolate the area-delay curve, and return the `w`-optimal
+//!   point (tens of milliseconds per state, hence the caching and
+//!   parallelism of Section IV-D).
+
+use netlist::Library;
+use prefix_graph::{analytical, PrefixGraph};
+use serde::{Deserialize, Serialize};
+use synth::sweep::{sweep_graph, SweepConfig};
+use synth::AreaDelayCurve;
+
+/// A point in the (area, delay) objective space; both minimized.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObjectivePoint {
+    /// Circuit area (µm² for synthesis, node count for analytical).
+    pub area: f64,
+    /// Circuit delay (ns for synthesis, model units for analytical).
+    pub delay: f64,
+}
+
+impl ObjectivePoint {
+    /// Weak Pareto dominance for minimization (better-or-equal on both,
+    /// strictly better on at least one).
+    pub fn dominates(&self, other: &ObjectivePoint) -> bool {
+        self.area <= other.area
+            && self.delay <= other.delay
+            && (self.area < other.area || self.delay < other.delay)
+    }
+}
+
+/// An (area, delay) oracle over prefix graphs.
+///
+/// Implementations must be deterministic: the synthesis cache assumes a
+/// graph always evaluates to the same point.
+pub trait Evaluator: Send + Sync {
+    /// Evaluates the graph's objectives.
+    fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+impl Evaluator for Box<dyn Evaluator> {
+    fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
+        (**self).evaluate(graph)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// The analytical model of ref. \[14\]: area = node count, node delay
+/// `1 + 0.5·fanout`.
+#[derive(Clone, Debug, Default)]
+pub struct AnalyticalEvaluator;
+
+impl Evaluator for AnalyticalEvaluator {
+    fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
+        let m = analytical::evaluate(graph);
+        ObjectivePoint {
+            area: m.area,
+            delay: m.delay,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "analytical"
+    }
+}
+
+/// Synthesis-in-the-loop evaluation (the paper's Fig. 3 pipeline).
+///
+/// The returned point is the `w`-optimal point of the interpolated
+/// area-delay curve, using the paper's scaling constants
+/// (`c_area = 0.001`, `c_delay = 10` by default).
+#[derive(Clone, Debug)]
+pub struct SynthesisEvaluator {
+    lib: Library,
+    sweep: SweepConfig,
+    w_area: f64,
+    w_delay: f64,
+    c_area: f64,
+    c_delay: f64,
+}
+
+impl SynthesisEvaluator {
+    /// Creates an evaluator for scalarization weight `w_area`
+    /// (`w_delay = 1 - w_area`) over the given library.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ w_area ≤ 1`.
+    pub fn new(lib: Library, sweep: SweepConfig, w_area: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w_area), "w_area must be in [0,1]");
+        SynthesisEvaluator {
+            lib,
+            sweep,
+            w_area,
+            w_delay: 1.0 - w_area,
+            c_area: 0.001,
+            c_delay: 10.0,
+        }
+    }
+
+    /// Overrides the paper's unit-scaling constants.
+    pub fn with_scaling(mut self, c_area: f64, c_delay: f64) -> Self {
+        self.c_area = c_area;
+        self.c_delay = c_delay;
+        self
+    }
+
+    /// The full interpolated area-delay curve of a graph (used by the
+    /// figure harnesses, which bin syntheses at many delay targets).
+    pub fn curve(&self, graph: &PrefixGraph) -> AreaDelayCurve {
+        sweep_graph(graph, &self.lib, &self.sweep)
+    }
+
+    /// The library this evaluator synthesizes with.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+}
+
+impl Evaluator for SynthesisEvaluator {
+    fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
+        let curve = self.curve(graph);
+        let (area, delay) =
+            curve.scalarized_optimum(self.w_area, self.w_delay, self.c_area, self.c_delay);
+        ObjectivePoint { area, delay }
+    }
+
+    fn name(&self) -> &str {
+        "synthesis"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefix_graph::structures;
+
+    #[test]
+    fn dominance_relation() {
+        let a = ObjectivePoint {
+            area: 1.0,
+            delay: 1.0,
+        };
+        let b = ObjectivePoint {
+            area: 2.0,
+            delay: 1.0,
+        };
+        let c = ObjectivePoint {
+            area: 0.5,
+            delay: 2.0,
+        };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c) && !c.dominates(&a), "incomparable");
+        assert!(!a.dominates(&a), "strictness");
+    }
+
+    #[test]
+    fn analytical_matches_model() {
+        let g = structures::sklansky(16);
+        let p = AnalyticalEvaluator.evaluate(&g);
+        assert_eq!(p.area, g.size() as f64);
+        assert!(p.delay > 0.0);
+    }
+
+    #[test]
+    fn synthesis_weight_moves_along_curve() {
+        let lib = Library::nangate45();
+        let g = structures::sklansky(16);
+        let fast = SynthesisEvaluator::new(lib.clone(), SweepConfig::fast(), 0.05);
+        let small = SynthesisEvaluator::new(lib, SweepConfig::fast(), 0.95);
+        let pf = fast.evaluate(&g);
+        let ps = small.evaluate(&g);
+        assert!(pf.delay <= ps.delay, "delay-heavy picks faster point");
+        assert!(pf.area >= ps.area, "area-heavy picks smaller point");
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let lib = Library::nangate45();
+        let ev = SynthesisEvaluator::new(lib, SweepConfig::fast(), 0.5);
+        let g = structures::brent_kung(8);
+        assert_eq!(ev.evaluate(&g), ev.evaluate(&g));
+    }
+}

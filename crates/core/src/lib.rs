@@ -1,0 +1,55 @@
+//! PrefixRL: deep-RL optimization of parallel prefix circuits.
+//!
+//! This crate is the paper's primary contribution assembled over the
+//! substrate crates:
+//!
+//! - [`evaluator`]: the reward oracles — the analytical model of ref. \[14\]
+//!   and the synthesis-in-the-loop evaluator (netlist generation, 4-target
+//!   timing-driven sweep, PCHIP interpolation, `w`-optimal point — Fig. 3);
+//! - [`cache`]: the synthesis result cache keyed by canonical graph state
+//!   (Section IV-D reports 50%/10% hit rates at 32b/64b);
+//! - [`mod@env`]: the PrefixRL MDP over legal prefix graphs (Section IV-A/B);
+//! - [`qnet`]: the convolutional residual Q-network (Fig. 2) implementing
+//!   [`rl::QNetwork`];
+//! - [`agent`]: the scalarized Double-DQN training loop producing
+//!   area-delay-specialized adder designers;
+//! - [`parallel`]: the asynchronous actor/learner training system and
+//!   parallel synthesis evaluation (Section IV-D);
+//! - [`pareto`]: Pareto-front utilities used by every figure of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use prefixrl_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Train a tiny agent with the analytical evaluator (fast).
+//! let cfg = AgentConfig::tiny(8, 0.5);
+//! let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default()));
+//! let result = train(&cfg, eval);
+//! assert!(result.designs.len() > 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod cache;
+pub mod env;
+pub mod evaluator;
+pub mod frontier;
+pub mod parallel;
+pub mod pareto;
+pub mod qnet;
+
+/// Convenient re-exports for downstream users.
+pub mod prelude {
+    pub use crate::agent::{train, AgentConfig, TrainResult};
+    pub use crate::cache::CachedEvaluator;
+    pub use crate::env::{EnvConfig, PrefixEnv};
+    pub use crate::evaluator::{
+        AnalyticalEvaluator, Evaluator, ObjectivePoint, SynthesisEvaluator,
+    };
+    pub use crate::frontier::sweep_front;
+    pub use crate::pareto::ParetoFront;
+    pub use crate::qnet::{PrefixQNet, QNetConfig};
+}

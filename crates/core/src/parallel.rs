@@ -1,0 +1,279 @@
+//! The asynchronous distributed training system (paper Section IV-D).
+//!
+//! The paper's key systems observation is that DQN is off-policy, so
+//! experience generation (environment + synthesis) decouples from gradient
+//! computation: 192 synthesis workers fed one learner. This module
+//! reproduces that architecture at thread scale:
+//!
+//! - [`evaluate_batch`] — a synthesis worker pool evaluating many graphs in
+//!   parallel (used by the figure harnesses and the scaling benchmark);
+//! - [`train_async`] — actor threads run episodes with periodically
+//!   refreshed policy snapshots and stream transitions over a channel to a
+//!   learner thread that trains and publishes parameters.
+
+use crate::agent::{AgentConfig, TrainResult};
+use crate::env::PrefixEnv;
+use crate::evaluator::{Evaluator, ObjectivePoint};
+use crate::qnet::{PrefixQNet, QNetConfig};
+use crossbeam::channel;
+use parking_lot::{Mutex, RwLock};
+use prefix_graph::PrefixGraph;
+use rand::prelude::*;
+use rl::{DoubleDqn, EpsilonSchedule, QNetwork, ReplayBuffer, Transition};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Evaluates `graphs` concurrently on `threads` workers, preserving order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn evaluate_batch(
+    graphs: &[PrefixGraph],
+    evaluator: &dyn Evaluator,
+    threads: usize,
+) -> Vec<ObjectivePoint> {
+    assert!(threads > 0, "need at least one worker");
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<ObjectivePoint>>> =
+        (0..graphs.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(graphs.len().max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= graphs.len() {
+                    break;
+                }
+                *results[i].lock() = Some(evaluator.evaluate(&graphs[i]));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Shared policy snapshot published by the learner.
+struct PolicyBoard {
+    version: AtomicU64,
+    params: RwLock<Vec<Vec<f32>>>,
+}
+
+/// Trains with `num_actors` parallel experience generators and one learner.
+///
+/// Semantics match [`crate::agent::train`] (same config fields), but
+/// experience arrives asynchronously, so per-step pairing of acting and
+/// learning is not bit-identical to the serial path. Total environment
+/// steps across all actors equal `cfg.total_steps`.
+pub fn train_async(
+    cfg: &AgentConfig,
+    evaluator: Arc<dyn Evaluator>,
+    num_actors: usize,
+) -> TrainResult {
+    assert!(num_actors > 0, "need at least one actor");
+    let mut online = PrefixQNet::new(&cfg.qnet);
+    let board = Arc::new(PolicyBoard {
+        version: AtomicU64::new(1),
+        params: RwLock::new(online.state()),
+    });
+    let (tx, rx) = channel::bounded::<Transition>(4096);
+    let steps_taken = Arc::new(AtomicU64::new(0));
+    let designs: Arc<Mutex<HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let schedule = EpsilonSchedule::linear(cfg.eps_start, cfg.eps_end, cfg.eps_decay_steps);
+
+    let losses = std::thread::scope(|s| {
+        // Actors.
+        for actor in 0..num_actors {
+            let tx = tx.clone();
+            let board = Arc::clone(&board);
+            let steps_taken = Arc::clone(&steps_taken);
+            let designs = Arc::clone(&designs);
+            let evaluator = Arc::clone(&evaluator);
+            let cfg = cfg.clone();
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (actor as u64 + 1) * 0x9e37);
+                let mut net = PrefixQNet::new(&cfg.qnet);
+                let mut my_version = 0u64;
+                let weight = cfg.dqn.weight;
+                let mut env = PrefixEnv::new(cfg.env.clone(), evaluator);
+                env.reset(&mut rng);
+                record_design(&designs, &env);
+                loop {
+                    let step = steps_taken.fetch_add(1, Ordering::Relaxed);
+                    if step >= cfg.total_steps {
+                        break;
+                    }
+                    // Refresh the policy snapshot when the learner published.
+                    let published = board.version.load(Ordering::Acquire);
+                    if published != my_version {
+                        let params = board.params.read().clone();
+                        net.load_state(&params).expect("same architecture");
+                        my_version = published;
+                    }
+                    let state = env.features();
+                    let mask = env.action_mask();
+                    let eps = schedule.value(step);
+                    let action =
+                        select_action(&mut net, &state, &mask, weight, eps, &mut rng)
+                            .expect("legal action always exists");
+                    let outcome = env.step_flat(action);
+                    record_design(&designs, &env);
+                    let t = Transition {
+                        state,
+                        action,
+                        reward: outcome.reward,
+                        next_state: env.features(),
+                        next_mask: env.action_mask(),
+                        done: false,
+                    };
+                    if tx.send(t).is_err() {
+                        break; // learner gone
+                    }
+                    if outcome.truncated {
+                        env.reset(&mut rng);
+                        record_design(&designs, &env);
+                    }
+                }
+                drop(tx);
+            });
+        }
+        drop(tx);
+
+        // Learner (runs on this thread).
+        let target = PrefixQNet::new(&QNetConfig {
+            seed: cfg.qnet.seed ^ 0x5eed,
+            ..cfg.qnet.clone()
+        });
+        let mut dqn = DoubleDqn::new(online, target, cfg.dqn.clone());
+        let mut replay = ReplayBuffer::new(cfg.replay_capacity);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xdead);
+        let mut losses = Vec::new();
+        let mut since_publish = 0u64;
+        while let Ok(t) = rx.recv() {
+            replay.push(t);
+            // Drain whatever else is queued to keep actors unblocked.
+            while let Ok(t) = rx.try_recv() {
+                replay.push(t);
+            }
+            if let Some(loss) = dqn.train_step(&replay, &mut rng) {
+                losses.push(loss);
+                since_publish += 1;
+                if since_publish >= cfg.dqn.target_sync_every {
+                    since_publish = 0;
+                    *board.params.write() = dqn.online_mut().state();
+                    board.version.fetch_add(1, Ordering::Release);
+                }
+            }
+        }
+        losses
+    });
+
+    let designs = Arc::try_unwrap(designs)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone());
+    TrainResult {
+        designs: designs.into_values().collect(),
+        losses,
+        episode_returns: Vec::new(),
+        steps: cfg.total_steps,
+    }
+}
+
+fn record_design(
+    designs: &Mutex<HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>>,
+    env: &PrefixEnv,
+) {
+    designs
+        .lock()
+        .entry(env.graph().canonical_key())
+        .or_insert_with(|| (env.graph().clone(), env.metrics()));
+}
+
+/// ε-greedy scalarized action selection against a raw Q-network (actors do
+/// not carry a full trainer).
+fn select_action(
+    net: &mut PrefixQNet,
+    state: &[f32],
+    mask: &[bool],
+    weight: [f32; 2],
+    epsilon: f64,
+    rng: &mut StdRng,
+) -> Option<usize> {
+    let legal: Vec<usize> = mask
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| m)
+        .map(|(a, _)| a)
+        .collect();
+    if legal.is_empty() {
+        return None;
+    }
+    if rng.random::<f64>() < epsilon {
+        return Some(legal[rng.random_range(0..legal.len())]);
+    }
+    let q = net.forward(&[state], false).pop().expect("batch of 1");
+    legal
+        .into_iter()
+        .map(|a| (a, weight[0] * q[a][0] + weight[1] * q[a][1]))
+        .max_by(|x, y| x.1.total_cmp(&y.1))
+        .map(|(a, _)| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachedEvaluator;
+    use crate::evaluator::AnalyticalEvaluator;
+    use prefix_graph::structures;
+
+    #[test]
+    fn evaluate_batch_matches_serial() {
+        let graphs: Vec<PrefixGraph> = vec![
+            PrefixGraph::ripple(8),
+            structures::sklansky(8),
+            structures::kogge_stone(8),
+            structures::brent_kung(8),
+            structures::han_carlson(8),
+        ];
+        let ev = AnalyticalEvaluator;
+        let parallel = evaluate_batch(&graphs, &ev, 4);
+        let serial: Vec<ObjectivePoint> = graphs.iter().map(|g| ev.evaluate(g)).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn evaluate_batch_single_thread_ok() {
+        let graphs = vec![PrefixGraph::ripple(8)];
+        let out = evaluate_batch(&graphs, &AnalyticalEvaluator, 1);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn async_training_completes_and_harvests() {
+        let mut cfg = AgentConfig::tiny(8, 0.5);
+        cfg.total_steps = 400;
+        let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+        let result = train_async(&cfg, eval.clone(), 3);
+        assert!(result.designs.len() > 20, "{} designs", result.designs.len());
+        assert!(!result.losses.is_empty(), "learner never trained");
+        for (g, _) in &result.designs {
+            g.verify_legal().unwrap();
+        }
+        // Actors share the cache: repeated start states must hit.
+        assert!(eval.hits() > 0);
+    }
+
+    #[test]
+    fn async_and_serial_explore_comparable_design_counts() {
+        let mut cfg = AgentConfig::tiny(8, 0.5);
+        cfg.total_steps = 300;
+        let serial = crate::agent::train(&cfg, Arc::new(AnalyticalEvaluator));
+        let parallel = train_async(&cfg, Arc::new(AnalyticalEvaluator), 2);
+        // Same step budget → same order of magnitude of distinct designs.
+        let (a, b) = (serial.designs.len() as f64, parallel.designs.len() as f64);
+        assert!(a / b < 4.0 && b / a < 4.0, "serial {a} vs async {b}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Pareto-front utilities for (area, delay) minimization.
+//!
+//! Every figure in the paper's evaluation is an area-delay Pareto front of
+//! binned synthesis results; this module maintains such fronts and computes
+//! the paper's headline comparison metric — percent area improvement at
+//! equal delay (e.g. "up to 16.0% lower area for the same delay" in the
+//! 32-bit setting).
+
+use crate::evaluator::ObjectivePoint;
+use serde::{Deserialize, Serialize};
+
+/// A minimization Pareto front over `(area, delay)` with payloads.
+///
+/// Inserting a dominated point is a no-op; inserting a dominating point
+/// evicts everything it dominates. Points are kept sorted by delay.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParetoFront<T> {
+    entries: Vec<(ObjectivePoint, T)>,
+}
+
+impl<T> Default for ParetoFront<T> {
+    fn default() -> Self {
+        ParetoFront {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<T> ParetoFront<T> {
+    /// Creates an empty front.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of non-dominated points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Offers a point; returns `true` if it joined the front.
+    pub fn insert(&mut self, point: ObjectivePoint, payload: T) -> bool {
+        if !point.area.is_finite() || !point.delay.is_finite() {
+            return false;
+        }
+        if self
+            .entries
+            .iter()
+            .any(|(p, _)| p.dominates(&point) || (p.area == point.area && p.delay == point.delay))
+        {
+            return false;
+        }
+        self.entries.retain(|(p, _)| !point.dominates(p));
+        let pos = self
+            .entries
+            .partition_point(|(p, _)| p.delay < point.delay);
+        self.entries.insert(pos, (point, payload));
+        true
+    }
+
+    /// Iterates points and payloads in increasing-delay order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectivePoint, &T)> {
+        self.entries.iter().map(|(p, t)| (p, t))
+    }
+
+    /// The points only, in increasing-delay order.
+    pub fn points(&self) -> Vec<ObjectivePoint> {
+        self.entries.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// Whether any member dominates `point`.
+    pub fn dominates_point(&self, point: &ObjectivePoint) -> bool {
+        self.entries.iter().any(|(p, _)| p.dominates(point))
+    }
+
+    /// The smallest area this front achieves at delay ≤ `delay`
+    /// (a step-function query), or `None` if no member is fast enough.
+    pub fn area_at_delay(&self, delay: f64) -> Option<f64> {
+        self.entries
+            .iter()
+            .filter(|(p, _)| p.delay <= delay + 1e-12)
+            .map(|(p, _)| p.area)
+            .fold(None, |acc, a| Some(acc.map_or(a, |b: f64| b.min(a))))
+    }
+
+    /// The paper's comparison metric: for each point of `baseline`, the
+    /// percent area saving this front achieves at the same (or lower)
+    /// delay. Returns `(max_saving_pct, delay_at_max)`, ignoring baseline
+    /// delays this front cannot reach.
+    pub fn max_area_saving_vs<U>(&self, baseline: &ParetoFront<U>) -> Option<(f64, f64)> {
+        let mut best: Option<(f64, f64)> = None;
+        for (bp, _) in &baseline.entries {
+            if let Some(area) = self.area_at_delay(bp.delay) {
+                let saving = 100.0 * (bp.area - area) / bp.area;
+                if best.map(|(s, _)| saving > s).unwrap_or(true) {
+                    best = Some((saving, bp.delay));
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether every baseline point is weakly dominated (this front achieves
+    /// no-worse area at every baseline delay).
+    pub fn pareto_dominates<U>(&self, baseline: &ParetoFront<U>) -> bool {
+        baseline.entries.iter().all(|(bp, _)| {
+            self.area_at_delay(bp.delay)
+                .map(|a| a <= bp.area + 1e-12)
+                .unwrap_or(false)
+        })
+    }
+}
+
+impl<T> FromIterator<(ObjectivePoint, T)> for ParetoFront<T> {
+    fn from_iter<I: IntoIterator<Item = (ObjectivePoint, T)>>(iter: I) -> Self {
+        let mut front = ParetoFront::new();
+        for (p, t) in iter {
+            front.insert(p, t);
+        }
+        front
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(area: f64, delay: f64) -> ObjectivePoint {
+        ObjectivePoint { area, delay }
+    }
+
+    #[test]
+    fn keeps_only_nondominated() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(pt(100.0, 1.0), "a"));
+        assert!(f.insert(pt(50.0, 2.0), "b"));
+        assert!(!f.insert(pt(120.0, 1.5), "dominated"));
+        assert!(f.insert(pt(80.0, 1.2), "c"));
+        assert_eq!(f.len(), 3);
+        // A point dominating everything evicts all.
+        assert!(f.insert(pt(10.0, 0.5), "win"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn sorted_by_delay() {
+        let mut f = ParetoFront::new();
+        f.insert(pt(50.0, 3.0), 0);
+        f.insert(pt(100.0, 1.0), 1);
+        f.insert(pt(75.0, 2.0), 2);
+        let delays: Vec<f64> = f.points().iter().map(|p| p.delay).collect();
+        assert_eq!(delays, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn area_at_delay_is_step_function() {
+        let mut f = ParetoFront::new();
+        f.insert(pt(100.0, 1.0), ());
+        f.insert(pt(60.0, 2.0), ());
+        assert_eq!(f.area_at_delay(0.5), None);
+        assert_eq!(f.area_at_delay(1.0), Some(100.0));
+        assert_eq!(f.area_at_delay(1.5), Some(100.0));
+        assert_eq!(f.area_at_delay(5.0), Some(60.0));
+    }
+
+    #[test]
+    fn area_saving_metric() {
+        let mut ours = ParetoFront::new();
+        ours.insert(pt(84.0, 1.0), ());
+        ours.insert(pt(50.0, 2.0), ());
+        let mut base = ParetoFront::new();
+        base.insert(pt(100.0, 1.0), ());
+        base.insert(pt(80.0, 2.0), ());
+        let (saving, at) = ours.max_area_saving_vs(&base).unwrap();
+        assert!((saving - 37.5).abs() < 1e-9, "saving {saving}");
+        assert_eq!(at, 2.0);
+        assert!(ours.pareto_dominates(&base));
+        assert!(!base.pareto_dominates(&ours));
+    }
+
+    #[test]
+    fn equal_points_not_duplicated() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(pt(10.0, 1.0), 1));
+        assert!(!f.insert(pt(10.0, 1.0), 2));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn nonfinite_points_rejected() {
+        let mut f: ParetoFront<()> = ParetoFront::new();
+        assert!(!f.insert(pt(f64::NAN, 1.0), ()));
+        assert!(!f.insert(pt(1.0, f64::INFINITY), ()));
+        assert!(f.is_empty());
+    }
+}

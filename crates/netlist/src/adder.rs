@@ -1,0 +1,273 @@
+//! Prefix-adder netlist generation from prefix graphs.
+//!
+//! Implements the adder construction the paper uses (Section V-A, after
+//! Zimmermann's *Binary adder architectures for cell-based VLSI*):
+//! inverting logic with **alternating polarity per level**, so that back-to-
+//! back inverters never occur on the carry path:
+//!
+//! - preprocessing produces *complemented* generate/propagate:
+//!   `ḡᵢ = NAND2(aᵢ, bᵢ)`, `p̄ᵢ = XNOR2(aᵢ, bᵢ)`;
+//! - odd prefix levels consume complemented signals and produce true ones:
+//!   `G = OAI21(p̄_hi, ḡ_lo, ḡ_hi)`, `P = NOR2(p̄_hi, p̄_lo)`;
+//! - even levels consume true signals and produce complemented ones:
+//!   `Ḡ = AOI21(p_hi, g_lo, g_hi)`, `P̄ = NAND2(p_hi, p_lo)`;
+//! - when a parent sits an even number of levels below its child the
+//!   polarities mismatch and a (memoized) `INV` is inserted;
+//! - sums are `XNOR2` of the propagate and the incoming carry, choosing the
+//!   operand polarities so exactly one XNOR per output suffices.
+//!
+//! The resulting cell mix — NAND/NOR, OAI/AOI, XNOR, INV — is precisely the
+//! gate set the paper reports.
+
+use crate::cell::CellType;
+use crate::ir::{NetId, Netlist};
+use prefix_graph::{Node, PrefixGraph};
+
+/// Signal polarity tracked per prefix node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Pol {
+    True,
+    Comp,
+}
+
+/// Per-node generate/propagate nets with lazily created inverted copies.
+struct GpNets {
+    g: NetId,
+    p: NetId,
+    pol: Pol,
+    g_inv: Option<NetId>,
+    p_inv: Option<NetId>,
+}
+
+/// Generates the gate-level netlist of the adder described by `graph`.
+///
+/// Primary inputs are `a₀…a_{N-1}, b₀…b_{N-1}`; primary outputs are
+/// `s₀…s_{N-1}, cout`. Dead logic (e.g. unused propagates of the most
+/// significant output) is pruned, as a real synthesis flow would sweep it.
+///
+/// # Example
+///
+/// ```
+/// use prefix_graph::structures;
+/// use netlist::{adder, sim};
+///
+/// let nl = adder::generate(&structures::sklansky(16));
+/// assert_eq!(nl.inputs().len(), 32);
+/// assert_eq!(nl.outputs().len(), 17);
+/// assert_eq!(sim::add(&nl, 40_000, 30_000), 70_000);
+/// ```
+pub fn generate(graph: &PrefixGraph) -> Netlist {
+    let n = graph.n() as usize;
+    let mut nl = Netlist::new(format!("prefix_adder_{n}b"));
+    let a: Vec<NetId> = (0..n).map(|_| nl.add_input()).collect();
+    let b: Vec<NetId> = (0..n).map(|_| nl.add_input()).collect();
+
+    let idx = |node: Node| node.msb() as usize * n + node.lsb() as usize;
+    let mut gp: Vec<Option<GpNets>> = (0..n * n).map(|_| None).collect();
+
+    // Preprocessing: complemented generate/propagate per input bit.
+    for i in 0..n {
+        let gbar = nl.add_gate(CellType::Nand2, &[a[i], b[i]]);
+        let pbar = nl.add_gate(CellType::Xnor2, &[a[i], b[i]]);
+        gp[i * n + i] = Some(GpNets {
+            g: gbar,
+            p: pbar,
+            pol: Pol::Comp,
+            g_inv: None,
+            p_inv: None,
+        });
+    }
+
+    // Helper: fetch a node's G or P at the wanted polarity, inverting once
+    // and memoizing if needed.
+    fn get(
+        nl: &mut Netlist,
+        gp: &mut [Option<GpNets>],
+        i: usize,
+        want: Pol,
+        is_g: bool,
+    ) -> NetId {
+        let e = gp[i].as_mut().expect("parent computed before child");
+        if e.pol == want {
+            return if is_g { e.g } else { e.p };
+        }
+        let cached = if is_g { e.g_inv } else { e.p_inv };
+        if let Some(net) = cached {
+            return net;
+        }
+        let src = if is_g { e.g } else { e.p };
+        let inv = nl.add_gate(CellType::Inv, &[src]);
+        let e = gp[i].as_mut().unwrap();
+        if is_g {
+            e.g_inv = Some(inv);
+        } else {
+            e.p_inv = Some(inv);
+        }
+        inv
+    }
+
+    // Prefix levels: rows ascending, LSBs descending gives topological order.
+    for m in 0..graph.n() {
+        for l in (0..m).rev() {
+            let node = Node::new(m, l);
+            if !graph.contains(node) {
+                continue;
+            }
+            let level = graph.level(node).expect("present");
+            let up = graph.up(node).expect("op node");
+            let lp = graph.lp(node).expect("op node");
+            let (want, g_cell, p_cell, out_pol) = if level % 2 == 1 {
+                (Pol::Comp, CellType::Oai21, CellType::Nor2, Pol::True)
+            } else {
+                (Pol::True, CellType::Aoi21, CellType::Nand2, Pol::Comp)
+            };
+            let p_hi = get(&mut nl, &mut gp, idx(up), want, false);
+            let g_hi = get(&mut nl, &mut gp, idx(up), want, true);
+            let g_lo = get(&mut nl, &mut gp, idx(lp), want, true);
+            let p_lo = get(&mut nl, &mut gp, idx(lp), want, false);
+            // OAI21(p̄_hi, ḡ_lo, ḡ_hi) = G ; AOI21(p_hi, g_lo, g_hi) = Ḡ.
+            let g = nl.add_gate(g_cell, &[p_hi, g_lo, g_hi]);
+            let p = nl.add_gate(p_cell, &[p_hi, p_lo]);
+            gp[idx(node)] = Some(GpNets {
+                g,
+                p,
+                pol: out_pol,
+                g_inv: None,
+                p_inv: None,
+            });
+        }
+    }
+
+    // Postprocessing: s₀ = p₀; sᵢ = pᵢ ⊕ c_{i-1}; cout = c_{N-1}.
+    // One XNOR2 per sum: with a true carry use the natural complemented
+    // propagate (XNOR(p̄, c) = p ⊕ c); with a complemented carry use the true
+    // propagate (XNOR(p, c̄) = p ⊕ c).
+    let s0 = get(&mut nl, &mut gp, 0, Pol::True, false);
+    let mut sums = vec![s0];
+    for i in 1..n {
+        let carry_idx = (i - 1) * n; // output node (i-1, 0)
+        let carry_pol = gp[carry_idx].as_ref().expect("carry computed").pol;
+        let (p_net, c_net) = match carry_pol {
+            Pol::True => {
+                let c = get(&mut nl, &mut gp, carry_idx, Pol::True, true);
+                let p = get(&mut nl, &mut gp, i * n + i, Pol::Comp, false);
+                (p, c)
+            }
+            Pol::Comp => {
+                let c = get(&mut nl, &mut gp, carry_idx, Pol::Comp, true);
+                let p = get(&mut nl, &mut gp, i * n + i, Pol::True, false);
+                (p, c)
+            }
+        };
+        sums.push(nl.add_gate(CellType::Xnor2, &[p_net, c_net]));
+    }
+    let cout = get(&mut nl, &mut gp, (n - 1) * n, Pol::True, true);
+    for s in sums {
+        nl.mark_output(s);
+    }
+    nl.mark_output(cout);
+    nl.prune_dead();
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+    use prefix_graph::structures;
+
+    #[test]
+    fn io_counts() {
+        let nl = generate(&structures::sklansky(8));
+        assert_eq!(nl.inputs().len(), 16);
+        assert_eq!(nl.outputs().len(), 9);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn adds_correctly_exhaustive_4b() {
+        for (_, ctor) in structures::all_regular() {
+            let nl = generate(&ctor(4));
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    assert_eq!(sim::add(&nl, a, b), (a + b) as u128);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adds_correctly_random_32b() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for (name, ctor) in structures::all_regular() {
+            let nl = generate(&ctor(32));
+            for _ in 0..50 {
+                let a = rng.random::<u64>() & 0xFFFF_FFFF;
+                let b = rng.random::<u64>() & 0xFFFF_FFFF;
+                assert_eq!(
+                    sim::add(&nl, a, b),
+                    a as u128 + b as u128,
+                    "{name} {a}+{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn carry_out_works() {
+        let nl = generate(&structures::brent_kung(8));
+        assert_eq!(sim::add(&nl, 255, 255), 510);
+        assert_eq!(sim::add(&nl, 255, 1), 256);
+        assert_eq!(sim::add(&nl, 0, 0), 0);
+    }
+
+    #[test]
+    fn uses_paper_gate_set() {
+        // The generator must produce the paper's cell mix and nothing else:
+        // NAND/NOR, OAI/AOI, XNOR, INV (no AND/OR/XOR/BUF before synthesis).
+        let nl = generate(&structures::kogge_stone(16));
+        for (ct, count) in nl.cell_histogram() {
+            assert!(count > 0);
+            assert!(
+                matches!(
+                    ct,
+                    CellType::Nand2
+                        | CellType::Nor2
+                        | CellType::Aoi21
+                        | CellType::Oai21
+                        | CellType::Xnor2
+                        | CellType::Inv
+                ),
+                "unexpected cell type {ct}"
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_graphs_use_fewer_gates() {
+        // Ripple (minimum nodes) must produce fewer gates than Kogge-Stone
+        // (maximum nodes) after pruning.
+        let ripple = generate(&prefix_graph::PrefixGraph::ripple(32));
+        let ks = generate(&structures::kogge_stone(32));
+        assert!(ripple.num_gates() < ks.num_gates());
+    }
+
+    #[test]
+    fn polarity_inverters_are_memoized() {
+        // Generating twice from the same graph is deterministic, and the
+        // inverter count stays bounded: at most two per prefix node.
+        let g = structures::brent_kung(16);
+        let nl = generate(&g);
+        let invs = nl
+            .cell_histogram()
+            .iter()
+            .find(|(ct, _)| *ct == CellType::Inv)
+            .map(|&(_, c)| c)
+            .unwrap_or(0);
+        assert!(
+            invs <= 2 * g.size() + g.n() as usize,
+            "too many inverters: {invs}"
+        );
+    }
+}

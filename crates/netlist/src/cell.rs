@@ -1,0 +1,268 @@
+//! Logic cell types, drive strengths and functional semantics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The logic function of a standard cell.
+///
+/// This is the gate set the paper's adder implementation uses (Section V-A,
+/// after Zimmermann): inverting prefix cells (`Aoi21`/`Oai21` for generate,
+/// `Nand2`/`Nor2` for propagate), `Xnor2`/`Xor2` for pre/post-processing,
+/// `Inv` for polarity fixes, and `Buf` for fanout buffering inserted by the
+/// synthesis optimizer. `And2`/`Or2` are included for completeness of the
+/// library model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CellType {
+    /// Inverter: `!A`.
+    Inv,
+    /// Buffer: `A`.
+    Buf,
+    /// 2-input NAND: `!(A & B)`.
+    Nand2,
+    /// 2-input NOR: `!(A | B)`.
+    Nor2,
+    /// 2-input AND: `A & B`.
+    And2,
+    /// 2-input OR: `A | B`.
+    Or2,
+    /// 2-input XOR: `A ^ B`.
+    Xor2,
+    /// 2-input XNOR: `!(A ^ B)`.
+    Xnor2,
+    /// AND-OR-invert: `!((A & B) | C)`.
+    Aoi21,
+    /// OR-AND-invert: `!((A | B) & C)`.
+    Oai21,
+}
+
+impl CellType {
+    /// Number of input pins.
+    #[inline]
+    pub fn arity(self) -> usize {
+        match self {
+            CellType::Inv | CellType::Buf => 1,
+            CellType::Aoi21 | CellType::Oai21 => 3,
+            _ => 2,
+        }
+    }
+
+    /// Evaluates the cell's logic function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity(), "{self:?} arity mismatch");
+        match self {
+            CellType::Inv => !inputs[0],
+            CellType::Buf => inputs[0],
+            CellType::Nand2 => !(inputs[0] & inputs[1]),
+            CellType::Nor2 => !(inputs[0] | inputs[1]),
+            CellType::And2 => inputs[0] & inputs[1],
+            CellType::Or2 => inputs[0] | inputs[1],
+            CellType::Xor2 => inputs[0] ^ inputs[1],
+            CellType::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellType::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            CellType::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+        }
+    }
+
+    /// All cell types, for library construction and tests.
+    pub fn all() -> [CellType; 10] {
+        [
+            CellType::Inv,
+            CellType::Buf,
+            CellType::Nand2,
+            CellType::Nor2,
+            CellType::And2,
+            CellType::Or2,
+            CellType::Xor2,
+            CellType::Xnor2,
+            CellType::Aoi21,
+            CellType::Oai21,
+        ]
+    }
+}
+
+impl fmt::Display for CellType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellType::Inv => "INV",
+            CellType::Buf => "BUF",
+            CellType::Nand2 => "NAND2",
+            CellType::Nor2 => "NOR2",
+            CellType::And2 => "AND2",
+            CellType::Or2 => "OR2",
+            CellType::Xor2 => "XOR2",
+            CellType::Xnor2 => "XNOR2",
+            CellType::Aoi21 => "AOI21",
+            CellType::Oai21 => "OAI21",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A cell drive strength (X1, X2, X4, …).
+///
+/// Stronger drives have proportionally lower output resistance but larger
+/// area and input capacitance — the fundamental trade the timing-driven
+/// sizing optimizer exploits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Drive(u8);
+
+impl Drive {
+    /// X1, the minimum drive.
+    pub const X1: Drive = Drive(1);
+
+    /// Creates a drive strength.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x` is a power of two in `1..=32`.
+    pub fn new(x: u8) -> Self {
+        assert!(
+            x.is_power_of_two() && x <= 32,
+            "drive X{x} must be a power of two ≤ 32"
+        );
+        Drive(x)
+    }
+
+    /// The drive multiple (1, 2, 4, …).
+    #[inline]
+    pub fn x(self) -> u8 {
+        self.0
+    }
+
+    /// The next stronger drive, if below `max`.
+    pub fn upsized(self, max: Drive) -> Option<Drive> {
+        (self.0 < max.0).then(|| Drive(self.0 * 2))
+    }
+
+    /// The next weaker drive, if above X1.
+    pub fn downsized(self) -> Option<Drive> {
+        (self.0 > 1).then(|| Drive(self.0 / 2))
+    }
+}
+
+impl Default for Drive {
+    fn default() -> Self {
+        Drive::X1
+    }
+}
+
+impl fmt::Display for Drive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// A sized cell: logic function plus drive strength.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellKind {
+    /// The logic function.
+    pub cell_type: CellType,
+    /// The drive strength.
+    pub drive: Drive,
+}
+
+impl CellKind {
+    /// Creates a sized cell at the given drive.
+    pub fn new(cell_type: CellType, drive: Drive) -> Self {
+        CellKind { cell_type, drive }
+    }
+
+    /// Creates a minimum-drive (X1) cell.
+    pub fn x1(cell_type: CellType) -> Self {
+        CellKind::new(cell_type, Drive::X1)
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}", self.cell_type, self.drive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        use CellType::*;
+        assert!(Inv.eval(&[false]));
+        assert!(!Inv.eval(&[true]));
+        assert!(Buf.eval(&[true]));
+        assert!(Nand2.eval(&[true, false]));
+        assert!(!Nand2.eval(&[true, true]));
+        assert!(Nor2.eval(&[false, false]));
+        assert!(!Nor2.eval(&[true, false]));
+        assert!(And2.eval(&[true, true]));
+        assert!(Or2.eval(&[false, true]));
+        assert!(Xor2.eval(&[true, false]));
+        assert!(!Xor2.eval(&[true, true]));
+        assert!(Xnor2.eval(&[true, true]));
+        // AOI21(A,B,C) = !((A&B)|C)
+        assert!(Aoi21.eval(&[false, true, false]));
+        assert!(!Aoi21.eval(&[true, true, false]));
+        assert!(!Aoi21.eval(&[false, false, true]));
+        // OAI21(A,B,C) = !((A|B)&C)
+        assert!(Oai21.eval(&[true, false, false]));
+        assert!(!Oai21.eval(&[true, false, true]));
+        assert!(Oai21.eval(&[false, false, true]));
+    }
+
+    #[test]
+    fn aoi_oai_are_dual_on_complemented_inputs() {
+        // OAI21(!a, !b, !c) == !AOI21(a, b, c) — the polarity-alternation
+        // identity the adder generator relies on.
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    assert_eq!(
+                        CellType::Oai21.eval(&[!a, !b, !c]),
+                        !CellType::Aoi21.eval(&[a, b, c])
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(CellType::Inv.arity(), 1);
+        assert_eq!(CellType::Nand2.arity(), 2);
+        assert_eq!(CellType::Aoi21.arity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn eval_checks_arity() {
+        CellType::Nand2.eval(&[true]);
+    }
+
+    #[test]
+    fn drive_progression() {
+        let x1 = Drive::X1;
+        let x8 = Drive::new(8);
+        assert_eq!(x1.upsized(x8), Some(Drive::new(2)));
+        assert_eq!(x8.upsized(x8), None);
+        assert_eq!(x1.downsized(), None);
+        assert_eq!(Drive::new(4).downsized(), Some(Drive::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_drive_panics() {
+        Drive::new(3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CellKind::x1(CellType::Aoi21).to_string(), "AOI21_X1");
+        assert_eq!(
+            CellKind::new(CellType::Inv, Drive::new(16)).to_string(),
+            "INV_X16"
+        );
+    }
+}

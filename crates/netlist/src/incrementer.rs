@@ -1,0 +1,174 @@
+//! AND-prefix incrementers.
+//!
+//! The second non-adder application from the paper's introduction: an
+//! incrementer `s = a + 1` needs the carry `c_i = a_i & a_{i-1} & … & a_0`,
+//! i.e. an AND-prefix network, followed by `s_i = a_i ⊕ c_{i-1}`. The same
+//! prefix graphs drive it, with NAND on odd levels and NOR on even levels
+//! (`NOR(!a, !b) = a & b`).
+
+use crate::cell::CellType;
+use crate::ir::{NetId, Netlist};
+use prefix_graph::{Node, PrefixGraph};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pol {
+    True,
+    Comp,
+}
+
+struct AndNet {
+    net: NetId,
+    pol: Pol,
+    inv: Option<NetId>,
+}
+
+/// Generates the incrementer netlist of `graph`: inputs `a₀…a_{N-1}`,
+/// outputs `s₀…s_{N-1}, cout` with `s = a + 1`.
+///
+/// # Example
+///
+/// ```
+/// use prefix_graph::structures;
+/// use netlist::{incrementer, sim};
+///
+/// let nl = incrementer::generate(&structures::sklansky(8));
+/// assert_eq!(incrementer::increment(&nl, 41), 42);
+/// assert_eq!(incrementer::increment(&nl, 255), 256); // carries out
+/// ```
+pub fn generate(graph: &PrefixGraph) -> Netlist {
+    let n = graph.n() as usize;
+    let mut nl = Netlist::new(format!("incrementer_{n}b"));
+    let a: Vec<NetId> = (0..n).map(|_| nl.add_input()).collect();
+    let idx = |node: Node| node.msb() as usize * n + node.lsb() as usize;
+    let mut vals: Vec<Option<AndNet>> = (0..n * n).map(|_| None).collect();
+    for (i, &ai) in a.iter().enumerate() {
+        vals[i * n + i] = Some(AndNet {
+            net: ai,
+            pol: Pol::True,
+            inv: None,
+        });
+    }
+    fn get(nl: &mut Netlist, vals: &mut [Option<AndNet>], i: usize, want: Pol) -> NetId {
+        let e = vals[i].as_ref().expect("parent before child");
+        if e.pol == want {
+            return e.net;
+        }
+        if let Some(inv) = e.inv {
+            return inv;
+        }
+        let src = e.net;
+        let inv = nl.add_gate(CellType::Inv, &[src]);
+        vals[i].as_mut().unwrap().inv = Some(inv);
+        inv
+    }
+    for m in 0..graph.n() {
+        for l in (0..m).rev() {
+            let node = Node::new(m, l);
+            if !graph.contains(node) {
+                continue;
+            }
+            let level = graph.level(node).expect("present");
+            let up = idx(graph.up(node).expect("op"));
+            let lp = idx(graph.lp(node).expect("op"));
+            // Odd levels: NAND(a, b) = !(a & b) over true inputs.
+            // Even levels: NOR(!a, !b) = a & b over complemented inputs.
+            let (want, cell, out_pol) = if level % 2 == 1 {
+                (Pol::True, CellType::Nand2, Pol::Comp)
+            } else {
+                (Pol::Comp, CellType::Nor2, Pol::True)
+            };
+            let x = get(&mut nl, &mut vals, up, want);
+            let y = get(&mut nl, &mut vals, lp, want);
+            let net = nl.add_gate(cell, &[x, y]);
+            vals[idx(node)] = Some(AndNet {
+                net,
+                pol: out_pol,
+                inv: None,
+            });
+        }
+    }
+    // s_0 = !a_0 ; s_i = a_i ⊕ c_{i-1} with c = AND-prefix; cout = c_{N-1}.
+    let s0 = get(&mut nl, &mut vals, 0, Pol::Comp);
+    let mut outs = vec![s0];
+    for i in 1..n {
+        let c_idx = (i - 1) * n;
+        let pol = vals[c_idx].as_ref().unwrap().pol;
+        let s = match pol {
+            // XOR(a, c) directly; with complemented carry use XNOR.
+            Pol::True => {
+                let c = get(&mut nl, &mut vals, c_idx, Pol::True);
+                nl.add_gate(CellType::Xor2, &[a[i], c])
+            }
+            Pol::Comp => {
+                let cb = get(&mut nl, &mut vals, c_idx, Pol::Comp);
+                nl.add_gate(CellType::Xnor2, &[a[i], cb])
+            }
+        };
+        outs.push(s);
+    }
+    let cout = get(&mut nl, &mut vals, (n - 1) * n, Pol::True);
+    for s in outs {
+        nl.mark_output(s);
+    }
+    nl.mark_output(cout);
+    nl.prune_dead();
+    nl
+}
+
+/// Evaluates an incrementer netlist, returning `a + 1` (with carry-out as
+/// the top bit).
+///
+/// # Panics
+///
+/// Panics if the netlist shape is not `N` inputs / `N+1` outputs, `N > 63`,
+/// or the operand exceeds `N` bits.
+pub fn increment(nl: &Netlist, a: u64) -> u64 {
+    let n = nl.inputs().len();
+    assert_eq!(nl.outputs().len(), n + 1, "expected N+1 outputs");
+    assert!(n <= 63, "width too large");
+    assert!(a < (1u64 << n), "operand exceeds {n} bits");
+    let inputs: Vec<bool> = (0..n).map(|i| (a >> i) & 1 == 1).collect();
+    let out = crate::sim::eval(nl, &inputs);
+    out.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefix_graph::structures;
+
+    #[test]
+    fn increments_exhaustive_8b() {
+        for (_, ctor) in structures::all_regular() {
+            let nl = generate(&ctor(8));
+            for a in 0..256u64 {
+                assert_eq!(increment(&nl, a), a + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn increments_random_32b() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(9);
+        let nl = generate(&structures::han_carlson(32));
+        for _ in 0..100 {
+            let a = rng.random::<u64>() & 0xFFFF_FFFF;
+            assert_eq!(increment(&nl, a), a + 1);
+        }
+    }
+
+    #[test]
+    fn carry_chain_overflow() {
+        let nl = generate(&structures::brent_kung(16));
+        assert_eq!(increment(&nl, 0xFFFF), 0x10000);
+    }
+
+    #[test]
+    fn cheaper_than_full_adder() {
+        let g = structures::sklansky(16);
+        assert!(generate(&g).num_gates() < crate::adder::generate(&g).num_gates());
+    }
+}

@@ -1,0 +1,239 @@
+//! Calibrated cell-library models.
+//!
+//! A [`Library`] supplies, per cell type and drive strength: cell area,
+//! per-pin input capacitance, intrinsic delay, per-pin delay offsets (for
+//! pin swapping) and drive resistance. Arc delay follows the linear delay
+//! model `d = intrinsic + pin_offset + R_drive · C_load`, with load the sum
+//! of sink pin capacitances plus a fanout-proportional wire capacitance.
+//!
+//! Two calibrations are provided:
+//!
+//! - [`Library::nangate45`] — values inspired by the open-source Nangate45
+//!   (FreePDK45) library the paper trains with: X1 NAND2 ≈ 0.8 µm²,
+//!   FO4 inverter delay ≈ 25 ps;
+//! - [`Library::tech8`] — a scaled stand-in for the paper's industrial 8 nm
+//!   library (~100× smaller area, faster cells, more drive options), used
+//!   for the Fig. 5 cross-library generalization experiments.
+//!
+//! Absolute accuracy against the real libraries is *not* the goal (the paper
+//! itself only compares shapes across tools); responding to structure the
+//! way real synthesis does — fanout costs load, load costs delay, upsizing
+//! buys delay with area — is.
+
+use crate::cell::{CellType, Drive};
+use serde::{Deserialize, Serialize};
+
+/// Timing/area parameters for one cell type at drive X1.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CellParams {
+    /// Cell area at X1, µm².
+    pub area: f64,
+    /// Input pin capacitance at X1, fF.
+    pub input_cap: f64,
+    /// Intrinsic (zero-load) delay, ns.
+    pub intrinsic: f64,
+    /// Output drive resistance at X1, ns/fF.
+    pub resistance: f64,
+}
+
+/// A technology library: per-cell-type parameters plus global scaling rules.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Library {
+    name: String,
+    params: Vec<(CellType, CellParams)>,
+    /// Maximum available drive strength.
+    max_drive: Drive,
+    /// Wire capacitance added per fanout connection, fF.
+    wire_cap_per_fanout: f64,
+    /// Output load seen by primary outputs, fF.
+    output_load: f64,
+    /// Area growth per drive doubling relative to X1
+    /// (`area(d) = area · (1 + area_slope·(d-1))`).
+    area_slope: f64,
+    /// Intrinsic delay growth per drive step (larger cells are slightly
+    /// slower unloaded).
+    intrinsic_slope: f64,
+}
+
+impl Library {
+    /// The Nangate45-inspired 45 nm calibration (the paper's open flow).
+    pub fn nangate45() -> Library {
+        use CellType::*;
+        let p = |area, input_cap, intrinsic, resistance| CellParams {
+            area,
+            input_cap,
+            intrinsic,
+            resistance,
+        };
+        Library {
+            name: "nangate45".to_string(),
+            params: vec![
+                (Inv, p(0.532, 1.6, 0.008, 0.0027)),
+                (Buf, p(0.798, 1.5, 0.016, 0.0025)),
+                (Nand2, p(0.798, 1.6, 0.010, 0.0035)),
+                (Nor2, p(0.798, 1.7, 0.012, 0.0045)),
+                (And2, p(1.064, 1.5, 0.018, 0.0030)),
+                (Or2, p(1.064, 1.5, 0.020, 0.0032)),
+                (Xor2, p(1.596, 2.2, 0.024, 0.0050)),
+                (Xnor2, p(1.596, 2.2, 0.024, 0.0050)),
+                (Aoi21, p(1.064, 1.8, 0.013, 0.0045)),
+                (Oai21, p(1.064, 1.8, 0.014, 0.0048)),
+            ],
+            max_drive: Drive::new(16),
+            wire_cap_per_fanout: 0.9,
+            output_load: 3.2,
+            area_slope: 0.75,
+            intrinsic_slope: 0.04,
+        }
+    }
+
+    /// The scaled 8 nm-class calibration standing in for the paper's
+    /// industrial library (Fig. 5): ~100× smaller cells, faster intrinsics,
+    /// lower capacitances and a deeper drive ladder, as a leading-edge
+    /// commercial library offers.
+    pub fn tech8() -> Library {
+        let mut lib = Library::nangate45();
+        lib.name = "tech8".to_string();
+        for (_, p) in &mut lib.params {
+            p.area /= 90.0;
+            p.input_cap /= 8.0;
+            p.intrinsic /= 1.45;
+            p.resistance *= 7.2;
+        }
+        lib.max_drive = Drive::new(32);
+        lib.wire_cap_per_fanout /= 8.0;
+        lib.output_load /= 8.0;
+        lib.area_slope = 0.85;
+        lib
+    }
+
+    /// The library's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The strongest drive available for any cell.
+    pub fn max_drive(&self) -> Drive {
+        self.max_drive
+    }
+
+    /// Wire capacitance model: extra load per fanout connection, fF.
+    pub fn wire_cap(&self, fanout: usize) -> f64 {
+        self.wire_cap_per_fanout * fanout as f64
+    }
+
+    /// Capacitive load presented by a primary output, fF.
+    pub fn output_load(&self) -> f64 {
+        self.output_load
+    }
+
+    fn x1(&self, ct: CellType) -> &CellParams {
+        &self
+            .params
+            .iter()
+            .find(|(t, _)| *t == ct)
+            .expect("all cell types present")
+            .1
+    }
+
+    /// Cell area at the given drive, µm².
+    pub fn area(&self, ct: CellType, drive: Drive) -> f64 {
+        let base = self.x1(ct).area;
+        base * (1.0 + self.area_slope * (drive.x() as f64 - 1.0))
+    }
+
+    /// Input pin capacitance at the given drive, fF.
+    ///
+    /// Scales linearly with drive (larger input transistors).
+    pub fn input_cap(&self, ct: CellType, drive: Drive) -> f64 {
+        self.x1(ct).input_cap * drive.x() as f64
+    }
+
+    /// Intrinsic delay at the given drive, ns.
+    pub fn intrinsic(&self, ct: CellType, drive: Drive) -> f64 {
+        self.x1(ct).intrinsic * (1.0 + self.intrinsic_slope * (drive.x() as f64 - 1.0).ln_1p())
+    }
+
+    /// Per-pin extra delay, ns — later pins are closer to the output stack
+    /// and faster, which is what pin swapping exploits.
+    pub fn pin_offset(&self, ct: CellType, pin: usize) -> f64 {
+        let arity = ct.arity();
+        debug_assert!(pin < arity);
+        // First pin slowest; last pin fastest. Scale with intrinsic.
+        let step = self.x1(ct).intrinsic * 0.18;
+        (arity - 1 - pin) as f64 * step
+    }
+
+    /// Output drive resistance at the given drive, ns/fF.
+    pub fn resistance(&self, ct: CellType, drive: Drive) -> f64 {
+        self.x1(ct).resistance / drive.x() as f64
+    }
+
+    /// Arc delay through `pin` of a cell driving `load` fF, ns.
+    pub fn arc_delay(&self, ct: CellType, drive: Drive, pin: usize, load: f64) -> f64 {
+        self.intrinsic(ct, drive) + self.pin_offset(ct, pin) + self.resistance(ct, drive) * load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fo4_inverter_delay_is_plausible_45nm() {
+        // FO4: an inverter driving 4 inverter inputs ≈ 20–35 ps in 45 nm.
+        let lib = Library::nangate45();
+        let load = 4.0 * lib.input_cap(CellType::Inv, Drive::X1) + lib.wire_cap(4);
+        let d = lib.arc_delay(CellType::Inv, Drive::X1, 0, load);
+        assert!((0.015..=0.040).contains(&d), "FO4 = {d} ns");
+    }
+
+    #[test]
+    fn upsizing_trades_area_for_resistance() {
+        let lib = Library::nangate45();
+        let x1 = Drive::X1;
+        let x4 = Drive::new(4);
+        assert!(lib.area(CellType::Nand2, x4) > 2.0 * lib.area(CellType::Nand2, x1));
+        assert!(lib.resistance(CellType::Nand2, x4) < lib.resistance(CellType::Nand2, x1) / 2.0);
+        assert!(lib.input_cap(CellType::Nand2, x4) > lib.input_cap(CellType::Nand2, x1));
+    }
+
+    #[test]
+    fn tech8_is_much_smaller_and_faster() {
+        let n45 = Library::nangate45();
+        let t8 = Library::tech8();
+        for ct in CellType::all() {
+            assert!(t8.area(ct, Drive::X1) < n45.area(ct, Drive::X1) / 50.0);
+            assert!(t8.intrinsic(ct, Drive::X1) < n45.intrinsic(ct, Drive::X1));
+        }
+        assert!(t8.max_drive() > n45.max_drive());
+    }
+
+    #[test]
+    fn pin_offsets_decrease_toward_last_pin() {
+        let lib = Library::nangate45();
+        let a = lib.pin_offset(CellType::Aoi21, 0);
+        let b = lib.pin_offset(CellType::Aoi21, 1);
+        let c = lib.pin_offset(CellType::Aoi21, 2);
+        assert!(a > b && b > c);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn all_cell_types_have_params() {
+        let lib = Library::nangate45();
+        for ct in CellType::all() {
+            assert!(lib.area(ct, Drive::X1) > 0.0);
+            assert!(lib.input_cap(ct, Drive::X1) > 0.0);
+            assert!(lib.resistance(ct, Drive::X1) > 0.0);
+        }
+    }
+
+    #[test]
+    fn arc_delay_monotone_in_load() {
+        let lib = Library::nangate45();
+        let d1 = lib.arc_delay(CellType::Oai21, Drive::X1, 2, 2.0);
+        let d2 = lib.arc_delay(CellType::Oai21, Drive::X1, 2, 8.0);
+        assert!(d2 > d1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Activation functions.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Leaky rectified linear unit, `f(x) = x` for `x > 0` else `αx`.
+///
+/// The paper's Q-network uses LReLU after every batch-norm (Fig. 2).
+pub struct LeakyReLU {
+    alpha: f32,
+    mask: Vec<bool>,
+}
+
+impl LeakyReLU {
+    /// Creates a LeakyReLU with the given negative slope.
+    pub fn new(alpha: f32) -> Self {
+        LeakyReLU {
+            alpha,
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Default for LeakyReLU {
+    /// The conventional negative slope of 0.01.
+    fn default() -> Self {
+        LeakyReLU::new(0.01)
+    }
+}
+
+impl Layer for LeakyReLU {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let mut out = x.clone();
+        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        for v in out.data_mut() {
+            if *v <= 0.0 {
+                *v *= self.alpha;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "LeakyReLU grad length");
+        let mut grad_in = grad_out.clone();
+        for (g, &pos) in grad_in.data_mut().iter_mut().zip(&self.mask) {
+            if !pos {
+                *g *= self.alpha;
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_behaviour() {
+        let mut act = LeakyReLU::new(0.1);
+        let x = Tensor::from_vec([1, 1, 1, 4], vec![-2.0, -0.5, 0.5, 2.0]);
+        let y = act.forward(&x, true);
+        assert_eq!(y.data(), &[-0.2, -0.05, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn backward_scales_negative_side() {
+        let mut act = LeakyReLU::new(0.1);
+        let x = Tensor::from_vec([1, 1, 1, 2], vec![-1.0, 1.0]);
+        act.forward(&x, true);
+        let g = act.backward(&Tensor::ones([1, 1, 1, 2]));
+        assert_eq!(g.data(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let act = LeakyReLU::default();
+        let err = crate::gradcheck::check_layer(Box::new(act), [2, 2, 3, 3], 3);
+        assert!(err < 1e-2, "lrelu gradient error {err}");
+    }
+}

@@ -1,0 +1,233 @@
+//! 2-D batch normalization.
+
+use super::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Batch normalization over the channel dimension of NCHW tensors.
+///
+/// In training mode, statistics come from the batch and running statistics
+/// are updated with momentum; in evaluation mode the running statistics are
+/// used (so a trained Q-network evaluates deterministically).
+pub struct BatchNorm2d {
+    channels: usize,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    // Cached forward state.
+    xhat: Vec<f32>,
+    inv_std: Vec<f32>,
+    cached_shape: [usize; 4],
+    cached_train: bool,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with unit scale and zero shift.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            gamma: Param::new(vec![1.0; channels]),
+            beta: Param::new(vec![0.0; channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            xhat: Vec::new(),
+            inv_std: Vec::new(),
+            cached_shape: [0; 4],
+            cached_train: false,
+        }
+    }
+
+    /// The running mean per channel (for serialization and tests).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// The running variance per channel.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// Copies the non-parameter state (running statistics) from another
+    /// instance — needed when synchronizing a target network.
+    pub fn copy_stats_from(&mut self, other: &BatchNorm2d) {
+        self.running_mean.clone_from(&other.running_mean);
+        self.running_var.clone_from(&other.running_var);
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let [n, c, h, w] = x.shape();
+        assert_eq!(c, self.channels, "BatchNorm2d channel mismatch");
+        let m = (n * h * w) as f32;
+        let plane = h * w;
+        let mut out = Tensor::zeros(x.shape());
+        self.xhat = vec![0.0; x.len()];
+        self.inv_std = vec![0.0; c];
+        self.cached_shape = x.shape();
+        self.cached_train = train;
+        for ci in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f64;
+                let mut sq = 0.0f64;
+                for s in 0..n {
+                    let base = (s * c + ci) * plane;
+                    for &v in &x.data()[base..base + plane] {
+                        sum += v as f64;
+                        sq += (v as f64) * (v as f64);
+                    }
+                }
+                let mean = (sum / m as f64) as f32;
+                let var = ((sq / m as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ci], self.running_var[ci])
+            };
+            let inv = 1.0 / (var + self.eps).sqrt();
+            self.inv_std[ci] = inv;
+            let (g, b) = (self.gamma.data[ci], self.beta.data[ci]);
+            for s in 0..n {
+                let base = (s * c + ci) * plane;
+                for i in base..base + plane {
+                    let xh = (x.data()[i] - mean) * inv;
+                    self.xhat[i] = xh;
+                    out.data_mut()[i] = g * xh + b;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [n, c, h, w] = self.cached_shape;
+        assert_eq!(grad_out.shape(), self.cached_shape, "BatchNorm2d grad shape");
+        let plane = h * w;
+        let m = (n * h * w) as f32;
+        let mut grad_in = Tensor::zeros(self.cached_shape);
+        for ci in 0..c {
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for s in 0..n {
+                let base = (s * c + ci) * plane;
+                for i in base..base + plane {
+                    let dy = grad_out.data()[i] as f64;
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * self.xhat[i] as f64;
+                }
+            }
+            self.gamma.grad[ci] += sum_dy_xhat as f32;
+            self.beta.grad[ci] += sum_dy as f32;
+            let g = self.gamma.data[ci];
+            let inv = self.inv_std[ci];
+            if self.cached_train {
+                let k = g * inv / m;
+                for s in 0..n {
+                    let base = (s * c + ci) * plane;
+                    for i in base..base + plane {
+                        let dy = grad_out.data()[i];
+                        grad_in.data_mut()[i] = k
+                            * (m * dy
+                                - sum_dy as f32
+                                - self.xhat[i] * sum_dy_xhat as f32);
+                    }
+                }
+            } else {
+                // Eval mode: statistics are constants.
+                let k = g * inv;
+                for s in 0..n {
+                    let base = (s * c + ci) * plane;
+                    for i in base..base + plane {
+                        grad_in.data_mut()[i] = k * grad_out.data()[i];
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_batch_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec(
+            [2, 2, 1, 2],
+            vec![1.0, 3.0, 10.0, 30.0, 5.0, 7.0, 20.0, 40.0],
+        );
+        let y = bn.forward(&x, true);
+        // Per channel, output mean ≈ 0 and variance ≈ 1.
+        for ci in 0..2 {
+            let vals: Vec<f32> = (0..2)
+                .flat_map(|s| (0..2).map(move |w| (s, w)))
+                .map(|(s, w)| y.at(s, ci, 0, w))
+                .collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 4.0;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec([1, 1, 1, 4], vec![4.0, 4.0, 4.0, 4.0]);
+        // Train a few times to move running stats toward mean 4, var 0.
+        for _ in 0..200 {
+            bn.forward(&x, true);
+        }
+        let y = bn.forward(&Tensor::from_vec([1, 1, 1, 1], vec![4.0]), false);
+        assert!(y.data()[0].abs() < 0.1, "eval output {}", y.data()[0]);
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.gamma.data[0] = 3.0;
+        bn.beta.data[0] = 1.0;
+        let x = Tensor::from_vec([1, 1, 1, 2], vec![-1.0, 1.0]);
+        let y = bn.forward(&x, true);
+        // xhat = ±1 → y = ±3 + 1.
+        assert!((y.data()[0] + 2.0).abs() < 1e-3);
+        assert!((y.data()[1] - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradient_check_train_mode() {
+        let bn = BatchNorm2d::new(3);
+        let err = crate::gradcheck::check_layer(Box::new(bn), [2, 3, 3, 3], 5);
+        assert!(err < 3e-2, "batchnorm gradient error {err}");
+    }
+
+    #[test]
+    fn target_sync_copies_stats() {
+        let mut a = BatchNorm2d::new(1);
+        let x = Tensor::from_vec([1, 1, 1, 2], vec![10.0, 12.0]);
+        a.forward(&x, true);
+        let mut b = BatchNorm2d::new(1);
+        b.copy_stats_from(&a);
+        assert_eq!(b.running_mean(), a.running_mean());
+        assert_eq!(b.running_var(), a.running_var());
+    }
+}

@@ -1,0 +1,305 @@
+//! 2-D convolution with "same" padding (stride 1), via im2col + GEMM.
+
+use super::{he_normal, Layer, Param};
+use crate::tensor::Tensor;
+use rand::SeedableRng;
+
+/// A stride-1, same-padding 2-D convolution.
+///
+/// Kernel sizes are odd (1, 3, 5 in the Q-network of the paper's Fig. 2).
+/// The optional bias is typically disabled when a batch-norm follows.
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    weight: Param,
+    bias: Option<Param>,
+    // Cached forward state for backward.
+    cached_cols: Vec<f32>,
+    cached_in_shape: [usize; 4],
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even.
+    pub fn new(in_c: usize, out_c: usize, k: usize, seed: u64) -> Self {
+        Self::build(in_c, out_c, k, seed, true)
+    }
+
+    /// Creates a convolution without bias (for conv→batchnorm stacks).
+    pub fn new_no_bias(in_c: usize, out_c: usize, k: usize, seed: u64) -> Self {
+        Self::build(in_c, out_c, k, seed, false)
+    }
+
+    fn build(in_c: usize, out_c: usize, k: usize, seed: u64, bias: bool) -> Self {
+        assert!(k % 2 == 1, "kernel size {k} must be odd for same padding");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fan_in = in_c * k * k;
+        let weight: Vec<f32> = (0..out_c * fan_in)
+            .map(|_| he_normal(&mut rng, fan_in))
+            .collect();
+        Conv2d {
+            in_c,
+            out_c,
+            k,
+            weight: Param::new(weight),
+            bias: bias.then(|| Param::new(vec![0.0; out_c])),
+            cached_cols: Vec::new(),
+            cached_in_shape: [0; 4],
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+}
+
+/// `C[m,n] += A[m,k] · B[k,n]`, all row-major.
+fn gemm(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * kk..(i + 1) * kk];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `C[m,n] += A[m,k] · Bᵀ` where `B` is `[n,k]` row-major.
+fn gemm_a_bt(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * kk..(i + 1) * kk];
+        for j in 0..n {
+            let brow = &b[j * kk..(j + 1) * kk];
+            let dot: f32 = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+            c[i * n + j] += dot;
+        }
+    }
+}
+
+/// `C[m,n] += Aᵀ · B` where `A` is `[k,m]` and `B` is `[k,n]`, row-major.
+fn gemm_at_b(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for p in 0..kk {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Expands one sample into its im2col matrix `[in_c·k·k, h·w]`.
+fn im2col(in_c: usize, k: usize, x: &Tensor, n: usize, col: &mut [f32]) {
+    let [_, _, h, w] = x.shape();
+    let pad = k / 2;
+    let hw = h * w;
+    col.fill(0.0);
+    for ci in 0..in_c {
+        for kh in 0..k {
+            for kw in 0..k {
+                let q = (ci * k + kh) * k + kw;
+                let dst = &mut col[q * hw..(q + 1) * hw];
+                for oh in 0..h {
+                    let ih = oh as isize + kh as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    let ih = ih as usize;
+                    // Valid output columns for this kw.
+                    let (ow_lo, ow_hi) = valid_range(w, kw, pad);
+                    if ow_lo >= ow_hi {
+                        continue;
+                    }
+                    let iw_lo = ow_lo + kw - pad;
+                    let src_base = x.index(n, ci, ih, iw_lo);
+                    let dst_base = oh * w + ow_lo;
+                    let len = ow_hi - ow_lo;
+                    dst[dst_base..dst_base + len]
+                        .copy_from_slice(&x.data()[src_base..src_base + len]);
+                }
+            }
+        }
+    }
+}
+
+/// Scatters a col-gradient back into an input-gradient sample.
+fn col2im(in_c: usize, k: usize, col: &[f32], gin: &mut Tensor, n: usize) {
+    let [_, _, h, w] = gin.shape();
+    let pad = k / 2;
+    let hw = h * w;
+    for ci in 0..in_c {
+        for kh in 0..k {
+            for kw in 0..k {
+                let q = (ci * k + kh) * k + kw;
+                let src = &col[q * hw..(q + 1) * hw];
+                for oh in 0..h {
+                    let ih = oh as isize + kh as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    let ih = ih as usize;
+                    let (ow_lo, ow_hi) = valid_range(w, kw, pad);
+                    if ow_lo >= ow_hi {
+                        continue;
+                    }
+                    let iw_lo = ow_lo + kw - pad;
+                    let dst_base = gin.index(n, ci, ih, iw_lo);
+                    let src_base = oh * w + ow_lo;
+                    let gdata = gin.data_mut();
+                    for t in 0..(ow_hi - ow_lo) {
+                        gdata[dst_base + t] += src[src_base + t];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Output-column range `[lo, hi)` for which `iw = ow + kw - pad` is valid.
+fn valid_range(w: usize, kw: usize, pad: usize) -> (usize, usize) {
+    let lo = pad.saturating_sub(kw);
+    let hi = (w + pad - kw).min(w);
+    (lo, hi)
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let [n, c, h, w] = x.shape();
+        assert_eq!(c, self.in_c, "Conv2d input channel mismatch");
+        let hw = h * w;
+        let q = self.in_c * self.k * self.k;
+        let mut out = Tensor::zeros([n, self.out_c, h, w]);
+        self.cached_cols = vec![0.0; n * q * hw];
+        self.cached_in_shape = x.shape();
+        for s in 0..n {
+            let col = &mut self.cached_cols[s * q * hw..(s + 1) * q * hw];
+            im2col(self.in_c, self.k, x, s, col);
+            let dst = &mut out.data_mut()[s * self.out_c * hw..(s + 1) * self.out_c * hw];
+            gemm(self.out_c, q, hw, &self.weight.data, col, dst);
+            if let Some(bias) = &self.bias {
+                for o in 0..self.out_c {
+                    let bv = bias.data[o];
+                    for v in &mut dst[o * hw..(o + 1) * hw] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [n, oc, h, w] = grad_out.shape();
+        assert_eq!(oc, self.out_c, "Conv2d grad channel mismatch");
+        let hw = h * w;
+        let q = self.in_c * self.k * self.k;
+        let mut grad_in = Tensor::zeros(self.cached_in_shape);
+        let mut grad_col = vec![0.0f32; q * hw];
+        for s in 0..n {
+            let go = &grad_out.data()[s * oc * hw..(s + 1) * oc * hw];
+            let col = &self.cached_cols[s * q * hw..(s + 1) * q * hw];
+            // dW += dY · colᵀ
+            gemm_a_bt(oc, hw, q, go, col, &mut self.weight.grad);
+            // dbias += Σ dY
+            if let Some(bias) = &mut self.bias {
+                for o in 0..oc {
+                    bias.grad[o] += go[o * hw..(o + 1) * hw].iter().sum::<f32>();
+                }
+            }
+            // dcol = Wᵀ · dY ; dX = col2im(dcol)
+            grad_col.fill(0.0);
+            gemm_at_b(q, oc, hw, &self.weight.data, go, &mut grad_col);
+            col2im(self.in_c, self.k, &grad_col, &mut grad_in, s);
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_1x1_conv() {
+        let mut conv = Conv2d::new(1, 1, 1, 0);
+        conv.weight.data[0] = 1.0;
+        if let Some(b) = &mut conv.bias {
+            b.data[0] = 0.0;
+        }
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // A 3x3 all-ones kernel computes neighbourhood sums with zero pad.
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        conv.weight.data.iter_mut().for_each(|w| *w = 1.0);
+        if let Some(b) = &mut conv.bias {
+            b.data[0] = 0.0;
+        }
+        let x = Tensor::from_vec([1, 1, 3, 3], vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let y = conv.forward(&x, true);
+        // Centre = sum of all = 45; corner (0,0) = 1+2+4+5 = 12.
+        assert_eq!(y.at(0, 0, 1, 1), 45.0);
+        assert_eq!(y.at(0, 0, 0, 0), 12.0);
+        assert_eq!(y.at(0, 0, 2, 2), 5.0 + 6.0 + 8.0 + 9.0);
+    }
+
+    #[test]
+    fn shapes_preserved_multichannel() {
+        let mut conv = Conv2d::new(4, 7, 5, 1);
+        let x = Tensor::zeros([3, 4, 8, 8]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), [3, 7, 8, 8]);
+        let g = conv.backward(&Tensor::zeros([3, 7, 8, 8]));
+        assert_eq!(g.shape(), [3, 4, 8, 8]);
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let mut conv = Conv2d::new(1, 1, 1, 0);
+        conv.weight.data[0] = 0.0;
+        conv.bias.as_mut().unwrap().data[0] = 2.5;
+        let y = conv.forward(&Tensor::zeros([1, 1, 2, 2]), true);
+        assert!(y.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn gradient_check_small() {
+        let conv = Conv2d::new(2, 3, 3, 7);
+        let err = crate::gradcheck::check_layer(Box::new(conv), [2, 2, 4, 4], 11);
+        assert!(err < 3e-2, "conv gradient error {err}");
+    }
+
+    #[test]
+    fn gradient_check_5x5() {
+        let conv = Conv2d::new(1, 2, 5, 9);
+        let err = crate::gradcheck::check_layer(Box::new(conv), [1, 1, 6, 6], 13);
+        assert!(err < 3e-2, "conv5 gradient error {err}");
+    }
+}

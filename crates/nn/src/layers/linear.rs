@@ -1,0 +1,105 @@
+//! Fully connected layer.
+
+use super::{he_normal, Layer, Param};
+use crate::tensor::Tensor;
+use rand::SeedableRng;
+
+/// A dense layer over `[n, in, 1, 1]` tensors producing `[n, out, 1, 1]`.
+pub struct Linear {
+    in_f: usize,
+    out_f: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Tensor,
+}
+
+impl Linear {
+    /// Creates a dense layer with He-normal weights and zero bias.
+    pub fn new(in_f: usize, out_f: usize, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weight: Vec<f32> = (0..out_f * in_f)
+            .map(|_| he_normal(&mut rng, in_f))
+            .collect();
+        Linear {
+            in_f,
+            out_f,
+            weight: Param::new(weight),
+            bias: Param::new(vec![0.0; out_f]),
+            cached_input: Tensor::zeros([0, 0, 0, 0]),
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let [n, c, h, w] = x.shape();
+        assert_eq!(c * h * w, self.in_f, "Linear input feature mismatch");
+        self.cached_input = x.clone();
+        let mut out = Tensor::zeros([n, self.out_f, 1, 1]);
+        for s in 0..n {
+            let xin = &x.data()[s * self.in_f..(s + 1) * self.in_f];
+            for o in 0..self.out_f {
+                let wrow = &self.weight.data[o * self.in_f..(o + 1) * self.in_f];
+                let dot: f32 = wrow.iter().zip(xin).map(|(a, b)| a * b).sum();
+                out.data_mut()[s * self.out_f + o] = dot + self.bias.data[o];
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [n, o, _, _] = grad_out.shape();
+        assert_eq!(o, self.out_f, "Linear grad feature mismatch");
+        let mut grad_in = Tensor::zeros(self.cached_input.shape());
+        for s in 0..n {
+            let xin = &self.cached_input.data()[s * self.in_f..(s + 1) * self.in_f];
+            let go = &grad_out.data()[s * self.out_f..(s + 1) * self.out_f];
+            for (oi, &g) in go.iter().enumerate() {
+                self.bias.grad[oi] += g;
+                let wrow = &self.weight.data[oi * self.in_f..(oi + 1) * self.in_f];
+                let wgrad = &mut self.weight.grad[oi * self.in_f..(oi + 1) * self.in_f];
+                let gin = &mut grad_in.data_mut()[s * self.in_f..(s + 1) * self.in_f];
+                for i in 0..self.in_f {
+                    wgrad[i] += g * xin[i];
+                    gin[i] += g * wrow[i];
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_affine_map() {
+        let mut lin = Linear::new(2, 1, 0);
+        lin.weight.data.copy_from_slice(&[2.0, -1.0]);
+        lin.bias.data[0] = 0.5;
+        let x = Tensor::from_vec([1, 2, 1, 1], vec![3.0, 4.0]);
+        let y = lin.forward(&x, true);
+        assert_eq!(y.data(), &[2.0 * 3.0 - 4.0 + 0.5]);
+    }
+
+    #[test]
+    fn flattens_spatial_input() {
+        let mut lin = Linear::new(8, 3, 1);
+        let x = Tensor::zeros([2, 2, 2, 2]);
+        let y = lin.forward(&x, true);
+        assert_eq!(y.shape(), [2, 3, 1, 1]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let lin = Linear::new(6, 4, 2);
+        let err = crate::gradcheck::check_layer(Box::new(lin), [3, 6, 1, 1], 17);
+        assert!(err < 2e-2, "linear gradient error {err}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Neural-network layers with explicit forward/backward passes.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod linear;
+mod residual;
+mod sequential;
+
+pub use activation::LeakyReLU;
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use residual::ResidualBlock;
+pub use sequential::Sequential;
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter: data plus accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// The parameter values.
+    pub data: Vec<f32>,
+    /// The gradient accumulated by the last backward pass.
+    pub grad: Vec<f32>,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed gradient.
+    pub fn new(data: Vec<f32>) -> Self {
+        let grad = vec![0.0; data.len()];
+        Param { data, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during [`Layer::forward`] and consume it
+/// in [`Layer::backward`]; a backward call must follow the forward call it
+/// differentiates. Parameters are exposed through a visitor so optimizers,
+/// serialization and target-network sync can walk any composite network in
+/// a deterministic order.
+pub trait Layer {
+    /// Computes the layer output. `train` selects training behaviour
+    /// (e.g. batch statistics in [`BatchNorm2d`]).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_out` (∂L/∂output), accumulating parameter
+    /// gradients and returning ∂L/∂input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every parameter in a deterministic order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        let _ = f;
+    }
+
+    /// Visits every non-parameter state buffer (e.g. batch-norm running
+    /// statistics) in a deterministic order. Buffers are carried by
+    /// serialization and target-network synchronization but are not touched
+    /// by optimizers.
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        let _ = f;
+    }
+
+    /// Clears all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+/// Samples a He-normal weight via Box-Muller from a seeded RNG.
+pub(crate) fn he_normal(rng: &mut rand::rngs::StdRng, fan_in: usize) -> f32 {
+    use rand::Rng;
+    let std = (2.0 / fan_in as f32).sqrt();
+    let u1: f32 = rng.random::<f32>().max(1e-9);
+    let u2: f32 = rng.random::<f32>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+    z * std
+}

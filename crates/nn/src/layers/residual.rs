@@ -1,0 +1,125 @@
+//! Residual blocks in the style of the paper's Fig. 2.
+
+use super::{BatchNorm2d, Conv2d, Layer, LeakyReLU, Param, Sequential};
+use crate::tensor::Tensor;
+
+/// A residual block: `LReLU(body(x) + x)`.
+///
+/// The paper's body is `Conv5x5 → BN → LReLU → Conv5x5 → BN` with the skip
+/// connection added before the final activation (Fig. 2), as in AlphaZero.
+pub struct ResidualBlock {
+    body: Sequential,
+    act: LeakyReLU,
+}
+
+impl ResidualBlock {
+    /// Creates the paper's residual block over `channels` feature maps.
+    pub fn paper(channels: usize, seed: u64) -> Self {
+        let body = Sequential::new(vec![
+            Box::new(Conv2d::new_no_bias(channels, channels, 5, seed)),
+            Box::new(BatchNorm2d::new(channels)),
+            Box::new(LeakyReLU::default()),
+            Box::new(Conv2d::new_no_bias(channels, channels, 5, seed.wrapping_add(1))),
+            Box::new(BatchNorm2d::new(channels)),
+        ]);
+        ResidualBlock {
+            body,
+            act: LeakyReLU::default(),
+        }
+    }
+
+    /// Creates a residual block with a custom body (the skip connection and
+    /// final activation are added around it).
+    pub fn with_body(body: Sequential) -> Self {
+        Self::with_body_and_activation(body, LeakyReLU::default())
+    }
+
+    /// Creates a residual block with a custom body and output activation.
+    pub fn with_body_and_activation(body: Sequential, act: LeakyReLU) -> Self {
+        ResidualBlock { body, act }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut y = self.body.forward(x, train);
+        y.add_assign(x);
+        self.act.forward(&y, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.act.backward(grad_out);
+        let mut grad_in = self.body.backward(&g);
+        grad_in.add_assign(&g);
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.body.visit_params(f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.body.visit_buffers(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_shape() {
+        let mut block = ResidualBlock::paper(4, 0);
+        let x = Tensor::ones([2, 4, 6, 6]);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape(), x.shape());
+        let g = block.backward(&Tensor::ones([2, 4, 6, 6]));
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn zero_body_is_identity_plus_activation() {
+        // With a body that outputs zero, the block reduces to LReLU(x).
+        let mut conv = Conv2d::new(1, 1, 1, 0);
+        conv.visit_params(&mut |p| p.data.iter_mut().for_each(|v| *v = 0.0));
+        let mut block = ResidualBlock::with_body(Sequential::new(vec![Box::new(conv)]));
+        let x = Tensor::from_vec([1, 1, 1, 2], vec![-1.0, 2.0]);
+        let y = block.forward(&x, true);
+        assert_eq!(y.data(), &[-0.01, 2.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        // Small custom body (3x3 convs, no BN) for a tight numeric check.
+        let body = Sequential::new(vec![
+            Box::new(Conv2d::new(2, 2, 3, 6)),
+            Box::new(LeakyReLU::default()),
+            Box::new(Conv2d::new(2, 2, 3, 7)),
+        ]);
+        let block = ResidualBlock::with_body(body);
+        let err = crate::gradcheck::check_layer(Box::new(block), [1, 2, 4, 4], 31);
+        assert!(err < 3e-2, "residual gradient error {err}");
+    }
+
+    #[test]
+    fn paper_block_gradient_check_smooth() {
+        // The exact paper topology (conv5-BN-act-conv5-BN + skip + act) with
+        // slope-1 (identity) activations: batch-norm centres values at zero,
+        // so finite differences through the LeakyReLU kink are meaningless,
+        // but with a smooth activation the full BN/conv/skip gradient math
+        // is checkable exactly. (LeakyReLU's own gradient is covered by its
+        // unit tests.)
+        let smooth = |seed: u64| -> Sequential {
+            Sequential::new(vec![
+                Box::new(Conv2d::new_no_bias(2, 2, 5, seed)),
+                Box::new(BatchNorm2d::new(2)),
+                Box::new(LeakyReLU::new(1.0)),
+                Box::new(Conv2d::new_no_bias(2, 2, 5, seed.wrapping_add(1))),
+                Box::new(BatchNorm2d::new(2)),
+            ])
+        };
+        let block = ResidualBlock::with_body_and_activation(smooth(8), LeakyReLU::new(1.0));
+        let err = crate::gradcheck::check_layer(Box::new(block), [2, 2, 4, 4], 37);
+        assert!(err < 3e-2, "paper residual gradient error {err}");
+    }
+}

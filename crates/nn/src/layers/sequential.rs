@@ -1,0 +1,104 @@
+//! Sequential layer container.
+
+use super::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// A chain of layers applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential network from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, LeakyReLU};
+
+    #[test]
+    fn chains_forward_and_backward() {
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, 0)),
+            Box::new(LeakyReLU::default()),
+            Box::new(Conv2d::new(2, 1, 1, 1)),
+        ]);
+        let x = Tensor::ones([1, 1, 4, 4]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), [1, 1, 4, 4]);
+        let g = net.backward(&Tensor::ones([1, 1, 4, 4]));
+        assert_eq!(g.shape(), [1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn param_visit_order_is_stable() {
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, 0)),
+            Box::new(Conv2d::new(2, 1, 1, 1)),
+        ]);
+        let mut sizes = Vec::new();
+        net.visit_params(&mut |p| sizes.push(p.data.len()));
+        // conv1 weight (2·1·9), conv1 bias (2), conv2 weight (1·2·1), conv2 bias (1).
+        assert_eq!(sizes, vec![18, 2, 2, 1]);
+    }
+
+    #[test]
+    fn gradient_check_composite() {
+        let net = Sequential::new(vec![
+            Box::new(Conv2d::new(2, 3, 3, 4)),
+            Box::new(LeakyReLU::default()),
+            Box::new(Conv2d::new(3, 1, 1, 5)),
+        ]);
+        let err = crate::gradcheck::check_layer(Box::new(net), [2, 2, 4, 4], 23);
+        assert!(err < 3e-2, "sequential gradient error {err}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Loss functions returning `(loss, ∂loss/∂prediction)` pairs.
+//!
+//! The DQN trainer only updates the Q-values of actions actually taken, so
+//! masked variants are provided: masked-out entries contribute neither loss
+//! nor gradient. Losses are averaged over the *selected* entries.
+
+use crate::tensor::Tensor;
+
+/// Mean-squared-error loss and gradient.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse_loss_grad(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    masked(pred, target, None, |d| (d * d, 2.0 * d))
+}
+
+/// Huber (smooth-L1) loss with threshold `delta` and its gradient — the
+/// standard DQN choice for robustness to large TD errors.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn huber_loss_grad(pred: &Tensor, target: &Tensor, delta: f32) -> (f32, Tensor) {
+    masked(pred, target, None, |d| huber(d, delta))
+}
+
+/// MSE over entries where `mask > 0.5` only.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn masked_mse_loss_grad(pred: &Tensor, target: &Tensor, mask: &Tensor) -> (f32, Tensor) {
+    masked(pred, target, Some(mask), |d| (d * d, 2.0 * d))
+}
+
+/// Huber loss over entries where `mask > 0.5` only.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn masked_huber_loss_grad(
+    pred: &Tensor,
+    target: &Tensor,
+    mask: &Tensor,
+    delta: f32,
+) -> (f32, Tensor) {
+    masked(pred, target, Some(mask), |d| huber(d, delta))
+}
+
+fn huber(d: f32, delta: f32) -> (f32, f32) {
+    if d.abs() <= delta {
+        (0.5 * d * d, d)
+    } else {
+        (delta * (d.abs() - 0.5 * delta), delta * d.signum())
+    }
+}
+
+fn masked(
+    pred: &Tensor,
+    target: &Tensor,
+    mask: Option<&Tensor>,
+    f: impl Fn(f32) -> (f32, f32),
+) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    if let Some(m) = mask {
+        assert_eq!(pred.shape(), m.shape(), "mask shape mismatch");
+    }
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..pred.len() {
+        if let Some(m) = mask {
+            if m.data()[i] <= 0.5 {
+                continue;
+            }
+        }
+        let d = pred.data()[i] - target.data()[i];
+        let (l, g) = f(d);
+        total += l as f64;
+        grad.data_mut()[i] = g;
+        count += 1;
+    }
+    let count = count.max(1);
+    grad.scale(1.0 / count as f32);
+    ((total / count as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_on_known_values() {
+        let p = Tensor::from_vec([1, 1, 1, 2], vec![1.0, 3.0]);
+        let t = Tensor::from_vec([1, 1, 1, 2], vec![0.0, 1.0]);
+        let (l, g) = mse_loss_grad(&p, &t);
+        assert!((l - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+        assert_eq!(g.data(), &[1.0, 2.0]); // 2d/n
+    }
+
+    #[test]
+    fn huber_is_quadratic_inside_linear_outside() {
+        let p = Tensor::from_vec([1, 1, 1, 2], vec![0.5, 5.0]);
+        let t = Tensor::zeros([1, 1, 1, 2]);
+        let (l, g) = huber_loss_grad(&p, &t, 1.0);
+        let expect = (0.5 * 0.25 + (5.0 - 0.5)) / 2.0;
+        assert!((l - expect).abs() < 1e-6);
+        assert_eq!(g.data(), &[0.25, 0.5]); // d/n inside; delta/n outside
+    }
+
+    #[test]
+    fn mask_selects_entries() {
+        let p = Tensor::from_vec([1, 1, 1, 3], vec![1.0, 100.0, 2.0]);
+        let t = Tensor::zeros([1, 1, 1, 3]);
+        let m = Tensor::from_vec([1, 1, 1, 3], vec![1.0, 0.0, 1.0]);
+        let (l, g) = masked_mse_loss_grad(&p, &t, &m);
+        assert!((l - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+        assert_eq!(g.data()[1], 0.0, "masked entry gets no gradient");
+        assert!(g.data()[0] > 0.0 && g.data()[2] > 0.0);
+    }
+
+    #[test]
+    fn all_masked_is_zero_loss() {
+        let p = Tensor::ones([1, 1, 1, 2]);
+        let t = Tensor::zeros([1, 1, 1, 2]);
+        let m = Tensor::zeros([1, 1, 1, 2]);
+        let (l, g) = masked_huber_loss_grad(&p, &t, &m, 1.0);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&v| v == 0.0));
+    }
+}

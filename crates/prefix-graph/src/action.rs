@@ -1,0 +1,301 @@
+//! Add/delete actions of the PrefixRL MDP.
+//!
+//! The action space over an `N`-input graph consists of the
+//! `(N-1)(N-2)/2` interior grid positions, each with an *add* and a *delete*
+//! variant (paper Section IV-A). The environment forbids redundant actions:
+//! adding a node that already exists, or deleting a node outside the minlist
+//! (which legalization would immediately re-add).
+
+use crate::graph::PrefixGraph;
+use crate::node::Node;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the two action variants a grid position carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Add a node at the position.
+    Add,
+    /// Delete the node at the position.
+    Delete,
+}
+
+/// An action of the PrefixRL MDP: add or delete the node at a grid position.
+///
+/// # Example
+///
+/// ```
+/// use prefix_graph::{Action, ActionKind, Node, PrefixGraph};
+///
+/// let mut g = PrefixGraph::ripple(8);
+/// let a = Action::Add(Node::new(5, 2));
+/// assert_eq!(a.kind(), ActionKind::Add);
+/// assert!(a.is_legal(&g));
+/// g.apply(a).unwrap();
+/// assert!(!a.is_legal(&g), "re-adding an existing node is redundant");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Add a node at the given interior position.
+    Add(Node),
+    /// Delete the (minlist) node at the given position.
+    Delete(Node),
+}
+
+impl Action {
+    /// The grid position this action targets.
+    #[inline]
+    pub fn node(self) -> Node {
+        match self {
+            Action::Add(n) | Action::Delete(n) => n,
+        }
+    }
+
+    /// The action variant.
+    #[inline]
+    pub fn kind(self) -> ActionKind {
+        match self {
+            Action::Add(_) => ActionKind::Add,
+            Action::Delete(_) => ActionKind::Delete,
+        }
+    }
+
+    /// Whether this action is legal in `graph`.
+    pub fn is_legal(self, graph: &PrefixGraph) -> bool {
+        match self {
+            Action::Add(n) => graph.can_add(n),
+            Action::Delete(n) => graph.is_deletable(n),
+        }
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Add(n) => write!(f, "Add{n:?}"),
+            Action::Delete(n) => write!(f, "Delete{n:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Add(n) => write!(f, "add {n}"),
+            Action::Delete(n) => write!(f, "delete {n}"),
+        }
+    }
+}
+
+/// Error returned when applying an illegal [`Action`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionError {
+    /// Adding a node that already exists (undone by legalization).
+    RedundantAdd(Node),
+    /// Deleting a node not in the minlist (re-added by legalization), or
+    /// absent entirely.
+    NotDeletable(Node),
+    /// The position is an input/output or outside the grid.
+    InvalidPosition(Node),
+}
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionError::RedundantAdd(n) => write!(f, "node {n} already exists"),
+            ActionError::NotDeletable(n) => write!(f, "node {n} is not deletable"),
+            ActionError::InvalidPosition(n) => write!(f, "position {n} is not interior"),
+        }
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+impl PrefixGraph {
+    /// Applies `action`, legalizing the result (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ActionError`] (leaving the graph unchanged) if the action
+    /// is redundant or targets a non-interior/out-of-grid position.
+    pub fn apply(&mut self, action: Action) -> Result<(), ActionError> {
+        let node = action.node();
+        if !self.in_grid(node) || !node.is_interior() {
+            return Err(ActionError::InvalidPosition(node));
+        }
+        match action {
+            Action::Add(n) => {
+                if !self.can_add(n) {
+                    return Err(ActionError::RedundantAdd(n));
+                }
+                *self = self.rebuild_with(n, true);
+            }
+            Action::Delete(n) => {
+                if !self.is_deletable(n) {
+                    return Err(ActionError::NotDeletable(n));
+                }
+                *self = self.rebuild_with(n, false);
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of this graph with `action` applied.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PrefixGraph::apply`].
+    pub fn with_action(&self, action: Action) -> Result<PrefixGraph, ActionError> {
+        let mut g = self.clone();
+        g.apply(action)?;
+        Ok(g)
+    }
+
+    /// Enumerates all legal actions in this state.
+    pub fn legal_actions(&self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for m in 2..self.n() {
+            for l in 1..m {
+                let node = Node::new(m, l);
+                if self.can_add(node) {
+                    actions.push(Action::Add(node));
+                } else if self.is_deletable(node) {
+                    actions.push(Action::Delete(node));
+                }
+            }
+        }
+        actions
+    }
+
+    /// Legality masks over the full `N×N` grid in row-major order:
+    /// `(add_mask, delete_mask)`. Used to mask Q-values of illegal actions
+    /// to `-∞` (paper Section IV-C).
+    pub fn action_masks(&self) -> (Vec<bool>, Vec<bool>) {
+        let n = self.n() as usize;
+        let mut add = vec![false; n * n];
+        let mut del = vec![false; n * n];
+        for m in 2..self.n() {
+            for l in 1..m {
+                let node = Node::new(m, l);
+                let i = m as usize * n + l as usize;
+                add[i] = self.can_add(node);
+                del[i] = self.is_deletable(node);
+            }
+        }
+        (add, del)
+    }
+
+    /// The number of interior grid positions, `(N-1)(N-2)/2` — the action
+    /// space size `|A|` reported in the paper's Table I (105 for 16b, 465
+    /// for 32b, 1953 for 64b).
+    pub fn interior_positions(&self) -> usize {
+        let n = self.n() as usize;
+        (n - 1) * (n - 2) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_space_size_matches_table1() {
+        assert_eq!(PrefixGraph::ripple(16).interior_positions(), 105);
+        assert_eq!(PrefixGraph::ripple(32).interior_positions(), 465);
+        assert_eq!(PrefixGraph::ripple(64).interior_positions(), 1953);
+    }
+
+    #[test]
+    fn ripple_legal_actions_are_all_adds() {
+        let g = PrefixGraph::ripple(8);
+        let actions = g.legal_actions();
+        assert_eq!(actions.len(), g.interior_positions());
+        assert!(actions.iter().all(|a| a.kind() == ActionKind::Add));
+    }
+
+    #[test]
+    fn apply_rejects_redundant_add() {
+        let mut g = PrefixGraph::ripple(8);
+        g.apply(Action::Add(Node::new(5, 2))).unwrap();
+        assert_eq!(
+            g.apply(Action::Add(Node::new(5, 2))),
+            Err(ActionError::RedundantAdd(Node::new(5, 2)))
+        );
+        // Adding a legalization-created lower parent is also redundant.
+        g.apply(Action::Add(Node::new(7, 2))).unwrap();
+        assert!(g.contains(Node::new(6, 2)));
+        assert_eq!(
+            g.apply(Action::Add(Node::new(6, 2))),
+            Err(ActionError::RedundantAdd(Node::new(6, 2)))
+        );
+    }
+
+    #[test]
+    fn apply_rejects_non_minlist_delete() {
+        let mut g = PrefixGraph::ripple(8);
+        g.apply(Action::Add(Node::new(6, 3))).unwrap();
+        // (5,3) exists only as a lower parent: deleting it would be undone.
+        assert!(g.contains(Node::new(5, 3)));
+        assert_eq!(
+            g.apply(Action::Delete(Node::new(5, 3))),
+            Err(ActionError::NotDeletable(Node::new(5, 3)))
+        );
+        // Deleting an absent node is also rejected.
+        assert_eq!(
+            g.apply(Action::Delete(Node::new(7, 4))),
+            Err(ActionError::NotDeletable(Node::new(7, 4)))
+        );
+    }
+
+    #[test]
+    fn apply_rejects_terminal_positions() {
+        let mut g = PrefixGraph::ripple(8);
+        for node in [Node::new(3, 3), Node::new(3, 0), Node::new(0, 0)] {
+            assert_eq!(
+                g.apply(Action::Add(node)),
+                Err(ActionError::InvalidPosition(node))
+            );
+        }
+        assert_eq!(
+            g.apply(Action::Add(Node::new(9, 1))),
+            Err(ActionError::InvalidPosition(Node::new(9, 1)))
+        );
+    }
+
+    #[test]
+    fn failed_apply_leaves_graph_unchanged() {
+        let mut g = PrefixGraph::ripple(8);
+        g.apply(Action::Add(Node::new(6, 3))).unwrap();
+        let before = g.clone();
+        let _ = g.apply(Action::Delete(Node::new(5, 3)));
+        let _ = g.apply(Action::Add(Node::new(6, 3)));
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn masks_agree_with_legal_actions() {
+        let mut g = PrefixGraph::ripple(10);
+        for node in [Node::new(7, 2), Node::new(9, 5), Node::new(4, 1)] {
+            g.apply(Action::Add(node)).unwrap();
+        }
+        let (add, del) = g.action_masks();
+        let n = g.n() as usize;
+        for a in g.legal_actions() {
+            let i = a.node().msb() as usize * n + a.node().lsb() as usize;
+            match a.kind() {
+                ActionKind::Add => assert!(add[i] && !del[i]),
+                ActionKind::Delete => assert!(del[i] && !add[i]),
+            }
+        }
+        // No position is both addable and deletable.
+        assert!(add.iter().zip(&del).all(|(&a, &d)| !(a && d)));
+    }
+
+    #[test]
+    fn with_action_does_not_mutate_original() {
+        let g = PrefixGraph::ripple(8);
+        let g2 = g.with_action(Action::Add(Node::new(5, 2))).unwrap();
+        assert_ne!(g, g2);
+        assert_eq!(g, PrefixGraph::ripple(8));
+    }
+}

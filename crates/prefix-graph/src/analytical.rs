@@ -1,0 +1,146 @@
+//! The analytical area/delay model of Moto & Kaneko (ISCAS 2018, ref. \[14\]).
+//!
+//! The paper's Section V-D trains "Analytical-PrefixRL" agents with this
+//! model instead of physical synthesis: every node costs area `1.0`, and a
+//! node's delay is `1.0 + 0.5 · fanout`; the circuit delay is the longest
+//! accumulated path from any input to any node. This is cheap to evaluate
+//! (microseconds) but — as the paper's Fig. 6b shows — optimizing it does
+//! not transfer to synthesized quality, which is the motivation for
+//! synthesis in the loop.
+
+use crate::graph::PrefixGraph;
+use crate::node::Node;
+use serde::{Deserialize, Serialize};
+
+/// Analytical area/delay of a prefix graph under the model of \[14\].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticalMetrics {
+    /// Total area: one unit per operator node.
+    pub area: f64,
+    /// Longest path delay with node delay `1.0 + 0.5 · fanout`.
+    pub delay: f64,
+}
+
+/// Per-node delay under the analytical model.
+#[inline]
+fn node_delay(fanout: u16) -> f64 {
+    1.0 + 0.5 * fanout as f64
+}
+
+/// Evaluates the analytical model on `graph`.
+///
+/// Input nodes contribute their own fanout-dependent delay (they drive
+/// children like any other node); area counts operator nodes only, matching
+/// the `60–100` area range the paper reports for 32-bit designs in Fig. 6a.
+///
+/// # Example
+///
+/// ```
+/// use prefix_graph::{analytical, structures};
+///
+/// let sk = structures::sklansky(32);
+/// let m = analytical::evaluate(&sk);
+/// assert_eq!(m.area, 80.0);
+/// assert!(m.delay > 0.0);
+/// ```
+pub fn evaluate(graph: &PrefixGraph) -> AnalyticalMetrics {
+    let n = graph.n();
+    let mut arrival = vec![0.0f64; n as usize * n as usize];
+    let idx = |node: Node| node.msb() as usize * n as usize + node.lsb() as usize;
+    let mut delay = 0.0f64;
+    // Rows ascending, LSBs descending: both parents are computed before any
+    // consumer (upper parent is in-row with larger LSB, lower parent is in a
+    // lower row).
+    for m in 0..n {
+        for l in (0..=m).rev() {
+            let node = Node::new(m, l);
+            if !graph.contains(node) {
+                continue;
+            }
+            let own = node_delay(graph.fanout(node).expect("present node"));
+            let at = if node.is_input() {
+                own
+            } else {
+                let up = graph.up(node).expect("op node has up parent");
+                let lp = graph.lp(node).expect("op node has lp parent");
+                own + arrival[idx(up)].max(arrival[idx(lp)])
+            };
+            arrival[idx(node)] = at;
+            delay = delay.max(at);
+        }
+    }
+    AnalyticalMetrics {
+        area: graph.size() as f64,
+        delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{structures, Action};
+
+    #[test]
+    fn ripple_metrics() {
+        let g = PrefixGraph::ripple(8);
+        let m = evaluate(&g);
+        assert_eq!(m.area, 7.0);
+        // Chain of 8 nodes; interior ones have fanout 1 (delay 1.5),
+        // input (0,0) fanout 1, inputs (i,i) fanout 1, last node fanout 0.
+        // Path: (0,0)=1.5, (1,0)=3.0, ..., (6,0)=10.5, (7,0)=11.5.
+        assert!((m.delay - 11.5).abs() < 1e-9, "got {}", m.delay);
+    }
+
+    #[test]
+    fn sklansky_area_is_size() {
+        for n in [8u16, 16, 32] {
+            let g = structures::sklansky(n);
+            assert_eq!(evaluate(&g).area, g.size() as f64);
+        }
+    }
+
+    #[test]
+    fn kogge_stone_beats_ripple_delay() {
+        let ks = evaluate(&structures::kogge_stone(32));
+        let rp = evaluate(&PrefixGraph::ripple(32));
+        assert!(ks.delay < rp.delay);
+        assert!(ks.area > rp.area);
+    }
+
+    #[test]
+    fn sklansky_fanout_penalty_visible() {
+        // Sklansky is minimum depth but its high fanout must cost delay
+        // under this model relative to Kogge-Stone (fanout ≤ 2).
+        let sk = evaluate(&structures::sklansky(32));
+        let ks = evaluate(&structures::kogge_stone(32));
+        assert!(sk.delay > ks.delay, "sk={} ks={}", sk.delay, ks.delay);
+    }
+
+    #[test]
+    fn adding_node_changes_metrics() {
+        let mut g = PrefixGraph::ripple(16);
+        let before = evaluate(&g);
+        g.apply(Action::Add(crate::Node::new(12, 4))).unwrap();
+        let after = evaluate(&g);
+        assert!(after.area > before.area);
+        assert!(after.delay < before.delay, "shortcut should reduce delay");
+    }
+
+    #[test]
+    fn paper_fig6a_area_range() {
+        // The paper's 32-bit Fig. 6a x-axis spans roughly 60–100 area units;
+        // our model must place the classical designs in that range.
+        for g in [
+            structures::sklansky(32),
+            structures::brent_kung(32),
+            structures::han_carlson(32),
+        ] {
+            let m = evaluate(&g);
+            assert!(
+                (50.0..=140.0).contains(&m.area),
+                "area {} out of plausible range",
+                m.area
+            );
+        }
+    }
+}

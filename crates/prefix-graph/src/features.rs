@@ -1,0 +1,143 @@
+//! The `N×N×4` node-feature tensor fed to the Q-network (paper Sec. IV-C).
+//!
+//! The four channels encode, for each grid position `(MSB, LSB)`:
+//!
+//! 1. `1.0` if the node is present (nodelist), else `0.0`;
+//! 2. `1.0` if the node is in the minlist (deletable), else `0.0`;
+//! 3. the node's topological level, normalized to `[0, 1]`;
+//! 4. the node's fanout (child count), normalized to `[0, 1]`.
+
+use crate::graph::PrefixGraph;
+
+/// Number of feature channels per grid position.
+pub const CHANNELS: usize = 4;
+
+/// Extracts the state features as a flat `[CHANNELS, N, N]` tensor in
+/// channel-major (NCHW-style) order, matching the Q-network input layout.
+///
+/// Levels are normalized by `N-1` (the maximum possible level, reached by
+/// the ripple-carry graph) and fanouts by `N-1` (an input feeding every
+/// other row), so all features lie in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use prefix_graph::{PrefixGraph, features};
+///
+/// let g = PrefixGraph::ripple(8);
+/// let f = features::extract(&g);
+/// assert_eq!(f.len(), 4 * 8 * 8);
+/// assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+/// ```
+pub fn extract(graph: &PrefixGraph) -> Vec<f32> {
+    let n = graph.n() as usize;
+    let norm = (graph.n() - 1) as f32;
+    let mut out = vec![0.0f32; CHANNELS * n * n];
+    let (present, min) = (graph.present_grid(), graph.min_grid());
+    let (level, fanout) = (graph.level_grid(), graph.fanout_grid());
+    let plane = n * n;
+    for i in 0..plane {
+        if present[i] {
+            out[i] = 1.0;
+            out[plane + i] = if min[i] { 1.0 } else { 0.0 };
+            out[2 * plane + i] = level[i] as f32 / norm;
+            out[3 * plane + i] = (fanout[i] as f32 / norm).min(1.0);
+        }
+    }
+    out
+}
+
+/// Writes features into a caller-provided buffer of length
+/// `CHANNELS * N * N`, avoiding allocation in the training hot loop.
+///
+/// # Panics
+///
+/// Panics if `out.len() != CHANNELS * N * N`.
+pub fn extract_into(graph: &PrefixGraph, out: &mut [f32]) {
+    let n = graph.n() as usize;
+    assert_eq!(out.len(), CHANNELS * n * n, "feature buffer size mismatch");
+    let norm = (graph.n() - 1) as f32;
+    let (present, min) = (graph.present_grid(), graph.min_grid());
+    let (level, fanout) = (graph.level_grid(), graph.fanout_grid());
+    let plane = n * n;
+    out.fill(0.0);
+    for i in 0..plane {
+        if present[i] {
+            out[i] = 1.0;
+            out[plane + i] = if min[i] { 1.0 } else { 0.0 };
+            out[2 * plane + i] = level[i] as f32 / norm;
+            out[3 * plane + i] = (fanout[i] as f32 / norm).min(1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, Node};
+
+    #[test]
+    fn shape_and_range() {
+        let g = PrefixGraph::ripple(16);
+        let f = extract(&g);
+        assert_eq!(f.len(), 4 * 16 * 16);
+        assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn present_channel_matches_graph() {
+        let mut g = PrefixGraph::ripple(8);
+        g.apply(Action::Add(Node::new(6, 3))).unwrap();
+        let f = extract(&g);
+        let n = 8usize;
+        for m in 0..8u16 {
+            for l in 0..=m {
+                let i = m as usize * n + l as usize;
+                let expect = if g.contains(Node::new(m, l)) { 1.0 } else { 0.0 };
+                assert_eq!(f[i], expect, "present channel at ({m},{l})");
+            }
+        }
+    }
+
+    #[test]
+    fn minlist_channel_subset_of_present() {
+        let mut g = PrefixGraph::ripple(8);
+        g.apply(Action::Add(Node::new(6, 3))).unwrap();
+        g.apply(Action::Add(Node::new(7, 2))).unwrap();
+        let f = extract(&g);
+        let plane = 64;
+        for i in 0..plane {
+            if f[plane + i] == 1.0 {
+                assert_eq!(f[i], 1.0, "minlist implies present");
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_max_level_is_one() {
+        // Ripple's deepest node has level N-1, normalizing to exactly 1.0.
+        let g = PrefixGraph::ripple(8);
+        let f = extract(&g);
+        let level_plane = &f[2 * 64..3 * 64];
+        let max = level_plane.iter().cloned().fold(0.0f32, f32::max);
+        assert!((max - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extract_into_matches_extract() {
+        let mut g = PrefixGraph::ripple(8);
+        g.apply(Action::Add(Node::new(5, 2))).unwrap();
+        let a = extract(&g);
+        let mut b = vec![9.0; 4 * 64];
+        extract_into(&g, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature buffer size mismatch")]
+    fn extract_into_checks_len() {
+        let g = PrefixGraph::ripple(8);
+        let mut buf = vec![0.0; 10];
+        extract_into(&g, &mut buf);
+    }
+}

@@ -1,0 +1,142 @@
+//! Grid node coordinates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node `z_{MSB:LSB}` of a prefix graph, identified by its grid position.
+///
+/// Following the paper's notation (from Roy et al. \[15\]), a node computes the
+/// combination `x_MSB ∘ x_{MSB-1} ∘ … ∘ x_LSB`. Input nodes have
+/// `MSB == LSB`; output nodes have `LSB == 0`.
+///
+/// # Example
+///
+/// ```
+/// use prefix_graph::Node;
+/// let node = Node::new(3, 1);
+/// assert_eq!(node.msb(), 3);
+/// assert_eq!(node.lsb(), 1);
+/// assert!(!node.is_input());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Node {
+    msb: u16,
+    lsb: u16,
+}
+
+impl Node {
+    /// Creates a node at grid position `(msb, lsb)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msb < lsb` — such positions lie above the grid diagonal and
+    /// cannot contain a node.
+    #[inline]
+    pub fn new(msb: u16, lsb: u16) -> Self {
+        assert!(msb >= lsb, "node ({msb},{lsb}) lies above the diagonal");
+        Self { msb, lsb }
+    }
+
+    /// The most significant bit of the node's span.
+    #[inline]
+    pub fn msb(self) -> u16 {
+        self.msb
+    }
+
+    /// The least significant bit of the node's span.
+    #[inline]
+    pub fn lsb(self) -> u16 {
+        self.lsb
+    }
+
+    /// Whether this is an input node (`MSB == LSB`).
+    #[inline]
+    pub fn is_input(self) -> bool {
+        self.msb == self.lsb
+    }
+
+    /// Whether this is an output node (`LSB == 0`).
+    ///
+    /// Note `(0,0)` is both an input and an output.
+    #[inline]
+    pub fn is_output(self) -> bool {
+        self.lsb == 0
+    }
+
+    /// Whether this position is *interior*: neither input nor output, i.e.
+    /// `LSB ∈ [1, N-2]` and `MSB ∈ [LSB+1, N-1]`. Only interior positions are
+    /// valid targets for the PrefixRL add/delete actions.
+    #[inline]
+    pub fn is_interior(self) -> bool {
+        self.lsb >= 1 && self.msb > self.lsb
+    }
+
+    /// The number of input bits this node's span covers.
+    #[inline]
+    pub fn span(self) -> u16 {
+        self.msb - self.lsb + 1
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.msb, self.lsb)
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z[{}:{}]", self.msb, self.lsb)
+    }
+}
+
+impl From<(u16, u16)> for Node {
+    fn from((msb, lsb): (u16, u16)) -> Self {
+        Node::new(msb, lsb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_accessors() {
+        let n = Node::new(5, 2);
+        assert_eq!(n.msb(), 5);
+        assert_eq!(n.lsb(), 2);
+        assert_eq!(n.span(), 4);
+        assert!(!n.is_input());
+        assert!(!n.is_output());
+        assert!(n.is_interior());
+    }
+
+    #[test]
+    fn input_output_classification() {
+        assert!(Node::new(3, 3).is_input());
+        assert!(Node::new(3, 0).is_output());
+        assert!(Node::new(0, 0).is_input());
+        assert!(Node::new(0, 0).is_output());
+        assert!(!Node::new(3, 3).is_interior());
+        assert!(!Node::new(3, 0).is_interior());
+    }
+
+    #[test]
+    #[should_panic(expected = "above the diagonal")]
+    fn above_diagonal_panics() {
+        let _ = Node::new(1, 2);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Node::new(2, 1) < Node::new(3, 0));
+        assert!(Node::new(3, 0) < Node::new(3, 1));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let n = Node::new(4, 1);
+        assert_eq!(format!("{n}"), "z[4:1]");
+        assert_eq!(format!("{n:?}"), "(4,1)");
+    }
+}

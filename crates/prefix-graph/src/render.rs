@@ -1,0 +1,141 @@
+//! Visualization of prefix graphs (paper Fig. 7 style).
+//!
+//! Two renderers are provided: a terminal-friendly ASCII grid where rows are
+//! logic levels and columns are bit positions, and a Graphviz DOT export for
+//! publication-quality figures.
+
+use crate::graph::PrefixGraph;
+use crate::node::Node;
+use std::fmt::Write as _;
+
+/// Renders the graph as an ASCII diagram.
+///
+/// Columns are bit positions (MSB on the left, like the paper's figures) and
+/// rows are logic levels. Each operator node is drawn as `●` in the column
+/// of its MSB, with its span `[msb:lsb]` legend; inputs are the header row.
+///
+/// # Example
+///
+/// ```
+/// use prefix_graph::{render, structures};
+/// let art = render::ascii(&structures::brent_kung(8));
+/// assert!(art.contains("level 1"));
+/// ```
+pub fn ascii(graph: &PrefixGraph) -> String {
+    let n = graph.n();
+    let depth = graph.depth();
+    let mut out = String::new();
+    // Header: bit indices, MSB first.
+    out.push_str("bit    ");
+    for m in (0..n).rev() {
+        let _ = write!(out, "{m:>3}");
+    }
+    out.push('\n');
+    out.push_str("input  ");
+    for _ in 0..n {
+        out.push_str("  x");
+    }
+    out.push('\n');
+    for lvl in 1..=depth {
+        let _ = write!(out, "level{lvl:>2}");
+        for m in (0..n).rev() {
+            let node = (0..=m)
+                .rev()
+                .map(|l| Node::new(m, l))
+                .find(|&nd| graph.level(nd) == Some(lvl) && !nd.is_input());
+            match node {
+                Some(_) => out.push_str("  ●"),
+                None => out.push_str("  ·"),
+            }
+        }
+        out.push('\n');
+    }
+    let _ = write!(
+        out,
+        "size={} depth={} max_fanout={}\n",
+        graph.size(),
+        depth,
+        graph.max_fanout()
+    );
+    out
+}
+
+/// Renders the graph as a Graphviz DOT digraph.
+///
+/// Nodes are labelled `msb:lsb` and ranked by logic level; edges run from
+/// parents to children. Pipe the output through `dot -Tsvg` to reproduce
+/// diagrams in the style of the paper's Fig. 7.
+pub fn dot(graph: &PrefixGraph) -> String {
+    let mut out = String::from("digraph prefix {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n");
+    let mut by_level: Vec<Vec<Node>> = vec![Vec::new(); graph.depth() as usize + 1];
+    for node in graph.nodes() {
+        by_level[graph.level(node).unwrap() as usize].push(node);
+    }
+    for (lvl, nodes) in by_level.iter().enumerate() {
+        if nodes.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "  {{ rank=same; ");
+        for node in nodes {
+            let _ = write!(out, "\"{}:{}\"; ", node.msb(), node.lsb());
+        }
+        let _ = writeln!(out, "}} // level {lvl}");
+    }
+    for node in graph.op_nodes() {
+        let up = graph.up(node).expect("op node has up");
+        let lp = graph.lp(node).expect("op node has lp");
+        let _ = writeln!(
+            out,
+            "  \"{}:{}\" -> \"{}:{}\";",
+            up.msb(),
+            up.lsb(),
+            node.msb(),
+            node.lsb()
+        );
+        let _ = writeln!(
+            out,
+            "  \"{}:{}\" -> \"{}:{}\";",
+            lp.msb(),
+            lp.lsb(),
+            node.msb(),
+            node.lsb()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures;
+
+    #[test]
+    fn ascii_contains_all_levels() {
+        let g = structures::kogge_stone(8);
+        let art = ascii(&g);
+        for lvl in 1..=g.depth() {
+            assert!(art.contains(&format!("level{lvl:>2}")), "missing level {lvl}");
+        }
+        assert!(art.contains("size=17"));
+    }
+
+    #[test]
+    fn ascii_ripple_has_one_node_per_level() {
+        let art = ascii(&crate::PrefixGraph::ripple(4));
+        // Each of the 3 levels has exactly one ●.
+        for line in art.lines().filter(|l| l.starts_with("level")) {
+            assert_eq!(line.matches('●').count(), 1, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn dot_has_two_edges_per_op_node() {
+        let g = structures::brent_kung(8);
+        let d = dot(&g);
+        let edges = d.matches(" -> ").count();
+        assert_eq!(edges, 2 * g.size());
+        assert!(d.starts_with("digraph"));
+        assert!(d.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,366 @@
+//! Classical parallel prefix structures.
+//!
+//! These are the regular baselines of the paper (Sklansky \[3\], Kogge-Stone
+//! \[4\], Brent-Kung \[5\]) plus Han-Carlson and Ladner-Fischer as extensions,
+//! and the ripple-carry / Sklansky pair used as PrefixRL episode starting
+//! states (minimum node count and minimum level count respectively).
+
+use crate::graph::PrefixGraph;
+use crate::node::Node;
+
+/// The ripple-carry (serial) prefix graph: `N-1` nodes, depth `N-1`.
+///
+/// One of the two PrefixRL episode starting states.
+pub fn ripple(n: u16) -> PrefixGraph {
+    PrefixGraph::ripple(n)
+}
+
+/// The Sklansky (divide-and-conquer / conditional-sum) prefix graph:
+/// minimum depth `⌈log₂N⌉`, `(N/2)·log₂N` nodes for powers of two, but
+/// fanout growing to `N/2 + 1`.
+///
+/// The other PrefixRL episode starting state.
+pub fn sklansky(n: u16) -> PrefixGraph {
+    fn rec(lo: u16, hi: u16, nodes: &mut Vec<Node>) {
+        if hi <= lo {
+            return;
+        }
+        // Split [lo, hi] into [lo, mid-1] and [mid, hi].
+        let mid = lo + (hi - lo + 1).div_ceil(2);
+        rec(lo, mid - 1, nodes);
+        rec(mid, hi, nodes);
+        for i in mid..=hi {
+            nodes.push(Node::new(i, lo));
+        }
+    }
+    let mut nodes = Vec::new();
+    rec(0, n - 1, &mut nodes);
+    PrefixGraph::from_nodes(n, nodes)
+}
+
+/// The Kogge-Stone prefix graph: minimum depth `⌈log₂N⌉` *and* fanout
+/// bounded by 2, at the cost of `N·log₂N − N + 1` nodes and many wires.
+pub fn kogge_stone(n: u16) -> PrefixGraph {
+    let mut nodes = Vec::new();
+    // Span simulation: lsb[i] is the least significant bit currently
+    // combined into position i. Each stage doubles span lengths.
+    let mut lsb: Vec<u16> = (0..n).collect();
+    let mut dist = 1u16;
+    while dist < n {
+        let prev = lsb.clone();
+        for i in 0..n {
+            if prev[i as usize] > 0 {
+                // Combine with the block ending just below our current span.
+                let partner = prev[i as usize] - 1;
+                let new_lsb = prev[partner as usize];
+                nodes.push(Node::new(i, new_lsb));
+                lsb[i as usize] = new_lsb;
+            }
+        }
+        dist *= 2;
+    }
+    PrefixGraph::from_nodes(n, nodes)
+}
+
+/// The Brent-Kung prefix graph: `2(N-1) − log₂N` nodes and depth
+/// `2·log₂N − 1` for powers of two — the classic area/wire-efficient tree.
+pub fn brent_kung(n: u16) -> PrefixGraph {
+    let mut nodes = Vec::new();
+    // Up-sweep: combine adjacent blocks of doubling size.
+    let mut k = 1u16;
+    while (1u32 << k) <= n as u32 {
+        let step = 1u32 << k;
+        let mut i = step - 1;
+        while i < n as u32 {
+            nodes.push(Node::new(i as u16, (i + 1 - step) as u16));
+            // Upper parent (i, i+1-half) and lower parent
+            // (i-half, i+1-step) exist from stage k-1.
+            i += step;
+        }
+        k += 1;
+    }
+    // Down-sweep: fill in outputs at block midpoints, largest blocks first.
+    for kk in (1..k).rev() {
+        let step = 1u32 << kk;
+        let half = 1u32 << (kk - 1);
+        let mut i = step + half - 1;
+        while i < n as u32 {
+            nodes.push(Node::new(i as u16, 0));
+            i += step;
+        }
+    }
+    PrefixGraph::from_nodes(n, nodes)
+}
+
+/// The Han-Carlson prefix graph: a Kogge-Stone tree over the odd bit
+/// positions plus one final level for the evens — depth `log₂N + 1` with
+/// roughly half the nodes of Kogge-Stone.
+pub fn han_carlson(n: u16) -> PrefixGraph {
+    let mut nodes = Vec::new();
+    let mut lsb: Vec<u16> = (0..n).collect();
+    // Stage 1: odd rows combine with their even neighbour.
+    for i in (1..n).step_by(2) {
+        lsb[i as usize] = i - 1;
+        nodes.push(Node::new(i, i - 1));
+    }
+    // Kogge-Stone among odd rows until they all reach 0.
+    loop {
+        let prev = lsb.clone();
+        let mut changed = false;
+        for i in (1..n).step_by(2) {
+            if prev[i as usize] > 0 {
+                let partner = prev[i as usize] - 1;
+                let new_lsb = prev[partner as usize];
+                nodes.push(Node::new(i, new_lsb));
+                lsb[i as usize] = new_lsb;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Final stage: even rows pick up the completed odd prefix below.
+    for i in (2..n).step_by(2) {
+        nodes.push(Node::new(i, 0));
+    }
+    PrefixGraph::from_nodes(n, nodes)
+}
+
+/// The Ladner-Fischer prefix graph (classic `f = 1` variant): a Sklansky
+/// tree over the odd bit positions plus one final level for the evens —
+/// depth `log₂N + 1` with Sklansky-like size but halved maximum fanout.
+pub fn ladner_fischer(n: u16) -> PrefixGraph {
+    // Sklansky over odd rows, expressed on the original index grid.
+    fn rec(rows: &[u16], spans: &mut Vec<(u16, u16)>, lo_bit: u16) {
+        if rows.len() <= 1 {
+            return;
+        }
+        let mid = rows.len().div_ceil(2);
+        let (lower, upper) = rows.split_at(mid);
+        // lower half combines down to lo_bit already; recurse.
+        rec(lower, spans, lo_bit);
+        let upper_lo = upper[0] - 1; // even bit below first upper row
+        rec(upper, spans, upper_lo);
+        for &i in upper {
+            spans.push((i, lo_bit));
+        }
+    }
+    let mut nodes = Vec::new();
+    for i in (1..n).step_by(2) {
+        nodes.push(Node::new(i, i - 1));
+    }
+    let odd_rows: Vec<u16> = (1..n).step_by(2).collect();
+    let mut spans = Vec::new();
+    rec(&odd_rows, &mut spans, 0);
+    for (m, l) in spans {
+        nodes.push(Node::new(m, l));
+    }
+    for i in (2..n).step_by(2) {
+        nodes.push(Node::new(i, 0));
+    }
+    PrefixGraph::from_nodes(n, nodes)
+}
+
+/// A sparse Kogge-Stone tree with the given sparsity (a power of two).
+///
+/// Rows whose index is `≡ s-1 (mod s)` act as block leaders and run a
+/// Kogge-Stone tree over block spans; other rows ripple within their block
+/// and pick up the leader prefix below in one final level. Sparsity 1 is
+/// exactly Kogge-Stone and sparsity 2 is Han-Carlson; higher sparsities
+/// trade depth for node count — the architecture family commercial tools
+/// choose from per delay target.
+///
+/// # Panics
+///
+/// Panics unless `sparsity` is a power of two.
+pub fn sparse_kogge_stone(n: u16, sparsity: u16) -> PrefixGraph {
+    assert!(
+        sparsity.is_power_of_two(),
+        "sparsity {sparsity} must be a power of two"
+    );
+    let s = sparsity;
+    if s == 1 {
+        return kogge_stone(n);
+    }
+    let mut nodes = Vec::new();
+    // Non-leader rows outside block 0: block span plus final carry pickup.
+    for i in 0..n {
+        if i % s != s - 1 && i / s > 0 {
+            let base = (i / s) * s;
+            nodes.push(Node::new(i, base));
+            nodes.push(Node::new(i, 0));
+        }
+    }
+    // Leader rows: Kogge-Stone over block spans.
+    let leaders: Vec<u16> = (0..n).filter(|i| i % s == s - 1).collect();
+    let mut lsb: Vec<u16> = (0..n).map(|i| (i / s) * s).collect();
+    // Leader block spans [i, base] exist once the in-block ripple closes;
+    // request them explicitly so the KS stage has its inputs.
+    for &i in &leaders {
+        if i / s > 0 {
+            nodes.push(Node::new(i, (i / s) * s));
+        }
+    }
+    loop {
+        let prev = lsb.clone();
+        let mut changed = false;
+        for &i in &leaders {
+            if prev[i as usize] > 0 {
+                let partner = prev[i as usize] - 1;
+                let new_lsb = prev[partner as usize];
+                nodes.push(Node::new(i, new_lsb));
+                lsb[i as usize] = new_lsb;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    PrefixGraph::from_nodes(n, nodes)
+}
+
+/// All named regular structures, for baseline sweeps.
+///
+/// Returns `(name, constructor)` pairs.
+pub fn all_regular() -> Vec<(&'static str, fn(u16) -> PrefixGraph)> {
+    vec![
+        ("Ripple", ripple as fn(u16) -> PrefixGraph),
+        ("Sklansky", sklansky),
+        ("KoggeStone", kogge_stone),
+        ("BrentKung", brent_kung),
+        ("HanCarlson", han_carlson),
+        ("LadnerFischer", ladner_fischer),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log2(n: u16) -> u16 {
+        15 - (n as u16).leading_zeros() as u16
+    }
+
+    #[test]
+    fn sklansky_counts() {
+        // (N/2)·log₂N nodes, depth log₂N for powers of two.
+        for n in [4u16, 8, 16, 32, 64] {
+            let g = sklansky(n);
+            g.verify_legal().unwrap();
+            assert_eq!(g.size(), (n as usize / 2) * log2(n) as usize, "size n={n}");
+            assert_eq!(g.depth(), log2(n), "depth n={n}");
+        }
+        // Sklansky's worst fanout grows as N/2: node (15,0) feeds all of
+        // rows 16..31.
+        assert_eq!(sklansky(32).max_fanout(), 16);
+    }
+
+    #[test]
+    fn kogge_stone_counts() {
+        // N·log₂N − N + 1 nodes, depth log₂N, fanout ≤ 2 for op nodes.
+        for n in [4u16, 8, 16, 32, 64] {
+            let g = kogge_stone(n);
+            g.verify_legal().unwrap();
+            let expect = n as usize * log2(n) as usize - n as usize + 1;
+            assert_eq!(g.size(), expect, "size n={n}");
+            assert_eq!(g.depth(), log2(n), "depth n={n}");
+        }
+        // Interior KS nodes drive at most two children (the grid merges the
+        // textbook pass-through copies of completed prefixes, so *output*
+        // nodes accumulate up to log₂N children).
+        let g = kogge_stone(32);
+        for node in g.op_nodes().filter(|nd| nd.is_interior()) {
+            assert!(g.fanout(node).unwrap() <= 2, "KS fanout bound at {node}");
+        }
+    }
+
+    #[test]
+    fn brent_kung_counts() {
+        // 2(N-1) − log₂N nodes, depth 2·log₂N − 1 for powers of two.
+        for n in [4u16, 8, 16, 32, 64] {
+            let g = brent_kung(n);
+            g.verify_legal().unwrap();
+            let expect = 2 * (n as usize - 1) - log2(n) as usize;
+            assert_eq!(g.size(), expect, "size n={n}");
+            let expect_depth = if n == 2 { 1 } else { 2 * log2(n) - 2 };
+            assert_eq!(g.depth(), expect_depth, "depth n={n}");
+        }
+    }
+
+    #[test]
+    fn han_carlson_depth_and_size() {
+        for n in [8u16, 16, 32, 64] {
+            let g = han_carlson(n);
+            g.verify_legal().unwrap();
+            assert_eq!(g.depth(), log2(n) + 1, "depth n={n}");
+            // Sparse tree: strictly smaller than Kogge-Stone, larger than BK.
+            assert!(g.size() < kogge_stone(n).size());
+            assert!(g.size() > brent_kung(n).size());
+        }
+    }
+
+    #[test]
+    fn ladner_fischer_depth(){
+        for n in [8u16, 16, 32, 64] {
+            let g = ladner_fischer(n);
+            g.verify_legal().unwrap();
+            assert_eq!(g.depth(), log2(n) + 1, "depth n={n}");
+            // Halved fanout relative to Sklansky.
+            assert!(g.max_fanout() <= sklansky(n).max_fanout());
+        }
+    }
+
+    #[test]
+    fn sparse_ks_family_endpoints() {
+        for n in [8u16, 16, 32] {
+            assert_eq!(sparse_kogge_stone(n, 1), kogge_stone(n), "s=1 is KS, n={n}");
+            assert_eq!(
+                sparse_kogge_stone(n, 2),
+                han_carlson(n),
+                "s=2 is Han-Carlson, n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_ks_trades_size_for_depth() {
+        let n = 32;
+        let mut prev_size = usize::MAX;
+        let mut prev_depth = 0;
+        for s in [1u16, 2, 4, 8] {
+            let g = sparse_kogge_stone(n, s);
+            g.verify_legal().unwrap();
+            assert!(g.size() <= prev_size, "size must shrink with sparsity");
+            assert!(g.depth() >= prev_depth, "depth must grow with sparsity");
+            prev_size = g.size();
+            prev_depth = g.depth();
+        }
+    }
+
+    #[test]
+    fn constructions_are_closure_stable() {
+        // The canonical closure of each classical node set adds nothing:
+        // sizes already asserted above; additionally the minlist must
+        // regenerate the identical graph (round-trip through from_min_nodes).
+        for (name, ctor) in all_regular() {
+            for n in [8u16, 16, 32] {
+                let g = ctor(n);
+                let back = PrefixGraph::from_min_nodes(n, g.min_nodes());
+                assert_eq!(g, back, "{name} n={n} closure round-trip");
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_widths_are_legal() {
+        for (name, ctor) in all_regular() {
+            for n in [3u16, 5, 6, 7, 12, 24, 33] {
+                let g = ctor(n);
+                g.verify_legal()
+                    .unwrap_or_else(|e| panic!("{name} n={n}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The Q-function interface consumed by the trainer.
+
+/// A trainable multi-objective Q-value approximator over a fixed flat
+/// action space.
+///
+/// Implementations map flattened state features to per-action, per-objective
+/// Q-values `[Q_area, Q_delay]`. The PrefixRL convolutional network (Fig. 2
+/// of the paper) implements this in `prefixrl-core`; the trainer's unit
+/// tests use a linear network.
+pub trait QNetwork {
+    /// Number of flat actions (e.g. `2·N²` for the add/delete grid).
+    fn num_actions(&self) -> usize;
+
+    /// Evaluates Q-values for a batch of states:
+    /// `out[b][a] = [q_area, q_delay]`.
+    ///
+    /// `train` selects training-mode behaviour of stochastic layers
+    /// (batch-norm statistics); action selection uses `false`.
+    fn forward(&mut self, states: &[&[f32]], train: bool) -> Vec<Vec<[f32; 2]>>;
+
+    /// Backpropagates `grad[b][a] = [∂L/∂q_area, ∂L/∂q_delay]` through the
+    /// most recent `forward(…, true)` call and applies one optimizer step.
+    fn apply_gradient(&mut self, grad: &[Vec<[f32; 2]>]);
+
+    /// Snapshot of all parameters (for target-network sync and
+    /// checkpointing).
+    fn state(&mut self) -> Vec<Vec<f32>>;
+
+    /// Restores parameters produced by [`QNetwork::state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on architecture mismatch.
+    fn load_state(&mut self, state: &[Vec<f32>]) -> Result<(), String>;
+}

@@ -1,0 +1,170 @@
+//! Experience replay.
+
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One environment transition with a two-objective reward vector.
+///
+/// `next_mask` records which flat actions are legal in `next_state`; the
+/// Double-DQN target maximization is restricted to these (the paper masks
+/// illegal Q-values to `-∞`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Transition {
+    /// Flattened state features.
+    pub state: Vec<f32>,
+    /// Flat action index taken.
+    pub action: usize,
+    /// Vector reward `[r_area, r_delay]`.
+    pub reward: [f32; 2],
+    /// Flattened next-state features.
+    pub next_state: Vec<f32>,
+    /// Legal-action mask at the next state.
+    pub next_mask: Vec<bool>,
+    /// Whether the episode terminated (no bootstrapping). Time-limit
+    /// truncations should leave this `false`.
+    pub done: bool,
+}
+
+/// A fixed-capacity ring buffer of transitions with uniform sampling.
+///
+/// The paper uses a buffer of up to 4×10⁵ transitions.
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    storage: Vec<Transition>,
+    next: usize,
+    pushed: u64,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            storage: Vec::with_capacity(capacity.min(1 << 16)),
+            next: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Adds a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.storage.len() < self.capacity {
+            self.storage.push(t);
+        } else {
+            self.storage[self.next] = t;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.pushed += 1;
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// Total transitions ever pushed (for statistics).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Samples `batch` transitions uniformly with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample<'a>(&'a self, rng: &mut StdRng, batch: usize) -> Vec<&'a Transition> {
+        assert!(!self.is_empty(), "cannot sample from empty replay buffer");
+        (0..batch)
+            .map(|_| &self.storage[rng.random_range(0..self.storage.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(tag: f32) -> Transition {
+        Transition {
+            state: vec![tag],
+            action: 0,
+            reward: [tag, -tag],
+            next_state: vec![tag + 1.0],
+            next_mask: vec![true],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_evicts_oldest() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.total_pushed(), 5);
+        let tags: Vec<f32> = buf.storage.iter().map(|x| x.state[0]).collect();
+        // Ring overwrote 0 and 1.
+        assert!(tags.contains(&2.0) && tags.contains(&3.0) && tags.contains(&4.0));
+    }
+
+    #[test]
+    fn sampling_is_uniform_ish() {
+        let mut buf = ReplayBuffer::new(4);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 4];
+        for s in buf.sample(&mut rng, 4000) {
+            counts[s.state[0] as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(t(i as f32));
+        }
+        let a: Vec<f32> = buf
+            .sample(&mut StdRng::seed_from_u64(7), 16)
+            .iter()
+            .map(|t| t.state[0])
+            .collect();
+        let b: Vec<f32> = buf
+            .sample(&mut StdRng::seed_from_u64(7), 16)
+            .iter()
+            .map(|t| t.state[0])
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay")]
+    fn sampling_empty_panics() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = buf.sample(&mut rng, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        ReplayBuffer::new(0);
+    }
+}

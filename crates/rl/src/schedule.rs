@@ -1,0 +1,70 @@
+//! Exploration schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A linearly annealed ε-greedy schedule.
+///
+/// The paper anneals ε to zero over training and evaluates with ε = 0.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    start: f64,
+    end: f64,
+    decay_steps: u64,
+}
+
+impl EpsilonSchedule {
+    /// Linear decay from `start` to `end` over `decay_steps` steps, constant
+    /// afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint lies outside `[0, 1]`.
+    pub fn linear(start: f64, end: f64, decay_steps: u64) -> Self {
+        assert!((0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end));
+        EpsilonSchedule {
+            start,
+            end,
+            decay_steps,
+        }
+    }
+
+    /// The ε value at a given environment step.
+    pub fn value(&self, step: u64) -> f64 {
+        if self.decay_steps == 0 || step >= self.decay_steps {
+            return self.end;
+        }
+        let frac = step as f64 / self.decay_steps as f64;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_and_midpoint() {
+        let s = EpsilonSchedule::linear(1.0, 0.1, 100);
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(50) - 0.55).abs() < 1e-12);
+        assert_eq!(s.value(100), 0.1);
+        assert_eq!(s.value(10_000), 0.1);
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let s = EpsilonSchedule::linear(0.9, 0.0, 1000);
+        let mut prev = f64::MAX;
+        for step in (0..1200).step_by(50) {
+            let v = s.value(step);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn zero_decay_is_constant_end() {
+        let s = EpsilonSchedule::linear(1.0, 0.25, 0);
+        assert_eq!(s.value(0), 0.25);
+    }
+}

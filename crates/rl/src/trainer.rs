@@ -1,0 +1,438 @@
+//! The scalarized Double-DQN trainer (paper Eq. 4–6).
+
+use crate::qnetwork::QNetwork;
+use crate::replay::ReplayBuffer;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the scalarized Double-DQN.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// Discount factor γ (the paper uses 0.75).
+    pub gamma: f32,
+    /// Mini-batch size per gradient step.
+    pub batch_size: usize,
+    /// Target-network sync period in gradient steps (the paper uses 60).
+    pub target_sync_every: u64,
+    /// Scalarization weight `w = [w_area, w_delay]`; nonnegative, sums to 1.
+    pub weight: [f32; 2],
+    /// Huber loss threshold.
+    pub huber_delta: f32,
+    /// Minimum transitions in replay before training starts.
+    pub min_replay: usize,
+}
+
+impl DqnConfig {
+    /// The paper's hyper-parameters for a given scalarization weight.
+    pub fn paper(w_area: f32) -> Self {
+        DqnConfig {
+            gamma: 0.75,
+            batch_size: 96,
+            target_sync_every: 60,
+            weight: [w_area, 1.0 - w_area],
+            huber_delta: 1.0,
+            min_replay: 500,
+        }
+    }
+}
+
+/// Scalarized Double-DQN over a [`QNetwork`] pair (online + target).
+pub struct DoubleDqn<Q: QNetwork> {
+    online: Q,
+    target: Q,
+    cfg: DqnConfig,
+    grad_steps: u64,
+}
+
+impl<Q: QNetwork> DoubleDqn<Q> {
+    /// Creates a trainer, synchronizing the target network to the online
+    /// network's initial parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two networks disagree on the action count, if the
+    /// weight vector is not a convex combination, or if the architectures
+    /// mismatch.
+    pub fn new(mut online: Q, mut target: Q, cfg: DqnConfig) -> Self {
+        assert_eq!(
+            online.num_actions(),
+            target.num_actions(),
+            "online/target action spaces differ"
+        );
+        assert!(
+            cfg.weight.iter().all(|&w| w >= 0.0)
+                && (cfg.weight.iter().sum::<f32>() - 1.0).abs() < 1e-5,
+            "weight must be a convex combination"
+        );
+        let s = online.state();
+        target.load_state(&s).expect("architectures must match");
+        DoubleDqn {
+            online,
+            target,
+            cfg,
+            grad_steps: 0,
+        }
+    }
+
+    /// The trainer configuration.
+    pub fn config(&self) -> &DqnConfig {
+        &self.cfg
+    }
+
+    /// Gradient steps taken so far.
+    pub fn grad_steps(&self) -> u64 {
+        self.grad_steps
+    }
+
+    /// Mutable access to the online network (checkpointing, inspection).
+    pub fn online_mut(&mut self) -> &mut Q {
+        &mut self.online
+    }
+
+    /// Scalarizes a per-objective Q-value with the configured weight.
+    #[inline]
+    fn scalarize(&self, q: [f32; 2]) -> f32 {
+        self.cfg.weight[0] * q[0] + self.cfg.weight[1] * q[1]
+    }
+
+    /// Per-action Q-values for a single state (evaluation mode).
+    pub fn q_values(&mut self, state: &[f32]) -> Vec<[f32; 2]> {
+        self.online.forward(&[state], false).pop().expect("batch of 1")
+    }
+
+    /// The greedy action under the scalarized objective, restricted to
+    /// `mask`; `None` when no action is legal.
+    pub fn greedy_action(&mut self, state: &[f32], mask: &[bool]) -> Option<usize> {
+        let q = self.q_values(state);
+        assert_eq!(mask.len(), q.len(), "mask length mismatch");
+        mask.iter()
+            .enumerate()
+            .filter(|&(_, &legal)| legal)
+            .map(|(a, _)| (a, self.cfg.weight[0] * q[a][0] + self.cfg.weight[1] * q[a][1]))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .map(|(a, _)| a)
+    }
+
+    /// ε-greedy action selection (Eq. 6 plus exploration).
+    pub fn select_action(
+        &mut self,
+        state: &[f32],
+        mask: &[bool],
+        epsilon: f64,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        let legal: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(a, _)| a)
+            .collect();
+        if legal.is_empty() {
+            return None;
+        }
+        if rng.random::<f64>() < epsilon {
+            return Some(legal[rng.random_range(0..legal.len())]);
+        }
+        self.greedy_action(state, mask)
+    }
+
+    /// Copies the online parameters into the target network.
+    pub fn sync_target(&mut self) {
+        let s = self.online.state();
+        self.target
+            .load_state(&s)
+            .expect("architectures must match");
+    }
+
+    /// Performs one Double-DQN gradient step from replay, returning the
+    /// scalar Huber loss, or `None` while the buffer is below `min_replay`.
+    pub fn train_step(&mut self, replay: &ReplayBuffer, rng: &mut StdRng) -> Option<f32> {
+        if replay.len() < self.cfg.min_replay.max(1) {
+            return None;
+        }
+        let batch = replay.sample(rng, self.cfg.batch_size);
+        let next_states: Vec<&[f32]> = batch.iter().map(|t| t.next_state.as_slice()).collect();
+        // Double-DQN action selection: argmax of the *online* scalarized
+        // Q over legal next actions…
+        let next_q_online = self.online.forward(&next_states, false);
+        let a_star: Vec<Option<usize>> = batch
+            .iter()
+            .zip(&next_q_online)
+            .map(|(t, q)| {
+                if t.done {
+                    return None;
+                }
+                t.next_mask
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &m)| m)
+                    .map(|(a, _)| (a, self.scalarize(q[a])))
+                    .max_by(|x, y| x.1.total_cmp(&y.1))
+                    .map(|(a, _)| a)
+            })
+            .collect();
+        // …evaluated by the *target* network (Eq. 4).
+        let next_q_target = self.target.forward(&next_states, false);
+        let targets: Vec<[f32; 2]> = batch
+            .iter()
+            .zip(&a_star)
+            .zip(&next_q_target)
+            .map(|((t, a), qt)| {
+                let mut y = t.reward;
+                if let Some(a) = a {
+                    y[0] += self.cfg.gamma * qt[*a][0];
+                    y[1] += self.cfg.gamma * qt[*a][1];
+                }
+                y
+            })
+            .collect();
+        // Forward the current states in training mode and build the
+        // masked Huber gradient at the taken actions only.
+        let states: Vec<&[f32]> = batch.iter().map(|t| t.state.as_slice()).collect();
+        let q_pred = self.online.forward(&states, true);
+        let num_actions = self.online.num_actions();
+        let mut grad: Vec<Vec<[f32; 2]>> = vec![vec![[0.0; 2]; num_actions]; batch.len()];
+        let mut loss = 0.0f64;
+        let norm = (batch.len() * 2) as f32;
+        for (b, (t, y)) in batch.iter().zip(&targets).enumerate() {
+            for obj in 0..2 {
+                let d = q_pred[b][t.action][obj] - y[obj];
+                let delta = self.cfg.huber_delta;
+                let (l, g) = if d.abs() <= delta {
+                    (0.5 * d * d, d)
+                } else {
+                    (delta * (d.abs() - 0.5 * delta), delta * d.signum())
+                };
+                loss += l as f64;
+                grad[b][t.action][obj] = g / norm;
+            }
+        }
+        self.online.apply_gradient(&grad);
+        self.grad_steps += 1;
+        if self.grad_steps % self.cfg.target_sync_every == 0 {
+            self.sync_target();
+        }
+        Some((loss / norm as f64) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::Transition;
+    use nn::{Layer, Linear};
+
+    /// A linear Q-network over one-hot states, for algorithm tests.
+    struct LinearQ {
+        net: Linear,
+        opt: nn::Adam,
+        actions: usize,
+    }
+
+    impl LinearQ {
+        fn new(state_dim: usize, actions: usize, seed: u64, lr: f32) -> Self {
+            LinearQ {
+                net: Linear::new(state_dim, actions * 2, seed),
+                opt: nn::Adam::new(lr),
+                actions,
+            }
+        }
+    }
+
+    impl QNetwork for LinearQ {
+        fn num_actions(&self) -> usize {
+            self.actions
+        }
+
+        fn forward(&mut self, states: &[&[f32]], train: bool) -> Vec<Vec<[f32; 2]>> {
+            let dim = states[0].len();
+            let mut flat = Vec::with_capacity(states.len() * dim);
+            for s in states {
+                flat.extend_from_slice(s);
+            }
+            let x = nn::Tensor::from_vec([states.len(), dim, 1, 1], flat);
+            let y = self.net.forward(&x, train);
+            (0..states.len())
+                .map(|b| {
+                    (0..self.actions)
+                        .map(|a| {
+                            [
+                                y.data()[b * self.actions * 2 + a * 2],
+                                y.data()[b * self.actions * 2 + a * 2 + 1],
+                            ]
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+
+        fn apply_gradient(&mut self, grad: &[Vec<[f32; 2]>]) {
+            let n = grad.len();
+            let mut flat = vec![0.0f32; n * self.actions * 2];
+            for (b, row) in grad.iter().enumerate() {
+                for (a, g) in row.iter().enumerate() {
+                    flat[b * self.actions * 2 + a * 2] = g[0];
+                    flat[b * self.actions * 2 + a * 2 + 1] = g[1];
+                }
+            }
+            let g = nn::Tensor::from_vec([n, self.actions * 2, 1, 1], flat);
+            self.net.zero_grad();
+            self.net.backward(&g);
+            self.opt.step(&mut self.net);
+        }
+
+        fn state(&mut self) -> Vec<Vec<f32>> {
+            nn::serialize::state(&mut self.net)
+        }
+
+        fn load_state(&mut self, s: &[Vec<f32>]) -> Result<(), String> {
+            nn::serialize::load_state(&mut self.net, s)
+        }
+    }
+
+    /// 5-state chain: action 0 = left, 1 = right. Reaching state 0 pays
+    /// [0, 1]; reaching state 4 pays [1, 0]; both terminate.
+    fn chain_step(s: usize, a: usize) -> (usize, [f32; 2], bool) {
+        let s2 = if a == 1 { s + 1 } else { s - 1 };
+        match s2 {
+            0 => (0, [0.0, 1.0], true),
+            4 => (4, [1.0, 0.0], true),
+            _ => (s2, [0.0, 0.0], false),
+        }
+    }
+
+    fn one_hot(s: usize) -> Vec<f32> {
+        let mut v = vec![0.0; 5];
+        v[s] = 1.0;
+        v
+    }
+
+    fn fill_replay(rng: &mut StdRng, transitions: usize) -> ReplayBuffer {
+        let mut buf = ReplayBuffer::new(10_000);
+        let mut s = 2usize;
+        for _ in 0..transitions {
+            let a = rng.random_range(0..2);
+            let (s2, r, done) = chain_step(s, a);
+            buf.push(Transition {
+                state: one_hot(s),
+                action: a,
+                reward: r,
+                next_state: one_hot(s2),
+                next_mask: vec![true, true],
+                done,
+            });
+            s = if done { 2 } else { s2 };
+        }
+        buf
+    }
+
+    fn train_chain(w_area: f32, seed: u64) -> DoubleDqn<LinearQ> {
+        let cfg = DqnConfig {
+            gamma: 0.9,
+            batch_size: 32,
+            target_sync_every: 25,
+            weight: [w_area, 1.0 - w_area],
+            huber_delta: 1.0,
+            min_replay: 100,
+        };
+        let online = LinearQ::new(5, 2, seed, 0.02);
+        let target = LinearQ::new(5, 2, seed + 1, 0.02);
+        let mut dqn = DoubleDqn::new(online, target, cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let replay = fill_replay(&mut rng, 2000);
+        for _ in 0..800 {
+            dqn.train_step(&replay, &mut rng).unwrap();
+        }
+        dqn
+    }
+
+    #[test]
+    fn learns_weight_dependent_policies() {
+        // Area-weighted agent heads right (area reward); delay-weighted
+        // heads left — the essence of scalarized multi-objective DQN.
+        let mut right = train_chain(1.0, 3);
+        let mut left = train_chain(0.0, 4);
+        for s in 1..4 {
+            assert_eq!(
+                right.greedy_action(&one_hot(s), &[true, true]),
+                Some(1),
+                "w=[1,0] at state {s}"
+            );
+            assert_eq!(
+                left.greedy_action(&one_hot(s), &[true, true]),
+                Some(0),
+                "w=[0,1] at state {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn q_values_approach_returns() {
+        let mut dqn = train_chain(1.0, 5);
+        // At state 3, going right pays [1, 0] immediately.
+        let q = dqn.q_values(&one_hot(3));
+        assert!((q[1][0] - 1.0).abs() < 0.2, "Q_area(3, right) = {}", q[1][0]);
+        assert!(q[1][1].abs() < 0.2, "Q_delay(3, right) = {}", q[1][1]);
+        // At state 1, going right then optimally: γ²·1 discounted area value.
+        let q1 = dqn.q_values(&one_hot(1));
+        assert!(q1[1][0] > 0.4, "Q_area(1, right) = {}", q1[1][0]);
+    }
+
+    #[test]
+    fn masking_restricts_selection() {
+        let mut dqn = train_chain(1.0, 6);
+        // Even though right is optimal, masking it forces left.
+        assert_eq!(dqn.greedy_action(&one_hot(2), &[true, false]), Some(0));
+        assert_eq!(dqn.greedy_action(&one_hot(2), &[false, false]), None);
+    }
+
+    #[test]
+    fn epsilon_one_explores_uniformly() {
+        let online = LinearQ::new(5, 2, 0, 0.01);
+        let target = LinearQ::new(5, 2, 1, 0.01);
+        let mut dqn = DoubleDqn::new(online, target, DqnConfig::paper(0.5));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 2];
+        for _ in 0..1000 {
+            let a = dqn
+                .select_action(&one_hot(2), &[true, true], 1.0, &mut rng)
+                .unwrap();
+            counts[a] += 1;
+        }
+        assert!(counts[0] > 350 && counts[1] > 350, "{counts:?}");
+    }
+
+    #[test]
+    fn target_sync_counts_grad_steps() {
+        let online = LinearQ::new(5, 2, 0, 0.01);
+        let target = LinearQ::new(5, 2, 1, 0.01);
+        let mut dqn = DoubleDqn::new(online, target, DqnConfig::paper(0.5));
+        let mut rng = StdRng::seed_from_u64(0);
+        let replay = fill_replay(&mut rng, 600);
+        assert_eq!(dqn.grad_steps(), 0);
+        for _ in 0..10 {
+            dqn.train_step(&replay, &mut rng);
+        }
+        assert_eq!(dqn.grad_steps(), 10);
+    }
+
+    #[test]
+    fn no_training_below_min_replay() {
+        let online = LinearQ::new(5, 2, 0, 0.01);
+        let target = LinearQ::new(5, 2, 1, 0.01);
+        let mut dqn = DoubleDqn::new(online, target, DqnConfig::paper(0.5));
+        let mut rng = StdRng::seed_from_u64(0);
+        let replay = fill_replay(&mut rng, 10);
+        assert!(dqn.train_step(&replay, &mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "convex combination")]
+    fn invalid_weight_rejected() {
+        let online = LinearQ::new(5, 2, 0, 0.01);
+        let target = LinearQ::new(5, 2, 1, 0.01);
+        let mut cfg = DqnConfig::paper(0.5);
+        cfg.weight = [0.9, 0.9];
+        let _ = DoubleDqn::new(online, target, cfg);
+    }
+}

@@ -1,0 +1,260 @@
+//! Area-delay trade-off curves with PCHIP interpolation.
+//!
+//! The paper synthesizes each prefix-graph state at only 4 delay targets and
+//! interpolates the full area-delay trade-off with monotone piecewise-cubic
+//! Hermite interpolation (PCHIP, Fig. 3b). Rewards are then computed between
+//! the `w`-optimal points of consecutive states' curves (Fig. 3c). This
+//! module implements the Fritsch-Carlson monotone tangent construction, the
+//! curve container and the scalarized-optimum query.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone piecewise-cubic (PCHIP) area-delay trade-off curve.
+///
+/// Knots are `(delay, area)` pairs from timing-driven synthesis runs at
+/// different delay targets; area is non-increasing in delay after Pareto
+/// cleaning. Queries outside the sampled delay range clamp to the endpoints.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AreaDelayCurve {
+    delays: Vec<f64>,
+    areas: Vec<f64>,
+    tangents: Vec<f64>,
+}
+
+impl AreaDelayCurve {
+    /// Builds a curve from raw synthesis samples.
+    ///
+    /// Samples are sorted by delay, exact-duplicate delays keep the smaller
+    /// area, and Pareto-dominated samples (more area *and* more delay than
+    /// another sample) are dropped, mirroring how the paper bins syntheses
+    /// before interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn from_samples(samples: &[(f64, f64)]) -> Self {
+        assert!(!samples.is_empty(), "need at least one synthesis sample");
+        assert!(
+            samples.iter().all(|&(d, a)| d.is_finite() && a.is_finite()),
+            "non-finite synthesis sample"
+        );
+        let mut pts: Vec<(f64, f64)> = samples.to_vec();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        // Pareto clean: keep strictly decreasing areas as delay increases.
+        let mut clean: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
+        for (d, a) in pts {
+            if let Some(&(pd, pa)) = clean.last() {
+                if d - pd < 1e-12 {
+                    continue; // duplicate delay, larger-or-equal area
+                }
+                if a >= pa {
+                    continue; // dominated: more delay, no less area
+                }
+            }
+            clean.push((d, a));
+        }
+        let delays: Vec<f64> = clean.iter().map(|p| p.0).collect();
+        let areas: Vec<f64> = clean.iter().map(|p| p.1).collect();
+        let tangents = pchip_tangents(&delays, &areas);
+        AreaDelayCurve {
+            delays,
+            areas,
+            tangents,
+        }
+    }
+
+    /// The interpolated area at `delay`, clamped to the sampled range.
+    pub fn area_at(&self, delay: f64) -> f64 {
+        let n = self.delays.len();
+        if n == 1 || delay <= self.delays[0] {
+            return self.areas[0];
+        }
+        if delay >= self.delays[n - 1] {
+            return self.areas[n - 1];
+        }
+        let seg = match self
+            .delays
+            .binary_search_by(|d| d.total_cmp(&delay))
+        {
+            Ok(i) => return self.areas[i],
+            Err(i) => i - 1,
+        };
+        let h = self.delays[seg + 1] - self.delays[seg];
+        let t = (delay - self.delays[seg]) / h;
+        let (y0, y1) = (self.areas[seg], self.areas[seg + 1]);
+        let (m0, m1) = (self.tangents[seg], self.tangents[seg + 1]);
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * y0 + h10 * h * m0 + h01 * y1 + h11 * h * m1
+    }
+
+    /// The smallest sampled (achievable) delay.
+    pub fn min_delay(&self) -> f64 {
+        self.delays[0]
+    }
+
+    /// The largest sampled delay.
+    pub fn max_delay(&self) -> f64 {
+        *self.delays.last().unwrap()
+    }
+
+    /// The curve knots as `(delay, area)` pairs.
+    pub fn knots(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.delays.iter().copied().zip(self.areas.iter().copied())
+    }
+
+    /// Finds the point on the curve minimizing the scalarized cost
+    /// `w_area·c_area·area + w_delay·c_delay·delay` (the paper's Section
+    /// IV-B objective), returning `(area, delay)`.
+    ///
+    /// The curve is sampled densely between knots; with the paper's scaling
+    /// constants (`c_area = 0.001`, `c_delay = 10`) this is the reward
+    /// anchor point of Fig. 3c.
+    pub fn scalarized_optimum(
+        &self,
+        w_area: f64,
+        w_delay: f64,
+        c_area: f64,
+        c_delay: f64,
+    ) -> (f64, f64) {
+        let cost = |area: f64, delay: f64| w_area * c_area * area + w_delay * c_delay * delay;
+        let mut best = (self.areas[0], self.delays[0]);
+        let mut best_cost = cost(best.0, best.1);
+        const SAMPLES: usize = 160;
+        let (lo, hi) = (self.min_delay(), self.max_delay());
+        for i in 0..=SAMPLES {
+            let d = lo + (hi - lo) * i as f64 / SAMPLES as f64;
+            let a = self.area_at(d);
+            let c = cost(a, d);
+            if c < best_cost {
+                best_cost = c;
+                best = (a, d);
+            }
+        }
+        best
+    }
+}
+
+/// Fritsch-Carlson monotone tangents for PCHIP.
+fn pchip_tangents(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 1 {
+        return vec![0.0];
+    }
+    let h: Vec<f64> = x.windows(2).map(|w| w[1] - w[0]).collect();
+    let d: Vec<f64> = y
+        .windows(2)
+        .zip(&h)
+        .map(|(w, &hh)| (w[1] - w[0]) / hh)
+        .collect();
+    if n == 2 {
+        return vec![d[0], d[0]];
+    }
+    let mut m = vec![0.0f64; n];
+    // Endpoints: one-sided three-point estimate, clamped for shape.
+    m[0] = endpoint_tangent(h[0], h[1], d[0], d[1]);
+    m[n - 1] = endpoint_tangent(h[n - 2], h[n - 3], d[n - 2], d[n - 3]);
+    for i in 1..n - 1 {
+        if d[i - 1] * d[i] <= 0.0 {
+            m[i] = 0.0;
+        } else {
+            let w1 = 2.0 * h[i] + h[i - 1];
+            let w2 = h[i] + 2.0 * h[i - 1];
+            m[i] = (w1 + w2) / (w1 / d[i - 1] + w2 / d[i]);
+        }
+    }
+    m
+}
+
+fn endpoint_tangent(h0: f64, h1: f64, d0: f64, d1: f64) -> f64 {
+    let t = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if t * d0 <= 0.0 {
+        0.0
+    } else if d0 * d1 < 0.0 && t.abs() > 3.0 * d0.abs() {
+        3.0 * d0
+    } else {
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> AreaDelayCurve {
+        AreaDelayCurve::from_samples(&[(0.30, 4000.0), (0.35, 3000.0), (0.42, 2600.0), (0.50, 2500.0)])
+    }
+
+    #[test]
+    fn interpolates_knots_exactly() {
+        let c = curve();
+        for (d, a) in c.knots().collect::<Vec<_>>() {
+            assert!((c.area_at(d) - a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotone_between_knots() {
+        let c = curve();
+        let mut prev = f64::INFINITY;
+        for i in 0..=500 {
+            let d = 0.30 + 0.20 * i as f64 / 500.0;
+            let a = c.area_at(d);
+            assert!(a <= prev + 1e-9, "non-monotone at delay {d}: {a} > {prev}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let c = curve();
+        assert_eq!(c.area_at(0.1), 4000.0);
+        assert_eq!(c.area_at(0.9), 2500.0);
+    }
+
+    #[test]
+    fn pareto_cleaning_drops_dominated_samples() {
+        let c = AreaDelayCurve::from_samples(&[
+            (0.30, 4000.0),
+            (0.35, 4200.0), // dominated: slower and bigger
+            (0.40, 3000.0),
+            (0.40, 3500.0), // duplicate delay, bigger
+        ]);
+        let knots: Vec<_> = c.knots().collect();
+        assert_eq!(knots, vec![(0.30, 4000.0), (0.40, 3000.0)]);
+    }
+
+    #[test]
+    fn scalarized_optimum_moves_with_weight() {
+        let c = curve();
+        // Area-heavy weight picks the slow/small end; delay-heavy the fast end.
+        let (_, d_area) = c.scalarized_optimum(0.99, 0.01, 0.001, 10.0);
+        let (_, d_delay) = c.scalarized_optimum(0.01, 0.99, 0.001, 10.0);
+        assert!(d_area > d_delay);
+        assert!((d_delay - 0.30).abs() < 1e-6, "delay-heavy picks min delay");
+    }
+
+    #[test]
+    fn single_sample_curve_is_flat() {
+        let c = AreaDelayCurve::from_samples(&[(0.4, 1000.0)]);
+        assert_eq!(c.area_at(0.1), 1000.0);
+        assert_eq!(c.area_at(0.8), 1000.0);
+        assert_eq!(c.scalarized_optimum(0.5, 0.5, 0.001, 10.0), (1000.0, 0.4));
+    }
+
+    #[test]
+    fn two_sample_curve_is_linear() {
+        let c = AreaDelayCurve::from_samples(&[(0.3, 100.0), (0.5, 50.0)]);
+        assert!((c.area_at(0.4) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_samples_panic() {
+        AreaDelayCurve::from_samples(&[]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Timing-driven physical synthesis simulator.
+//!
+//! This crate stands in for the paper's OpenPhySyn / commercial synthesis
+//! flows (see DESIGN.md for the substitution rationale). It provides:
+//!
+//! - [`sta`]: static timing analysis over a [`netlist::Netlist`] with a
+//!   load-dependent linear delay model, forward arrival and backward
+//!   required-time propagation, slacks and critical-path extraction;
+//! - [`optimizer`]: the timing-driven optimization loop — commutative
+//!   **pin swapping**, critical-path **gate sizing**, high-fanout **buffer
+//!   insertion** and **area recovery** — run against a delay target, exactly
+//!   the transform set the paper lists for OpenPhySyn (Section IV-D);
+//! - [`curve`]: PCHIP monotone-cubic interpolation of the area-delay
+//!   trade-off sampled at a handful of delay targets (the paper's Fig. 3
+//!   reward pipeline), plus scalarized `w`-optimal point queries;
+//! - [`sweep`]: the 4-target synthesis sweep of a prefix graph producing an
+//!   [`curve::AreaDelayCurve`];
+//! - [`power`]: a switching-capacitance power estimate (paper future work,
+//!   implemented as an extension).
+//!
+//! # Example
+//!
+//! ```
+//! use prefix_graph::structures;
+//! use netlist::Library;
+//! use synth::sweep::{SweepConfig, sweep_graph};
+//!
+//! let lib = Library::nangate45();
+//! let curve = sweep_graph(&structures::sklansky(16), &lib, &SweepConfig::fast());
+//! // Tighter delay costs more area along the interpolated trade-off curve.
+//! let (d_lo, d_hi) = (curve.min_delay(), curve.max_delay());
+//! assert!(curve.area_at(d_lo) >= curve.area_at(d_hi));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod optimizer;
+pub mod power;
+pub mod sta;
+pub mod sweep;
+
+pub use curve::AreaDelayCurve;
+pub use optimizer::{OptimizerConfig, SynthesisOutcome};
+pub use sta::{TimingConstraints, TimingReport};
+pub use sweep::{sweep_graph, sweep_netlist, SweepConfig};

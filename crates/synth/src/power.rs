@@ -1,0 +1,99 @@
+//! Switching-power estimation (paper future-work extension).
+//!
+//! The paper leaves power as future work because of simulation cost; here a
+//! cheap static estimate is provided so the environment can optionally
+//! expose a third objective: signal probabilities are propagated through
+//! the netlist assuming input independence, per-net transition densities
+//! `α = 2·p·(1-p)` follow, and dynamic power is
+//! `P = Σ_nets α · C_net · V² · f` (fF × V² × GHz = µW).
+
+use crate::sta;
+use netlist::{Library, Netlist};
+
+/// Propagates signal probabilities (P[net = 1]) assuming independent,
+/// uniformly random primary inputs.
+pub fn signal_probabilities(nl: &Netlist) -> Vec<f64> {
+    use netlist::CellType::*;
+    let mut p = vec![0.5f64; nl.num_nets()];
+    for gid in nl.topo_order() {
+        let g = nl.gate(gid);
+        let i: Vec<f64> = g.inputs().iter().map(|&n| p[n.index()]).collect();
+        let out = match g.kind.cell_type {
+            Inv => 1.0 - i[0],
+            Buf => i[0],
+            Nand2 => 1.0 - i[0] * i[1],
+            Nor2 => (1.0 - i[0]) * (1.0 - i[1]),
+            And2 => i[0] * i[1],
+            Or2 => 1.0 - (1.0 - i[0]) * (1.0 - i[1]),
+            Xor2 => i[0] + i[1] - 2.0 * i[0] * i[1],
+            Xnor2 => 1.0 - (i[0] + i[1] - 2.0 * i[0] * i[1]),
+            Aoi21 => (1.0 - i[0] * i[1]) * (1.0 - i[2]),
+            Oai21 => 1.0 - (1.0 - (1.0 - i[0]) * (1.0 - i[1])) * i[2],
+        };
+        p[g.output().index()] = out;
+    }
+    p
+}
+
+/// Estimated dynamic power in µW at the given supply voltage (V) and clock
+/// frequency (GHz).
+pub fn dynamic_power(nl: &Netlist, lib: &Library, voltage: f64, freq_ghz: f64) -> f64 {
+    let probs = signal_probabilities(nl);
+    let loads = sta::net_loads(nl, lib);
+    probs
+        .iter()
+        .zip(&loads)
+        .map(|(&p, &c)| 2.0 * p * (1.0 - p) * c * voltage * voltage * freq_ghz)
+        .sum()
+}
+
+/// Dynamic power with conventional defaults (1.1 V, 1 GHz).
+pub fn estimate(nl: &Netlist, lib: &Library) -> f64 {
+    dynamic_power(nl, lib, 1.1, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{adder, CellType};
+    use prefix_graph::structures;
+
+    #[test]
+    fn probability_propagation_basics() {
+        let mut nl = Netlist::new("p");
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let nand = nl.add_gate(CellType::Nand2, &[a, b]);
+        let xor = nl.add_gate(CellType::Xor2, &[a, b]);
+        nl.mark_output(nand);
+        nl.mark_output(xor);
+        let p = signal_probabilities(&nl);
+        assert!((p[nand.index()] - 0.75).abs() < 1e-12);
+        assert!((p[xor.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        let nl = adder::generate(&structures::kogge_stone(32));
+        for p in signal_probabilities(&nl) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn bigger_adders_burn_more_power() {
+        let lib = Library::nangate45();
+        let small = adder::generate(&structures::brent_kung(16));
+        let big = adder::generate(&structures::kogge_stone(16));
+        assert!(estimate(&big, &lib) > estimate(&small, &lib));
+    }
+
+    #[test]
+    fn power_scales_with_voltage_squared() {
+        let lib = Library::nangate45();
+        let nl = adder::generate(&structures::sklansky(8));
+        let p1 = dynamic_power(&nl, &lib, 1.0, 1.0);
+        let p2 = dynamic_power(&nl, &lib, 2.0, 1.0);
+        assert!((p2 / p1 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,324 @@
+//! Static timing analysis.
+//!
+//! Forward-propagates arrival times and backward-propagates required times
+//! over the netlist DAG using the library's linear delay model
+//! `d_arc = intrinsic + pin_offset + R_drive · C_load`, where a net's load
+//! is the sum of its sink pin capacitances, a fanout-proportional wire
+//! capacitance, and the external output load for primary outputs.
+//!
+//! The capacitive-loading feedback is the effect the paper identifies as the
+//! reason analytical prefix-graph metrics do not predict synthesized
+//! quality (Section V-D): fanout costs load, load costs delay, and fixing it
+//! (sizing/buffering) costs area.
+
+use netlist::{ir::Driver, Library, NetId, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Timing constraints for analysis and optimization.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimingConstraints {
+    /// Arrival time at each primary input, ns. Either one value for all
+    /// inputs (uniform, the paper's training setting) or one per input.
+    pub input_arrivals: Vec<f64>,
+    /// Drive resistance of whatever feeds the primary inputs (ns/fF) —
+    /// models the launching flip-flops of the paper's Fig. 5 setup.
+    pub input_resistance: f64,
+}
+
+impl TimingConstraints {
+    /// Uniform zero arrivals with a default input driver (the paper's
+    /// training configuration: "uniform arrival and departure times").
+    pub fn uniform(lib: &Library) -> Self {
+        TimingConstraints {
+            input_arrivals: vec![0.0],
+            input_resistance: lib.resistance(netlist::CellType::Buf, netlist::Drive::new(4)),
+        }
+    }
+
+    /// Nonuniform per-input arrival times (paper future-work extension).
+    pub fn with_arrivals(lib: &Library, arrivals: Vec<f64>) -> Self {
+        TimingConstraints {
+            input_arrivals: arrivals,
+            input_resistance: lib.resistance(netlist::CellType::Buf, netlist::Drive::new(4)),
+        }
+    }
+
+    fn arrival_of(&self, input_idx: usize) -> f64 {
+        if self.input_arrivals.len() == 1 {
+            self.input_arrivals[0]
+        } else {
+            self.input_arrivals[input_idx]
+        }
+    }
+}
+
+/// The result of a timing analysis pass.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    /// Arrival time per net, ns.
+    pub arrival: Vec<f64>,
+    /// Required time per net against the analysis target, ns.
+    pub required: Vec<f64>,
+    /// Capacitive load per net, fF.
+    pub load: Vec<f64>,
+    /// Critical (maximum) arrival over primary outputs, ns.
+    pub critical_delay: f64,
+    /// The delay target the required times were computed against.
+    pub target: f64,
+}
+
+impl TimingReport {
+    /// Slack of a net: `required - arrival`; negative on violating paths.
+    #[inline]
+    pub fn slack(&self, net: NetId) -> f64 {
+        self.required[net.index()] - self.arrival[net.index()]
+    }
+
+    /// Worst slack over all nets.
+    pub fn worst_slack(&self) -> f64 {
+        self.required
+            .iter()
+            .zip(&self.arrival)
+            .map(|(r, a)| r - a)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Computes every net's capacitive load.
+pub fn net_loads(nl: &Netlist, lib: &Library) -> Vec<f64> {
+    let mut load = vec![0.0f64; nl.num_nets()];
+    let sinks = nl.sink_map();
+    for (net_idx, net_sinks) in sinks.iter().enumerate() {
+        let mut c = lib.wire_cap(net_sinks.len());
+        for sink in net_sinks {
+            match *sink {
+                netlist::ir::Sink::Pin { gate, .. } => {
+                    let k = nl.gate(gate).kind;
+                    c += lib.input_cap(k.cell_type, k.drive);
+                }
+                netlist::ir::Sink::Output(_) => c += lib.output_load(),
+            }
+        }
+        load[net_idx] = c;
+    }
+    load
+}
+
+/// Runs full static timing analysis against a delay `target`.
+///
+/// The target only affects required times (and hence slacks); arrival times
+/// and the critical delay are target-independent.
+pub fn analyze(
+    nl: &Netlist,
+    lib: &Library,
+    cons: &TimingConstraints,
+    target: f64,
+) -> TimingReport {
+    let load = net_loads(nl, lib);
+    let mut arrival = vec![0.0f64; nl.num_nets()];
+    // Primary inputs: constraint arrival plus the input driver charging the
+    // net's load.
+    for (idx, &net) in nl.inputs().iter().enumerate() {
+        arrival[net.index()] = cons.arrival_of(idx) + cons.input_resistance * load[net.index()];
+    }
+    let order = nl.topo_order();
+    for &gid in &order {
+        let gate = nl.gate(gid);
+        let k = gate.kind;
+        let out = gate.output();
+        let mut worst = f64::NEG_INFINITY;
+        for (pin, &in_net) in gate.inputs().iter().enumerate() {
+            let d = lib.arc_delay(k.cell_type, k.drive, pin, load[out.index()]);
+            worst = worst.max(arrival[in_net.index()] + d);
+        }
+        arrival[out.index()] = worst;
+    }
+    let critical_delay = nl
+        .outputs()
+        .iter()
+        .map(|&po| arrival[po.index()])
+        .fold(0.0f64, f64::max);
+    // Backward pass: required times.
+    let mut required = vec![f64::INFINITY; nl.num_nets()];
+    for &po in nl.outputs() {
+        required[po.index()] = required[po.index()].min(target);
+    }
+    for &gid in order.iter().rev() {
+        let gate = nl.gate(gid);
+        let k = gate.kind;
+        let out_req = required[gate.output().index()];
+        for (pin, &in_net) in gate.inputs().iter().enumerate() {
+            let d = lib.arc_delay(k.cell_type, k.drive, pin, load[gate.output().index()]);
+            let r = out_req - d;
+            if r < required[in_net.index()] {
+                required[in_net.index()] = r;
+            }
+        }
+    }
+    // Nets with no sinks keep infinite required time; clamp for tidiness.
+    for r in &mut required {
+        if !r.is_finite() {
+            *r = target;
+        }
+    }
+    TimingReport {
+        arrival,
+        required,
+        load,
+        critical_delay,
+        target,
+    }
+}
+
+/// Traces one critical path from the worst primary output back to an input,
+/// returning the gate ids along it (output-side first).
+pub fn critical_path(nl: &Netlist, lib: &Library, report: &TimingReport) -> Vec<netlist::GateId> {
+    let mut path = Vec::new();
+    let Some(&worst_po) = nl
+        .outputs()
+        .iter()
+        .max_by(|&&a, &&b| report.arrival[a.index()].total_cmp(&report.arrival[b.index()]))
+    else {
+        return path;
+    };
+    let mut net = worst_po;
+    while let Driver::Gate(gid) = nl.driver(net) {
+        path.push(gid);
+        let gate = nl.gate(gid);
+        let k = gate.kind;
+        let out_load = report.load[gate.output().index()];
+        // Find the input pin that set the arrival.
+        let (_, worst_in) = gate
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(pin, &in_net)| {
+                let d = lib.arc_delay(k.cell_type, k.drive, pin, out_load);
+                (report.arrival[in_net.index()] + d, in_net)
+            })
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("gate has inputs");
+        net = worst_in;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{adder, CellType, Drive};
+    use prefix_graph::structures;
+
+    fn lib() -> Library {
+        Library::nangate45()
+    }
+
+    #[test]
+    fn inverter_chain_delay_accumulates() {
+        let lib = lib();
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input();
+        let mut x = a;
+        for _ in 0..8 {
+            x = nl.add_gate(CellType::Inv, &[x]);
+        }
+        nl.mark_output(x);
+        let r = analyze(&nl, &lib, &TimingConstraints::uniform(&lib), 1.0);
+        // 8 stages, each at least the intrinsic delay.
+        assert!(r.critical_delay > 8.0 * lib.intrinsic(CellType::Inv, Drive::X1));
+        assert!(r.critical_delay < 0.5, "chain absurdly slow: {}", r.critical_delay);
+    }
+
+    #[test]
+    fn fanout_costs_delay() {
+        let lib = lib();
+        let build = |fanout: usize| {
+            let mut nl = Netlist::new("f");
+            let a = nl.add_input();
+            let x = nl.add_gate(CellType::Inv, &[a]);
+            for _ in 0..fanout {
+                let y = nl.add_gate(CellType::Inv, &[x]);
+                nl.mark_output(y);
+            }
+            nl
+        };
+        let cons = TimingConstraints::uniform(&lib);
+        let d2 = analyze(&build(2), &lib, &cons, 1.0).critical_delay;
+        let d16 = analyze(&build(16), &lib, &cons, 1.0).critical_delay;
+        assert!(d16 > d2 * 1.5, "fanout 16 ({d16}) vs 2 ({d2})");
+    }
+
+    #[test]
+    fn upsizing_driver_reduces_delay() {
+        let lib = lib();
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input();
+        let x = nl.add_gate(CellType::Nand2, &[a, a]);
+        for _ in 0..8 {
+            let y = nl.add_gate(CellType::Inv, &[x]);
+            nl.mark_output(y);
+        }
+        let cons = TimingConstraints::uniform(&lib);
+        let before = analyze(&nl, &lib, &cons, 1.0).critical_delay;
+        let nand = nl
+            .gates()
+            .find(|(_, g)| g.kind.cell_type == CellType::Nand2)
+            .map(|(id, _)| id)
+            .unwrap();
+        nl.resize(nand, Drive::new(8));
+        let after = analyze(&nl, &lib, &cons, 1.0).critical_delay;
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn slack_consistency() {
+        let lib = lib();
+        let nl = adder::generate(&structures::sklansky(16));
+        let cons = TimingConstraints::uniform(&lib);
+        let r = analyze(&nl, &lib, &cons, 0.4);
+        // Worst slack equals target minus critical delay (within rounding),
+        // because the critical PO's required time is exactly the target.
+        let expect = 0.4 - r.critical_delay;
+        assert!((r.worst_slack() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_is_connected_and_nonempty() {
+        let lib = lib();
+        let nl = adder::generate(&structures::brent_kung(16));
+        let cons = TimingConstraints::uniform(&lib);
+        let r = analyze(&nl, &lib, &cons, 0.4);
+        let path = critical_path(&nl, &lib, &r);
+        assert!(!path.is_empty());
+        // Consecutive gates must be connected driver→sink.
+        for w in path.windows(2) {
+            let (down, up) = (w[0], w[1]);
+            let up_out = nl.gate(up).output();
+            assert!(nl.gate(down).inputs().contains(&up_out));
+        }
+    }
+
+    #[test]
+    fn deeper_structure_has_longer_delay() {
+        let lib = lib();
+        let cons = TimingConstraints::uniform(&lib);
+        let ripple = adder::generate(&prefix_graph::PrefixGraph::ripple(16));
+        let sk = adder::generate(&structures::sklansky(16));
+        let dr = analyze(&ripple, &lib, &cons, 1.0).critical_delay;
+        let ds = analyze(&sk, &lib, &cons, 1.0).critical_delay;
+        assert!(dr > ds, "ripple {dr} should be slower than sklansky {ds}");
+    }
+
+    #[test]
+    fn nonuniform_arrivals_shift_critical_delay() {
+        let lib = lib();
+        let nl = adder::generate(&structures::kogge_stone(8));
+        let uniform = analyze(&nl, &lib, &TimingConstraints::uniform(&lib), 1.0);
+        let late_msb = TimingConstraints::with_arrivals(
+            &lib,
+            (0..16).map(|i| if i == 7 || i == 15 { 0.2 } else { 0.0 }).collect(),
+        );
+        let shifted = analyze(&nl, &lib, &late_msb, 1.0);
+        assert!(shifted.critical_delay >= uniform.critical_delay + 0.1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Design an area-delay Pareto frontier of adders with RL agents at several
+//! scalarization weights, and compare it against the classical structures —
+//! a miniature of the paper's Fig. 4 experiment.
+//!
+//! ```sh
+//! cargo run --release --example design_adder_frontier
+//! ```
+
+use prefixrl::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let n: u16 = 12;
+    let weights = [0.15, 0.35, 0.55, 0.75, 0.92];
+    let steps = 1_500u64;
+
+    // One shared, cached analytical evaluator across all agents.
+    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default()));
+
+    let mut front: ParetoFront<String> = ParetoFront::new();
+    for (i, &w) in weights.iter().enumerate() {
+        let mut cfg = AgentConfig::small(n, w as f32, steps);
+        cfg.seed = 40 + i as u64;
+        let result = train(&cfg, evaluator.clone());
+        for (g, p) in &result.designs {
+            front.insert(*p, format!("rl(w={w})[{}n/{}l]", g.size(), g.depth()));
+        }
+        println!(
+            "agent w_area={w}: {} designs visited, best scalarized {:?}",
+            result.designs.len(),
+            result
+                .best_scalarized(w, 1.0, 1.0)
+                .map(|(g, p)| (g.size(), p.area, p.delay))
+        );
+    }
+
+    println!("\ncombined RL frontier vs classical structures (analytical metrics):");
+    println!("{:<28} {:>8} {:>8}", "design", "area", "delay");
+    for (p, label) in front.iter() {
+        println!("{label:<28} {:>8.1} {:>8.2}", p.area, p.delay);
+    }
+    let mut classical: ParetoFront<&str> = ParetoFront::new();
+    for (name, ctor) in structures::all_regular() {
+        let m = prefix_graph::analytical::evaluate(&ctor(n));
+        let pt = ObjectivePoint { area: m.area, delay: m.delay };
+        println!("{name:<28} {:>8.1} {:>8.2}", pt.area, pt.delay);
+        classical.insert(pt, name);
+    }
+    match front.max_area_saving_vs(&classical) {
+        Some((saving, at)) => println!(
+            "\nmax RL area saving at equal delay: {saving:.1}% (at delay {at:.2})"
+        ),
+        None => println!("\nRL frontier does not reach the classical delays"),
+    }
+    println!(
+        "cache: {} unique states, {:.0}% hit rate",
+        evaluator.unique_states(),
+        100.0 * evaluator.hit_rate()
+    );
+}

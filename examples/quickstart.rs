@@ -1,0 +1,46 @@
+//! Quickstart: build, inspect, synthesize and improve a prefix adder.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use prefixrl::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Classical structures and the grid representation.
+    let n = 16;
+    let sk = structures::sklansky(n);
+    println!("Sklansky {n}b: {} nodes, depth {}, max fanout {}", sk.size(), sk.depth(), sk.max_fanout());
+    println!("{}", prefix_graph::render::ascii(&sk));
+
+    // 2. Generate its gate-level netlist and check it actually adds.
+    let nl = adder::generate(&sk);
+    println!("netlist: {} gates", nl.num_gates());
+    assert_eq!(sim::add(&nl, 40_000, 25_535), 65_535);
+
+    // 3. Synthesize at 4 delay targets and print the area-delay curve.
+    let lib = Library::nangate45();
+    let curve = synth::sweep::sweep_graph(&sk, &lib, &SweepConfig::paper());
+    println!("area-delay curve ({}):", lib.name());
+    for (delay, area) in curve.knots() {
+        println!("  delay {delay:.3} ns -> area {area:.1} um^2");
+    }
+
+    // 4. Train a small PrefixRL agent (analytical reward for speed) and
+    //    compare its best design against the start states.
+    let cfg = AgentConfig::small(8, 0.35, 3_000);
+    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default()));
+    println!("\ntraining a small 8b agent (w_area = 0.35, 3k steps)...");
+    let result = train(&cfg, evaluator.clone());
+    println!(
+        "visited {} distinct designs, cache hit rate {:.0}%",
+        result.designs.len(),
+        100.0 * evaluator.hit_rate()
+    );
+    let front = result.front();
+    println!("discovered Pareto front ({} points):", front.len());
+    for (p, g) in front.iter().take(8) {
+        println!("  area {:>5.1}  delay {:>5.2}  (size {}, depth {})", p.area, p.delay, g.size(), g.depth());
+    }
+}

@@ -1,0 +1,232 @@
+//! The `prefixrl` command-line tool: train agents, evaluate and render
+//! prefix-adder designs, and export Verilog, without writing any code.
+//!
+//! ```text
+//! prefixrl structures --n 32                         # survey regular adders
+//! prefixrl train --n 8 --w 0.5 --steps 2000          # train one agent
+//! prefixrl eval --structure sklansky --n 32 --lib tech8
+//! prefixrl render --structure brent_kung --n 16 --dot
+//! prefixrl verilog --structure kogge_stone --n 16 --target 0.3
+//! ```
+
+use prefixrl::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        return;
+    };
+    let opts = parse_opts(rest);
+    match cmd.as_str() {
+        "structures" => cmd_structures(&opts),
+        "train" => cmd_train(&opts),
+        "eval" => cmd_eval(&opts),
+        "render" => cmd_render(&opts),
+        "verilog" => cmd_verilog(&opts),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "prefixrl — deep-RL prefix-adder design (PrefixRL, DAC 2021 reproduction)\n\
+         \n\
+         COMMANDS\n\
+         \x20 structures --n <N> [--lib nangate45|tech8]\n\
+         \x20     survey the regular adder structures (analytical + synthesized)\n\
+         \x20 train --n <N> --w <w_area> --steps <K> [--evaluator synthesis|analytical]\n\
+         \x20       [--actors <A>] [--seed <S>] [--out <designs.json>]\n\
+         \x20     train one PrefixRL agent and report its Pareto frontier\n\
+         \x20 eval --structure <name> --n <N> [--lib ...] [--targets <T>]\n\
+         \x20     synthesize a structure across delay targets\n\
+         \x20 render --structure <name> --n <N> [--dot]\n\
+         \x20     draw a prefix graph (ASCII, or Graphviz with --dot)\n\
+         \x20 verilog --structure <name> --n <N> [--target <ns>] [--lib ...]\n\
+         \x20     emit (optionally timing-optimized) structural Verilog"
+    );
+}
+
+fn parse_opts(rest: &[String]) -> HashMap<String, String> {
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i].trim_start_matches("--").to_string();
+        if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+            opts.insert(key, rest[i + 1].clone());
+            i += 2;
+        } else {
+            opts.insert(key, "true".to_string());
+            i += 1;
+        }
+    }
+    opts
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    opts.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn library(opts: &HashMap<String, String>) -> Library {
+    match opts.get("lib").map(String::as_str) {
+        Some("tech8") => Library::tech8(),
+        _ => Library::nangate45(),
+    }
+}
+
+fn structure(name: &str, n: u16) -> PrefixGraph {
+    match name {
+        "ripple" => PrefixGraph::ripple(n),
+        "sklansky" => structures::sklansky(n),
+        "kogge_stone" => structures::kogge_stone(n),
+        "brent_kung" => structures::brent_kung(n),
+        "han_carlson" => structures::han_carlson(n),
+        "ladner_fischer" => structures::ladner_fischer(n),
+        other => {
+            if let Some(s) = other.strip_prefix("sparse_ks_") {
+                return structures::sparse_kogge_stone(n, s.parse().expect("sparsity"));
+            }
+            eprintln!("unknown structure `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_structures(opts: &HashMap<String, String>) {
+    let n: u16 = get(opts, "n", 16);
+    let lib = library(opts);
+    println!(
+        "{:<16} {:>6} {:>6} {:>7} {:>10} {:>10} {:>11} {:>11}",
+        "structure", "size", "depth", "fanout", "ana.area", "ana.delay", "syn.area", "syn.delay"
+    );
+    for (name, ctor) in structures::all_regular() {
+        let g = ctor(n);
+        let ana = prefix_graph::analytical::evaluate(&g);
+        let curve = synth::sweep::sweep_graph(&g, &lib, &SweepConfig::fast());
+        let d = curve.min_delay();
+        println!(
+            "{name:<16} {:>6} {:>6} {:>7} {:>10.1} {:>10.2} {:>11.1} {:>11.3}",
+            g.size(),
+            g.depth(),
+            g.max_fanout(),
+            ana.area,
+            ana.delay,
+            curve.area_at(d),
+            d
+        );
+    }
+}
+
+fn cmd_train(opts: &HashMap<String, String>) {
+    let n: u16 = get(opts, "n", 8);
+    let w: f64 = get(opts, "w", 0.5);
+    let steps: u64 = get(opts, "steps", 2000);
+    let seed: u64 = get(opts, "seed", 0);
+    let actors: usize = get(opts, "actors", 1);
+    let mut cfg = AgentConfig::small(n, w as f32, steps);
+    cfg.seed = seed;
+    let use_synth = opts.get("evaluator").map(String::as_str) != Some("analytical");
+    let evaluator: Arc<CachedEvaluator<Box<dyn Evaluator>>> = if use_synth {
+        cfg.env = prefixrl_core::env::EnvConfig::synthesis(n);
+        Arc::new(CachedEvaluator::new(Box::new(SynthesisEvaluator::new(
+            library(opts),
+            SweepConfig::fast(),
+            w,
+        ))))
+    } else {
+        Arc::new(CachedEvaluator::new(
+            Box::new(AnalyticalEvaluator::default()) as Box<dyn Evaluator>,
+        ))
+    };
+    println!(
+        "training {n}b agent: w_area={w}, {steps} steps, evaluator={}, actors={actors}",
+        if use_synth { "synthesis" } else { "analytical" }
+    );
+    let t = std::time::Instant::now();
+    let result = if actors > 1 {
+        prefixrl_core::parallel::train_async(&cfg, evaluator.clone(), actors)
+    } else {
+        train(&cfg, evaluator.clone())
+    };
+    println!(
+        "done in {:.1}s: {} designs, {} grad steps, cache hit rate {:.0}%",
+        t.elapsed().as_secs_f64(),
+        result.designs.len(),
+        result.losses.len(),
+        100.0 * evaluator.hit_rate()
+    );
+    let front = result.front();
+    println!("\nPareto frontier:");
+    println!("{:>10} {:>10}  {:>5} {:>5}", "area", "delay", "size", "depth");
+    for (p, g) in front.iter() {
+        println!("{:>10.2} {:>10.3}  {:>5} {:>5}", p.area, p.delay, g.size(), g.depth());
+    }
+    if let Some(path) = opts.get("out") {
+        let json = serde_json::json!({
+            "n": n, "w_area": w, "steps": steps,
+            "frontier": front.iter().map(|(p, g)| serde_json::json!({
+                "area": p.area, "delay": p.delay, "graph": g,
+            })).collect::<Vec<_>>(),
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&json).unwrap())
+            .expect("write designs");
+        println!("\nwrote frontier to {path}");
+    }
+}
+
+fn cmd_eval(opts: &HashMap<String, String>) {
+    let n: u16 = get(opts, "n", 16);
+    let name = opts.get("structure").cloned().unwrap_or_else(|| "sklansky".into());
+    let targets: usize = get(opts, "targets", 8);
+    let lib = library(opts);
+    let g = structure(&name, n);
+    let cfg = SweepConfig {
+        target_fractions: prefixrl_core::frontier::target_fractions(targets),
+        ..SweepConfig::paper()
+    };
+    let curve = synth::sweep::sweep_graph(&g, &lib, &cfg);
+    println!("{name} {n}b on {} ({} graph nodes, depth {}):", lib.name(), g.size(), g.depth());
+    println!("{:>12} {:>12}", "delay(ns)", "area(um^2)");
+    for (d, a) in curve.knots() {
+        println!("{d:>12.4} {a:>12.2}");
+    }
+}
+
+fn cmd_render(opts: &HashMap<String, String>) {
+    let n: u16 = get(opts, "n", 16);
+    let name = opts.get("structure").cloned().unwrap_or_else(|| "brent_kung".into());
+    let g = structure(&name, n);
+    if opts.contains_key("dot") {
+        print!("{}", prefix_graph::render::dot(&g));
+    } else {
+        print!("{}", prefix_graph::render::ascii(&g));
+    }
+}
+
+fn cmd_verilog(opts: &HashMap<String, String>) {
+    let n: u16 = get(opts, "n", 16);
+    let name = opts.get("structure").cloned().unwrap_or_else(|| "brent_kung".into());
+    let lib = library(opts);
+    let g = structure(&name, n);
+    let nl = adder::generate(&g);
+    if let Some(target) = opts.get("target").and_then(|t| t.parse::<f64>().ok()) {
+        let cons = synth::sta::TimingConstraints::uniform(&lib);
+        let out = synth::optimizer::optimize(&nl, &lib, &cons, target, &OptimizerConfig::commercial());
+        eprintln!(
+            "// optimized to {:.4} ns (target {:.4}), area {:.2} um^2, met={}",
+            out.delay, target, out.area, out.met
+        );
+        print!("{}", netlist::verilog::export(&out.netlist));
+    } else {
+        print!("{}", netlist::verilog::export(&nl));
+    }
+}

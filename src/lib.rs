@@ -1,0 +1,55 @@
+//! # PrefixRL
+//!
+//! A Rust reproduction of **"PrefixRL: Optimization of Parallel Prefix
+//! Circuits using Deep Reinforcement Learning"** (Roy et al., DAC 2021) —
+//! deep-RL design of prefix adders with a timing-driven synthesis simulator
+//! in the training loop.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`prefix_graph`] | grid prefix-graph state space, legalization, actions, classical structures, analytical model |
+//! | [`netlist`] | gate-level IR, Nangate45-inspired + 8nm-class cell libraries, Zimmermann-style adder generation |
+//! | [`synth`] | STA, timing-driven optimization (sizing/buffering/pin swap), PCHIP area-delay curves, power |
+//! | [`nn`] | pure-Rust conv/batchnorm/residual network stack with Adam and backprop |
+//! | [`rl`] | scalarized multi-objective Double-DQN, replay, schedules |
+//! | [`prefixrl_core`] | the PrefixRL environment, Q-network, agents, caching, async training, Pareto tooling |
+//! | [`baselines`] | simulated annealing \[14\], pruned search \[15\], cross-layer ML \[10\], commercial chooser |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use prefixrl::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Train a small agent on 8-bit adders with the analytical reward
+//! // (use SynthesisEvaluator for synthesis in the loop).
+//! let cfg = AgentConfig::tiny(8, 0.5);
+//! let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default()));
+//! let result = train(&cfg, evaluator);
+//! let front = result.front();
+//! assert!(!front.is_empty());
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harnesses regenerating every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use netlist;
+pub use nn;
+pub use prefix_graph;
+pub use prefixrl_core;
+pub use rl;
+pub use synth;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use baselines::{commercial_library, cross_layer, pruned_search, sa_frontier};
+    pub use netlist::{adder, sim, Library, Netlist};
+    pub use prefix_graph::{structures, Action, Node, PrefixGraph};
+    pub use prefixrl_core::prelude::*;
+    pub use synth::{AreaDelayCurve, OptimizerConfig, SweepConfig};
+}
