@@ -99,11 +99,12 @@ fn ridge(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Vec<f64> {
         if p.abs() < 1e-12 {
             continue;
         }
-        for r in 0..k {
+        let pivot_row = a[col].clone();
+        for (r, row) in a.iter_mut().enumerate() {
             if r != col {
-                let f = a[r][col] / p;
-                for c in col..=k {
-                    a[r][c] -= f * a[col][c];
+                let f = row[col] / p;
+                for (entry, &pv) in row.iter_mut().zip(&pivot_row).skip(col) {
+                    *entry -= f * pv;
                 }
             }
         }
@@ -140,7 +141,11 @@ pub fn cross_layer(n: u16, lib: &Library, cfg: &CrossLayerConfig) -> Vec<CrossLa
     assert!(!pool.is_empty(), "candidate pool empty");
     // Label an evenly spaced training subset with real synthesis.
     let stride = (pool.len() / cfg.train_samples.max(1)).max(1);
-    let train: Vec<&PrefixGraph> = pool.iter().step_by(stride).take(cfg.train_samples).collect();
+    let train: Vec<&PrefixGraph> = pool
+        .iter()
+        .step_by(stride)
+        .take(cfg.train_samples)
+        .collect();
     let xs: Vec<Vec<f64>> = train.iter().map(|g| features(g)).collect();
     let mut y_area = Vec::with_capacity(train.len());
     let mut y_delay = Vec::with_capacity(train.len());
@@ -182,7 +187,9 @@ pub fn cross_layer(n: u16, lib: &Library, cfg: &CrossLayerConfig) -> Vec<CrossLa
             let graph = pool[i].clone();
             let curve = sweep_graph(&graph, lib, &cfg.sweep);
             CrossLayerDesign {
-                synthesized: curve.knots().collect::<Vec<_>>()
+                synthesized: curve
+                    .knots()
+                    .collect::<Vec<_>>()
                     .into_iter()
                     .map(|(d, a)| (a, d))
                     .collect(),

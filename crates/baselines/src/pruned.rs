@@ -218,9 +218,7 @@ mod tests {
             .collect();
         let novel = pool.iter().any(|g| {
             let m = analytical::evaluate(g);
-            regular
-                .iter()
-                .all(|&(a, d)| !(a <= m.area && d <= m.delay))
+            regular.iter().all(|&(a, d)| !(a <= m.area && d <= m.delay))
         });
         assert!(novel, "search never escaped the seeds");
     }

@@ -119,12 +119,7 @@ pub fn analytical_cost(n: u16, w_area: f64) -> impl Fn(&PrefixGraph) -> f64 {
 
 /// Runs SA at several scalarization weights (as \[14\] does to trace its
 /// frontier), returning the distinct best designs.
-pub fn sa_frontier(
-    n: u16,
-    weights: &[f64],
-    cfg: &SaConfig,
-    seed: u64,
-) -> Vec<PrefixGraph> {
+pub fn sa_frontier(n: u16, weights: &[f64], cfg: &SaConfig, seed: u64) -> Vec<PrefixGraph> {
     let mut out: Vec<PrefixGraph> = Vec::new();
     for (i, &w) in weights.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(seed ^ ((i as u64 + 1) * 0x9e37_79b9));
@@ -174,7 +169,10 @@ mod tests {
         );
         let ms = analytical::evaluate(&small);
         let mf = analytical::evaluate(&fast);
-        assert!(ms.area <= mf.area, "area-weighted SA bigger than delay-weighted");
+        assert!(
+            ms.area <= mf.area,
+            "area-weighted SA bigger than delay-weighted"
+        );
         assert!(mf.delay <= ms.delay, "delay-weighted SA slower");
     }
 

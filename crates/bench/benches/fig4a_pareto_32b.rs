@@ -31,8 +31,13 @@ fn main() {
             ),
         };
     let lib = Library::nangate45();
-    let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
-    println!("Fig. 4a reproduction: {n}-bit adders, open flow ({})", lib.name());
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
+    println!(
+        "Fig. 4a reproduction: {n}-bit adders, open flow ({})",
+        lib.name()
+    );
 
     // --- PrefixRL agents, synthesis in the loop -------------------------
     let mut rl_designs: Vec<(String, PrefixGraph)> = Vec::new();
@@ -51,7 +56,10 @@ fn main() {
             result.designs.len(),
             100.0 * evaluator.hit_rate()
         );
-        for (k, (_, g)) in support::spread_front(&result.front(), 12).iter().enumerate() {
+        for (k, (_, g)) in support::spread_front(&result.front(), 12)
+            .iter()
+            .enumerate()
+        {
             rl_designs.push((format!("PrefixRL(w={w:.2})#{k}"), g.clone()));
         }
     }
@@ -90,8 +98,14 @@ fn main() {
     // --- Synthesize everything at many delay targets and bin -------------
     let cfg = SweepConfig::paper();
     let fronts: Vec<(&str, ParetoFront<String>)> = vec![
-        ("PrefixRL", sweep_front(&rl_designs, &lib, &cfg, targets, threads)),
-        ("Regular", sweep_front(&regulars, &lib, &cfg, targets, threads)),
+        (
+            "PrefixRL",
+            sweep_front(&rl_designs, &lib, &cfg, targets, threads),
+        ),
+        (
+            "Regular",
+            sweep_front(&regulars, &lib, &cfg, targets, threads),
+        ),
         ("SA", sweep_front(&sa, &lib, &cfg, targets, threads)),
         ("PS", sweep_front(&ps, &lib, &cfg, targets, threads)),
     ];

@@ -27,8 +27,13 @@ fn main() {
         ),
     };
     let lib = Library::nangate45();
-    let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
-    println!("Fig. 4b reproduction: {n}-bit adders, open flow ({})", lib.name());
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
+    println!(
+        "Fig. 4b reproduction: {n}-bit adders, open flow ({})",
+        lib.name()
+    );
 
     let mut rl_designs: Vec<(String, PrefixGraph)> = Vec::new();
     for (i, &w) in weights.iter().enumerate() {
@@ -46,7 +51,10 @@ fn main() {
             result.designs.len(),
             100.0 * evaluator.hit_rate()
         );
-        for (k, (_, g)) in support::spread_front(&result.front(), 12).iter().enumerate() {
+        for (k, (_, g)) in support::spread_front(&result.front(), 12)
+            .iter()
+            .enumerate()
+        {
             rl_designs.push((format!("PrefixRL(w={w:.2})#{k}"), g.clone()));
         }
     }

@@ -19,8 +19,14 @@ use synth::sweep::SweepConfig;
 fn run(n: u16, weights: &[f64], steps: u64, targets: usize, tag: &str) {
     let train_lib = Library::nangate45();
     let target_lib = Library::tech8();
-    let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
-    println!("\nFig. 5 ({tag}): train on {}, evaluate on {}", train_lib.name(), target_lib.name());
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
+    println!(
+        "\nFig. 5 ({tag}): train on {}, evaluate on {}",
+        train_lib.name(),
+        target_lib.name()
+    );
 
     // Train on the OPEN library (as the paper does)…
     let mut rl_designs: Vec<(String, PrefixGraph)> = Vec::new();
@@ -40,7 +46,10 @@ fn run(n: u16, weights: &[f64], steps: u64, targets: usize, tag: &str) {
         }
     }
     rl_designs.truncate(7);
-    println!("  transferring {} Pareto-optimal PrefixRL adders", rl_designs.len());
+    println!(
+        "  transferring {} Pareto-optimal PrefixRL adders",
+        rl_designs.len()
+    );
 
     // …then synthesize everything with the commercial-effort flow on tech8.
     let commercial_cfg = SweepConfig {
@@ -63,7 +72,10 @@ fn run(n: u16, weights: &[f64], steps: u64, targets: usize, tag: &str) {
     let mut tool_front: ParetoFront<String> = ParetoFront::new();
     for c in &choices {
         tool_front.insert(
-            ObjectivePoint { area: c.area, delay: c.delay },
+            ObjectivePoint {
+                area: c.area,
+                delay: c.delay,
+            },
             format!("Commercial[{}]", c.architecture),
         );
     }

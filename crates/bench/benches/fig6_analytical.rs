@@ -25,7 +25,10 @@ fn analytical_front(designs: &[(String, PrefixGraph)]) -> ParetoFront<String> {
         .map(|(label, g)| {
             let m = analytical::evaluate(g);
             (
-                ObjectivePoint { area: m.area, delay: m.delay },
+                ObjectivePoint {
+                    area: m.area,
+                    delay: m.delay,
+                },
                 label.clone(),
             )
         })
@@ -44,7 +47,9 @@ fn main() {
     };
     println!("Fig. 6 reproduction: {n}-bit adders");
     let lib = Library::nangate45();
-    let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
 
     // Analytical-PrefixRL agents (trained on [14]'s model).
     let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
@@ -53,19 +58,29 @@ fn main() {
         let mut cfg = AgentConfig::small(n, w as f32, steps);
         cfg.seed = 400 + i as u64;
         let result = train(&cfg, evaluator.clone());
-        for (k, (_, g)) in support::spread_front(&result.front(), 10).iter().enumerate() {
+        for (k, (_, g)) in support::spread_front(&result.front(), 10)
+            .iter()
+            .enumerate()
+        {
             rl_designs.push((format!("AnalyticalRL(w={w:.2})#{k}"), g.clone()));
         }
-        println!("  agent w_area={w:.2} done ({} designs)", result.designs.len());
+        println!(
+            "  agent w_area={w:.2} done ({} designs)",
+            result.designs.len()
+        );
     }
 
     // SA [14] and PS [15] design sets.
-    let sa: Vec<(String, PrefixGraph)> =
-        sa_frontier(n, &[0.05, 0.15, 0.3, 0.5, 0.7, 0.9], &SaConfig::default(), 13)
-            .into_iter()
-            .enumerate()
-            .map(|(i, g)| (format!("SA#{i}"), g))
-            .collect();
+    let sa: Vec<(String, PrefixGraph)> = sa_frontier(
+        n,
+        &[0.05, 0.15, 0.3, 0.5, 0.7, 0.9],
+        &SaConfig::default(),
+        13,
+    )
+    .into_iter()
+    .enumerate()
+    .map(|(i, g)| (format!("SA#{i}"), g))
+    .collect();
     let ps: Vec<(String, PrefixGraph)> = pruned_search(n, &PrunedSearchConfig::fast())
         .into_iter()
         .take(24)
@@ -100,7 +115,10 @@ fn main() {
         cfg_rl.env = prefixrl_core::env::EnvConfig::synthesis(n);
         cfg_rl.seed = 500;
         let result = train(&cfg_rl, ev);
-        for (k, (_, g)) in support::spread_front(&result.front(), 10).iter().enumerate() {
+        for (k, (_, g)) in support::spread_front(&result.front(), 10)
+            .iter()
+            .enumerate()
+        {
             loop_designs.push((format!("PrefixRL#{k}"), g.clone()));
         }
     }
@@ -117,7 +135,10 @@ fn main() {
         ("PrefixRL-in-loop", &loop_s),
     ] {
         if let Some(p) = f.points().first() {
-            println!("  {name:<22} fastest delay {:.4} at area {:.1}", p.delay, p.area);
+            println!(
+                "  {name:<22} fastest delay {:.4} at area {:.1}",
+                p.delay, p.area
+            );
         }
     }
     support::write_json(

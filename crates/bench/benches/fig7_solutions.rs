@@ -22,7 +22,11 @@ fn main() {
         if let Some((g, p)) = result.best_scalarized(w as f64, 0.05, 0.25) {
             println!(
                 "--- agent w_area={w}: size {}, depth {}, fanout {}, area {:.0}, delay {:.1} ---",
-                g.size(), g.depth(), g.max_fanout(), p.area, p.delay
+                g.size(),
+                g.depth(),
+                g.max_fanout(),
+                p.area,
+                p.delay
             );
             println!("{}", prefix_graph::render::ascii(g));
             let dot = prefix_graph::render::dot(g);

@@ -7,8 +7,9 @@ use prefix_graph::{Action, Node, PrefixGraph};
 use prefixrl_bench as support;
 use prefixrl_core::agent::{train, AgentConfig};
 use prefixrl_core::cache::CachedEvaluator;
-use prefixrl_core::evaluator::SynthesisEvaluator;
-use prefixrl_core::parallel::{evaluate_batch, train_async};
+use prefixrl_core::evalsvc::EvalService;
+use prefixrl_core::evaluator::{Evaluator, SynthesisEvaluator};
+use prefixrl_core::parallel::train_async;
 use std::sync::Arc;
 use std::time::Instant;
 use synth::sweep::SweepConfig;
@@ -33,16 +34,23 @@ fn main() {
             g
         })
         .collect();
-    let evaluator = SynthesisEvaluator::new(lib.clone(), SweepConfig::fast(), 0.5);
+    let evaluator: Arc<dyn Evaluator> = Arc::new(SynthesisEvaluator::new(
+        lib.clone(),
+        SweepConfig::fast(),
+        0.5,
+    ));
     let mut base_ms = 0.0;
     println!("parallel synthesis of {jobs} states:");
-    let max_threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(8);
+    let max_threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(8);
     for threads in [1usize, 2, 4, 8, 16] {
         if threads > max_threads * 2 {
             break;
         }
+        let service = EvalService::new(Arc::clone(&evaluator), threads);
         let t = Instant::now();
-        let _ = evaluate_batch(&graphs, &evaluator, threads);
+        let _ = service.evaluate_many(&graphs);
         let ms = t.elapsed().as_secs_f64() * 1000.0;
         if threads == 1 {
             base_ms = ms;
@@ -74,6 +82,7 @@ fn main() {
 
     // --- Async actor/learner throughput ----------------------------------
     println!("\nasync actor/learner (paper Sec. IV-D architecture):");
+    let mut rows = Vec::new();
     for actors in [1usize, 2, 4] {
         let ev = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
             lib.clone(),
@@ -84,11 +93,20 @@ fn main() {
         cfg.total_steps = steps;
         let t = Instant::now();
         let result = train_async(&cfg, ev.clone(), actors);
+        let steps_per_sec = steps as f64 / t.elapsed().as_secs_f64();
         println!(
-            "  {actors} actors: {:>6.1} env-steps/s ({} designs, hit rate {:.0}%)",
-            steps as f64 / t.elapsed().as_secs_f64(),
+            "  {actors} actors: {steps_per_sec:>6.1} env-steps/s ({} designs, hit rate {:.0}%)",
             result.designs.len(),
             100.0 * ev.hit_rate(),
         );
+        rows.push(support::ScalingRow {
+            actors,
+            envs_per_actor: cfg.envs_per_actor,
+            steps,
+            steps_per_sec,
+            cache_hit_rate: ev.hit_rate(),
+            designs: result.designs.len(),
+        });
     }
+    support::write_bench_scaling(8, &rows);
 }

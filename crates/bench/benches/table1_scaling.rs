@@ -27,7 +27,11 @@ fn main() {
     // |A| — exact, matches the paper (105 / 465 / 1953).
     let a: Vec<String> = widths
         .iter()
-        .map(|&n| prefix_graph::PrefixGraph::ripple(n).interior_positions().to_string())
+        .map(|&n| {
+            prefix_graph::PrefixGraph::ripple(n)
+                .interior_positions()
+                .to_string()
+        })
         .collect();
     println!("{:<28} {:>12} {:>12} {:>12}", "|A|", a[0], a[1], a[2]);
 

@@ -1,12 +1,27 @@
-use prefixrl_core::prelude::*;
 use prefixrl_core::env::EnvConfig;
+use prefixrl_core::prelude::*;
 use rl::QNetwork;
 use std::time::Instant;
 
 fn main() {
-    for (n, c, b, batch) in [(8u16, 12usize, 1usize, 12usize), (8, 24, 2, 32), (16, 12, 1, 12), (16, 24, 2, 32), (32, 24, 2, 32)] {
-        let mut q = PrefixQNet::new(&QNetConfig { n, channels: c, blocks: b, lr: 1e-3, seed: 0 });
-        let env = PrefixEnv::new(EnvConfig::analytical(n), std::sync::Arc::new(AnalyticalEvaluator));
+    for (n, c, b, batch) in [
+        (8u16, 12usize, 1usize, 12usize),
+        (8, 24, 2, 32),
+        (16, 12, 1, 12),
+        (16, 24, 2, 32),
+        (32, 24, 2, 32),
+    ] {
+        let mut q = PrefixQNet::new(&QNetConfig {
+            n,
+            channels: c,
+            blocks: b,
+            lr: 1e-3,
+            seed: 0,
+        });
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(n),
+            std::sync::Arc::new(AnalyticalEvaluator),
+        );
         let f = env.features();
         let states: Vec<&[f32]> = (0..batch).map(|_| f.as_slice()).collect();
         let t = Instant::now();
@@ -16,6 +31,9 @@ fn main() {
             let grad = vec![vec![[0.1f32; 2]; q.num_actions()]; batch];
             q.apply_gradient(&grad);
         }
-        println!("n={n} C={c} B={b} batch={batch}: {:.1} ms/train-step", t.elapsed().as_secs_f64() * 1000.0 / iters as f64);
+        println!(
+            "n={n} C={c} B={b} batch={batch}: {:.1} ms/train-step",
+            t.elapsed().as_secs_f64() * 1000.0 / iters as f64
+        );
     }
 }

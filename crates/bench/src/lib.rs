@@ -48,6 +48,45 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
     println!("[artifact] {}", path.display());
 }
 
+/// One measured point of the actor-scaling benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingRow {
+    /// Actor thread count.
+    pub actors: usize,
+    /// Environments stepped in lockstep per actor.
+    pub envs_per_actor: usize,
+    /// Environment steps executed.
+    pub steps: u64,
+    /// Training throughput.
+    pub steps_per_sec: f64,
+    /// Shared evaluation-cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Distinct designs harvested.
+    pub designs: usize,
+}
+
+/// Dumps `BENCH_scaling.json` at the workspace root: steps/sec and cache
+/// hit rate vs actor count, machine-readable so future changes can track
+/// the performance trajectory against this file.
+pub fn write_bench_scaling(widths: u16, rows: &[ScalingRow]) {
+    let value = serde_json::json!({
+        "benchmark": "train_async_actor_scaling",
+        "n": widths,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "actors": r.actors,
+            "envs_per_actor": r.envs_per_actor,
+            "steps": r.steps,
+            "steps_per_sec": r.steps_per_sec,
+            "cache_hit_rate": r.cache_hit_rate,
+            "designs": r.designs,
+        })).collect::<Vec<_>>(),
+    });
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scaling.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap())
+        .expect("write BENCH_scaling.json");
+    println!("[artifact] {}", path.display());
+}
+
 /// Prints a named series of (area, delay) points as the paper's figures
 /// tabulate them, in increasing delay order.
 pub fn print_series(name: &str, points: &[(f64, f64)]) {
@@ -63,7 +102,7 @@ pub fn print_series(name: &str, points: &[(f64, f64)]) {
 /// Prints a Pareto front with labels.
 pub fn print_front<T: std::fmt::Display>(name: &str, front: &ParetoFront<T>) {
     println!("\n== {name} (Pareto front, {} points) ==", front.len());
-    println!("{:>12} {:>12}  {}", "area", "delay", "design");
+    println!("{:>12} {:>12}  design", "area", "delay");
     for (p, label) in front.iter() {
         println!("{:>12.2} {:>12.4}  {label}", p.area, p.delay);
     }

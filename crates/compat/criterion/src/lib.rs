@@ -1,0 +1,147 @@
+//! Offline stand-in for `criterion` (see DESIGN.md §9).
+//!
+//! Provides the API shape the micro-benchmarks use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`, `iter_batched`,
+//! `criterion_group!`, `criterion_main!`) with a simple
+//! median-of-short-runs timer instead of criterion's statistical engine.
+//! Results print one line per benchmark; there is no HTML report, warmup
+//! configuration, or outlier analysis.
+
+use std::time::{Duration, Instant};
+
+/// Per-run measurement budget.
+const BUDGET: Duration = Duration::from_millis(200);
+/// Maximum timed samples per benchmark.
+const MAX_SAMPLES: u32 = 25;
+
+/// Entry point for declaring benchmarks (shim for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&name.into(), &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.into()), &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_bench(name: &str, f: &mut impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    let start = Instant::now();
+    while bencher.samples.len() < MAX_SAMPLES as usize && start.elapsed() < BUDGET {
+        f(&mut bencher);
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "bench {name:<48} {:>12.1} ns/iter ({} samples)",
+        median.as_nanos() as f64,
+        bencher.samples.len()
+    );
+}
+
+/// Measures one routine (shim for `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let t = Instant::now();
+        let out = routine();
+        self.samples.push(t.elapsed());
+        drop(out);
+    }
+
+    /// Times `routine` on a fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t = Instant::now();
+        let out = routine(input);
+        self.samples.push(t.elapsed());
+        drop(out);
+    }
+}
+
+/// Batch sizing hint (accepted for API compatibility, unused by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam` (see DESIGN.md §9).
+//!
+//! Provides `crossbeam::channel::bounded` backed by
+//! `std::sync::mpsc::sync_channel`. Multi-producer/single-consumer covers
+//! this workspace's actor→learner topology; crossbeam's multi-consumer
+//! capability is not reproduced.
+
+/// Bounded MPSC channels with crossbeam's module layout.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of a bounded channel; cloneable across producers.
+    pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Fails when all receivers have been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Fails when the channel is empty and all senders have dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Receives a message if one is immediately available.
+        ///
+        /// # Errors
+        ///
+        /// Fails when the channel is empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_and_disconnect() {
+        let (tx, rx) = channel::bounded::<usize>(8);
+        std::thread::scope(|s| {
+            for i in 0..3 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).unwrap());
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2]);
+            assert!(rx.try_recv().is_err(), "disconnected after senders drop");
+        });
+    }
+}

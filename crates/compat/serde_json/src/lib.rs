@@ -1,0 +1,457 @@
+//! Offline stand-in for `serde_json` (see DESIGN.md §9).
+//!
+//! Renders and parses the `serde` shim's [`Value`] tree as JSON text and
+//! provides the [`json!`] construction macro (objects, arrays, `null`, and
+//! arbitrary `Serialize` expressions, including nested bare `{...}` /
+//! `[...]` literals).
+
+pub use serde::{Number, Value};
+
+/// Serialization/deserialization error (a human-readable message).
+pub type Error = serde::Error;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for this shim's value model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for this shim's value model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some("  "), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing characters at offset {}", parser.pos));
+    }
+    T::from_value(&value)
+}
+
+// ------------------------------------------------------------- rendering
+
+fn write_value(v: &Value, out: &mut String, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            write_seq(items.iter(), out, indent, depth, ('[', ']'), |v, out, d| {
+                write_value(v, out, indent, d)
+            })
+        }
+        Value::Object(entries) => write_seq(
+            entries.iter(),
+            out,
+            indent,
+            depth,
+            ('{', '}'),
+            |(k, v), out, d| {
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(v, out, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<T>(
+    items: impl ExactSizeIterator<Item = T>,
+    out: &mut String,
+    indent: Option<&str>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(T, &mut String, usize),
+) {
+    out.push(brackets.0);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(pad);
+            }
+        }
+        write_item(item, out, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str(pad);
+            }
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    match *n {
+        Number::UInt(v) => out.push_str(&v.to_string()),
+        Number::Int(v) => out.push_str(&v.to_string()),
+        Number::Float(v) if v.is_finite() => out.push_str(&format!("{v}")),
+        // JSON has no NaN/inf; match serde_json's `null`.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of JSON".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' if self.eat_literal("null") => Ok(Value::Null),
+            b't' if self.eat_literal("true") => Ok(Value::Bool(true)),
+            b'f' if self.eat_literal("false") => Ok(Value::Bool(false)),
+            b'"' => Ok(Value::String(self.parse_string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        c => return Err(format!("unexpected `{}` in array", c as char)),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    entries.push((key, self.parse_value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        c => return Err(format!("unexpected `{}` in object", c as char)),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            c => Err(format!("unexpected `{}` at offset {}", c as char, self.pos)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid \\u{code:04x}"))?,
+                            );
+                        }
+                        c => return Err(format!("invalid escape `\\{}`", c as char)),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte slice.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        let number = if is_float {
+            Number::Float(text.parse::<f64>().map_err(|e| e.to_string())?)
+        } else if text.starts_with('-') {
+            Number::Int(text.parse::<i64>().map_err(|e| e.to_string())?)
+        } else {
+            Number::UInt(text.parse::<u64>().map_err(|e| e.to_string())?)
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// ----------------------------------------------------------------- json!
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports object literals with string-literal keys, array literals,
+/// `null`, and arbitrary `Serialize` expressions as values (including
+/// nested bare `{...}` / `[...]` literals).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        // `unused_mut` matters only when this crate lints its own
+        // expansions: empty objects leave `entries` unmutated.
+        #[allow(unused_mut)]
+        let mut entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::__json_object!(entries; $($body)*);
+        $crate::Value::Object(entries)
+    }};
+    ([ $($elems:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elems) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Appends one object entry (used by the [`json!`] expansion; a free
+/// function rather than `Vec::push` so expansions stay clean under this
+/// crate's own clippy run).
+#[doc(hidden)]
+pub fn __push_entry(entries: &mut Vec<(String, Value)>, key: &str, value: Value) {
+    entries.push((key.to_string(), value));
+}
+
+/// Internal muncher for [`json!`] object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($entries:ident;) => {};
+    ($entries:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::__push_entry(&mut $entries, $key, $crate::Value::Null);
+        $crate::__json_object!($entries; $($($rest)*)?);
+    };
+    ($entries:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::__push_entry(&mut $entries, $key, $crate::json!({ $($inner)* }));
+        $crate::__json_object!($entries; $($($rest)*)?);
+    };
+    ($entries:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::__push_entry(&mut $entries, $key, $crate::json!([ $($inner)* ]));
+        $crate::__json_object!($entries; $($($rest)*)?);
+    };
+    ($entries:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::__push_entry(&mut $entries, $key, $crate::to_value(&$value));
+        $crate::__json_object!($entries; $($rest)*);
+    };
+    ($entries:ident; $key:literal : $value:expr) => {
+        $crate::__push_entry(&mut $entries, $key, $crate::to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for text in ["null", "true", "false", "0", "-5", "3.25", "\"hi\\n\""] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn large_u64_preserved() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v, Value::Number(Number::UInt(u64::MAX)));
+        let back: u64 = from_str(&to_string(&u64::MAX).unwrap()).unwrap();
+        assert_eq!(back, u64::MAX);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 8u16;
+        let v = json!({
+            "n": n,
+            "nested": { "xs": [1, 2, 3], "t": true },
+            "list": [json!({"a": 1}), json!(null)],
+            "s": "str",
+        });
+        let text = to_string(&v).unwrap();
+        assert_eq!(
+            text,
+            r#"{"n":8,"nested":{"xs":[1,2,3],"t":true},"list":[{"a":1},null],"s":"str"}"#
+        );
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_prints_with_indent() {
+        let v = json!({"a": [1], "b": {}});
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}");
+    }
+
+    #[test]
+    fn tuples_and_vecs() {
+        let spec = vec![(1u16, 2u16), (3, 4)];
+        let text = to_string(&spec).unwrap();
+        assert_eq!(text, "[[1,2],[3,4]]");
+        let back: Vec<(u16, u16)> = from_str(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let v = Value::String("héllo ⊕ wörld".to_string());
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+}

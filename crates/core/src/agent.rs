@@ -38,6 +38,9 @@ pub struct AgentConfig {
     pub eps_decay_steps: u64,
     /// Gradient steps per environment step.
     pub train_every: u64,
+    /// Environments each async actor steps in lockstep, batching its
+    /// Q-network forwards (the serial path always uses one).
+    pub envs_per_actor: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -59,6 +62,7 @@ impl AgentConfig {
             eps_end: 0.05,
             eps_decay_steps: 200,
             train_every: 1,
+            envs_per_actor: 2,
             seed: 0,
         }
     }
@@ -79,6 +83,7 @@ impl AgentConfig {
             eps_end: 0.02,
             eps_decay_steps: total_steps * 3 / 4,
             train_every: 1,
+            envs_per_actor: 2,
             seed: 0,
         }
     }
@@ -96,6 +101,7 @@ impl AgentConfig {
             eps_end: 0.0,
             eps_decay_steps: 400_000,
             train_every: 1,
+            envs_per_actor: 4,
             seed: 0,
         }
     }
@@ -116,10 +122,7 @@ pub struct TrainResult {
 impl TrainResult {
     /// The Pareto front over all visited designs.
     pub fn front(&self) -> ParetoFront<PrefixGraph> {
-        self.designs
-            .iter()
-            .map(|(g, p)| (*p, g.clone()))
-            .collect()
+        self.designs.iter().map(|(g, p)| (*p, g.clone())).collect()
     }
 
     /// The design minimizing the scalarized objective.
@@ -130,9 +133,8 @@ impl TrainResult {
         c_delay: f64,
     ) -> Option<&(PrefixGraph, ObjectivePoint)> {
         self.designs.iter().min_by(|a, b| {
-            let cost = |p: &ObjectivePoint| {
-                w_area * c_area * p.area + (1.0 - w_area) * c_delay * p.delay
-            };
+            let cost =
+                |p: &ObjectivePoint| w_area * c_area * p.area + (1.0 - w_area) * c_delay * p.delay;
             cost(&a.1).total_cmp(&cost(&b.1))
         })
     }
@@ -155,12 +157,12 @@ pub fn train_with_agent(
     let schedule = EpsilonSchedule::linear(cfg.eps_start, cfg.eps_end, cfg.eps_decay_steps);
 
     let mut designs: HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)> = HashMap::new();
-    let record =
-        |designs: &mut HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>, env: &PrefixEnv| {
-            designs
-                .entry(env.graph().canonical_key())
-                .or_insert_with(|| (env.graph().clone(), env.metrics()));
-        };
+    let record = |designs: &mut HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>,
+                  env: &PrefixEnv| {
+        designs
+            .entry(env.graph().canonical_key())
+            .or_insert_with(|| (env.graph().clone(), env.metrics()));
+    };
 
     let mut losses = Vec::new();
     let mut episode_returns = Vec::new();
@@ -172,12 +174,12 @@ pub fn train_with_agent(
         let state = env.features();
         let mask = env.action_mask();
         let action = dqn
-            .select_action(&state, &mask, eps, &mut rng)
+            .act(&state, &mask, eps, &mut rng)
             .expect("prefix env always has a legal action");
         let outcome = env.step_flat(action);
         record(&mut designs, &env);
-        episode_return += (cfg.dqn.weight[0] * outcome.reward[0]
-            + cfg.dqn.weight[1] * outcome.reward[1]) as f64;
+        episode_return +=
+            (cfg.dqn.weight[0] * outcome.reward[0] + cfg.dqn.weight[1] * outcome.reward[1]) as f64;
         replay.push(Transition {
             state,
             action,
@@ -257,7 +259,11 @@ mod tests {
         let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
         let result = train(&cfg, eval.clone());
         assert_eq!(result.steps, 300);
-        assert!(result.designs.len() > 20, "only {} designs", result.designs.len());
+        assert!(
+            result.designs.len() > 20,
+            "only {} designs",
+            result.designs.len()
+        );
         assert!(!result.losses.is_empty(), "training never started");
         // The cache must have seen repeated states (start states recur).
         assert!(eval.hits() > 0);

@@ -1,44 +1,161 @@
-//! The synthesis-result cache (paper Section IV-D).
+//! The sharded synthesis-result cache (paper Section IV-D).
 //!
 //! Synthesis is the dominant training cost, and prefix-graph states recur
 //! as ε decays — the paper reports cache hit rates reaching 50% (32b) and
 //! 10% (64b). The cache keys on the canonical present-node bitset of the
 //! graph, so structurally identical states share one evaluation across all
 //! actors.
+//!
+//! The store is **N-way sharded** by canonical-key hash so concurrent
+//! actors contend only on the shard their state maps to, not on one global
+//! lock. Each shard has:
+//!
+//! - a bounded map with FIFO eviction (`capacity_per_shard`), so a long
+//!   training run cannot grow the cache without bound;
+//! - its own hit/miss/eviction counters (aggregated by the accessors);
+//! - an **in-flight set** deduplicating concurrent misses: when several
+//!   actors miss on the same state simultaneously, exactly one runs the
+//!   evaluator and the rest block on the shard's condvar and reuse the
+//!   result — with synthesis at tens of milliseconds per state, duplicate
+//!   evaluation is the expensive failure mode, not the blocking.
 
 use crate::evaluator::{Evaluator, ObjectivePoint};
-use parking_lot::Mutex;
 use prefix_graph::PrefixGraph;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 
-/// A thread-safe memoizing wrapper around any [`Evaluator`].
-pub struct CachedEvaluator<E> {
-    inner: E,
-    map: Mutex<HashMap<Vec<u64>, ObjectivePoint>>,
+/// Sizing of a [`CachedEvaluator`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Number of independent shards (≥ 1; default 16).
+    pub shards: usize,
+    /// Maximum entries per shard before FIFO eviction (≥ 1).
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 16,
+            capacity_per_shard: 1 << 16,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config with `shards` shards and the default per-shard capacity.
+    pub fn with_shards(shards: usize) -> Self {
+        CacheConfig {
+            shards,
+            ..CacheConfig::default()
+        }
+    }
+}
+
+struct ShardState {
+    map: HashMap<Vec<u64>, ObjectivePoint>,
+    /// Insertion order of `map` keys, for FIFO eviction.
+    order: VecDeque<Vec<u64>>,
+    /// Keys currently being evaluated by some thread.
+    inflight: HashSet<Vec<u64>>,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    ready: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                inflight: HashSet::new(),
+            }),
+            ready: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-shard statistics snapshot (see [`CachedEvaluator::shard_stats`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ShardStats {
+    /// Cache hits on this shard (including coalesced in-flight waits).
+    pub hits: u64,
+    /// Inner evaluations run for this shard.
+    pub misses: u64,
+    /// Entries evicted from this shard.
+    pub evictions: u64,
+    /// Current entry count.
+    pub entries: usize,
+}
+
+/// A thread-safe, sharded, bounded memoizing wrapper around any
+/// [`Evaluator`].
+pub struct CachedEvaluator<E> {
+    inner: E,
+    shards: Vec<Shard>,
+    capacity_per_shard: usize,
 }
 
 impl<E: Evaluator> CachedEvaluator<E> {
-    /// Wraps an evaluator with an unbounded cache.
+    /// Wraps an evaluator with the default configuration (16 shards,
+    /// 65 536 entries each).
     pub fn new(inner: E) -> Self {
+        Self::with_config(inner, CacheConfig::default())
+    }
+
+    /// Wraps an evaluator with explicit sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity_per_shard` is zero.
+    pub fn with_config(inner: E, cfg: CacheConfig) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.capacity_per_shard > 0, "need nonzero shard capacity");
         CachedEvaluator {
             inner,
-            map: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            shards: (0..cfg.shards).map(|_| Shard::new()).collect(),
+            capacity_per_shard: cfg.capacity_per_shard,
         }
     }
 
-    /// Cache hits so far.
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cache hits so far (a wait on another thread's in-flight evaluation
+    /// counts as a hit: the evaluator did not run again).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Cache misses (inner evaluations) so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.misses.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Entries evicted by the per-shard capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Hit rate in `[0, 1]` (0 when never queried).
@@ -52,31 +169,111 @@ impl<E: Evaluator> CachedEvaluator<E> {
         }
     }
 
-    /// Number of distinct states evaluated.
+    /// Number of distinct states currently cached.
     pub fn unique_states(&self) -> usize {
-        self.map.lock().len()
+        self.shards.iter().map(|s| lock(&s.state).map.len()).sum()
+    }
+
+    /// Per-shard statistics, for load-balance diagnostics.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+                entries: lock(&s.state).map.len(),
+            })
+            .collect()
     }
 
     /// Access to the wrapped evaluator.
     pub fn inner(&self) -> &E {
         &self.inner
     }
+
+    fn shard_for(&self, key: &[u64]) -> &Shard {
+        // FNV-1a over the key words; shards are typically a power of two
+        // but any count works with the modulo.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in key {
+            h ^= word;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+}
+
+fn lock(m: &Mutex<ShardState>) -> std::sync::MutexGuard<'_, ShardState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Unwind guard for an in-flight key: if the inner evaluator panics, the
+/// key must leave the in-flight set and waiters must be woken, or every
+/// thread blocked on that state would hang forever. The success path
+/// disarms it and does its own (result-inserting) cleanup.
+struct InflightGuard<'a> {
+    shard: &'a Shard,
+    key: &'a [u64],
+    armed: bool,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            lock(&self.shard.state).inflight.remove(self.key);
+            self.shard.ready.notify_all();
+        }
+    }
 }
 
 impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
     fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
         let key = graph.canonical_key();
-        if let Some(p) = self.map.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return *p;
+        let shard = self.shard_for(&key);
+        let mut state = lock(&shard.state);
+        loop {
+            if let Some(p) = state.map.get(&key) {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                return *p;
+            }
+            if state.inflight.contains(&key) {
+                // Another thread is evaluating this exact state: wait and
+                // re-check (the result lands in `map`; if capacity pressure
+                // evicted it before we woke, fall through to a fresh miss).
+                state = shard.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            break;
         }
-        // Evaluate outside the lock so concurrent misses on different
-        // states proceed in parallel (duplicate work on the same state is
-        // possible but harmless — the evaluator is deterministic).
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let p = self.inner.evaluate(graph);
-        self.map.lock().insert(key, p);
-        p
+        state.inflight.insert(key.clone());
+        drop(state);
+
+        let mut guard = InflightGuard {
+            shard,
+            key: &key,
+            armed: true,
+        };
+        let point = self.inner.evaluate(graph);
+        guard.armed = false;
+        drop(guard); // releases the borrow of `key`; disarmed, so a no-op
+
+        let mut state = lock(&shard.state);
+        state.inflight.remove(&key);
+        while state.map.len() >= self.capacity_per_shard {
+            let Some(oldest) = state.order.pop_front() else {
+                break;
+            };
+            state.map.remove(&oldest);
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        if state.map.insert(key.clone(), point).is_none() {
+            state.order.push_back(key);
+        }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        shard.ready.notify_all();
+        point
     }
 
     fn name(&self) -> &str {
@@ -89,6 +286,7 @@ mod tests {
     use super::*;
     use crate::evaluator::AnalyticalEvaluator;
     use prefix_graph::{structures, Action, Node};
+    use std::sync::Arc;
 
     #[test]
     fn caches_repeat_evaluations() {
@@ -127,7 +325,6 @@ mod tests {
 
     #[test]
     fn concurrent_access_is_safe() {
-        use std::sync::Arc;
         let ev = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
         let graphs: Vec<_> = (0..4)
             .map(|i| {
@@ -149,5 +346,144 @@ mod tests {
         });
         assert_eq!(ev.unique_states(), 4);
         assert_eq!(ev.hits() + ev.misses(), 16);
+    }
+
+    /// An evaluator that counts invocations and is slow enough that
+    /// concurrent misses on one state overlap deterministically.
+    struct SlowCounting {
+        calls: AtomicU64,
+    }
+
+    impl Evaluator for SlowCounting {
+        fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            ObjectivePoint {
+                area: graph.size() as f64,
+                delay: graph.depth() as f64,
+            }
+        }
+
+        fn name(&self) -> &str {
+            "slow-counting"
+        }
+    }
+
+    #[test]
+    fn concurrent_misses_on_same_state_evaluate_once() {
+        let ev = Arc::new(CachedEvaluator::new(SlowCounting {
+            calls: AtomicU64::new(0),
+        }));
+        let g = structures::sklansky(8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ev = Arc::clone(&ev);
+                let g = g.clone();
+                s.spawn(move || ev.evaluate(&g));
+            }
+        });
+        assert_eq!(
+            ev.inner().calls.load(Ordering::SeqCst),
+            1,
+            "in-flight dedup must run the evaluator once"
+        );
+        assert_eq!(ev.misses(), 1);
+        assert_eq!(ev.hits(), 3, "waiters count as hits");
+    }
+
+    #[test]
+    fn panicking_evaluator_does_not_strand_waiters() {
+        struct PanicOnce {
+            panicked: std::sync::atomic::AtomicBool,
+        }
+
+        impl Evaluator for PanicOnce {
+            fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
+                if !self.panicked.swap(true, Ordering::SeqCst) {
+                    panic!("synthetic evaluator failure");
+                }
+                ObjectivePoint {
+                    area: graph.size() as f64,
+                    delay: 1.0,
+                }
+            }
+
+            fn name(&self) -> &str {
+                "panic-once"
+            }
+        }
+
+        let ev = Arc::new(CachedEvaluator::new(PanicOnce {
+            panicked: std::sync::atomic::AtomicBool::new(false),
+        }));
+        let g = structures::sklansky(8);
+        // First evaluation panics inside the inner evaluator.
+        let first = std::thread::scope(|s| s.spawn(|| ev.evaluate(&g)).join());
+        assert!(first.is_err(), "first call must panic");
+        // The in-flight entry must have been cleaned up by the unwind
+        // guard, so a retry completes instead of hanging on the condvar.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let retry_ev = Arc::clone(&ev);
+        let retry_g = g.clone();
+        std::thread::spawn(move || {
+            let _ = tx.send(retry_ev.evaluate(&retry_g));
+        });
+        let point = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("retry hung: panicking evaluator leaked its in-flight key");
+        assert_eq!(point.area, g.size() as f64);
+        assert_eq!(ev.misses(), 1, "only the successful retry counts");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let ev = CachedEvaluator::with_config(
+            AnalyticalEvaluator,
+            CacheConfig {
+                shards: 1,
+                capacity_per_shard: 1,
+            },
+        );
+        let g1 = prefix_graph::PrefixGraph::ripple(8);
+        let g2 = structures::sklansky(8);
+        ev.evaluate(&g1);
+        ev.evaluate(&g2); // evicts g1
+        assert_eq!(ev.unique_states(), 1);
+        assert_eq!(ev.evictions(), 1);
+        ev.evaluate(&g1); // miss again
+        assert_eq!(ev.misses(), 3);
+        assert_eq!(ev.hits(), 0);
+    }
+
+    #[test]
+    fn shard_stats_cover_all_queries() {
+        let ev = CachedEvaluator::with_config(AnalyticalEvaluator, CacheConfig::with_shards(8));
+        assert_eq!(ev.shards(), 8);
+        let mut g = prefix_graph::PrefixGraph::ripple(12);
+        for m in 2..12u16 {
+            g.apply(Action::Add(Node::new(m, 1))).ok();
+            ev.evaluate(&g);
+            ev.evaluate(&g);
+        }
+        let stats = ev.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), ev.hits());
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), ev.misses());
+        assert_eq!(
+            stats.iter().map(|s| s.entries).sum::<usize>(),
+            ev.unique_states()
+        );
+        assert!(stats.iter().any(|s| s.entries > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = CachedEvaluator::with_config(
+            AnalyticalEvaluator,
+            CacheConfig {
+                shards: 0,
+                capacity_per_shard: 1,
+            },
+        );
     }
 }

@@ -1,0 +1,193 @@
+//! The evaluation service: one front door for all reward evaluation.
+//!
+//! Related RL-for-synthesis systems show that evaluation throughput — not
+//! the learner — is the scaling bottleneck, so this module centralizes how
+//! the workspace turns prefix graphs into `(area, delay)` points:
+//!
+//! - [`EvalService`] wraps any [`Evaluator`] (typically a sharded
+//!   [`crate::cache::CachedEvaluator`] around a
+//!   [`crate::evaluator::SynthesisEvaluator`]) with a worker-pool batch
+//!   path. It implements [`Evaluator`] itself, so environments, agents,
+//!   figure harnesses, and the CLI all take it wherever an evaluator is
+//!   expected — single-state calls pass straight through while
+//!   [`Evaluator::evaluate_many`] fans out across threads.
+//! - [`evaluate_batch`] is the underlying worker pool: scoped threads pull
+//!   indices from a shared counter (dynamic load balancing for
+//!   variable-cost synthesis jobs) into worker-local buffers, so there is
+//!   no per-slot locking.
+
+use crate::evaluator::{Evaluator, ObjectivePoint};
+use prefix_graph::PrefixGraph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Evaluates `graphs` on up to `threads` workers, preserving order.
+///
+/// Workers pull indices from a shared atomic counter (so variable-cost
+/// jobs — synthesis times differ per graph, and cache hits are near-free
+/// next to misses — stay load-balanced) and accumulate into worker-local
+/// buffers; there are no per-slot locks. An empty batch returns
+/// immediately without spawning anything.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn evaluate_batch(
+    graphs: &[PrefixGraph],
+    evaluator: &dyn Evaluator,
+    threads: usize,
+) -> Vec<ObjectivePoint> {
+    assert!(threads > 0, "need at least one worker");
+    if graphs.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || graphs.len() == 1 {
+        return graphs.iter().map(|g| evaluator.evaluate(g)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let worker = || {
+        let mut local = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(graph) = graphs.get(i) else {
+                return local;
+            };
+            local.push((i, evaluator.evaluate(graph)));
+        }
+    };
+    let placeholder = ObjectivePoint {
+        area: f64::NAN,
+        delay: f64::NAN,
+    };
+    let mut results = vec![placeholder; graphs.len()];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.min(graphs.len()))
+            .map(|_| s.spawn(worker))
+            .collect();
+        for handle in handles {
+            for (i, point) in handle.join().expect("evaluation worker panicked") {
+                results[i] = point;
+            }
+        }
+    });
+    results
+}
+
+/// A shared evaluation front door: any [`Evaluator`] plus a thread budget
+/// for batch work.
+///
+/// Cloning is cheap (the inner evaluator is behind an [`Arc`]), so one
+/// service can be handed to every actor, harness, and CLI command of a run
+/// — which is exactly what gives a shared cache its hit rate.
+#[derive(Clone)]
+pub struct EvalService {
+    inner: Arc<dyn Evaluator>,
+    threads: usize,
+}
+
+impl EvalService {
+    /// Wraps `inner`, fanning batch evaluation across `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(inner: Arc<dyn Evaluator>, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        EvalService { inner, threads }
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &Arc<dyn Evaluator> {
+        &self.inner
+    }
+
+    /// The batch-evaluation thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Evaluator for EvalService {
+    fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
+        self.inner.evaluate(graph)
+    }
+
+    fn evaluate_many(&self, graphs: &[PrefixGraph]) -> Vec<ObjectivePoint> {
+        evaluate_batch(graphs, &*self.inner, self.threads)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachedEvaluator;
+    use crate::evaluator::AnalyticalEvaluator;
+    use prefix_graph::structures;
+
+    fn mixed_graphs(n: u16) -> Vec<PrefixGraph> {
+        vec![
+            PrefixGraph::ripple(n),
+            structures::sklansky(n),
+            structures::kogge_stone(n),
+            structures::brent_kung(n),
+            structures::han_carlson(n),
+        ]
+    }
+
+    #[test]
+    fn evaluate_batch_matches_serial() {
+        let graphs = mixed_graphs(8);
+        let ev = AnalyticalEvaluator;
+        let parallel = evaluate_batch(&graphs, &ev, 4);
+        let serial: Vec<ObjectivePoint> = graphs.iter().map(|g| ev.evaluate(g)).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn evaluate_batch_single_thread_ok() {
+        let graphs = vec![PrefixGraph::ripple(8)];
+        let out = evaluate_batch(&graphs, &AnalyticalEvaluator, 1);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn evaluate_batch_empty_spawns_nothing() {
+        let out = evaluate_batch(&[], &AnalyticalEvaluator, 8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn evaluate_batch_more_threads_than_graphs() {
+        let graphs = mixed_graphs(8);
+        let out = evaluate_batch(&graphs, &AnalyticalEvaluator, 64);
+        assert_eq!(out.len(), graphs.len());
+        assert!(out.iter().all(|p| p.area.is_finite()));
+    }
+
+    #[test]
+    fn service_evaluate_many_equals_per_graph_evaluate() {
+        for threads in [1, 2, 3, 8] {
+            let service = EvalService::new(Arc::new(AnalyticalEvaluator), threads);
+            let graphs = mixed_graphs(16);
+            let many = service.evaluate_many(&graphs);
+            let singles: Vec<ObjectivePoint> = graphs.iter().map(|g| service.evaluate(g)).collect();
+            assert_eq!(many, singles, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn service_shares_cache_across_paths() {
+        let cache = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+        let service = EvalService::new(cache.clone(), 4);
+        let graphs = mixed_graphs(8);
+        let first = service.evaluate_many(&graphs);
+        let second = service.evaluate_many(&graphs);
+        assert_eq!(first, second);
+        assert_eq!(cache.misses(), graphs.len() as u64);
+        assert!(cache.hits() >= graphs.len() as u64);
+    }
+}

@@ -44,6 +44,16 @@ pub trait Evaluator: Send + Sync {
     /// Evaluates the graph's objectives.
     fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint;
 
+    /// Evaluates a batch of graphs, preserving order.
+    ///
+    /// The default maps [`Evaluator::evaluate`] serially; implementations
+    /// with their own concurrency (notably [`crate::evalsvc::EvalService`])
+    /// override it with a parallel version. Callers holding many states
+    /// should prefer this entry point so such overrides take effect.
+    fn evaluate_many(&self, graphs: &[PrefixGraph]) -> Vec<ObjectivePoint> {
+        graphs.iter().map(|g| self.evaluate(g)).collect()
+    }
+
     /// A short name for reports.
     fn name(&self) -> &str;
 }
@@ -51,6 +61,10 @@ pub trait Evaluator: Send + Sync {
 impl Evaluator for Box<dyn Evaluator> {
     fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
         (**self).evaluate(graph)
+    }
+
+    fn evaluate_many(&self, graphs: &[PrefixGraph]) -> Vec<ObjectivePoint> {
+        (**self).evaluate_many(graphs)
     }
 
     fn name(&self) -> &str {

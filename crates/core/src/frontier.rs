@@ -3,8 +3,8 @@
 //! ("we synthesize the various adders … at 40 delay targets … bin all adder
 //! circuits for an approach and present the area-delay Pareto front").
 
-use crate::pareto::ParetoFront;
 use crate::evaluator::ObjectivePoint;
+use crate::pareto::ParetoFront;
 use netlist::Library;
 use prefix_graph::PrefixGraph;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -34,8 +34,9 @@ pub fn sweep_front(
         ..base.clone()
     };
     let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Vec<(ObjectivePoint, String)>>> =
-        (0..designs.len()).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+    let results: Vec<parking_lot::Mutex<Vec<(ObjectivePoint, String)>>> = (0..designs.len())
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
+        .collect();
     std::thread::scope(|s| {
         for _ in 0..threads.max(1).min(designs.len().max(1)) {
             s.spawn(|| loop {
@@ -87,8 +88,7 @@ mod tests {
         assert!(!front.is_empty());
         // The front must mix architectures: ripple owns the slow/small end
         // and a log-depth tree the fast end.
-        let labels: std::collections::HashSet<&String> =
-            front.iter().map(|(_, l)| l).collect();
+        let labels: std::collections::HashSet<&String> = front.iter().map(|(_, l)| l).collect();
         assert!(labels.len() >= 2, "front degenerate: {labels:?}");
     }
 }

@@ -6,8 +6,11 @@
 //! - [`evaluator`]: the reward oracles — the analytical model of ref. \[14\]
 //!   and the synthesis-in-the-loop evaluator (netlist generation, 4-target
 //!   timing-driven sweep, PCHIP interpolation, `w`-optimal point — Fig. 3);
-//! - [`cache`]: the synthesis result cache keyed by canonical graph state
+//! - [`cache`]: the sharded, bounded synthesis result cache keyed by
+//!   canonical graph state, with in-flight dedup of concurrent misses
 //!   (Section IV-D reports 50%/10% hit rates at 32b/64b);
+//! - [`evalsvc`]: the evaluation service routing single-state and batch
+//!   evaluation through one front door (workers write disjoint chunks);
 //! - [`mod@env`]: the PrefixRL MDP over legal prefix graphs (Section IV-A/B);
 //! - [`qnet`]: the convolutional residual Q-network (Fig. 2) implementing
 //!   [`rl::QNetwork`];
@@ -35,6 +38,7 @@
 pub mod agent;
 pub mod cache;
 pub mod env;
+pub mod evalsvc;
 pub mod evaluator;
 pub mod frontier;
 pub mod parallel;
@@ -44,8 +48,9 @@ pub mod qnet;
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::agent::{train, AgentConfig, TrainResult};
-    pub use crate::cache::CachedEvaluator;
+    pub use crate::cache::{CacheConfig, CachedEvaluator};
     pub use crate::env::{EnvConfig, PrefixEnv};
+    pub use crate::evalsvc::{evaluate_batch, EvalService};
     pub use crate::evaluator::{
         AnalyticalEvaluator, Evaluator, ObjectivePoint, SynthesisEvaluator,
     };

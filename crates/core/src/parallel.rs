@@ -5,11 +5,15 @@
 //! computation: 192 synthesis workers fed one learner. This module
 //! reproduces that architecture at thread scale:
 //!
-//! - [`evaluate_batch`] — a synthesis worker pool evaluating many graphs in
-//!   parallel (used by the figure harnesses and the scaling benchmark);
-//! - [`train_async`] — actor threads run episodes with periodically
-//!   refreshed policy snapshots and stream transitions over a channel to a
-//!   learner thread that trains and publishes parameters.
+//! - [`evaluate_batch`] — batch evaluation on a worker pool, provided by
+//!   [`crate::evalsvc`] (re-exported here for the figure harnesses and the
+//!   scaling benchmark);
+//! - [`train_async`] — actor threads run `envs_per_actor` environments in
+//!   lockstep with periodically refreshed policy snapshots, select actions
+//!   through the shared [`ScalarizedPolicy`] with **one batched Q-network
+//!   forward per decision round** (not batch-of-1), and stream transitions
+//!   over a channel to a learner thread that trains and publishes
+//!   parameters.
 
 use crate::agent::{AgentConfig, TrainResult};
 use crate::env::PrefixEnv;
@@ -19,41 +23,12 @@ use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use prefix_graph::PrefixGraph;
 use rand::prelude::*;
-use rl::{DoubleDqn, EpsilonSchedule, QNetwork, ReplayBuffer, Transition};
+use rl::{DoubleDqn, EpsilonSchedule, QNetwork, ReplayBuffer, ScalarizedPolicy, Transition};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Evaluates `graphs` concurrently on `threads` workers, preserving order.
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
-pub fn evaluate_batch(
-    graphs: &[PrefixGraph],
-    evaluator: &dyn Evaluator,
-    threads: usize,
-) -> Vec<ObjectivePoint> {
-    assert!(threads > 0, "need at least one worker");
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<ObjectivePoint>>> =
-        (0..graphs.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(graphs.len().max(1)) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= graphs.len() {
-                    break;
-                }
-                *results[i].lock() = Some(evaluator.evaluate(&graphs[i]));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("worker filled every slot"))
-        .collect()
-}
+pub use crate::evalsvc::evaluate_batch;
 
 /// Shared policy snapshot published by the learner.
 struct PolicyBoard {
@@ -61,11 +36,15 @@ struct PolicyBoard {
     params: RwLock<Vec<Vec<f32>>>,
 }
 
+/// The design pool shared by all actors: canonical key → (graph, metrics).
+type DesignPool = Mutex<HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>>;
+
 /// Trains with `num_actors` parallel experience generators and one learner.
 ///
 /// Semantics match [`crate::agent::train`] (same config fields), but
 /// experience arrives asynchronously, so per-step pairing of acting and
-/// learning is not bit-identical to the serial path. Total environment
+/// learning is not bit-identical to the serial path. Each actor steps
+/// `cfg.envs_per_actor` environments per decision round; total environment
 /// steps across all actors equal `cfg.total_steps`.
 pub fn train_async(
     cfg: &AgentConfig,
@@ -80,8 +59,7 @@ pub fn train_async(
     });
     let (tx, rx) = channel::bounded::<Transition>(4096);
     let steps_taken = Arc::new(AtomicU64::new(0));
-    let designs: Arc<Mutex<HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>>> =
-        Arc::new(Mutex::new(HashMap::new()));
+    let designs: Arc<DesignPool> = Arc::new(Mutex::new(HashMap::new()));
     let schedule = EpsilonSchedule::linear(cfg.eps_start, cfg.eps_end, cfg.eps_decay_steps);
 
     let losses = std::thread::scope(|s| {
@@ -94,18 +72,24 @@ pub fn train_async(
             let evaluator = Arc::clone(&evaluator);
             let cfg = cfg.clone();
             s.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (actor as u64 + 1) * 0x9e37);
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((actor as u64 + 1) * 0x9e37));
                 let mut net = PrefixQNet::new(&cfg.qnet);
                 let mut my_version = 0u64;
-                let weight = cfg.dqn.weight;
-                let mut env = PrefixEnv::new(cfg.env.clone(), evaluator);
-                env.reset(&mut rng);
-                record_design(&designs, &env);
-                loop {
-                    let step = steps_taken.fetch_add(1, Ordering::Relaxed);
-                    if step >= cfg.total_steps {
+                let policy = ScalarizedPolicy::new(cfg.dqn.weight);
+                let num_envs = cfg.envs_per_actor.max(1);
+                let mut envs: Vec<PrefixEnv> = (0..num_envs)
+                    .map(|_| PrefixEnv::new(cfg.env.clone(), Arc::clone(&evaluator)))
+                    .collect();
+                for env in &mut envs {
+                    env.reset(&mut rng);
+                    record_design(&designs, env);
+                }
+                'acting: loop {
+                    let claimed = steps_taken.fetch_add(num_envs as u64, Ordering::Relaxed);
+                    if claimed >= cfg.total_steps {
                         break;
                     }
+                    let round = (num_envs as u64).min(cfg.total_steps - claimed) as usize;
                     // Refresh the policy snapshot when the learner published.
                     let published = board.version.load(Ordering::Acquire);
                     if published != my_version {
@@ -113,28 +97,36 @@ pub fn train_async(
                         net.load_state(&params).expect("same architecture");
                         my_version = published;
                     }
-                    let state = env.features();
-                    let mask = env.action_mask();
-                    let eps = schedule.value(step);
-                    let action =
-                        select_action(&mut net, &state, &mask, weight, eps, &mut rng)
-                            .expect("legal action always exists");
-                    let outcome = env.step_flat(action);
-                    record_design(&designs, &env);
-                    let t = Transition {
-                        state,
-                        action,
-                        reward: outcome.reward,
-                        next_state: env.features(),
-                        next_mask: env.action_mask(),
-                        done: false,
-                    };
-                    if tx.send(t).is_err() {
-                        break; // learner gone
-                    }
-                    if outcome.truncated {
-                        env.reset(&mut rng);
-                        record_design(&designs, &env);
+                    let eps = schedule.value(claimed);
+                    // One batched forward for the whole environment round.
+                    let mut states: Vec<Vec<f32>> =
+                        envs[..round].iter().map(PrefixEnv::features).collect();
+                    let masks: Vec<Vec<bool>> =
+                        envs[..round].iter().map(PrefixEnv::action_mask).collect();
+                    let state_refs: Vec<&[f32]> = states.iter().map(Vec::as_slice).collect();
+                    let mask_refs: Vec<&[bool]> = masks.iter().map(Vec::as_slice).collect();
+                    let actions =
+                        policy.select_actions(&mut net, &state_refs, &mask_refs, eps, &mut rng);
+                    for (i, action) in actions.into_iter().enumerate() {
+                        let action = action.expect("legal action always exists");
+                        let env = &mut envs[i];
+                        let outcome = env.step_flat(action);
+                        record_design(&designs, env);
+                        let t = Transition {
+                            state: std::mem::take(&mut states[i]),
+                            action,
+                            reward: outcome.reward,
+                            next_state: env.features(),
+                            next_mask: env.action_mask(),
+                            done: false,
+                        };
+                        if tx.send(t).is_err() {
+                            break 'acting; // learner gone
+                        }
+                        if outcome.truncated {
+                            env.reset(&mut rng);
+                            record_design(&designs, env);
+                        }
                     }
                 }
                 drop(tx);
@@ -182,44 +174,11 @@ pub fn train_async(
     }
 }
 
-fn record_design(
-    designs: &Mutex<HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>>,
-    env: &PrefixEnv,
-) {
+fn record_design(designs: &DesignPool, env: &PrefixEnv) {
     designs
         .lock()
         .entry(env.graph().canonical_key())
         .or_insert_with(|| (env.graph().clone(), env.metrics()));
-}
-
-/// ε-greedy scalarized action selection against a raw Q-network (actors do
-/// not carry a full trainer).
-fn select_action(
-    net: &mut PrefixQNet,
-    state: &[f32],
-    mask: &[bool],
-    weight: [f32; 2],
-    epsilon: f64,
-    rng: &mut StdRng,
-) -> Option<usize> {
-    let legal: Vec<usize> = mask
-        .iter()
-        .enumerate()
-        .filter(|&(_, &m)| m)
-        .map(|(a, _)| a)
-        .collect();
-    if legal.is_empty() {
-        return None;
-    }
-    if rng.random::<f64>() < epsilon {
-        return Some(legal[rng.random_range(0..legal.len())]);
-    }
-    let q = net.forward(&[state], false).pop().expect("batch of 1");
-    legal
-        .into_iter()
-        .map(|a| (a, weight[0] * q[a][0] + weight[1] * q[a][1]))
-        .max_by(|x, y| x.1.total_cmp(&y.1))
-        .map(|(a, _)| a)
 }
 
 #[cfg(test)]
@@ -227,29 +186,6 @@ mod tests {
     use super::*;
     use crate::cache::CachedEvaluator;
     use crate::evaluator::AnalyticalEvaluator;
-    use prefix_graph::structures;
-
-    #[test]
-    fn evaluate_batch_matches_serial() {
-        let graphs: Vec<PrefixGraph> = vec![
-            PrefixGraph::ripple(8),
-            structures::sklansky(8),
-            structures::kogge_stone(8),
-            structures::brent_kung(8),
-            structures::han_carlson(8),
-        ];
-        let ev = AnalyticalEvaluator;
-        let parallel = evaluate_batch(&graphs, &ev, 4);
-        let serial: Vec<ObjectivePoint> = graphs.iter().map(|g| ev.evaluate(g)).collect();
-        assert_eq!(parallel, serial);
-    }
-
-    #[test]
-    fn evaluate_batch_single_thread_ok() {
-        let graphs = vec![PrefixGraph::ripple(8)];
-        let out = evaluate_batch(&graphs, &AnalyticalEvaluator, 1);
-        assert_eq!(out.len(), 1);
-    }
 
     #[test]
     fn async_training_completes_and_harvests() {
@@ -257,7 +193,11 @@ mod tests {
         cfg.total_steps = 400;
         let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
         let result = train_async(&cfg, eval.clone(), 3);
-        assert!(result.designs.len() > 20, "{} designs", result.designs.len());
+        assert!(
+            result.designs.len() > 20,
+            "{} designs",
+            result.designs.len()
+        );
         assert!(!result.losses.is_empty(), "learner never trained");
         for (g, _) in &result.designs {
             g.verify_legal().unwrap();
@@ -275,5 +215,18 @@ mod tests {
         // Same step budget → same order of magnitude of distinct designs.
         let (a, b) = (serial.designs.len() as f64, parallel.designs.len() as f64);
         assert!(a / b < 4.0 && b / a < 4.0, "serial {a} vs async {b}");
+    }
+
+    #[test]
+    fn single_env_actors_still_work() {
+        let mut cfg = AgentConfig::tiny(8, 0.5);
+        cfg.total_steps = 200;
+        cfg.envs_per_actor = 1;
+        let result = train_async(&cfg, Arc::new(AnalyticalEvaluator), 2);
+        assert!(
+            result.designs.len() > 10,
+            "{} designs",
+            result.designs.len()
+        );
     }
 }

@@ -55,9 +55,7 @@ impl<T> ParetoFront<T> {
             return false;
         }
         self.entries.retain(|(p, _)| !point.dominates(p));
-        let pos = self
-            .entries
-            .partition_point(|(p, _)| p.delay < point.delay);
+        let pos = self.entries.partition_point(|(p, _)| p.delay < point.delay);
         self.entries.insert(pos, (point, payload));
         true
     }

@@ -80,13 +80,7 @@ pub fn generate(graph: &PrefixGraph) -> Netlist {
 
     // Helper: fetch a node's G or P at the wanted polarity, inverting once
     // and memoizing if needed.
-    fn get(
-        nl: &mut Netlist,
-        gp: &mut [Option<GpNets>],
-        i: usize,
-        want: Pol,
-        is_g: bool,
-    ) -> NetId {
+    fn get(nl: &mut Netlist, gp: &mut [Option<GpNets>], i: usize, want: Pol, is_g: bool) -> NetId {
         let e = gp[i].as_mut().expect("parent computed before child");
         if e.pol == want {
             return if is_g { e.g } else { e.p };
@@ -205,11 +199,7 @@ mod tests {
             for _ in 0..50 {
                 let a = rng.random::<u64>() & 0xFFFF_FFFF;
                 let b = rng.random::<u64>() & 0xFFFF_FFFF;
-                assert_eq!(
-                    sim::add(&nl, a, b),
-                    a as u128 + b as u128,
-                    "{name} {a}+{b}"
-                );
+                assert_eq!(sim::add(&nl, a, b), a as u128 + b as u128, "{name} {a}+{b}");
             }
         }
     }

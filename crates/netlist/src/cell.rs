@@ -140,7 +140,7 @@ impl Drive {
 
     /// The next weaker drive, if above X1.
     pub fn downsized(self) -> Option<Drive> {
-        (self.0 > 1).then(|| Drive(self.0 / 2))
+        (self.0 > 1).then_some(Drive(self.0 / 2))
     }
 }
 

@@ -90,18 +90,18 @@ pub fn generate(graph: &PrefixGraph) -> Netlist {
     // s_0 = !a_0 ; s_i = a_i ⊕ c_{i-1} with c = AND-prefix; cout = c_{N-1}.
     let s0 = get(&mut nl, &mut vals, 0, Pol::Comp);
     let mut outs = vec![s0];
-    for i in 1..n {
+    for (i, &a_i) in a.iter().enumerate().take(n).skip(1) {
         let c_idx = (i - 1) * n;
         let pol = vals[c_idx].as_ref().unwrap().pol;
         let s = match pol {
             // XOR(a, c) directly; with complemented carry use XNOR.
             Pol::True => {
                 let c = get(&mut nl, &mut vals, c_idx, Pol::True);
-                nl.add_gate(CellType::Xor2, &[a[i], c])
+                nl.add_gate(CellType::Xor2, &[a_i, c])
             }
             Pol::Comp => {
                 let cb = get(&mut nl, &mut vals, c_idx, Pol::Comp);
-                nl.add_gate(CellType::Xnor2, &[a[i], cb])
+                nl.add_gate(CellType::Xnor2, &[a_i, cb])
             }
         };
         outs.push(s);

@@ -57,7 +57,13 @@ pub fn export(nl: &Netlist) -> String {
             .map(|(pin, &n)| format!(".{}({})", PIN_NAMES[pin], name_of(n)))
             .collect();
         pins.push(format!(".Y(w{})", id.index()));
-        let _ = writeln!(out, "  {} g{} ({});", gate.kind, id.index(), pins.join(", "));
+        let _ = writeln!(
+            out,
+            "  {} g{} ({});",
+            gate.kind,
+            id.index(),
+            pins.join(", ")
+        );
     }
     for (i, &po) in nl.outputs().iter().enumerate() {
         let _ = writeln!(out, "  assign po{i} = {};", name_of(po));

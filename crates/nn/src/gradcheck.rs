@@ -21,7 +21,9 @@ pub fn check_layer(mut layer: Box<dyn Layer>, shape: [usize; 4], seed: u64) -> f
     let volume: usize = shape.iter().product();
     let x = Tensor::from_vec(
         shape,
-        (0..volume).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect(),
+        (0..volume)
+            .map(|_| rng.random::<f32>() * 2.0 - 1.0)
+            .collect(),
     );
     let out = layer.forward(&x, true);
     let r: Vec<f32> = (0..out.len())
@@ -51,8 +53,7 @@ pub fn check_layer(mut layer: Box<dyn Layer>, shape: [usize; 4], seed: u64) -> f
     // computes the numeric derivative at two step sizes; if the two
     // estimates disagree the coordinate straddles a kink and is skipped.
     let mut check = |analytic: f32, n_full: f64, n_half: f64| {
-        let agree = (n_full - n_half).abs()
-            <= 0.08 * n_full.abs().max(n_half.abs()).max(1e-3);
+        let agree = (n_full - n_half).abs() <= 0.08 * n_full.abs().max(n_half.abs()).max(1e-3);
         if !agree {
             return;
         }
@@ -83,9 +84,8 @@ pub fn check_layer(mut layer: Box<dyn Layer>, shape: [usize; 4], seed: u64) -> f
     }
 
     // Parameter gradients: probe each parameter tensor.
-    let num_params = param_grads.len();
-    for pi in 0..num_params {
-        let plen = param_grads[pi].len();
+    for (pi, pgrad) in param_grads.iter().enumerate() {
+        let plen = pgrad.len();
         let coords: Vec<usize> = (0..plen.min(12))
             .map(|_| rng.random_range(0..plen))
             .collect();
@@ -109,7 +109,7 @@ pub fn check_layer(mut layer: Box<dyn Layer>, shape: [usize; 4], seed: u64) -> f
             };
             let n_full = numeric(layer.as_mut(), EPS);
             let n_half = numeric(layer.as_mut(), EPS / 2.0);
-            check(param_grads[pi][ci], n_full, n_half);
+            check(pgrad[ci], n_full, n_half);
         }
     }
     max_err

@@ -108,7 +108,11 @@ impl Layer for BatchNorm2d {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let [n, c, h, w] = self.cached_shape;
-        assert_eq!(grad_out.shape(), self.cached_shape, "BatchNorm2d grad shape");
+        assert_eq!(
+            grad_out.shape(),
+            self.cached_shape,
+            "BatchNorm2d grad shape"
+        );
         let plane = h * w;
         let m = (n * h * w) as f32;
         let mut grad_in = Tensor::zeros(self.cached_shape);
@@ -133,10 +137,8 @@ impl Layer for BatchNorm2d {
                     let base = (s * c + ci) * plane;
                     for i in base..base + plane {
                         let dy = grad_out.data()[i];
-                        grad_in.data_mut()[i] = k
-                            * (m * dy
-                                - sum_dy as f32
-                                - self.xhat[i] * sum_dy_xhat as f32);
+                        grad_in.data_mut()[i] =
+                            k * (m * dy - sum_dy as f32 - self.xhat[i] * sum_dy_xhat as f32);
                     }
                 }
             } else {

@@ -19,7 +19,12 @@ impl ResidualBlock {
             Box::new(Conv2d::new_no_bias(channels, channels, 5, seed)),
             Box::new(BatchNorm2d::new(channels)),
             Box::new(LeakyReLU::default()),
-            Box::new(Conv2d::new_no_bias(channels, channels, 5, seed.wrapping_add(1))),
+            Box::new(Conv2d::new_no_bias(
+                channels,
+                channels,
+                5,
+                seed.wrapping_add(1),
+            )),
             Box::new(BatchNorm2d::new(channels)),
         ]);
         ResidualBlock {

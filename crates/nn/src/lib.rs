@@ -41,9 +41,7 @@ pub mod optim;
 pub mod serialize;
 pub mod tensor;
 
-pub use layers::{
-    BatchNorm2d, Conv2d, Layer, LeakyReLU, Linear, Param, ResidualBlock, Sequential,
-};
+pub use layers::{BatchNorm2d, Conv2d, Layer, LeakyReLU, Linear, Param, ResidualBlock, Sequential};
 pub use loss::{huber_loss_grad, mse_loss_grad};
 pub use optim::{Adam, Sgd};
 pub use tensor::Tensor;

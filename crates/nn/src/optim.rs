@@ -104,9 +104,9 @@ impl Sgd {
                 vel.push(vec![0.0; p.data.len()]);
             }
             let v = &mut vel[idx];
-            for i in 0..p.data.len() {
-                v[i] = mom * v[i] + p.grad[i];
-                p.data[i] -= lr * v[i];
+            for ((v, d), &g) in v.iter_mut().zip(p.data.iter_mut()).zip(&p.grad) {
+                *v = mom * *v + g;
+                *d -= lr * *v;
             }
             idx += 1;
         });

@@ -93,7 +93,11 @@ mod tests {
         for m in 0..8u16 {
             for l in 0..=m {
                 let i = m as usize * n + l as usize;
-                let expect = if g.contains(Node::new(m, l)) { 1.0 } else { 0.0 };
+                let expect = if g.contains(Node::new(m, l)) {
+                    1.0
+                } else {
+                    0.0
+                };
                 assert_eq!(f[i], expect, "present channel at ({m},{l})");
             }
         }

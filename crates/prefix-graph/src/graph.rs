@@ -324,9 +324,11 @@ impl PrefixGraph {
     /// Iterates over all present nodes in `(msb, lsb)` row-major order.
     pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
         let n = self.n as usize;
-        self.present.iter().enumerate().filter_map(move |(i, &p)| {
-            p.then(|| Node::new((i / n) as u16, (i % n) as u16))
-        })
+        self.present
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p)
+            .map(move |(i, _)| Node::new((i / n) as u16, (i % n) as u16))
     }
 
     /// Iterates over present operator (non-input) nodes.
@@ -337,9 +339,11 @@ impl PrefixGraph {
     /// Iterates over the minlist (deletable nodes).
     pub fn min_nodes(&self) -> impl Iterator<Item = Node> + '_ {
         let n = self.n as usize;
-        self.min.iter().enumerate().filter_map(move |(i, &p)| {
-            p.then(|| Node::new((i / n) as u16, (i % n) as u16))
-        })
+        self.min
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p)
+            .map(move |(i, _)| Node::new((i / n) as u16, (i % n) as u16))
     }
 
     /// Raw present-grid access for feature extraction, row-major.
@@ -375,7 +379,7 @@ impl PrefixGraph {
     /// hashing and synthesis-result caching. Two graphs have equal keys iff
     /// they are equal.
     pub fn canonical_key(&self) -> Vec<u64> {
-        let mut words = vec![0u64; (self.present.len() + 63) / 64 + 1];
+        let mut words = vec![0u64; self.present.len().div_ceil(64) + 1];
         words[0] = self.n as u64;
         for (i, &p) in self.present.iter().enumerate() {
             if p {
@@ -404,7 +408,9 @@ impl PrefixGraph {
         }
         for node in self.op_nodes().collect::<Vec<_>>() {
             let up = self.up(node).ok_or(LegalityError::BadUpperParent(node))?;
-            let lp = self.lp(node).ok_or(LegalityError::MissingLowerParent(node))?;
+            let lp = self
+                .lp(node)
+                .ok_or(LegalityError::MissingLowerParent(node))?;
             // Eq. (1): LSB(lp)=LSB(node); MSB(lp)=LSB(up)-1; MSB(up)=MSB(node);
             // parents are valid spans; both parents exist.
             if up.msb() != node.msb()
@@ -569,10 +575,7 @@ mod tests {
         let mut a = PrefixGraph::ripple(8);
         a.apply(Action::Add(Node::new(6, 3))).unwrap();
         a.apply(Action::Add(Node::new(7, 3))).unwrap();
-        let b = PrefixGraph::from_min_nodes(
-            8,
-            [Node::new(7, 3), Node::new(6, 3)],
-        );
+        let b = PrefixGraph::from_min_nodes(8, [Node::new(7, 3), Node::new(6, 3)]);
         assert_eq!(a, b);
         let am: Vec<_> = a.min_nodes().collect();
         let bm: Vec<_> = b.min_nodes().collect();

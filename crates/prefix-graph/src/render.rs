@@ -50,9 +50,9 @@ pub fn ascii(graph: &PrefixGraph) -> String {
         }
         out.push('\n');
     }
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "size={} depth={} max_fanout={}\n",
+        "size={} depth={} max_fanout={}",
         graph.size(),
         depth,
         graph.max_fanout()
@@ -66,7 +66,8 @@ pub fn ascii(graph: &PrefixGraph) -> String {
 /// parents to children. Pipe the output through `dot -Tsvg` to reproduce
 /// diagrams in the style of the paper's Fig. 7.
 pub fn dot(graph: &PrefixGraph) -> String {
-    let mut out = String::from("digraph prefix {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n");
+    let mut out =
+        String::from("digraph prefix {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n");
     let mut by_level: Vec<Vec<Node>> = vec![Vec::new(); graph.depth() as usize + 1];
     for node in graph.nodes() {
         by_level[graph.level(node).unwrap() as usize].push(node);
@@ -115,7 +116,10 @@ mod tests {
         let g = structures::kogge_stone(8);
         let art = ascii(&g);
         for lvl in 1..=g.depth() {
-            assert!(art.contains(&format!("level{lvl:>2}")), "missing level {lvl}");
+            assert!(
+                art.contains(&format!("level{lvl:>2}")),
+                "missing level {lvl}"
+            );
         }
         assert!(art.contains("size=17"));
     }

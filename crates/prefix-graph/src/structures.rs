@@ -221,12 +221,15 @@ pub fn sparse_kogge_stone(n: u16, sparsity: u16) -> PrefixGraph {
     PrefixGraph::from_nodes(n, nodes)
 }
 
+/// A regular-structure constructor: width in, graph out.
+pub type StructureCtor = fn(u16) -> PrefixGraph;
+
 /// All named regular structures, for baseline sweeps.
 ///
 /// Returns `(name, constructor)` pairs.
-pub fn all_regular() -> Vec<(&'static str, fn(u16) -> PrefixGraph)> {
+pub fn all_regular() -> Vec<(&'static str, StructureCtor)> {
     vec![
-        ("Ripple", ripple as fn(u16) -> PrefixGraph),
+        ("Ripple", ripple as StructureCtor),
         ("Sklansky", sklansky),
         ("KoggeStone", kogge_stone),
         ("BrentKung", brent_kung),
@@ -240,7 +243,7 @@ mod tests {
     use super::*;
 
     fn log2(n: u16) -> u16 {
-        15 - (n as u16).leading_zeros() as u16
+        15 - n.leading_zeros() as u16
     }
 
     #[test]
@@ -302,7 +305,7 @@ mod tests {
     }
 
     #[test]
-    fn ladner_fischer_depth(){
+    fn ladner_fischer_depth() {
         for n in [8u16, 16, 32, 64] {
             let g = ladner_fischer(n);
             g.verify_legal().unwrap();

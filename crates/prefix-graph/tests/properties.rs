@@ -96,7 +96,7 @@ proptest! {
         for g in apply_walk(n, &walk) {
             prop_assert!(g.size() >= (n - 1) as usize);
             prop_assert!(g.size() <= interior + (n as usize - 1));
-            prop_assert!(g.depth() <= n - 1);
+            prop_assert!(g.depth() < n);
             prop_assert!(g.depth() as u32 >= (n as u32).next_power_of_two().trailing_zeros());
         }
     }
@@ -169,7 +169,11 @@ fn regular_structures_compute_correct_prefixes() {
                 let b: u64 = rng.random::<u64>() & (u64::MAX >> (64 - n));
                 let carries = eval_carries(&g, a, b);
                 for i in 0..n {
-                    let mask = if i == 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                    let mask = if i == 63 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (i + 1)) - 1
+                    };
                     let expect = ((a & mask) as u128 + (b & mask) as u128) >> (i + 1) & 1;
                     assert_eq!(
                         carries[i as usize] as u128, expect,

@@ -9,9 +9,12 @@
 //! - [`qnetwork::QNetwork`] — the interface a Q-value approximator exposes
 //!   (the paper's convolutional network lives in `prefixrl-core`; tests here
 //!   use a small linear network);
+//! - [`policy::ScalarizedPolicy`] — the one ε-greedy scalarized
+//!   action-selection implementation (`argmax w·Q` over legal actions,
+//!   Eq. 6), shared by the trainer, the serial agent, and async actors,
+//!   with batched variants for multi-environment acting;
 //! - [`trainer::DoubleDqn`] — scalarized Double-DQN: per-objective Q-values
-//!   `Q = [Q_area, Q_delay]`, action selection by `argmax w·Q` over legal
-//!   actions (Eq. 6), and targets
+//!   `Q = [Q_area, Q_delay]`, acting through the shared policy, and targets
 //!   `y = r + γ·Q_target(s', argmax_a w·Q_online(s', a))` (Eq. 4).
 //!
 //! # Example
@@ -36,11 +39,13 @@
 
 #![warn(missing_docs)]
 
+pub mod policy;
 pub mod qnetwork;
 pub mod replay;
 pub mod schedule;
 pub mod trainer;
 
+pub use policy::ScalarizedPolicy;
 pub use qnetwork::QNetwork;
 pub use replay::{ReplayBuffer, Transition};
 pub use schedule::EpsilonSchedule;

@@ -1,5 +1,6 @@
 //! The scalarized Double-DQN trainer (paper Eq. 4–6).
 
+use crate::policy::ScalarizedPolicy;
 use crate::qnetwork::QNetwork;
 use crate::replay::ReplayBuffer;
 use rand::prelude::*;
@@ -37,9 +38,14 @@ impl DqnConfig {
 }
 
 /// Scalarized Double-DQN over a [`QNetwork`] pair (online + target).
+///
+/// All action selection delegates to the shared [`ScalarizedPolicy`], so
+/// the trainer, the serial agent, and detached async actors make identical
+/// decisions for identical Q-values.
 pub struct DoubleDqn<Q: QNetwork> {
     online: Q,
     target: Q,
+    policy: ScalarizedPolicy,
     cfg: DqnConfig,
     grad_steps: u64,
 }
@@ -59,16 +65,13 @@ impl<Q: QNetwork> DoubleDqn<Q> {
             target.num_actions(),
             "online/target action spaces differ"
         );
-        assert!(
-            cfg.weight.iter().all(|&w| w >= 0.0)
-                && (cfg.weight.iter().sum::<f32>() - 1.0).abs() < 1e-5,
-            "weight must be a convex combination"
-        );
+        let policy = ScalarizedPolicy::new(cfg.weight);
         let s = online.state();
         target.load_state(&s).expect("architectures must match");
         DoubleDqn {
             online,
             target,
+            policy,
             cfg,
             grad_steps: 0,
         }
@@ -77,6 +80,11 @@ impl<Q: QNetwork> DoubleDqn<Q> {
     /// The trainer configuration.
     pub fn config(&self) -> &DqnConfig {
         &self.cfg
+    }
+
+    /// The shared action-selection policy (copyable into actor threads).
+    pub fn policy(&self) -> ScalarizedPolicy {
+        self.policy
     }
 
     /// Gradient steps taken so far.
@@ -89,51 +97,31 @@ impl<Q: QNetwork> DoubleDqn<Q> {
         &mut self.online
     }
 
-    /// Scalarizes a per-objective Q-value with the configured weight.
-    #[inline]
-    fn scalarize(&self, q: [f32; 2]) -> f32 {
-        self.cfg.weight[0] * q[0] + self.cfg.weight[1] * q[1]
-    }
-
     /// Per-action Q-values for a single state (evaluation mode).
     pub fn q_values(&mut self, state: &[f32]) -> Vec<[f32; 2]> {
-        self.online.forward(&[state], false).pop().expect("batch of 1")
+        self.online
+            .forward(&[state], false)
+            .pop()
+            .expect("batch of 1")
     }
 
     /// The greedy action under the scalarized objective, restricted to
     /// `mask`; `None` when no action is legal.
     pub fn greedy_action(&mut self, state: &[f32], mask: &[bool]) -> Option<usize> {
-        let q = self.q_values(state);
-        assert_eq!(mask.len(), q.len(), "mask length mismatch");
-        mask.iter()
-            .enumerate()
-            .filter(|&(_, &legal)| legal)
-            .map(|(a, _)| (a, self.cfg.weight[0] * q[a][0] + self.cfg.weight[1] * q[a][1]))
-            .max_by(|x, y| x.1.total_cmp(&y.1))
-            .map(|(a, _)| a)
+        self.policy.greedy_action(&mut self.online, state, mask)
     }
 
-    /// ε-greedy action selection (Eq. 6 plus exploration).
-    pub fn select_action(
+    /// ε-greedy acting against the online network, via the shared
+    /// [`ScalarizedPolicy`] (Eq. 6 plus exploration).
+    pub fn act(
         &mut self,
         state: &[f32],
         mask: &[bool],
         epsilon: f64,
         rng: &mut StdRng,
     ) -> Option<usize> {
-        let legal: Vec<usize> = mask
-            .iter()
-            .enumerate()
-            .filter(|&(_, &m)| m)
-            .map(|(a, _)| a)
-            .collect();
-        if legal.is_empty() {
-            return None;
-        }
-        if rng.random::<f64>() < epsilon {
-            return Some(legal[rng.random_range(0..legal.len())]);
-        }
-        self.greedy_action(state, mask)
+        self.policy
+            .select_action(&mut self.online, state, mask, epsilon, rng)
     }
 
     /// Copies the online parameters into the target network.
@@ -162,13 +150,7 @@ impl<Q: QNetwork> DoubleDqn<Q> {
                 if t.done {
                     return None;
                 }
-                t.next_mask
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &m)| m)
-                    .map(|(a, _)| (a, self.scalarize(q[a])))
-                    .max_by(|x, y| x.1.total_cmp(&y.1))
-                    .map(|(a, _)| a)
+                self.policy.greedy_from_q(q, &t.next_mask)
             })
             .collect();
         // …evaluated by the *target* network (Eq. 4).
@@ -209,7 +191,7 @@ impl<Q: QNetwork> DoubleDqn<Q> {
         }
         self.online.apply_gradient(&grad);
         self.grad_steps += 1;
-        if self.grad_steps % self.cfg.target_sync_every == 0 {
+        if self.grad_steps.is_multiple_of(self.cfg.target_sync_every) {
             self.sync_target();
         }
         Some((loss / norm as f64) as f32)
@@ -371,7 +353,11 @@ mod tests {
         let mut dqn = train_chain(1.0, 5);
         // At state 3, going right pays [1, 0] immediately.
         let q = dqn.q_values(&one_hot(3));
-        assert!((q[1][0] - 1.0).abs() < 0.2, "Q_area(3, right) = {}", q[1][0]);
+        assert!(
+            (q[1][0] - 1.0).abs() < 0.2,
+            "Q_area(3, right) = {}",
+            q[1][0]
+        );
         assert!(q[1][1].abs() < 0.2, "Q_delay(3, right) = {}", q[1][1]);
         // At state 1, going right then optimally: γ²·1 discounted area value.
         let q1 = dqn.q_values(&one_hot(1));
@@ -394,9 +380,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut counts = [0usize; 2];
         for _ in 0..1000 {
-            let a = dqn
-                .select_action(&one_hot(2), &[true, true], 1.0, &mut rng)
-                .unwrap();
+            let a = dqn.act(&one_hot(2), &[true, true], 1.0, &mut rng).unwrap();
             counts[a] += 1;
         }
         assert!(counts[0] > 350 && counts[1] > 350, "{counts:?}");

@@ -72,10 +72,7 @@ impl AreaDelayCurve {
         if delay >= self.delays[n - 1] {
             return self.areas[n - 1];
         }
-        let seg = match self
-            .delays
-            .binary_search_by(|d| d.total_cmp(&delay))
-        {
+        let seg = match self.delays.binary_search_by(|d| d.total_cmp(&delay)) {
             Ok(i) => return self.areas[i],
             Err(i) => i - 1,
         };
@@ -186,7 +183,12 @@ mod tests {
     use super::*;
 
     fn curve() -> AreaDelayCurve {
-        AreaDelayCurve::from_samples(&[(0.30, 4000.0), (0.35, 3000.0), (0.42, 2600.0), (0.50, 2500.0)])
+        AreaDelayCurve::from_samples(&[
+            (0.30, 4000.0),
+            (0.35, 3000.0),
+            (0.42, 2600.0),
+            (0.50, 2500.0),
+        ])
     }
 
     #[test]

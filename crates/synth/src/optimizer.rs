@@ -227,8 +227,7 @@ fn collect_moves(
         if cfg.sizing {
             if let Some(up) = k.drive.upsized(lib.max_drive()) {
                 // Own gain: lower resistance on our load, minus intrinsic growth.
-                let gain = (lib.resistance(k.cell_type, k.drive)
-                    - lib.resistance(k.cell_type, up))
+                let gain = (lib.resistance(k.cell_type, k.drive) - lib.resistance(k.cell_type, up))
                     * load
                     - (lib.intrinsic(k.cell_type, up) - lib.intrinsic(k.cell_type, k.drive));
                 // Upstream penalty: extra input cap loads each driver; use
@@ -250,15 +249,11 @@ fn collect_moves(
             if net_sinks.len() >= cfg.buffer_fanout_threshold {
                 // Move non-critical sinks behind a buffer, keeping critical
                 // ones directly driven.
-                let (critical, movable): (Vec<&Sink>, Vec<&Sink>) =
-                    net_sinks.iter().partition(|s| {
-                        sink_slack(nl, report, s) <= worst + cfg.slack_epsilon
-                    });
+                let (critical, movable): (Vec<&Sink>, Vec<&Sink>) = net_sinks
+                    .iter()
+                    .partition(|s| sink_slack(nl, report, s) <= worst + cfg.slack_epsilon);
                 if !movable.is_empty() && !critical.is_empty() {
-                    let removed: f64 = movable
-                        .iter()
-                        .map(|s| sink_cap(nl, lib, s))
-                        .sum::<f64>()
+                    let removed: f64 = movable.iter().map(|s| sink_cap(nl, lib, s)).sum::<f64>()
                         + lib.wire_cap(movable.len())
                         - lib.input_cap(CellType::Buf, Drive::new(2))
                         - lib.wire_cap(1);
@@ -338,12 +333,7 @@ fn sink_cap(nl: &Netlist, lib: &Library, sink: &Sink) -> f64 {
 }
 
 /// Downsizes gates with positive slack while keeping the achieved delay.
-fn recover_area(
-    mut nl: Netlist,
-    lib: &Library,
-    cons: &TimingConstraints,
-    budget: f64,
-) -> Netlist {
+fn recover_area(mut nl: Netlist, lib: &Library, cons: &TimingConstraints, budget: f64) -> Netlist {
     const MAX_ROUNDS: usize = 24;
     for _ in 0..MAX_ROUNDS {
         let report = sta::analyze(&nl, lib, cons, budget);
@@ -356,8 +346,8 @@ fn recover_area(
                 continue;
             };
             let load = report.load[gate.output().index()];
-            let dd = (lib.resistance(k.cell_type, down) - lib.resistance(k.cell_type, k.drive))
-                * load;
+            let dd =
+                (lib.resistance(k.cell_type, down) - lib.resistance(k.cell_type, k.drive)) * load;
             let slack = report.slack(gate.output());
             if slack > 2.5 * dd + 1e-4 {
                 batch.push((gid, down));
@@ -411,8 +401,19 @@ mod tests {
     fn tight_target_reduces_delay_and_grows_area() {
         let (nl, lib, cons) = setup(16);
         let base = sta::analyze(&nl, &lib, &cons, 1.0);
-        let out = optimize(&nl, &lib, &cons, base.critical_delay * 0.45, &OptimizerConfig::fast());
-        assert!(out.delay < base.critical_delay * 0.8, "no speedup: {} vs {}", out.delay, base.critical_delay);
+        let out = optimize(
+            &nl,
+            &lib,
+            &cons,
+            base.critical_delay * 0.45,
+            &OptimizerConfig::fast(),
+        );
+        assert!(
+            out.delay < base.critical_delay * 0.8,
+            "no speedup: {} vs {}",
+            out.delay,
+            base.critical_delay
+        );
         assert!(out.area > nl.area(&lib), "speed must cost area");
     }
 
@@ -420,9 +421,18 @@ mod tests {
     fn loose_target_is_met_cheaply() {
         let (nl, lib, cons) = setup(16);
         let base = sta::analyze(&nl, &lib, &cons, 1.0);
-        let out = optimize(&nl, &lib, &cons, base.critical_delay * 1.5, &OptimizerConfig::fast());
+        let out = optimize(
+            &nl,
+            &lib,
+            &cons,
+            base.critical_delay * 1.5,
+            &OptimizerConfig::fast(),
+        );
         assert!(out.met);
-        assert!(out.area <= nl.area(&lib) * 1.01, "loose target should not inflate area");
+        assert!(
+            out.area <= nl.area(&lib) * 1.01,
+            "loose target should not inflate area"
+        );
     }
 
     #[test]
@@ -510,7 +520,12 @@ mod tests {
         let target = base * 0.4;
         let open = optimize(&nl, &lib, &cons, target, &OptimizerConfig::openphysyn());
         let comm = optimize(&nl, &lib, &cons, target, &OptimizerConfig::commercial());
-        assert!(comm.delay <= open.delay * 1.02, "commercial {} vs open {}", comm.delay, open.delay);
+        assert!(
+            comm.delay <= open.delay * 1.02,
+            "commercial {} vs open {}",
+            comm.delay,
+            open.delay
+        );
     }
 
     #[test]

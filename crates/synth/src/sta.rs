@@ -108,12 +108,7 @@ pub fn net_loads(nl: &Netlist, lib: &Library) -> Vec<f64> {
 ///
 /// The target only affects required times (and hence slacks); arrival times
 /// and the critical delay are target-independent.
-pub fn analyze(
-    nl: &Netlist,
-    lib: &Library,
-    cons: &TimingConstraints,
-    target: f64,
-) -> TimingReport {
+pub fn analyze(nl: &Netlist, lib: &Library, cons: &TimingConstraints, target: f64) -> TimingReport {
     let load = net_loads(nl, lib);
     let mut arrival = vec![0.0f64; nl.num_nets()];
     // Primary inputs: constraint arrival plus the input driver charging the
@@ -226,7 +221,11 @@ mod tests {
         let r = analyze(&nl, &lib, &TimingConstraints::uniform(&lib), 1.0);
         // 8 stages, each at least the intrinsic delay.
         assert!(r.critical_delay > 8.0 * lib.intrinsic(CellType::Inv, Drive::X1));
-        assert!(r.critical_delay < 0.5, "chain absurdly slow: {}", r.critical_delay);
+        assert!(
+            r.critical_delay < 0.5,
+            "chain absurdly slow: {}",
+            r.critical_delay
+        );
     }
 
     #[test]
@@ -316,7 +315,9 @@ mod tests {
         let uniform = analyze(&nl, &lib, &TimingConstraints::uniform(&lib), 1.0);
         let late_msb = TimingConstraints::with_arrivals(
             &lib,
-            (0..16).map(|i| if i == 7 || i == 15 { 0.2 } else { 0.0 }).collect(),
+            (0..16)
+                .map(|i| if i == 7 || i == 15 { 0.2 } else { 0.0 })
+                .collect(),
         );
         let shifted = analyze(&nl, &lib, &late_msb, 1.0);
         assert!(shifted.critical_delay >= uniform.critical_delay + 0.1);

@@ -22,20 +22,19 @@ fn main() {
 
     // Analytical-PrefixRL: a small agent trained on the analytical reward.
     let cfg = AgentConfig::small(n, 0.4, 2_000);
-    let result = train(
-        &cfg,
-        Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default())),
-    );
+    let result = train(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
     let rl_front = result.front();
-    let rl_designs: Vec<PrefixGraph> = rl_front
-        .iter()
-        .map(|(_, g)| g.clone())
-        .take(6)
-        .collect();
-    println!("Analytical-PrefixRL kept {} frontier designs", rl_designs.len());
+    let rl_designs: Vec<PrefixGraph> = rl_front.iter().map(|(_, g)| g.clone()).take(6).collect();
+    println!(
+        "Analytical-PrefixRL kept {} frontier designs",
+        rl_designs.len()
+    );
 
     // Compare under BOTH metrics.
-    println!("\n{:<22} {:>9} {:>9} {:>11} {:>11}", "design", "ana.area", "ana.delay", "syn.area", "syn.delay");
+    println!(
+        "\n{:<22} {:>9} {:>9} {:>11} {:>11}",
+        "design", "ana.area", "ana.delay", "syn.area", "syn.delay"
+    );
     let show = |label: &str, g: &PrefixGraph| {
         let ana = prefix_graph::analytical::evaluate(g);
         let curve = synth::sweep::sweep_graph(g, &lib, &SweepConfig::fast());

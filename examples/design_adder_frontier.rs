@@ -15,7 +15,7 @@ fn main() {
     let steps = 1_500u64;
 
     // One shared, cached analytical evaluator across all agents.
-    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default()));
+    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
 
     let mut front: ParetoFront<String> = ParetoFront::new();
     for (i, &w) in weights.iter().enumerate() {
@@ -42,14 +42,17 @@ fn main() {
     let mut classical: ParetoFront<&str> = ParetoFront::new();
     for (name, ctor) in structures::all_regular() {
         let m = prefix_graph::analytical::evaluate(&ctor(n));
-        let pt = ObjectivePoint { area: m.area, delay: m.delay };
+        let pt = ObjectivePoint {
+            area: m.area,
+            delay: m.delay,
+        };
         println!("{name:<28} {:>8.1} {:>8.2}", pt.area, pt.delay);
         classical.insert(pt, name);
     }
     match front.max_area_saving_vs(&classical) {
-        Some((saving, at)) => println!(
-            "\nmax RL area saving at equal delay: {saving:.1}% (at delay {at:.2})"
-        ),
+        Some((saving, at)) => {
+            println!("\nmax RL area saving at equal delay: {saving:.1}% (at delay {at:.2})")
+        }
         None => println!("\nRL frontier does not reach the classical delays"),
     }
     println!(

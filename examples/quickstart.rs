@@ -11,7 +11,12 @@ fn main() {
     // 1. Classical structures and the grid representation.
     let n = 16;
     let sk = structures::sklansky(n);
-    println!("Sklansky {n}b: {} nodes, depth {}, max fanout {}", sk.size(), sk.depth(), sk.max_fanout());
+    println!(
+        "Sklansky {n}b: {} nodes, depth {}, max fanout {}",
+        sk.size(),
+        sk.depth(),
+        sk.max_fanout()
+    );
     println!("{}", prefix_graph::render::ascii(&sk));
 
     // 2. Generate its gate-level netlist and check it actually adds.
@@ -30,7 +35,7 @@ fn main() {
     // 4. Train a small PrefixRL agent (analytical reward for speed) and
     //    compare its best design against the start states.
     let cfg = AgentConfig::small(8, 0.35, 3_000);
-    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default()));
+    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
     println!("\ntraining a small 8b agent (w_area = 0.35, 3k steps)...");
     let result = train(&cfg, evaluator.clone());
     println!(
@@ -41,6 +46,12 @@ fn main() {
     let front = result.front();
     println!("discovered Pareto front ({} points):", front.len());
     for (p, g) in front.iter().take(8) {
-        println!("  area {:>5.1}  delay {:>5.2}  (size {}, depth {})", p.area, p.delay, g.size(), g.depth());
+        println!(
+            "  area {:>5.1}  delay {:>5.2}  (size {}, depth {})",
+            p.area,
+            p.delay,
+            g.size(),
+            g.depth()
+        );
     }
 }

@@ -13,13 +13,21 @@ fn main() {
     let n = 32;
     let graph = structures::brent_kung(n);
     let nl = adder::generate(&graph);
-    println!("Brent-Kung {n}b: {} graph nodes -> {} gates", graph.size(), nl.num_gates());
+    println!(
+        "Brent-Kung {n}b: {} graph nodes -> {} gates",
+        graph.size(),
+        nl.num_gates()
+    );
     println!("cell mix: {:?}\n", nl.cell_histogram());
 
     for lib in [Library::nangate45(), Library::tech8()] {
         let cons = TimingConstraints::uniform(&lib);
         let relaxed = sta::analyze(&nl, &lib, &cons, 1.0).critical_delay;
-        println!("library {:<10} unoptimized delay {relaxed:.3} ns, area {:.2} um^2", lib.name(), nl.area(&lib));
+        println!(
+            "library {:<10} unoptimized delay {relaxed:.3} ns, area {:.2} um^2",
+            lib.name(),
+            nl.area(&lib)
+        );
         for frac in [0.35, 0.55, 0.8, 1.05] {
             let out = synth::optimizer::optimize(
                 &nl,
@@ -45,20 +53,44 @@ fn main() {
     let target = relaxed * 0.4;
     let variants: [(&str, OptimizerConfig); 4] = [
         ("full", OptimizerConfig::openphysyn()),
-        ("no sizing", OptimizerConfig { sizing: false, ..OptimizerConfig::openphysyn() }),
-        ("no buffering", OptimizerConfig { buffering: false, ..OptimizerConfig::openphysyn() }),
-        ("no pin swap", OptimizerConfig { pin_swap: false, ..OptimizerConfig::openphysyn() }),
+        (
+            "no sizing",
+            OptimizerConfig {
+                sizing: false,
+                ..OptimizerConfig::openphysyn()
+            },
+        ),
+        (
+            "no buffering",
+            OptimizerConfig {
+                buffering: false,
+                ..OptimizerConfig::openphysyn()
+            },
+        ),
+        (
+            "no pin swap",
+            OptimizerConfig {
+                pin_swap: false,
+                ..OptimizerConfig::openphysyn()
+            },
+        ),
     ];
     println!("transform ablation at target {target:.3} ns:");
     for (name, cfg) in variants {
         let out = synth::optimizer::optimize(&nl, &lib, &cons, target, &cfg);
-        println!("  {name:<12} delay {:>6.3} ns, area {:>8.1} um^2", out.delay, out.area);
+        println!(
+            "  {name:<12} delay {:>6.3} ns, area {:>8.1} um^2",
+            out.delay, out.area
+        );
     }
 
     // Verilog export of the optimized netlist.
     let out = synth::optimizer::optimize(&nl, &lib, &cons, target, &OptimizerConfig::openphysyn());
     let verilog = netlist::verilog::export(&out.netlist);
-    println!("\nfirst lines of the optimized Verilog ({} lines total):", verilog.lines().count());
+    println!(
+        "\nfirst lines of the optimized Verilog ({} lines total):",
+        verilog.lines().count()
+    );
     for line in verilog.lines().take(8) {
         println!("  {line}");
     }

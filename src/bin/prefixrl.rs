@@ -43,8 +43,11 @@ fn usage() {
          \x20 structures --n <N> [--lib nangate45|tech8]\n\
          \x20     survey the regular adder structures (analytical + synthesized)\n\
          \x20 train --n <N> --w <w_area> --steps <K> [--evaluator synthesis|analytical]\n\
-         \x20       [--actors <A>] [--seed <S>] [--out <designs.json>]\n\
-         \x20     train one PrefixRL agent and report its Pareto frontier\n\
+         \x20       [--actors <A>] [--eval-threads <T>] [--cache-shards <S>]\n\
+         \x20       [--seed <S>] [--out <designs.json>] [--json]\n\
+         \x20     train one PrefixRL agent and report its Pareto frontier;\n\
+         \x20     --json prints a machine-readable summary (designs, cache\n\
+         \x20     hit rate, steps/sec) for scriptable benchmarking\n\
          \x20 eval --structure <name> --n <N> [--lib ...] [--targets <T>]\n\
          \x20     synthesize a structure across delay targets\n\
          \x20 render --structure <name> --n <N> [--dot]\n\
@@ -131,44 +134,95 @@ fn cmd_train(opts: &HashMap<String, String>) {
     let w: f64 = get(opts, "w", 0.5);
     let steps: u64 = get(opts, "steps", 2000);
     let seed: u64 = get(opts, "seed", 0);
-    let actors: usize = get(opts, "actors", 1);
+    let actors: usize = get(opts, "actors", 1).max(1);
+    let eval_threads: usize = get(opts, "eval-threads", actors).max(1);
+    let cache_shards: usize = get(opts, "cache-shards", 16).max(1);
+    let json_mode = opts.contains_key("json");
     let mut cfg = AgentConfig::small(n, w as f32, steps);
     cfg.seed = seed;
     let use_synth = opts.get("evaluator").map(String::as_str) != Some("analytical");
-    let evaluator: Arc<CachedEvaluator<Box<dyn Evaluator>>> = if use_synth {
+    let inner: Box<dyn Evaluator> = if use_synth {
         cfg.env = prefixrl_core::env::EnvConfig::synthesis(n);
-        Arc::new(CachedEvaluator::new(Box::new(SynthesisEvaluator::new(
+        Box::new(SynthesisEvaluator::new(
             library(opts),
             SweepConfig::fast(),
             w,
-        ))))
-    } else {
-        Arc::new(CachedEvaluator::new(
-            Box::new(AnalyticalEvaluator::default()) as Box<dyn Evaluator>,
         ))
+    } else {
+        Box::new(AnalyticalEvaluator)
     };
-    println!(
-        "training {n}b agent: w_area={w}, {steps} steps, evaluator={}, actors={actors}",
-        if use_synth { "synthesis" } else { "analytical" }
-    );
+    // The shared evaluation stack: sharded cache behind the EvalService
+    // front door; every path (serial, async actors, batch) goes through it.
+    let cache = Arc::new(CachedEvaluator::with_config(
+        inner,
+        CacheConfig::with_shards(cache_shards),
+    ));
+    let service = Arc::new(EvalService::new(
+        Arc::clone(&cache) as Arc<dyn Evaluator>,
+        eval_threads,
+    ));
+    let evaluator_name = if use_synth { "synthesis" } else { "analytical" };
+    if !json_mode {
+        println!(
+            "training {n}b agent: w_area={w}, {steps} steps, evaluator={evaluator_name}, \
+             actors={actors}, eval-threads={eval_threads}, cache-shards={cache_shards}"
+        );
+    }
     let t = std::time::Instant::now();
     let result = if actors > 1 {
-        prefixrl_core::parallel::train_async(&cfg, evaluator.clone(), actors)
+        prefixrl_core::parallel::train_async(&cfg, service.clone(), actors)
     } else {
-        train(&cfg, evaluator.clone())
+        train(&cfg, service.clone())
     };
-    println!(
-        "done in {:.1}s: {} designs, {} grad steps, cache hit rate {:.0}%",
-        t.elapsed().as_secs_f64(),
-        result.designs.len(),
-        result.losses.len(),
-        100.0 * evaluator.hit_rate()
-    );
+    let elapsed = t.elapsed().as_secs_f64();
     let front = result.front();
-    println!("\nPareto frontier:");
-    println!("{:>10} {:>10}  {:>5} {:>5}", "area", "delay", "size", "depth");
-    for (p, g) in front.iter() {
-        println!("{:>10.2} {:>10.3}  {:>5} {:>5}", p.area, p.delay, g.size(), g.depth());
+    if json_mode {
+        let summary = serde_json::json!({
+            "n": n,
+            "w_area": w,
+            "steps": steps,
+            "evaluator": evaluator_name,
+            "actors": actors,
+            "eval_threads": eval_threads,
+            "elapsed_sec": elapsed,
+            "steps_per_sec": steps as f64 / elapsed.max(1e-9),
+            "designs": result.designs.len(),
+            "frontier_size": front.len(),
+            "grad_steps": result.losses.len(),
+            "cache": {
+                "shards": cache.shards(),
+                "hits": cache.hits(),
+                "misses": cache.misses(),
+                "evictions": cache.evictions(),
+                "hit_rate": cache.hit_rate(),
+                "unique_states": cache.unique_states(),
+            },
+        });
+        println!("{}", serde_json::to_string_pretty(&summary).unwrap());
+    } else {
+        println!(
+            "done in {elapsed:.1}s ({:.1} steps/s): {} designs, {} grad steps, \
+             cache hit rate {:.0}% over {} shards",
+            steps as f64 / elapsed.max(1e-9),
+            result.designs.len(),
+            result.losses.len(),
+            100.0 * cache.hit_rate(),
+            cache.shards(),
+        );
+        println!("\nPareto frontier:");
+        println!(
+            "{:>10} {:>10}  {:>5} {:>5}",
+            "area", "delay", "size", "depth"
+        );
+        for (p, g) in front.iter() {
+            println!(
+                "{:>10.2} {:>10.3}  {:>5} {:>5}",
+                p.area,
+                p.delay,
+                g.size(),
+                g.depth()
+            );
+        }
     }
     if let Some(path) = opts.get("out") {
         let json = serde_json::json!({
@@ -177,15 +231,19 @@ fn cmd_train(opts: &HashMap<String, String>) {
                 "area": p.area, "delay": p.delay, "graph": g,
             })).collect::<Vec<_>>(),
         });
-        std::fs::write(path, serde_json::to_string_pretty(&json).unwrap())
-            .expect("write designs");
-        println!("\nwrote frontier to {path}");
+        std::fs::write(path, serde_json::to_string_pretty(&json).unwrap()).expect("write designs");
+        if !json_mode {
+            println!("\nwrote frontier to {path}");
+        }
     }
 }
 
 fn cmd_eval(opts: &HashMap<String, String>) {
     let n: u16 = get(opts, "n", 16);
-    let name = opts.get("structure").cloned().unwrap_or_else(|| "sklansky".into());
+    let name = opts
+        .get("structure")
+        .cloned()
+        .unwrap_or_else(|| "sklansky".into());
     let targets: usize = get(opts, "targets", 8);
     let lib = library(opts);
     let g = structure(&name, n);
@@ -194,7 +252,12 @@ fn cmd_eval(opts: &HashMap<String, String>) {
         ..SweepConfig::paper()
     };
     let curve = synth::sweep::sweep_graph(&g, &lib, &cfg);
-    println!("{name} {n}b on {} ({} graph nodes, depth {}):", lib.name(), g.size(), g.depth());
+    println!(
+        "{name} {n}b on {} ({} graph nodes, depth {}):",
+        lib.name(),
+        g.size(),
+        g.depth()
+    );
     println!("{:>12} {:>12}", "delay(ns)", "area(um^2)");
     for (d, a) in curve.knots() {
         println!("{d:>12.4} {a:>12.2}");
@@ -203,7 +266,10 @@ fn cmd_eval(opts: &HashMap<String, String>) {
 
 fn cmd_render(opts: &HashMap<String, String>) {
     let n: u16 = get(opts, "n", 16);
-    let name = opts.get("structure").cloned().unwrap_or_else(|| "brent_kung".into());
+    let name = opts
+        .get("structure")
+        .cloned()
+        .unwrap_or_else(|| "brent_kung".into());
     let g = structure(&name, n);
     if opts.contains_key("dot") {
         print!("{}", prefix_graph::render::dot(&g));
@@ -214,13 +280,17 @@ fn cmd_render(opts: &HashMap<String, String>) {
 
 fn cmd_verilog(opts: &HashMap<String, String>) {
     let n: u16 = get(opts, "n", 16);
-    let name = opts.get("structure").cloned().unwrap_or_else(|| "brent_kung".into());
+    let name = opts
+        .get("structure")
+        .cloned()
+        .unwrap_or_else(|| "brent_kung".into());
     let lib = library(opts);
     let g = structure(&name, n);
     let nl = adder::generate(&g);
     if let Some(target) = opts.get("target").and_then(|t| t.parse::<f64>().ok()) {
         let cons = synth::sta::TimingConstraints::uniform(&lib);
-        let out = synth::optimizer::optimize(&nl, &lib, &cons, target, &OptimizerConfig::commercial());
+        let out =
+            synth::optimizer::optimize(&nl, &lib, &cons, target, &OptimizerConfig::commercial());
         eprintln!(
             "// optimized to {:.4} ns (target {:.4}), area {:.2} um^2, met={}",
             out.delay, target, out.area, out.met

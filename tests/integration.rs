@@ -30,10 +30,8 @@ fn full_environment_step_with_synthesis_reward() {
 fn rl_designs_synthesize_to_correct_adders() {
     use rand::prelude::*;
     let cfg = AgentConfig::tiny(8, 0.5);
-    let result = prefixrl_core::agent::train(
-        &cfg,
-        Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default())),
-    );
+    let result =
+        prefixrl_core::agent::train(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
     let lib = Library::nangate45();
     let cons = synth::sta::TimingConstraints::uniform(&lib);
     let mut rng = StdRng::seed_from_u64(5);
@@ -41,13 +39,8 @@ fn rl_designs_synthesize_to_correct_adders() {
     for (_, graph) in front.iter().take(3) {
         let nl = adder::generate(graph);
         let base = synth::sta::analyze(&nl, &lib, &cons, 1.0).critical_delay;
-        let out = synth::optimizer::optimize(
-            &nl,
-            &lib,
-            &cons,
-            base * 0.5,
-            &OptimizerConfig::fast(),
-        );
+        let out =
+            synth::optimizer::optimize(&nl, &lib, &cons, base * 0.5, &OptimizerConfig::fast());
         for _ in 0..10 {
             let a = rng.random::<u64>() & 0xFF;
             let b = rng.random::<u64>() & 0xFF;
@@ -61,7 +54,7 @@ fn rl_designs_synthesize_to_correct_adders() {
 /// area-weighted agent's, which must be at least as small.
 #[test]
 fn weight_controls_design_specialization() {
-    let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default()));
+    let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
     let mut small_cfg = AgentConfig::tiny(8, 0.95);
     small_cfg.total_steps = 600;
     let mut fast_cfg = AgentConfig::tiny(8, 0.05);
@@ -70,8 +63,14 @@ fn weight_controls_design_specialization() {
     let fast = prefixrl_core::agent::train(&fast_cfg, eval);
     let best_small = small.best_scalarized(0.95, 0.05, 0.25).unwrap().1;
     let best_fast = fast.best_scalarized(0.05, 0.05, 0.25).unwrap().1;
-    assert!(best_small.area <= best_fast.area, "{best_small:?} vs {best_fast:?}");
-    assert!(best_fast.delay <= best_small.delay, "{best_small:?} vs {best_fast:?}");
+    assert!(
+        best_small.area <= best_fast.area,
+        "{best_small:?} vs {best_fast:?}"
+    );
+    assert!(
+        best_fast.delay <= best_small.delay,
+        "{best_small:?} vs {best_fast:?}"
+    );
 }
 
 /// RL (even a tiny run) must discover designs the regular structures do not
@@ -80,13 +79,11 @@ fn weight_controls_design_specialization() {
 #[test]
 fn rl_frontier_beats_starting_states() {
     let cfg = AgentConfig::tiny(8, 0.4);
-    let result = prefixrl_core::agent::train(
-        &cfg,
-        Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default())),
-    );
+    let result =
+        prefixrl_core::agent::train(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
     let front = result.front();
-    let ripple = AnalyticalEvaluator::default().evaluate(&PrefixGraph::ripple(8));
-    let sklansky = AnalyticalEvaluator::default().evaluate(&structures::sklansky(8));
+    let ripple = AnalyticalEvaluator.evaluate(&PrefixGraph::ripple(8));
+    let sklansky = AnalyticalEvaluator.evaluate(&structures::sklansky(8));
     // The starting states are in the visited set, so the front must weakly
     // improve on both.
     assert!(front.area_at_delay(ripple.delay).unwrap() <= ripple.area);
@@ -119,9 +116,7 @@ fn analytical_and_synthesis_rankings_diverge() {
         .collect();
     let syn: Vec<f64> = designs
         .iter()
-        .map(|g| {
-            synth::sweep::sweep_graph(g, &lib, &SweepConfig::fast()).min_delay()
-        })
+        .map(|g| synth::sweep::sweep_graph(g, &lib, &SweepConfig::fast()).min_delay())
         .collect();
     let mut inversions = 0;
     for i in 0..designs.len() {
@@ -165,7 +160,7 @@ fn async_training_integrates_with_synthesis_cache() {
 #[test]
 fn agent_checkpoint_roundtrip() {
     let cfg = AgentConfig::tiny(8, 0.5);
-    let eval: Arc<dyn Evaluator> = Arc::new(AnalyticalEvaluator::default());
+    let eval: Arc<dyn Evaluator> = Arc::new(AnalyticalEvaluator);
     let (mut dqn, _) = prefixrl_core::agent::train_with_agent(&cfg, Arc::clone(&eval));
     let bytes = dqn.online_mut().to_bytes();
     let mut restored = PrefixQNet::new(&cfg.qnet);
@@ -199,7 +194,9 @@ fn nonuniform_arrival_extension() {
     let uniform = synth::sta::TimingConstraints::uniform(&lib);
     let skewed = synth::sta::TimingConstraints::with_arrivals(
         &lib,
-        (0..16).map(|i| if i % 8 >= 6 { 0.15 } else { 0.0 }).collect(),
+        (0..16)
+            .map(|i| if i % 8 >= 6 { 0.15 } else { 0.0 })
+            .collect(),
     );
     let du = synth::sta::analyze(&nl, &lib, &uniform, 1.0).critical_delay;
     let ds = synth::sta::analyze(&nl, &lib, &skewed, 1.0).critical_delay;
