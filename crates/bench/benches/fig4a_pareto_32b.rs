@@ -10,7 +10,7 @@ use baselines::sa::{sa_frontier, SaConfig};
 use netlist::Library;
 use prefix_graph::{structures, PrefixGraph};
 use prefixrl_bench as support;
-use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
 use prefixrl_core::evaluator::SynthesisEvaluator;
 use prefixrl_core::frontier::sweep_front;
@@ -50,7 +50,7 @@ fn main() {
         let mut cfg = AgentConfig::small(n, w as f32, steps);
         cfg.env = prefixrl_core::env::EnvConfig::synthesis(n);
         cfg.seed = 100 + i as u64;
-        let result = train(&cfg, evaluator.clone());
+        let result = TrainLoop::run(&cfg, evaluator.clone());
         println!(
             "  agent w_area={w:.2}: {} designs, cache hit rate {:.0}%",
             result.designs.len(),

@@ -8,7 +8,7 @@ use baselines::crosslayer::{cross_layer, CrossLayerConfig};
 use netlist::Library;
 use prefix_graph::{structures, PrefixGraph};
 use prefixrl_bench as support;
-use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
 use prefixrl_core::evaluator::{ObjectivePoint, SynthesisEvaluator};
 use prefixrl_core::frontier::sweep_front;
@@ -45,7 +45,7 @@ fn main() {
         let mut cfg = AgentConfig::small(n, w as f32, steps);
         cfg.env = prefixrl_core::env::EnvConfig::synthesis(n);
         cfg.seed = 200 + i as u64;
-        let result = train(&cfg, evaluator.clone());
+        let result = TrainLoop::run(&cfg, evaluator.clone());
         println!(
             "  agent w_area={w:.2}: {} designs, cache hit rate {:.0}%",
             result.designs.len(),

@@ -7,7 +7,7 @@ use baselines::commercial::commercial_sweep;
 use netlist::Library;
 use prefix_graph::{structures, PrefixGraph};
 use prefixrl_bench as support;
-use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
 use prefixrl_core::evaluator::{ObjectivePoint, SynthesisEvaluator};
 use prefixrl_core::frontier::sweep_front;
@@ -39,7 +39,7 @@ fn run(n: u16, weights: &[f64], steps: u64, targets: usize, tag: &str) {
         let mut cfg = AgentConfig::small(n, w as f32, steps);
         cfg.env = prefixrl_core::env::EnvConfig::synthesis(n);
         cfg.seed = 300 + i as u64;
-        let result = train(&cfg, evaluator);
+        let result = TrainLoop::run(&cfg, evaluator);
         // The paper picks 7 Pareto-optimal adders to transfer.
         for (k, (_, g)) in support::spread_front(&result.front(), 4).iter().enumerate() {
             rl_designs.push((format!("PrefixRL(w={w:.2})#{k}"), g.clone()));

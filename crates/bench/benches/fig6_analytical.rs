@@ -11,7 +11,7 @@ use baselines::sa::{sa_frontier, SaConfig};
 use netlist::Library;
 use prefix_graph::{analytical, PrefixGraph};
 use prefixrl_bench as support;
-use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
 use prefixrl_core::evaluator::{AnalyticalEvaluator, ObjectivePoint, SynthesisEvaluator};
 use prefixrl_core::frontier::sweep_front;
@@ -57,7 +57,7 @@ fn main() {
     for (i, &w) in weights.iter().enumerate() {
         let mut cfg = AgentConfig::small(n, w as f32, steps);
         cfg.seed = 400 + i as u64;
-        let result = train(&cfg, evaluator.clone());
+        let result = TrainLoop::run(&cfg, evaluator.clone());
         for (k, (_, g)) in support::spread_front(&result.front(), 10)
             .iter()
             .enumerate()
@@ -114,7 +114,7 @@ fn main() {
         let mut cfg_rl = AgentConfig::small(n, 0.5, steps.min(900));
         cfg_rl.env = prefixrl_core::env::EnvConfig::synthesis(n);
         cfg_rl.seed = 500;
-        let result = train(&cfg_rl, ev);
+        let result = TrainLoop::run(&cfg_rl, ev);
         for (k, (_, g)) in support::spread_front(&result.front(), 10)
             .iter()
             .enumerate()

@@ -2,7 +2,7 @@
 //! (and DOT files under target/prefixrl-results/ for graphical rendering).
 
 use prefixrl_bench as support;
-use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
 use prefixrl_core::evaluator::AnalyticalEvaluator;
 use std::sync::Arc;
@@ -18,7 +18,7 @@ fn main() {
     for (i, w) in [0.25f32, 0.6, 0.9].into_iter().enumerate() {
         let mut cfg = AgentConfig::small(n, w, steps);
         cfg.seed = 600 + i as u64;
-        let result = train(&cfg, evaluator.clone());
+        let result = TrainLoop::run(&cfg, evaluator.clone());
         if let Some((g, p)) = result.best_scalarized(w as f64, 0.05, 0.25) {
             println!(
                 "--- agent w_area={w}: size {}, depth {}, fanout {}, area {:.0}, delay {:.1} ---",

@@ -5,11 +5,11 @@
 use netlist::Library;
 use prefix_graph::{Action, Node, PrefixGraph};
 use prefixrl_bench as support;
-use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
 use prefixrl_core::evalsvc::EvalService;
 use prefixrl_core::evaluator::{Evaluator, SynthesisEvaluator};
-use prefixrl_core::parallel::train_async;
+use prefixrl_core::experiment::AsyncRunner;
 use std::sync::Arc;
 use std::time::Instant;
 use synth::sweep::SweepConfig;
@@ -71,7 +71,7 @@ fn main() {
         )));
         let mut cfg = AgentConfig::small(width, 0.5, steps);
         cfg.env = prefixrl_core::env::EnvConfig::synthesis(width);
-        let _ = train(&cfg, ev.clone());
+        let _ = TrainLoop::run(&cfg, ev.clone());
         println!(
             "  {width:>2}b: {:>5.1}% hits over {} evaluations ({} unique states)",
             100.0 * ev.hit_rate(),
@@ -92,7 +92,7 @@ fn main() {
         let mut cfg = AgentConfig::tiny(8, 0.5);
         cfg.total_steps = steps;
         let t = Instant::now();
-        let result = train_async(&cfg, ev.clone(), actors);
+        let result = AsyncRunner { actors }.train(&cfg, ev.clone());
         let steps_per_sec = steps as f64 / t.elapsed().as_secs_f64();
         println!(
             "  {actors} actors: {steps_per_sec:>6.1} env-steps/s ({} designs, hit rate {:.0}%)",

@@ -87,6 +87,50 @@ pub fn write_bench_scaling(widths: u16, rows: &[ScalingRow]) {
     println!("[artifact] {}", path.display());
 }
 
+/// One measured point of the sweep-scaling benchmark: a full multi-agent
+/// `Experiment` at a given concurrency.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepRow {
+    /// Agents trained (one per scalarization weight).
+    pub agents: usize,
+    /// Concurrent agent threads (the EvalService budget).
+    pub concurrency: usize,
+    /// Environment steps per agent.
+    pub steps_per_agent: u64,
+    /// Total training throughput across agents.
+    pub steps_per_sec: f64,
+    /// Shared evaluation-cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Points on the merged Pareto front.
+    pub merged_front: usize,
+    /// Distinct designs across all agents.
+    pub designs: usize,
+}
+
+/// Dumps `BENCH_sweep.json` at the workspace root: experiment-session
+/// throughput and shared-cache hit rate vs concurrent agent count,
+/// machine-readable so future changes can track the sweep fan-out path
+/// against this file.
+pub fn write_bench_sweep(n: u16, rows: &[SweepRow]) {
+    let value = serde_json::json!({
+        "benchmark": "experiment_sweep_scaling",
+        "n": n,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "agents": r.agents,
+            "concurrency": r.concurrency,
+            "steps_per_agent": r.steps_per_agent,
+            "steps_per_sec": r.steps_per_sec,
+            "cache_hit_rate": r.cache_hit_rate,
+            "merged_front": r.merged_front,
+            "designs": r.designs,
+        })).collect::<Vec<_>>(),
+    });
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap())
+        .expect("write BENCH_sweep.json");
+    println!("[artifact] {}", path.display());
+}
+
 /// Prints a named series of (area, delay) points as the paper's figures
 /// tabulate them, in increasing delay order.
 pub fn print_series(name: &str, points: &[(f64, f64)]) {

@@ -39,6 +39,17 @@ mod std_rng {
             }
         }
 
+        /// The raw 256-bit generator state (checkpointing).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`],
+        /// continuing the stream exactly where the capture left off.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
         pub(crate) fn next(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
@@ -210,6 +221,18 @@ mod tests {
     fn deterministic_under_seed() {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }

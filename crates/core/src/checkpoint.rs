@@ -1,0 +1,347 @@
+//! Checkpoint save/resume for training runs and weight sweeps.
+//!
+//! A [`Checkpoint`] captures *everything* the serial [`crate::agent::TrainLoop`]
+//! needs to continue bit-identically: both network parameter sets, the Adam
+//! moments, the replay buffer (storage, ring cursor, push counter), the raw
+//! RNG state, the ε-schedule position (the step counter), the mid-episode
+//! environment state, and the harvested design pool. A
+//! [`SweepCheckpoint`] aggregates per-agent states for a multi-weight
+//! [`crate::experiment::Experiment`], so a killed sweep restarts exactly
+//! where it stopped: finished agents are restored from their records,
+//! in-progress agents resume from their checkpoints, and pending agents
+//! start fresh.
+//!
+//! Checkpoints serialize as JSON through the workspace serde shim. `f32`/
+//! `f64` values round-trip bit-identically (shortest-representation float
+//! formatting), which the resume-determinism tests rely on.
+
+use crate::agent::AgentConfig;
+use crate::evaluator::ObjectivePoint;
+use crate::experiment::RunRecord;
+use nn::AdamState;
+use prefix_graph::PrefixGraph;
+use rl::{ReplayBuffer, TrainerState};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A complete snapshot of one agent's training state between two
+/// environment steps.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`Checkpoint::FORMAT_VERSION`]); loads reject others.
+    pub version: u32,
+    /// The agent configuration the run was started with.
+    pub cfg: AgentConfig,
+    /// Environment steps executed so far.
+    pub step: u64,
+    /// Online/target parameters and the gradient-step counter.
+    pub trainer: TrainerState,
+    /// Adam moments + step counter of the online network's optimizer.
+    pub opt: AdamState,
+    /// The replay buffer, including ring cursor and push counter.
+    pub replay: ReplayBuffer,
+    /// Raw RNG state (xoshiro256** words).
+    pub rng: [u64; 4],
+    /// The mid-episode prefix graph.
+    pub env_graph: PrefixGraph,
+    /// Steps already taken in the current episode.
+    pub env_steps: u64,
+    /// Scalarized return accumulated in the current episode.
+    pub episode_return: f64,
+    /// The design pool harvested so far (canonical-key order).
+    pub designs: Vec<(PrefixGraph, ObjectivePoint)>,
+    /// Per-gradient-step losses so far.
+    pub losses: Vec<f32>,
+    /// Completed-episode returns so far.
+    pub episode_returns: Vec<f64>,
+    /// FNV-1a digest of the online parameters, checked on load.
+    pub net_digest: u64,
+}
+
+impl Checkpoint {
+    /// The current checkpoint format version.
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// Validates version and online-parameter digest.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a version mismatch or a digest mismatch (corruption).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.version != Self::FORMAT_VERSION {
+            return Err(format!(
+                "checkpoint format v{} unsupported (expected v{})",
+                self.version,
+                Self::FORMAT_VERSION
+            ));
+        }
+        let digest = nn::serialize::digest(&self.trainer.online);
+        if digest != self.net_digest {
+            return Err(format!(
+                "checkpoint digest mismatch: stored {:#x}, computed {digest:#x} (corrupt file?)",
+                self.net_digest
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        to_pretty_json(self)
+    }
+
+    /// Parses and validates a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, shape mismatch, or failed validation.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let ckpt: Checkpoint = from_json_str(s)?;
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+
+    /// Writes the checkpoint to `path` (atomically via a sibling temp file,
+    /// so a crash mid-write never corrupts the previous checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        write_atomic(path, &self.to_json())
+    }
+
+    /// Loads and validates a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, malformed JSON, or failed validation.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+/// The state of one agent inside a sweep checkpoint.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum RunState {
+    /// Not started yet; resumes as a fresh run.
+    Pending,
+    /// Mid-run; resumes from the embedded checkpoint.
+    InProgress(Box<Checkpoint>),
+    /// Finished; restored from the embedded record without re-running.
+    Done(RunRecord),
+}
+
+/// A checkpoint of an entire multi-agent sweep: one [`RunState`] per
+/// configured weight, in run order.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepCheckpoint {
+    /// Format version (shared with [`Checkpoint::FORMAT_VERSION`]).
+    pub version: u32,
+    /// Per-run states, indexed by run id.
+    pub runs: Vec<RunState>,
+}
+
+impl SweepCheckpoint {
+    /// An all-pending sweep checkpoint for `n` runs.
+    pub fn fresh(n: usize) -> Self {
+        SweepCheckpoint {
+            version: Checkpoint::FORMAT_VERSION,
+            runs: (0..n).map(|_| RunState::Pending).collect(),
+        }
+    }
+
+    /// How many runs have finished.
+    pub fn completed_runs(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| matches!(r, RunState::Done(_)))
+            .count()
+    }
+
+    /// Validates version and every embedded per-agent checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails on version or digest mismatch.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.version != Checkpoint::FORMAT_VERSION {
+            return Err(format!(
+                "sweep checkpoint format v{} unsupported (expected v{})",
+                self.version,
+                Checkpoint::FORMAT_VERSION
+            ));
+        }
+        for (i, run) in self.runs.iter().enumerate() {
+            if let RunState::InProgress(ckpt) = run {
+                ckpt.validate().map_err(|e| format!("run {i}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        to_pretty_json(self)
+    }
+
+    /// Parses and validates a sweep checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, shape mismatch, or failed validation.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let ckpt: SweepCheckpoint = from_json_str(s)?;
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+
+    /// Writes the sweep checkpoint to `path` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        write_atomic(path, &self.to_json())
+    }
+
+    /// Loads and validates a sweep checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, malformed JSON, or failed validation.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+fn to_pretty_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("value-tree serialization is infallible")
+}
+
+fn from_json_str<T: Deserialize>(s: &str) -> Result<T, String> {
+    serde_json::from_str(s)
+}
+
+/// Writes `contents` to `path` via a sibling temp file + rename, creating
+/// parent directories as needed (shared by checkpoint and sweep persists).
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::TrainLoop;
+    use crate::evaluator::AnalyticalEvaluator;
+    use crate::experiment::NullObserver;
+    use std::sync::Arc;
+
+    fn mid_run_checkpoint() -> Checkpoint {
+        let cfg = AgentConfig::tiny(8, 0.4);
+        let mut lp = TrainLoop::new(&cfg, Arc::new(AnalyticalEvaluator));
+        for _ in 0..120 {
+            lp.step_once(0, &mut NullObserver);
+        }
+        lp.checkpoint()
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let ckpt = mid_run_checkpoint();
+        let json = ckpt.to_json();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(back.step, ckpt.step);
+        assert_eq!(back.rng, ckpt.rng);
+        assert_eq!(back.trainer.online, ckpt.trainer.online);
+        assert_eq!(back.trainer.target, ckpt.trainer.target);
+        assert_eq!(back.trainer.grad_steps, ckpt.trainer.grad_steps);
+        assert_eq!(back.opt.t, ckpt.opt.t);
+        assert_eq!(back.opt.m, ckpt.opt.m);
+        assert_eq!(back.opt.v, ckpt.opt.v);
+        assert_eq!(back.replay.len(), ckpt.replay.len());
+        assert_eq!(back.replay.total_pushed(), ckpt.replay.total_pushed());
+        assert_eq!(back.losses, ckpt.losses);
+        assert_eq!(back.episode_return, ckpt.episode_return);
+        assert_eq!(back.designs.len(), ckpt.designs.len());
+        assert_eq!(
+            back.env_graph.canonical_key(),
+            ckpt.env_graph.canonical_key()
+        );
+    }
+
+    #[test]
+    fn corrupted_checkpoint_rejected() {
+        let mut ckpt = mid_run_checkpoint();
+        ckpt.trainer.online[0][0] += 1.0;
+        let err = Checkpoint::from_json(&ckpt.to_json()).unwrap_err();
+        assert!(err.contains("digest"), "{err}");
+        let mut wrong_version = mid_run_checkpoint();
+        wrong_version.version = 99;
+        let err = Checkpoint::from_json(&wrong_version.to_json()).unwrap_err();
+        assert!(err.contains("format"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip_and_atomic_write() {
+        let dir = std::env::temp_dir().join("prefixrl-ckpt-test");
+        let path = dir.join("agent.ckpt.json");
+        let ckpt = mid_run_checkpoint();
+        ckpt.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.step, ckpt.step);
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file left behind"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_checkpoint_roundtrip() {
+        let mut sweep = SweepCheckpoint::fresh(3);
+        sweep.runs[1] = RunState::InProgress(Box::new(mid_run_checkpoint()));
+        sweep.runs[2] = RunState::Done(RunRecord {
+            run: 2,
+            w_area: 0.9,
+            steps: 300,
+            designs: Vec::new(),
+            losses: vec![0.5, 0.25],
+            episode_returns: vec![1.0],
+        });
+        assert_eq!(sweep.completed_runs(), 1);
+        let back = SweepCheckpoint::from_json(&sweep.to_json()).unwrap();
+        assert_eq!(back.runs.len(), 3);
+        assert!(matches!(back.runs[0], RunState::Pending));
+        match &back.runs[1] {
+            RunState::InProgress(c) => assert_eq!(c.step, 120),
+            other => panic!("expected InProgress, got {}", variant_name(other)),
+        }
+        match &back.runs[2] {
+            RunState::Done(r) => {
+                assert_eq!(r.losses, vec![0.5, 0.25]);
+                assert_eq!(r.w_area, 0.9);
+            }
+            other => panic!("expected Done, got {}", variant_name(other)),
+        }
+    }
+
+    fn variant_name(r: &RunState) -> &'static str {
+        match r {
+            RunState::Pending => "Pending",
+            RunState::InProgress(_) => "InProgress",
+            RunState::Done(_) => "Done",
+        }
+    }
+}

@@ -190,6 +190,15 @@ impl PrefixEnv {
         }
     }
 
+    /// Restores a checkpointed mid-episode state: `graph` with `steps`
+    /// episode steps already taken. Metrics are re-evaluated — evaluators
+    /// are deterministic, so this reproduces the captured state exactly.
+    pub fn restore(&mut self, graph: PrefixGraph, steps: usize) {
+        self.metrics = self.evaluator.evaluate(&graph);
+        self.graph = graph;
+        self.steps = steps;
+    }
+
     /// The current prefix graph.
     pub fn graph(&self) -> &PrefixGraph {
         &self.graph

@@ -1,0 +1,1095 @@
+//! Experiment sessions: builder-configured weight sweeps, run events, and
+//! checkpoint/resume (DESIGN.md §10).
+//!
+//! The paper's headline result is an *ensemble*: 15 Double-DQN agents over
+//! `w_area ∈ [0.10, 0.99]` whose visited designs merge into the Fig. 4
+//! fronts, all sharing the Section IV-D evaluation cache. This module is
+//! the session layer that makes that shape first-class:
+//!
+//! - [`Experiment`] — built with [`Experiment::builder`], owns the shared
+//!   [`CachedEvaluator`]/[`EvalService`] stack and a [`Run`] handle per
+//!   scalarization weight; running it fans agents out over the service's
+//!   thread budget so the cross-agent cache sharing actually happens
+//!   in-process.
+//! - [`Runner`] — the one training-loop abstraction. [`SerialRunner`]
+//!   (deterministic, checkpointable) and [`AsyncRunner`] (actor/learner
+//!   threads, see [`crate::parallel`]) both implement it; the historical
+//!   `train*` free functions are thin deprecated wrappers over it.
+//! - [`RunObserver`] + [`Event`] — a streaming event interface replacing
+//!   the return-everything-at-the-end result blob: per-step, per-gradient,
+//!   per-episode, per-design, and per-checkpoint events, with
+//!   callback-backed ([`CallbackObserver`]) and channel-backed
+//!   ([`ChannelObserver`]) sinks.
+//! - [`ExperimentResult`] — per-agent [`RunRecord`]s, the merged Pareto
+//!   front, and shared-cache statistics, with one JSON schema
+//!   (`prefixrl.experiment.v1`) for single runs and sweeps alike.
+//!
+//! Checkpointing (see [`crate::checkpoint`]) makes a killed sweep restart
+//! where it stopped and produce bit-identical designs and losses to an
+//! uninterrupted run.
+
+use crate::agent::{AgentConfig, TrainLoop};
+use crate::cache::{CacheConfig, CachedEvaluator};
+use crate::checkpoint::{Checkpoint, RunState, SweepCheckpoint};
+use crate::env::{EnvConfig, PrefixEnv};
+use crate::evalsvc::EvalService;
+use crate::evaluator::{AnalyticalEvaluator, Evaluator, ObjectivePoint};
+use crate::pareto::ParetoFront;
+use crate::qnet::PrefixQNet;
+use parking_lot::Mutex;
+use prefix_graph::PrefixGraph;
+use rand::prelude::*;
+use rl::DoubleDqn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- events
+
+/// One observation from a training run, streamed as it happens.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// An environment step was taken.
+    Step {
+        /// Environment step index (0-based).
+        step: u64,
+        /// Exploration ε used for this step.
+        epsilon: f64,
+        /// Scaled reward vector `[r_area, r_delay]`.
+        reward: [f32; 2],
+    },
+    /// A gradient step completed.
+    GradStep {
+        /// Gradient step count (1-based).
+        grad_step: u64,
+        /// Scalar Huber loss.
+        loss: f32,
+    },
+    /// An episode hit its truncation budget.
+    EpisodeEnd {
+        /// Completed-episode count (1-based).
+        episode: usize,
+        /// Scalarized return of the episode.
+        scalarized_return: f64,
+    },
+    /// A design not seen before by this run entered the pool.
+    DesignFound {
+        /// Environment step at which it was found.
+        step: u64,
+        /// Its evaluated objectives.
+        point: ObjectivePoint,
+        /// Prefix-graph node count.
+        size: usize,
+        /// Prefix-graph depth.
+        depth: usize,
+    },
+    /// A checkpoint of the run was captured.
+    CheckpointSaved {
+        /// Environment step the checkpoint covers.
+        step: u64,
+    },
+}
+
+/// A sink for [`Event`]s, tagged with the emitting run's id.
+///
+/// Observers must be `Send`: a sweep calls one observer from several agent
+/// threads (serialized behind a lock).
+pub trait RunObserver: Send {
+    /// Receives one event from run `run`.
+    fn on_event(&mut self, run: usize, event: &Event);
+}
+
+/// Discards every event (the default sink).
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {
+    fn on_event(&mut self, _run: usize, _event: &Event) {}
+}
+
+/// Calls a closure on every event.
+pub struct CallbackObserver<F: FnMut(usize, &Event) + Send> {
+    f: F,
+}
+
+impl<F: FnMut(usize, &Event) + Send> CallbackObserver<F> {
+    /// Wraps `f` as an observer.
+    pub fn new(f: F) -> Self {
+        CallbackObserver { f }
+    }
+}
+
+impl<F: FnMut(usize, &Event) + Send> RunObserver for CallbackObserver<F> {
+    fn on_event(&mut self, run: usize, event: &Event) {
+        (self.f)(run, event)
+    }
+}
+
+/// Streams `(run, event)` pairs over a bounded channel, decoupling event
+/// consumers (logging, UIs) from the training threads.
+pub struct ChannelObserver {
+    tx: crossbeam::channel::Sender<(usize, Event)>,
+}
+
+impl ChannelObserver {
+    /// Creates an observer and the receiving end of its channel.
+    ///
+    /// Events are dropped (not blocked on) once the receiver disconnects;
+    /// while connected, a full channel applies back-pressure.
+    pub fn bounded(capacity: usize) -> (Self, crossbeam::channel::Receiver<(usize, Event)>) {
+        let (tx, rx) = crossbeam::channel::bounded(capacity);
+        (ChannelObserver { tx }, rx)
+    }
+}
+
+impl RunObserver for ChannelObserver {
+    fn on_event(&mut self, run: usize, event: &Event) {
+        // A disconnected receiver means nobody is listening; training
+        // continues unobserved rather than failing.
+        let _ = self.tx.send((run, event.clone()));
+    }
+}
+
+// --------------------------------------------------------------- weights
+
+/// The scalarization-weight schedule of a sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Weights(Vec<f64>);
+
+impl Weights {
+    /// A single weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ w ≤ 1`.
+    pub fn single(w: f64) -> Self {
+        Self::list(vec![w])
+    }
+
+    /// An explicit weight list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or any weight lies outside `[0, 1]`.
+    pub fn list(ws: Vec<f64>) -> Self {
+        assert!(!ws.is_empty(), "need at least one weight");
+        for &w in &ws {
+            assert!((0.0..=1.0).contains(&w), "weight {w} outside [0, 1]");
+        }
+        Weights(ws)
+    }
+
+    /// `k` weights linearly spaced over `[lo, hi]` (the paper uses
+    /// `linspace(0.10, 0.99, 15)`); `k = 1` yields `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `lo > hi`, or either endpoint is outside
+    /// `[0, 1]`.
+    pub fn linspace(lo: f64, hi: f64, k: usize) -> Self {
+        assert!(k > 0, "need at least one weight");
+        assert!(lo <= hi, "empty weight range");
+        if k == 1 {
+            return Self::single(lo);
+        }
+        Self::list(
+            (0..k)
+                .map(|i| lo + (hi - lo) * i as f64 / (k - 1) as f64)
+                .collect(),
+        )
+    }
+
+    /// The weights, in run order.
+    pub fn values(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Number of weights (= number of agents).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the schedule is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+// --------------------------------------------------------------- records
+
+/// What one agent's run produced (the serializable core of the old
+/// `TrainResult`, tagged with its sweep position).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Run id (index into the sweep's weight list).
+    pub run: usize,
+    /// The agent's scalarization weight `w_area`.
+    pub w_area: f64,
+    /// Environment steps executed.
+    pub steps: u64,
+    /// Every distinct design visited, with evaluated objectives.
+    pub designs: Vec<(PrefixGraph, ObjectivePoint)>,
+    /// Per-gradient-step losses.
+    pub losses: Vec<f32>,
+    /// Scalarized episode returns.
+    pub episode_returns: Vec<f64>,
+}
+
+impl RunRecord {
+    /// The Pareto front over this run's designs.
+    pub fn front(&self) -> ParetoFront<PrefixGraph> {
+        self.designs.iter().map(|(g, p)| (*p, g.clone())).collect()
+    }
+
+    /// A partial record reflecting a mid-run checkpoint (used when a sweep
+    /// halts before this run finishes).
+    pub fn from_checkpoint(run: usize, ckpt: &Checkpoint) -> Self {
+        RunRecord {
+            run,
+            w_area: ckpt.cfg.dqn.weight[0] as f64,
+            steps: ckpt.step,
+            designs: ckpt.designs.clone(),
+            losses: ckpt.losses.clone(),
+            episode_returns: ckpt.episode_returns.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- runner
+
+/// Everything a [`Runner`] needs for one agent's run.
+pub struct RunContext<'a> {
+    /// Run id (sweep position; 0 for single runs).
+    pub run_id: usize,
+    /// The agent configuration.
+    pub cfg: &'a AgentConfig,
+    /// The (typically shared) evaluator stack.
+    pub evaluator: Arc<dyn Evaluator>,
+    /// Event sink.
+    pub observer: &'a mut dyn RunObserver,
+    /// Capture a checkpoint every this many environment steps.
+    pub checkpoint_every: Option<u64>,
+    /// Receives each captured checkpoint (the sweep persists it).
+    pub on_checkpoint: Option<&'a mut dyn FnMut(usize, Checkpoint)>,
+    /// Resume from this checkpoint instead of starting fresh.
+    pub resume: Option<Checkpoint>,
+    /// Stop after this many environment steps, saving a checkpoint — for
+    /// interrupt/resume testing and CI smoke runs.
+    pub halt_at: Option<u64>,
+}
+
+/// The outcome of one agent's (possibly halted) run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The run record (partial if `completed` is false).
+    pub record: RunRecord,
+    /// Whether the step budget was exhausted (false after `halt_at`).
+    pub completed: bool,
+}
+
+/// The single training-loop abstraction: both the serial loop and the
+/// async actor/learner system run one agent to completion behind this
+/// interface, which is what lets [`Experiment`] treat them uniformly.
+pub trait Runner: Sync {
+    /// Runs one agent per `ctx`, streaming events to its observer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid resume checkpoint or an unsupported
+    /// context/runner combination.
+    fn run(&self, ctx: RunContext<'_>) -> Result<RunOutcome, String>;
+}
+
+/// The deterministic serial runner (one environment, exact
+/// checkpoint/resume) — [`crate::agent::TrainLoop`] behind the [`Runner`]
+/// interface.
+pub struct SerialRunner;
+
+impl Runner for SerialRunner {
+    fn run(&self, mut ctx: RunContext<'_>) -> Result<RunOutcome, String> {
+        let mut lp = match ctx.resume.take() {
+            Some(ckpt) => TrainLoop::from_checkpoint(&ckpt, Arc::clone(&ctx.evaluator))?,
+            None => TrainLoop::new(ctx.cfg, Arc::clone(&ctx.evaluator)),
+        };
+        loop {
+            if let Some(halt) = ctx.halt_at {
+                if lp.step() >= halt && !lp.is_done() {
+                    let ckpt = lp.checkpoint();
+                    let step = lp.step();
+                    if let Some(cb) = ctx.on_checkpoint.as_mut() {
+                        cb(ctx.run_id, ckpt.clone());
+                    }
+                    ctx.observer
+                        .on_event(ctx.run_id, &Event::CheckpointSaved { step });
+                    return Ok(RunOutcome {
+                        record: RunRecord::from_checkpoint(ctx.run_id, &ckpt),
+                        completed: false,
+                    });
+                }
+            }
+            if !lp.step_once(ctx.run_id, ctx.observer) {
+                break;
+            }
+            if let Some(every) = ctx.checkpoint_every {
+                if every > 0 && lp.step().is_multiple_of(every) && !lp.is_done() {
+                    let ckpt = lp.checkpoint();
+                    let step = lp.step();
+                    if let Some(cb) = ctx.on_checkpoint.as_mut() {
+                        cb(ctx.run_id, ckpt);
+                    }
+                    ctx.observer
+                        .on_event(ctx.run_id, &Event::CheckpointSaved { step });
+                }
+            }
+        }
+        let run = ctx.run_id;
+        let w_area = ctx.cfg.dqn.weight[0] as f64;
+        let (_, result) = lp.into_parts();
+        Ok(RunOutcome {
+            record: RunRecord {
+                run,
+                w_area,
+                steps: result.steps,
+                designs: result.designs,
+                losses: result.losses,
+                episode_returns: result.episode_returns,
+            },
+            completed: true,
+        })
+    }
+}
+
+/// Rolls out the greedy policy (ε = 0) from each starting state, returning
+/// the designs visited — how trained agents emit their final adders.
+pub fn greedy_designs(
+    dqn: &mut DoubleDqn<PrefixQNet>,
+    cfg: &EnvConfig,
+    evaluator: Arc<dyn Evaluator>,
+    episodes: usize,
+    seed: u64,
+) -> Vec<(PrefixGraph, ObjectivePoint)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut env = PrefixEnv::new(cfg.clone(), evaluator);
+    let mut out: BTreeMap<Vec<u64>, (PrefixGraph, ObjectivePoint)> = BTreeMap::new();
+    let record = |env: &PrefixEnv, out: &mut BTreeMap<_, (PrefixGraph, ObjectivePoint)>| {
+        out.entry(env.graph().canonical_key())
+            .or_insert_with(|| (env.graph().clone(), env.metrics()));
+    };
+    for _ in 0..episodes {
+        env.reset(&mut rng);
+        record(&env, &mut out);
+        loop {
+            let state = env.features();
+            let mask = env.action_mask();
+            let Some(a) = dqn.greedy_action(&state, &mask) else {
+                break;
+            };
+            let outcome = env.step_flat(a);
+            record(&env, &mut out);
+            if outcome.truncated {
+                break;
+            }
+        }
+    }
+    out.into_values().collect()
+}
+
+// ------------------------------------------------------------ experiment
+
+/// A handle to one configured agent of an experiment.
+#[derive(Clone)]
+pub struct Run {
+    /// Run id (index into the weight list).
+    pub id: usize,
+    /// This agent's scalarization weight.
+    pub w_area: f64,
+    /// The full agent configuration the runner executes.
+    pub cfg: AgentConfig,
+}
+
+impl Run {
+    /// Executes this run alone with an explicit runner and evaluator —
+    /// the escape hatch under [`Experiment::run`]'s orchestration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runner failures (e.g. an invalid resume checkpoint).
+    pub fn execute(
+        &self,
+        runner: &dyn Runner,
+        evaluator: Arc<dyn Evaluator>,
+        observer: &mut dyn RunObserver,
+    ) -> Result<RunOutcome, String> {
+        runner.run(RunContext {
+            run_id: self.id,
+            cfg: &self.cfg,
+            evaluator,
+            observer,
+            checkpoint_every: None,
+            on_checkpoint: None,
+            resume: None,
+            halt_at: None,
+        })
+    }
+}
+
+/// Builder for [`Experiment`] — see the module docs for the full shape.
+pub struct ExperimentBuilder {
+    n: u16,
+    weights: Weights,
+    steps: u64,
+    seed: u64,
+    base: Option<AgentConfig>,
+    evaluator: Option<Box<dyn Evaluator>>,
+    evaluator_name: String,
+    eval_threads: usize,
+    cache_shards: usize,
+    actors: usize,
+    checkpoint_every: Option<u64>,
+    checkpoint_path: Option<PathBuf>,
+    halt_at: Option<u64>,
+}
+
+impl ExperimentBuilder {
+    fn new() -> Self {
+        ExperimentBuilder {
+            n: 8,
+            weights: Weights::single(0.5),
+            steps: 2000,
+            seed: 0,
+            base: None,
+            evaluator: None,
+            evaluator_name: "analytical".to_string(),
+            eval_threads: 4,
+            cache_shards: 16,
+            actors: 1,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            halt_at: None,
+        }
+    }
+
+    /// Adder input width `N`.
+    pub fn n(mut self, n: u16) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// The scalarization weights — one agent per weight.
+    pub fn weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Environment steps per agent.
+    pub fn steps(mut self, steps: u64) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Master seed; run `i` trains with `seed + i`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A full [`AgentConfig`] template. Overrides `n`/`steps`; the per-run
+    /// weight and seed are still applied on top.
+    pub fn base_config(mut self, cfg: AgentConfig) -> Self {
+        self.base = Some(cfg);
+        self
+    }
+
+    /// The inner reward oracle (defaults to [`AnalyticalEvaluator`]). The
+    /// experiment wraps it in the shared sharded cache and [`EvalService`].
+    pub fn evaluator(mut self, evaluator: Box<dyn Evaluator>) -> Self {
+        self.evaluator_name = evaluator.name().to_string();
+        self.evaluator = Some(evaluator);
+        self
+    }
+
+    /// The [`EvalService`] thread budget; agents also fan out over this
+    /// many concurrent runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn eval_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one eval thread");
+        self.eval_threads = threads;
+        self
+    }
+
+    /// Shard count of the shared evaluation cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one cache shard");
+        self.cache_shards = shards;
+        self
+    }
+
+    /// Async actor threads *per agent*. `1` (default) selects the
+    /// deterministic, checkpointable [`SerialRunner`]; `> 1` selects
+    /// [`AsyncRunner`] (no checkpoint support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors == 0`.
+    pub fn actors(mut self, actors: usize) -> Self {
+        assert!(actors > 0, "need at least one actor");
+        self.actors = actors;
+        self
+    }
+
+    /// Capture a checkpoint every `steps` environment steps per agent.
+    pub fn checkpoint_every(mut self, steps: u64) -> Self {
+        self.checkpoint_every = Some(steps);
+        self
+    }
+
+    /// Persist sweep checkpoints to this file (atomically rewritten).
+    pub fn checkpoint_path(mut self, path: PathBuf) -> Self {
+        self.checkpoint_path = Some(path);
+        self
+    }
+
+    /// Halt every agent at this step after saving a checkpoint — for
+    /// interrupt/resume testing and CI smoke runs.
+    pub fn halt_at(mut self, step: u64) -> Self {
+        self.halt_at = Some(step);
+        self
+    }
+
+    /// Assembles the experiment: per-run agent configs plus the shared
+    /// cache/service evaluation stack.
+    pub fn build(self) -> Experiment {
+        let inner = self
+            .evaluator
+            .unwrap_or_else(|| Box::new(AnalyticalEvaluator));
+        let cache = Arc::new(CachedEvaluator::with_config(
+            inner,
+            CacheConfig::with_shards(self.cache_shards),
+        ));
+        let service = Arc::new(EvalService::new(
+            Arc::clone(&cache) as Arc<dyn Evaluator>,
+            self.eval_threads,
+        ));
+        let runs = self
+            .weights
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(id, &w)| {
+                let mut cfg = match &self.base {
+                    Some(base) => base.clone(),
+                    None => AgentConfig::small(self.n, w as f32, self.steps),
+                };
+                cfg.dqn.weight = [w as f32, 1.0 - w as f32];
+                cfg.seed = self.seed.wrapping_add(id as u64);
+                cfg.qnet.seed = cfg.qnet.seed.wrapping_add(id as u64);
+                Run { id, w_area: w, cfg }
+            })
+            .collect();
+        Experiment {
+            runs,
+            cache,
+            service,
+            evaluator_name: self.evaluator_name,
+            parallelism: self.eval_threads,
+            actors: self.actors,
+            checkpoint_every: self.checkpoint_every,
+            checkpoint_path: self.checkpoint_path,
+            halt_at: self.halt_at,
+        }
+    }
+}
+
+/// Aggregate statistics of the experiment's shared evaluation cache.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Shard count.
+    pub shards: usize,
+    /// Total hits (including coalesced in-flight waits).
+    pub hits: u64,
+    /// Total misses (inner evaluations).
+    pub misses: u64,
+    /// Entries evicted by capacity bounds.
+    pub evictions: u64,
+    /// Hit rate in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Distinct states currently cached.
+    pub unique_states: usize,
+}
+
+/// A configured multi-agent training session over one shared evaluation
+/// stack.
+pub struct Experiment {
+    runs: Vec<Run>,
+    cache: Arc<CachedEvaluator<Box<dyn Evaluator>>>,
+    service: Arc<EvalService>,
+    evaluator_name: String,
+    parallelism: usize,
+    actors: usize,
+    checkpoint_every: Option<u64>,
+    checkpoint_path: Option<PathBuf>,
+    halt_at: Option<u64>,
+}
+
+impl Experiment {
+    /// Starts a builder with analytical defaults (one agent, `w = 0.5`).
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::new()
+    }
+
+    /// The configured run handles, in weight order.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// The shared evaluation service (hand this to anything else that
+    /// should hit the same cache).
+    pub fn service(&self) -> Arc<EvalService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Current statistics of the shared cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            shards: self.cache.shards(),
+            hits: self.cache.hits(),
+            misses: self.cache.misses(),
+            evictions: self.cache.evictions(),
+            hit_rate: self.cache.hit_rate(),
+            unique_states: self.cache.unique_states(),
+        }
+    }
+
+    /// Runs every agent, fanning out over the service's thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any run fails (first error wins; remaining runs finish).
+    pub fn run(&self, observer: &mut dyn RunObserver) -> Result<ExperimentResult, String> {
+        self.run_from(SweepCheckpoint::fresh(self.runs.len()), observer)
+    }
+
+    /// Runs with [`NullObserver`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run`].
+    pub fn run_quiet(&self) -> Result<ExperimentResult, String> {
+        self.run(&mut NullObserver)
+    }
+
+    /// Resumes from a sweep checkpoint: finished agents are restored from
+    /// their records, in-progress agents continue bit-identically from
+    /// their checkpoints, pending agents start fresh.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the checkpoint does not match this experiment's shape.
+    pub fn resume(
+        &self,
+        sweep: SweepCheckpoint,
+        observer: &mut dyn RunObserver,
+    ) -> Result<ExperimentResult, String> {
+        if sweep.runs.len() != self.runs.len() {
+            return Err(format!(
+                "checkpoint has {} runs, experiment has {}",
+                sweep.runs.len(),
+                self.runs.len()
+            ));
+        }
+        for (run, state) in self.runs.iter().zip(&sweep.runs) {
+            let ckpt_w = match state {
+                RunState::InProgress(c) => c.cfg.dqn.weight[0] as f64,
+                RunState::Done(r) => r.w_area,
+                RunState::Pending => continue,
+            };
+            if (ckpt_w - run.w_area).abs() > 1e-6 {
+                return Err(format!(
+                    "run {} weight mismatch: checkpoint {ckpt_w}, experiment {}",
+                    run.id, run.w_area
+                ));
+            }
+        }
+        self.run_from(sweep, observer)
+    }
+
+    fn run_from(
+        &self,
+        sweep: SweepCheckpoint,
+        observer: &mut dyn RunObserver,
+    ) -> Result<ExperimentResult, String> {
+        let t0 = std::time::Instant::now();
+        let slots: Vec<Mutex<Option<RunState>>> = sweep
+            .runs
+            .into_iter()
+            .map(|s| Mutex::new(Some(s)))
+            .collect();
+        let shared_observer = Mutex::new(observer);
+        let persist_lock = Mutex::new(());
+        let next = AtomicUsize::new(0);
+        let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let runner: Box<dyn Runner> = if self.actors > 1 {
+            Box::new(AsyncRunner {
+                actors: self.actors,
+            })
+        } else {
+            Box::new(SerialRunner)
+        };
+        let workers = self.parallelism.min(self.runs.len()).max(1);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= self.runs.len() {
+                        break;
+                    }
+                    let resume = match slots[i].lock().as_ref().expect("slot populated") {
+                        RunState::Done(_) => continue,
+                        RunState::Pending => None,
+                        RunState::InProgress(ckpt) => Some((**ckpt).clone()),
+                    };
+                    let mut local_observer = LockedObserver {
+                        inner: &shared_observer,
+                    };
+                    let mut on_checkpoint = |id: usize, ckpt: Checkpoint| {
+                        *slots[id].lock() = Some(RunState::InProgress(Box::new(ckpt)));
+                        self.persist(&slots, &persist_lock);
+                    };
+                    let ctx = RunContext {
+                        run_id: i,
+                        cfg: &self.runs[i].cfg,
+                        evaluator: Arc::clone(&self.service) as Arc<dyn Evaluator>,
+                        observer: &mut local_observer,
+                        checkpoint_every: self.checkpoint_every,
+                        on_checkpoint: Some(&mut on_checkpoint),
+                        resume,
+                        halt_at: self.halt_at,
+                    };
+                    match runner.run(ctx) {
+                        Ok(outcome) => {
+                            if outcome.completed {
+                                *slots[i].lock() = Some(RunState::Done(outcome.record));
+                                self.persist(&slots, &persist_lock);
+                            }
+                            // A halted run already persisted via
+                            // on_checkpoint and stays InProgress.
+                        }
+                        Err(e) => errors.lock().push(format!("run {i}: {e}")),
+                    }
+                });
+            }
+        });
+        {
+            let errors = errors.lock();
+            if !errors.is_empty() {
+                return Err(errors.join("; "));
+            }
+        }
+        let mut records = Vec::with_capacity(self.runs.len());
+        let mut completed = true;
+        for (i, slot) in slots.iter().enumerate() {
+            match slot.lock().take().expect("slot populated") {
+                RunState::Done(mut record) => {
+                    // Report the configured f64 weight, not its f32
+                    // round-trip through DqnConfig.
+                    record.w_area = self.runs[i].w_area;
+                    records.push(record);
+                }
+                RunState::InProgress(ckpt) => {
+                    completed = false;
+                    let mut record = RunRecord::from_checkpoint(i, &ckpt);
+                    record.w_area = self.runs[i].w_area;
+                    records.push(record);
+                }
+                RunState::Pending => {
+                    completed = false;
+                    records.push(RunRecord {
+                        run: i,
+                        w_area: self.runs[i].w_area,
+                        steps: 0,
+                        designs: Vec::new(),
+                        losses: Vec::new(),
+                        episode_returns: Vec::new(),
+                    });
+                }
+            }
+        }
+        Ok(ExperimentResult {
+            n: self.runs[0].cfg.env.n,
+            evaluator: self.evaluator_name.clone(),
+            steps_per_agent: self.runs[0].cfg.total_steps,
+            actors_per_agent: self.actors,
+            completed,
+            records,
+            cache: self.cache_stats(),
+            elapsed_sec: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Atomically rewrites the sweep checkpoint file, if one is configured.
+    ///
+    /// Each slot is serialized to a value tree under its own lock (no
+    /// intermediate `RunState` clone — in-progress slots embed full replay
+    /// buffers, so cloning them would double the dominant cost); the file
+    /// is still one atomic whole-sweep snapshot, with each slot internally
+    /// consistent.
+    fn persist(&self, slots: &[Mutex<Option<RunState>>], persist_lock: &Mutex<()>) {
+        let Some(path) = &self.checkpoint_path else {
+            return;
+        };
+        let _guard = persist_lock.lock();
+        let runs: Vec<serde::Value> = slots
+            .iter()
+            .map(|s| s.lock().as_ref().expect("slot populated").to_value())
+            .collect();
+        let sweep = serde::Value::Object(vec![
+            ("version".to_string(), Checkpoint::FORMAT_VERSION.to_value()),
+            ("runs".to_string(), serde::Value::Array(runs)),
+        ]);
+        let json = serde_json::to_string_pretty(&sweep).expect("infallible");
+        if let Err(e) = crate::checkpoint::write_atomic(path, &json) {
+            // Checkpointing is best-effort durability; training goes on.
+            eprintln!("warning: sweep checkpoint write failed: {e}");
+        }
+    }
+}
+
+/// Per-thread adapter funnelling events into the sweep's shared observer.
+struct LockedObserver<'a, 'b> {
+    inner: &'a Mutex<&'b mut dyn RunObserver>,
+}
+
+impl RunObserver for LockedObserver<'_, '_> {
+    fn on_event(&mut self, run: usize, event: &Event) {
+        self.inner.lock().on_event(run, event);
+    }
+}
+
+// ------------------------------------------------------------------ result
+
+/// Everything a (possibly multi-agent) experiment produced.
+pub struct ExperimentResult {
+    /// Adder input width.
+    pub n: u16,
+    /// Inner evaluator name.
+    pub evaluator: String,
+    /// Step budget per agent.
+    pub steps_per_agent: u64,
+    /// Async actor threads per agent (1 = deterministic serial runner).
+    pub actors_per_agent: usize,
+    /// Whether every agent exhausted its budget (false after `halt_at`).
+    pub completed: bool,
+    /// Per-agent records, in run order.
+    pub records: Vec<RunRecord>,
+    /// Shared-cache statistics at completion.
+    pub cache: CacheStats,
+    /// Wall-clock seconds of this process's portion of the work.
+    pub elapsed_sec: f64,
+}
+
+impl ExperimentResult {
+    /// Total environment steps across all agents.
+    pub fn total_steps(&self) -> u64 {
+        self.records.iter().map(|r| r.steps).sum()
+    }
+
+    /// The combined Pareto front over every agent's design pool — the
+    /// paper's Fig. 4 construction.
+    pub fn merged_front(&self) -> ParetoFront<PrefixGraph> {
+        self.records
+            .iter()
+            .flat_map(|r| r.designs.iter().map(|(g, p)| (*p, g.clone())))
+            .collect()
+    }
+
+    /// The `prefixrl.experiment.v1` JSON report shared by `prefixrl train`
+    /// and `prefixrl sweep` (schema documented in DESIGN.md §10). With
+    /// `include_graphs`, merged-frontier entries embed the full prefix
+    /// graphs for downstream tooling.
+    pub fn to_json(&self, include_graphs: bool) -> serde_json::Value {
+        let frontier_json = |front: &ParetoFront<PrefixGraph>, graphs: bool| {
+            serde_json::Value::Array(
+                front
+                    .iter()
+                    .map(|(p, g)| {
+                        let mut entry = serde_json::json!({
+                            "area": p.area,
+                            "delay": p.delay,
+                            "size": g.size(),
+                            "depth": g.depth(),
+                        });
+                        if graphs {
+                            if let serde_json::Value::Object(entries) = &mut entry {
+                                entries.push(("graph".to_string(), serde::Serialize::to_value(g)));
+                            }
+                        }
+                        entry
+                    })
+                    .collect(),
+            )
+        };
+        let total_requests: u64 = self.cache.hits + self.cache.misses;
+        let agents: Vec<serde_json::Value> = self
+            .records
+            .iter()
+            .map(|r| {
+                let front = r.front();
+                // The serial runner's evaluation count is exact: one per
+                // step, one per episode reset, one initial state. Async
+                // actors run several environments with step-claim
+                // overshoot, so no exact per-agent count exists there.
+                let eval_requests = (self.actors_per_agent == 1)
+                    .then(|| r.steps + r.episode_returns.len() as u64 + 1);
+                serde_json::json!({
+                    "run": r.run,
+                    "w_area": r.w_area,
+                    "steps": r.steps,
+                    "designs": r.designs.len(),
+                    "grad_steps": r.losses.len(),
+                    "episodes": r.episode_returns.len(),
+                    "eval_requests": eval_requests,
+                    "frontier_size": front.len(),
+                    "frontier": frontier_json(&front, false),
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "schema": "prefixrl.experiment.v1",
+            "n": self.n,
+            "evaluator": self.evaluator,
+            "agents_count": self.records.len(),
+            "steps_per_agent": self.steps_per_agent,
+            "total_steps": self.total_steps(),
+            "completed": self.completed,
+            "elapsed_sec": self.elapsed_sec,
+            "steps_per_sec": self.total_steps() as f64 / self.elapsed_sec.max(1e-9),
+            "agents": serde_json::Value::Array(agents),
+            "merged_frontier": frontier_json(&self.merged_front(), include_graphs),
+            "cache": {
+                "shards": self.cache.shards,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "hit_rate": self.cache.hit_rate,
+                "unique_states": self.cache.unique_states,
+                "requests": total_requests,
+            },
+        })
+    }
+}
+
+// The async runner lives in `parallel.rs` (thread topology) but is part of
+// this module's public surface.
+pub use crate::parallel::AsyncRunner;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_linspace_matches_paper_shape() {
+        let w = Weights::linspace(0.10, 0.99, 15);
+        assert_eq!(w.len(), 15);
+        assert!((w.values()[0] - 0.10).abs() < 1e-12);
+        assert!((w.values()[14] - 0.99).abs() < 1e-12);
+        for pair in w.values().windows(2) {
+            assert!(pair[0] < pair[1], "weights must increase");
+        }
+        assert_eq!(Weights::linspace(0.3, 0.9, 1).values(), &[0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn weights_reject_out_of_range() {
+        Weights::list(vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn builder_configures_runs() {
+        let exp = Experiment::builder()
+            .n(8)
+            .weights(Weights::linspace(0.2, 0.8, 3))
+            .steps(100)
+            .seed(7)
+            .eval_threads(2)
+            .build();
+        let runs = exp.runs();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].cfg.seed, 7);
+        assert_eq!(runs[2].cfg.seed, 9);
+        assert!((runs[1].w_area - 0.5).abs() < 1e-12);
+        assert_eq!(runs[1].cfg.dqn.weight[0], 0.5);
+        assert_eq!(runs[0].cfg.total_steps, 100);
+    }
+
+    #[test]
+    fn experiment_shares_cache_across_agents() {
+        let exp = Experiment::builder()
+            .n(8)
+            .weights(Weights::linspace(0.2, 0.8, 3))
+            .base_config(AgentConfig::tiny(8, 0.5))
+            .eval_threads(3)
+            .build();
+        let result = exp.run_quiet().unwrap();
+        assert!(result.completed);
+        assert_eq!(result.records.len(), 3);
+        // All agents reset into the same two start states, so the shared
+        // cache must coalesce them.
+        assert!(result.cache.hits > 0, "agents never shared the cache");
+        assert!(!result.merged_front().is_empty());
+    }
+
+    #[test]
+    fn channel_observer_streams_events() {
+        let exp = Experiment::builder()
+            .n(8)
+            .weights(Weights::single(0.5))
+            .base_config(AgentConfig::tiny(8, 0.5))
+            .build();
+        let (mut obs, rx) = ChannelObserver::bounded(100_000);
+        let result = exp.run(&mut obs).unwrap();
+        drop(obs);
+        let events: Vec<(usize, Event)> = std::iter::from_fn(|| rx.try_recv().ok()).collect();
+        let steps = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::Step { .. }))
+            .count() as u64;
+        assert_eq!(steps, result.records[0].steps);
+        let grads = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::GradStep { .. }))
+            .count();
+        assert_eq!(grads, result.records[0].losses.len());
+        let designs = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::DesignFound { .. }))
+            .count();
+        assert_eq!(designs, result.records[0].designs.len());
+    }
+
+    #[test]
+    fn result_json_has_schema_fields() {
+        let exp = Experiment::builder()
+            .n(8)
+            .weights(Weights::linspace(0.3, 0.7, 2))
+            .base_config(AgentConfig::tiny(8, 0.5))
+            .build();
+        let result = exp.run_quiet().unwrap();
+        let json = result.to_json(false);
+        assert_eq!(
+            json.get("schema").unwrap(),
+            &serde_json::Value::String("prefixrl.experiment.v1".into())
+        );
+        assert_eq!(json.get("agents").unwrap().as_array().unwrap().len(), 2);
+        assert!(json.get("merged_frontier").is_some());
+        assert!(json.get("cache").unwrap().get("hit_rate").is_some());
+    }
+}

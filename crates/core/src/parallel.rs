@@ -3,21 +3,29 @@
 //! The paper's key systems observation is that DQN is off-policy, so
 //! experience generation (environment + synthesis) decouples from gradient
 //! computation: 192 synthesis workers fed one learner. This module
-//! reproduces that architecture at thread scale:
+//! reproduces that architecture at thread scale behind the
+//! [`crate::experiment::Runner`] interface:
 //!
 //! - [`evaluate_batch`] — batch evaluation on a worker pool, provided by
 //!   [`crate::evalsvc`] (re-exported here for the figure harnesses and the
 //!   scaling benchmark);
-//! - [`train_async`] — actor threads run `envs_per_actor` environments in
+//! - [`AsyncRunner`] — actor threads run `envs_per_actor` environments in
 //!   lockstep with periodically refreshed policy snapshots, select actions
 //!   through the shared [`ScalarizedPolicy`] with **one batched Q-network
 //!   forward per decision round** (not batch-of-1), and stream transitions
 //!   over a channel to a learner thread that trains and publishes
-//!   parameters.
+//!   parameters. Events stream to the run's observer from both sides.
+//!
+//! Because experience arrives asynchronously, the async path is not
+//! bit-identical run to run, and it does not support checkpoint/resume —
+//! the deterministic [`crate::experiment::SerialRunner`] does.
 
 use crate::agent::{AgentConfig, TrainResult};
 use crate::env::PrefixEnv;
 use crate::evaluator::{Evaluator, ObjectivePoint};
+use crate::experiment::{
+    Event, NullObserver, RunContext, RunObserver, RunOutcome, RunRecord, Runner,
+};
 use crate::qnet::{PrefixQNet, QNetConfig};
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
@@ -39,19 +47,82 @@ struct PolicyBoard {
 /// The design pool shared by all actors: canonical key → (graph, metrics).
 type DesignPool = Mutex<HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>>;
 
-/// Trains with `num_actors` parallel experience generators and one learner.
+/// The asynchronous actor/learner runner: `actors` parallel experience
+/// generators feed one learner thread.
 ///
-/// Semantics match [`crate::agent::train`] (same config fields), but
-/// experience arrives asynchronously, so per-step pairing of acting and
-/// learning is not bit-identical to the serial path. Each actor steps
-/// `cfg.envs_per_actor` environments per decision round; total environment
-/// steps across all actors equal `cfg.total_steps`.
-pub fn train_async(
+/// Semantics match the serial runner (same config fields), but experience
+/// arrives asynchronously, so per-step pairing of acting and learning is
+/// not bit-identical to the serial path and checkpoint/resume is not
+/// supported. Each actor steps `envs_per_actor` environments per decision
+/// round; total environment steps across all actors equal
+/// `cfg.total_steps`.
+pub struct AsyncRunner {
+    /// Number of actor threads (≥ 1).
+    pub actors: usize,
+}
+
+impl AsyncRunner {
+    /// Convenience: trains one agent to completion unobserved — the
+    /// one-shot equivalent of the old `train_async` free function. Sweeps
+    /// and observed runs should go through
+    /// [`crate::experiment::Experiment`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runner was built with zero actors.
+    pub fn train(&self, cfg: &AgentConfig, evaluator: Arc<dyn Evaluator>) -> TrainResult {
+        assert!(self.actors > 0, "need at least one actor");
+        let record = run_async(0, cfg, evaluator, self.actors, &mut NullObserver);
+        TrainResult {
+            designs: record.designs,
+            losses: record.losses,
+            episode_returns: record.episode_returns,
+            steps: record.steps,
+        }
+    }
+}
+
+impl Runner for AsyncRunner {
+    fn run(&self, ctx: RunContext<'_>) -> Result<RunOutcome, String> {
+        if self.actors == 0 {
+            return Err("need at least one actor".to_string());
+        }
+        if ctx.resume.is_some() {
+            return Err(
+                "AsyncRunner does not support checkpoint resume; use the serial runner \
+                 (actors = 1)"
+                    .to_string(),
+            );
+        }
+        if ctx.checkpoint_every.is_some() || ctx.halt_at.is_some() {
+            return Err(
+                "AsyncRunner does not support checkpointing or halt-at (asynchronous \
+                 experience makes resume non-reproducible); use the serial runner \
+                 (actors = 1)"
+                    .to_string(),
+            );
+        }
+        let record = run_async(
+            ctx.run_id,
+            ctx.cfg,
+            ctx.evaluator,
+            self.actors,
+            ctx.observer,
+        );
+        Ok(RunOutcome {
+            record,
+            completed: true,
+        })
+    }
+}
+
+fn run_async(
+    run_id: usize,
     cfg: &AgentConfig,
     evaluator: Arc<dyn Evaluator>,
     num_actors: usize,
-) -> TrainResult {
-    assert!(num_actors > 0, "need at least one actor");
+    observer: &mut dyn RunObserver,
+) -> RunRecord {
     let mut online = PrefixQNet::new(&cfg.qnet);
     let board = Arc::new(PolicyBoard {
         version: AtomicU64::new(1),
@@ -61,6 +132,8 @@ pub fn train_async(
     let steps_taken = Arc::new(AtomicU64::new(0));
     let designs: Arc<DesignPool> = Arc::new(Mutex::new(HashMap::new()));
     let schedule = EpsilonSchedule::linear(cfg.eps_start, cfg.eps_end, cfg.eps_decay_steps);
+    let observer = Mutex::new(observer);
+    let episode_returns: Mutex<Vec<f64>> = Mutex::new(Vec::new());
 
     let losses = std::thread::scope(|s| {
         // Actors.
@@ -71,6 +144,8 @@ pub fn train_async(
             let designs = Arc::clone(&designs);
             let evaluator = Arc::clone(&evaluator);
             let cfg = cfg.clone();
+            let observer = &observer;
+            let episode_returns = &episode_returns;
             s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((actor as u64 + 1) * 0x9e37));
                 let mut net = PrefixQNet::new(&cfg.qnet);
@@ -80,9 +155,10 @@ pub fn train_async(
                 let mut envs: Vec<PrefixEnv> = (0..num_envs)
                     .map(|_| PrefixEnv::new(cfg.env.clone(), Arc::clone(&evaluator)))
                     .collect();
+                let mut env_returns = vec![0.0f64; num_envs];
                 for env in &mut envs {
                     env.reset(&mut rng);
-                    record_design(&designs, env);
+                    record_design(run_id, &designs, env, observer, 0);
                 }
                 'acting: loop {
                     let claimed = steps_taken.fetch_add(num_envs as u64, Ordering::Relaxed);
@@ -110,8 +186,20 @@ pub fn train_async(
                     for (i, action) in actions.into_iter().enumerate() {
                         let action = action.expect("legal action always exists");
                         let env = &mut envs[i];
+                        let step_index = claimed + i as u64;
                         let outcome = env.step_flat(action);
-                        record_design(&designs, env);
+                        record_design(run_id, &designs, env, observer, step_index);
+                        env_returns[i] += (cfg.dqn.weight[0] * outcome.reward[0]
+                            + cfg.dqn.weight[1] * outcome.reward[1])
+                            as f64;
+                        observer.lock().on_event(
+                            run_id,
+                            &Event::Step {
+                                step: step_index,
+                                epsilon: eps,
+                                reward: outcome.reward,
+                            },
+                        );
                         let t = Transition {
                             state: std::mem::take(&mut states[i]),
                             action,
@@ -124,8 +212,21 @@ pub fn train_async(
                             break 'acting; // learner gone
                         }
                         if outcome.truncated {
+                            let finished = {
+                                let mut returns = episode_returns.lock();
+                                returns.push(env_returns[i]);
+                                returns.len()
+                            };
+                            observer.lock().on_event(
+                                run_id,
+                                &Event::EpisodeEnd {
+                                    episode: finished,
+                                    scalarized_return: env_returns[i],
+                                },
+                            );
+                            env_returns[i] = 0.0;
                             env.reset(&mut rng);
-                            record_design(&designs, env);
+                            record_design(run_id, &designs, env, observer, step_index);
                         }
                     }
                 }
@@ -152,6 +253,13 @@ pub fn train_async(
             }
             if let Some(loss) = dqn.train_step(&replay, &mut rng) {
                 losses.push(loss);
+                observer.lock().on_event(
+                    run_id,
+                    &Event::GradStep {
+                        grad_step: losses.len() as u64,
+                        loss,
+                    },
+                );
                 since_publish += 1;
                 if since_publish >= cfg.dqn.target_sync_every {
                     since_publish = 0;
@@ -166,19 +274,63 @@ pub fn train_async(
     let designs = Arc::try_unwrap(designs)
         .map(|m| m.into_inner())
         .unwrap_or_else(|arc| arc.lock().clone());
-    TrainResult {
-        designs: designs.into_values().collect(),
-        losses,
-        episode_returns: Vec::new(),
+    // Sort by canonical key so async reports are stable to consume even
+    // though the pool filled in nondeterministic order.
+    let mut designs: Vec<(Vec<u64>, (PrefixGraph, ObjectivePoint))> = designs.into_iter().collect();
+    designs.sort_by(|a, b| a.0.cmp(&b.0));
+    RunRecord {
+        run: run_id,
+        w_area: cfg.dqn.weight[0] as f64,
         steps: cfg.total_steps,
+        designs: designs.into_iter().map(|(_, d)| d).collect(),
+        losses,
+        episode_returns: episode_returns.into_inner(),
     }
 }
 
-fn record_design(designs: &DesignPool, env: &PrefixEnv) {
-    designs
-        .lock()
-        .entry(env.graph().canonical_key())
-        .or_insert_with(|| (env.graph().clone(), env.metrics()));
+/// Trains with `num_actors` parallel experience generators and one learner.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `experiment::Experiment::builder().actors(n)` (or `AsyncRunner` directly) instead"
+)]
+pub fn train_async(
+    cfg: &AgentConfig,
+    evaluator: Arc<dyn Evaluator>,
+    num_actors: usize,
+) -> TrainResult {
+    assert!(num_actors > 0, "need at least one actor");
+    let record = run_async(0, cfg, evaluator, num_actors, &mut NullObserver);
+    TrainResult {
+        designs: record.designs,
+        losses: record.losses,
+        episode_returns: record.episode_returns,
+        steps: record.steps,
+    }
+}
+
+fn record_design(
+    run_id: usize,
+    designs: &DesignPool,
+    env: &PrefixEnv,
+    observer: &Mutex<&mut dyn RunObserver>,
+    step: u64,
+) {
+    let key = env.graph().canonical_key();
+    let mut pool = designs.lock();
+    if pool.contains_key(&key) {
+        return;
+    }
+    pool.insert(key, (env.graph().clone(), env.metrics()));
+    drop(pool);
+    observer.lock().on_event(
+        run_id,
+        &Event::DesignFound {
+            step,
+            point: env.metrics(),
+            size: env.graph().size(),
+            depth: env.graph().depth() as usize,
+        },
+    );
 }
 
 #[cfg(test)]
@@ -187,12 +339,16 @@ mod tests {
     use crate::cache::CachedEvaluator;
     use crate::evaluator::AnalyticalEvaluator;
 
+    fn run(cfg: &AgentConfig, evaluator: Arc<dyn Evaluator>, actors: usize) -> RunRecord {
+        run_async(0, cfg, evaluator, actors, &mut NullObserver)
+    }
+
     #[test]
     fn async_training_completes_and_harvests() {
         let mut cfg = AgentConfig::tiny(8, 0.5);
         cfg.total_steps = 400;
         let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
-        let result = train_async(&cfg, eval.clone(), 3);
+        let result = run(&cfg, eval.clone(), 3);
         assert!(
             result.designs.len() > 20,
             "{} designs",
@@ -204,14 +360,18 @@ mod tests {
         }
         // Actors share the cache: repeated start states must hit.
         assert!(eval.hits() > 0);
+        // Async now reports per-environment episode returns too.
+        assert!(!result.episode_returns.is_empty());
     }
 
     #[test]
     fn async_and_serial_explore_comparable_design_counts() {
         let mut cfg = AgentConfig::tiny(8, 0.5);
         cfg.total_steps = 300;
-        let serial = crate::agent::train(&cfg, Arc::new(AnalyticalEvaluator));
-        let parallel = train_async(&cfg, Arc::new(AnalyticalEvaluator), 2);
+        let mut lp = crate::agent::TrainLoop::new(&cfg, Arc::new(AnalyticalEvaluator));
+        lp.run_to_completion(0, &mut NullObserver);
+        let serial = lp.into_parts().1;
+        let parallel = run(&cfg, Arc::new(AnalyticalEvaluator), 2);
         // Same step budget → same order of magnitude of distinct designs.
         let (a, b) = (serial.designs.len() as f64, parallel.designs.len() as f64);
         assert!(a / b < 4.0 && b / a < 4.0, "serial {a} vs async {b}");
@@ -222,11 +382,55 @@ mod tests {
         let mut cfg = AgentConfig::tiny(8, 0.5);
         cfg.total_steps = 200;
         cfg.envs_per_actor = 1;
-        let result = train_async(&cfg, Arc::new(AnalyticalEvaluator), 2);
+        let result = run(&cfg, Arc::new(AnalyticalEvaluator), 2);
         assert!(
             result.designs.len() > 10,
             "{} designs",
             result.designs.len()
         );
+    }
+
+    #[test]
+    fn async_runner_rejects_resume() {
+        let cfg = AgentConfig::tiny(8, 0.5);
+        let mut lp = crate::agent::TrainLoop::new(&cfg, Arc::new(AnalyticalEvaluator));
+        for _ in 0..10 {
+            lp.step_once(0, &mut NullObserver);
+        }
+        let ckpt = lp.checkpoint();
+        let runner = AsyncRunner { actors: 2 };
+        let err = runner
+            .run(RunContext {
+                run_id: 0,
+                cfg: &cfg,
+                evaluator: Arc::new(AnalyticalEvaluator),
+                observer: &mut NullObserver,
+                checkpoint_every: None,
+                on_checkpoint: None,
+                resume: Some(ckpt),
+                halt_at: None,
+            })
+            .unwrap_err();
+        assert!(err.contains("resume"), "{err}");
+    }
+
+    #[test]
+    fn async_runner_rejects_checkpoint_requests() {
+        let cfg = AgentConfig::tiny(8, 0.5);
+        for (every, halt) in [(Some(50), None), (None, Some(50))] {
+            let err = AsyncRunner { actors: 2 }
+                .run(RunContext {
+                    run_id: 0,
+                    cfg: &cfg,
+                    evaluator: Arc::new(AnalyticalEvaluator),
+                    observer: &mut NullObserver,
+                    checkpoint_every: every,
+                    on_checkpoint: None,
+                    resume: None,
+                    halt_at: halt,
+                })
+                .unwrap_err();
+            assert!(err.contains("checkpointing"), "{err}");
+        }
     }
 }

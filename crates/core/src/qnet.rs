@@ -103,6 +103,50 @@ impl PrefixQNet {
         self.n
     }
 
+    /// Snapshots the Adam optimizer state (moments + step counter) —
+    /// required alongside [`rl::QNetwork::state`] for bit-identical
+    /// checkpoint resume.
+    pub fn opt_state(&self) -> nn::AdamState {
+        self.opt.state()
+    }
+
+    /// Restores optimizer state captured by [`PrefixQNet::opt_state`].
+    ///
+    /// Validates the moment tensors against this network's parameter
+    /// shapes before handing them to the optimizer — a freshly built
+    /// [`Adam`](nn::Adam) has no moments of its own to check against, so
+    /// without this a truncated checkpoint would resume silently wrong (or
+    /// panic mid-training) instead of failing here.
+    ///
+    /// # Errors
+    ///
+    /// Fails on architecture mismatch. An empty snapshot (optimizer that
+    /// never stepped) is accepted.
+    pub fn load_opt_state(&mut self, state: &nn::AdamState) -> Result<(), String> {
+        if !state.m.is_empty() {
+            let mut shapes = Vec::new();
+            self.net.visit_params(&mut |p| shapes.push(p.data.len()));
+            for (name, moments) in [("first", &state.m), ("second", &state.v)] {
+                if moments.len() != shapes.len() {
+                    return Err(format!(
+                        "Adam state has {} {name}-moment tensors, network has {} parameters",
+                        moments.len(),
+                        shapes.len()
+                    ));
+                }
+                for (i, (m, expected)) in moments.iter().zip(&shapes).enumerate() {
+                    if m.len() != *expected {
+                        return Err(format!(
+                            "Adam {name} moment {i}: expected {expected} values, got {}",
+                            m.len()
+                        ));
+                    }
+                }
+            }
+        }
+        self.opt.load_state(state)
+    }
+
     /// Serializes parameters to bytes (checkpointing).
     pub fn to_bytes(&mut self) -> Vec<u8> {
         nn::serialize::to_bytes(&mut self.net)
@@ -242,6 +286,33 @@ mod tests {
         let qa = a.forward(&[&f], false);
         let qb = b.forward(&[&f], false);
         assert_eq!(qa[0][5], qb[0][5]);
+    }
+
+    #[test]
+    fn truncated_adam_state_rejected() {
+        let cfg = QNetConfig::tiny(8);
+        let mut q = PrefixQNet::new(&cfg);
+        // Take one gradient step so the optimizer has real moments.
+        let env = PrefixEnv::new(EnvConfig::analytical(8), Arc::new(AnalyticalEvaluator));
+        let f = env.features();
+        let _ = q.forward(&[&f], true);
+        let mut grad = vec![vec![[0.0f32; 2]; q.num_actions()]; 1];
+        grad[0][3][0] = 1.0;
+        q.apply_gradient(&grad);
+        let good = q.opt_state();
+        let mut fresh = PrefixQNet::new(&cfg);
+        fresh.load_opt_state(&good).unwrap();
+        // A fresh optimizer has no moments to validate against, so the
+        // network-level check must catch truncation/corruption.
+        let mut missing_tensor = good.clone();
+        missing_tensor.m.pop();
+        missing_tensor.v.pop();
+        assert!(PrefixQNet::new(&cfg)
+            .load_opt_state(&missing_tensor)
+            .is_err());
+        let mut short_tensor = good.clone();
+        short_tensor.v[0].pop();
+        assert!(PrefixQNet::new(&cfg).load_opt_state(&short_tensor).is_err());
     }
 
     #[test]

@@ -4,15 +4,15 @@
 //! which path a design took to evaluation.
 
 use prefix_graph::{structures, PrefixGraph};
-use prefixrl_core::agent::{train, AgentConfig};
+use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::{CacheConfig, CachedEvaluator};
 use prefixrl_core::evalsvc::EvalService;
 use prefixrl_core::evaluator::{AnalyticalEvaluator, Evaluator, ObjectivePoint};
-use prefixrl_core::parallel::train_async;
+use prefixrl_core::experiment::{AsyncRunner, Experiment, Weights};
 use prefixrl_core::pareto::ParetoFront;
 use std::sync::Arc;
 
-/// Serial `train` and `train_async` harvest legal designs with comparable
+/// The serial and async runners harvest legal designs with comparable
 /// Pareto frontiers at N = 8 and N = 16: both fronts weakly improve on the
 /// two episode start states (which every reset records) and explore design
 /// pools of the same order of magnitude.
@@ -21,8 +21,8 @@ fn serial_and_async_frontiers_comparable() {
     for n in [8u16, 16] {
         let mut cfg = AgentConfig::tiny(n, 0.5);
         cfg.total_steps = if n == 8 { 400 } else { 300 };
-        let serial = train(&cfg, Arc::new(AnalyticalEvaluator));
-        let parallel = train_async(&cfg, Arc::new(AnalyticalEvaluator), 4);
+        let serial = TrainLoop::run(&cfg, Arc::new(AnalyticalEvaluator));
+        let parallel = AsyncRunner { actors: 4 }.train(&cfg, Arc::new(AnalyticalEvaluator));
 
         for result in [&serial, &parallel] {
             assert!(result.designs.len() > 10, "n={n}: too few designs");
@@ -63,7 +63,7 @@ fn four_actor_training_hits_shared_cache() {
         AnalyticalEvaluator,
         CacheConfig::default(),
     ));
-    let result = train_async(&cfg, cache.clone(), 4);
+    let result = AsyncRunner { actors: 4 }.train(&cfg, cache.clone());
     assert!(!result.designs.is_empty());
     assert!(cache.shards() >= 8, "default shard count must be ≥ 8");
     assert!(
@@ -158,13 +158,38 @@ fn sharded_cache_accounting_under_concurrency() {
 #[test]
 fn training_through_service_matches_cache_only() {
     let cfg = AgentConfig::tiny(8, 0.5);
-    let direct = train(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
+    let direct = TrainLoop::run(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
     let cache = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
     let service = Arc::new(EvalService::new(cache.clone() as Arc<dyn Evaluator>, 2));
-    let routed = train(&cfg, service);
+    let routed = TrainLoop::run(&cfg, service);
     assert_eq!(direct.designs.len(), routed.designs.len());
     let df: ParetoFront<PrefixGraph> = direct.front();
     let rf: ParetoFront<PrefixGraph> = routed.front();
     assert_eq!(df.points(), rf.points());
     assert!(cache.hits() > 0);
+}
+
+/// The session layer adds orchestration, not semantics: a single-weight
+/// `Experiment` run produces exactly the designs and losses of a direct
+/// `TrainLoop` run with the same configuration.
+#[test]
+fn experiment_single_run_matches_direct_loop() {
+    let base = AgentConfig::tiny(8, 0.5);
+    let exp = Experiment::builder()
+        .n(8)
+        .weights(Weights::single(0.5))
+        .seed(0)
+        .base_config(base.clone())
+        .build();
+    let via_experiment = exp.run_quiet().unwrap();
+    // The builder applies the same weight/seed the base already has.
+    let direct = TrainLoop::run(&base, Arc::new(AnalyticalEvaluator));
+    let record = &via_experiment.records[0];
+    assert_eq!(record.steps, direct.steps);
+    assert_eq!(record.losses, direct.losses);
+    assert_eq!(record.designs.len(), direct.designs.len());
+    for ((ga, pa), (gb, pb)) in record.designs.iter().zip(&direct.designs) {
+        assert_eq!(ga.canonical_key(), gb.canonical_key());
+        assert_eq!(pa, pb);
+    }
 }

@@ -43,5 +43,5 @@ pub mod tensor;
 
 pub use layers::{BatchNorm2d, Conv2d, Layer, LeakyReLU, Linear, Param, ResidualBlock, Sequential};
 pub use loss::{huber_loss_grad, mse_loss_grad};
-pub use optim::{Adam, Sgd};
+pub use optim::{Adam, AdamState, Sgd};
 pub use tensor::Tensor;

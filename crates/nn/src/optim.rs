@@ -5,6 +5,22 @@
 //! is deterministic for any fixed architecture.
 
 use crate::layers::Layer;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of an [`Adam`] optimizer's internal state.
+///
+/// Adam is stateful — per-parameter first/second moments plus the bias-
+/// correction step counter — so resuming training from a checkpoint is only
+/// bit-identical if this state is restored alongside the parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdamState {
+    /// Bias-correction step counter.
+    pub t: u64,
+    /// First-moment estimates, one tensor per parameter in visit order.
+    pub m: Vec<Vec<f32>>,
+    /// Second-moment estimates, one tensor per parameter in visit order.
+    pub v: Vec<Vec<f32>>,
+}
 
 /// The Adam optimizer (Kingma & Ba). The paper trains with Adam at
 /// learning rate `4e-5`; small-scale experiments here default higher.
@@ -40,6 +56,54 @@ impl Adam {
     /// Adjusts the learning rate (for schedules).
     pub fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    /// Snapshots the moment estimates and step counter.
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores a snapshot captured by [`Adam::state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the moment tensor counts or any tensor length disagree
+    /// (state from a different architecture). An empty snapshot (optimizer
+    /// that never stepped) is always accepted.
+    pub fn load_state(&mut self, state: &AdamState) -> Result<(), String> {
+        if state.m.len() != state.v.len() {
+            return Err(format!(
+                "inconsistent Adam state: {} first moments vs {} second moments",
+                state.m.len(),
+                state.v.len()
+            ));
+        }
+        if !self.m.is_empty() && !state.m.is_empty() {
+            if self.m.len() != state.m.len() {
+                return Err(format!(
+                    "Adam state has {} moment tensors, optimizer tracks {}",
+                    state.m.len(),
+                    self.m.len()
+                ));
+            }
+            for (i, (cur, new)) in self.m.iter().zip(&state.m).enumerate() {
+                if cur.len() != new.len() {
+                    return Err(format!(
+                        "Adam moment {i}: expected {} values, got {}",
+                        cur.len(),
+                        new.len()
+                    ));
+                }
+            }
+        }
+        self.t = state.t;
+        self.m = state.m.clone();
+        self.v = state.v.clone();
+        Ok(())
     }
 
     /// Applies one Adam update using the gradients accumulated in `net`.
@@ -149,6 +213,54 @@ mod tests {
         let mut sgd = Sgd::with_momentum(0.01, 0.9);
         let loss = train(&mut |l| sgd.step(l), 400);
         assert!(loss < 1e-2, "sgd final loss {loss}");
+    }
+
+    #[test]
+    fn adam_state_roundtrip_is_bit_identical() {
+        // Two optimizers: train one, snapshot, restore into the other, and
+        // both must produce identical parameters on every further step.
+        let mut lin_a = Linear::new(1, 1, 0);
+        let mut lin_b = Linear::new(1, 1, 0);
+        let mut adam_a = Adam::new(0.05);
+        let mut adam_b = Adam::new(0.05);
+        let x = Tensor::from_vec([4, 1, 1, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let t = Tensor::from_vec([4, 1, 1, 1], vec![2.0, 4.0, 6.0, 8.0]);
+        let step = |lin: &mut Linear, adam: &mut Adam| {
+            let y = lin.forward(&x, true);
+            let (_, g) = mse_loss_grad(&y, &t);
+            lin.zero_grad();
+            lin.backward(&g);
+            adam.step(lin);
+        };
+        for _ in 0..10 {
+            step(&mut lin_a, &mut adam_a);
+        }
+        let snap = adam_a.state();
+        crate::serialize::load_state(&mut lin_b, &crate::serialize::state(&mut lin_a)).unwrap();
+        adam_b.load_state(&snap).unwrap();
+        for _ in 0..10 {
+            step(&mut lin_a, &mut adam_a);
+            step(&mut lin_b, &mut adam_b);
+            assert_eq!(
+                crate::serialize::state(&mut lin_a),
+                crate::serialize::state(&mut lin_b)
+            );
+        }
+    }
+
+    #[test]
+    fn adam_state_rejects_mismatched_shape() {
+        let mut lin = Linear::new(2, 2, 0);
+        let mut adam = Adam::new(0.05);
+        let y = lin.forward(&Tensor::ones([1, 2, 1, 1]), true);
+        let (_, g) = mse_loss_grad(&y, &Tensor::ones([1, 2, 1, 1]));
+        lin.backward(&g);
+        adam.step(&mut lin);
+        let mut bad = adam.state();
+        bad.m[0].push(0.0);
+        assert!(adam.load_state(&bad).is_err());
+        bad.v.pop();
+        assert!(adam.load_state(&bad).is_err());
     }
 
     #[test]

@@ -102,6 +102,28 @@ pub fn from_bytes(net: &mut dyn Layer, bytes: &[u8]) -> Result<(), String> {
     load_state(net, &tensors)
 }
 
+/// A 64-bit FNV-1a digest over parameter tensors, for cheap integrity
+/// checks of checkpointed network state (two identical states always agree;
+/// any flipped bit almost surely disagrees).
+pub fn digest(tensors: &[Vec<f32>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for t in tensors {
+        for b in (t.len() as u64).to_le_bytes() {
+            mix(b);
+        }
+        for v in t {
+            for b in v.to_le_bytes() {
+                mix(b);
+            }
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +170,21 @@ mod tests {
         let s = state(&mut a);
         let mut tiny = Sequential::new(vec![Box::new(Conv2d::new(1, 1, 1, 0)) as Box<_>]);
         assert!(load_state(&mut tiny, &s).is_err());
+    }
+
+    #[test]
+    fn digest_distinguishes_states() {
+        let mut a = build();
+        let s = state(&mut a);
+        let d = digest(&s);
+        assert_eq!(d, digest(&s), "digest is deterministic");
+        let mut tweaked = s.clone();
+        tweaked[0][0] += 1.0;
+        assert_ne!(d, digest(&tweaked));
+        // Tensor boundaries matter: [[x],[y]] != [[x,y]].
+        let split = vec![vec![1.0f32], vec![2.0]];
+        let joined = vec![vec![1.0f32, 2.0]];
+        assert_ne!(digest(&split), digest(&joined));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use policy::ScalarizedPolicy;
 pub use qnetwork::QNetwork;
 pub use replay::{ReplayBuffer, Transition};
 pub use schedule::EpsilonSchedule;
-pub use trainer::{DoubleDqn, DqnConfig};
+pub use trainer::{DoubleDqn, DqnConfig, TrainerState};
 
 /// Number of reward objectives (area, delay).
 pub const OBJECTIVES: usize = 2;

@@ -37,6 +37,23 @@ impl DqnConfig {
     }
 }
 
+/// A serializable snapshot of a [`DoubleDqn`]'s learnable state: both
+/// networks' parameters plus the gradient-step counter that drives target
+/// synchronization.
+///
+/// Optimizer internals (e.g. Adam moments) live inside the concrete
+/// [`QNetwork`] implementation and are checkpointed alongside this snapshot
+/// by the caller (see `prefixrl_core::checkpoint`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainerState {
+    /// Online-network parameter tensors ([`QNetwork::state`] order).
+    pub online: Vec<Vec<f32>>,
+    /// Target-network parameter tensors.
+    pub target: Vec<Vec<f32>>,
+    /// Gradient steps taken (position in the target-sync cycle).
+    pub grad_steps: u64,
+}
+
 /// Scalarized Double-DQN over a [`QNetwork`] pair (online + target).
 ///
 /// All action selection delegates to the shared [`ScalarizedPolicy`], so
@@ -95,6 +112,33 @@ impl<Q: QNetwork> DoubleDqn<Q> {
     /// Mutable access to the online network (checkpointing, inspection).
     pub fn online_mut(&mut self) -> &mut Q {
         &mut self.online
+    }
+
+    /// Mutable access to the target network (checkpointing).
+    pub fn target_mut(&mut self) -> &mut Q {
+        &mut self.target
+    }
+
+    /// Snapshots both networks and the gradient-step counter.
+    pub fn save_state(&mut self) -> TrainerState {
+        TrainerState {
+            online: self.online.state(),
+            target: self.target.state(),
+            grad_steps: self.grad_steps,
+        }
+    }
+
+    /// Restores a snapshot captured by [`DoubleDqn::save_state`], resuming
+    /// the target-sync cycle at the recorded gradient step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on architecture mismatch.
+    pub fn load_state_snapshot(&mut self, state: &TrainerState) -> Result<(), String> {
+        self.online.load_state(&state.online)?;
+        self.target.load_state(&state.target)?;
+        self.grad_steps = state.grad_steps;
+        Ok(())
     }
 
     /// Per-action Q-values for a single state (evaluation mode).
@@ -408,6 +452,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let replay = fill_replay(&mut rng, 10);
         assert!(dqn.train_step(&replay, &mut rng).is_none());
+    }
+
+    #[test]
+    fn trainer_state_roundtrip_resumes_sync_cycle() {
+        let mut a = train_chain(0.5, 11);
+        let state = a.save_state();
+        // Serde round-trip through the value tree.
+        let v = serde::Serialize::to_value(&state);
+        let state: TrainerState = serde::Deserialize::from_value(&v).unwrap();
+        let online = LinearQ::new(5, 2, 77, 0.02);
+        let target = LinearQ::new(5, 2, 78, 0.02);
+        let mut b = DoubleDqn::new(online, target, a.config().clone());
+        b.load_state_snapshot(&state).unwrap();
+        assert_eq!(b.grad_steps(), a.grad_steps());
+        assert_eq!(b.online_mut().state(), a.online_mut().state());
+        assert_eq!(b.target_mut().state(), a.target_mut().state());
+        for s in 0..5 {
+            assert_eq!(
+                a.greedy_action(&one_hot(s.clamp(1, 3)), &[true, true]),
+                b.greedy_action(&one_hot(s.clamp(1, 3)), &[true, true]),
+            );
+        }
     }
 
     #[test]

@@ -1,36 +1,42 @@
 //! Design an area-delay Pareto frontier of adders with RL agents at several
 //! scalarization weights, and compare it against the classical structures —
-//! a miniature of the paper's Fig. 4 experiment.
+//! a miniature of the paper's Fig. 4 experiment, driven by the
+//! `Experiment` sweep API (one shared evaluation cache, merged fronts).
 //!
 //! ```sh
 //! cargo run --release --example design_adder_frontier
 //! ```
 
 use prefixrl::prelude::*;
-use std::sync::Arc;
 
 fn main() {
     let n: u16 = 12;
-    let weights = [0.15, 0.35, 0.55, 0.75, 0.92];
     let steps = 1_500u64;
 
-    // One shared, cached analytical evaluator across all agents.
-    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+    // Five agents across the weight range, all sharing one cached
+    // analytical evaluator behind the experiment's EvalService.
+    let experiment = Experiment::builder()
+        .n(n)
+        .weights(Weights::list(vec![0.15, 0.35, 0.55, 0.75, 0.92]))
+        .steps(steps)
+        .seed(40)
+        .eval_threads(5)
+        .build();
+    let result = experiment.run_quiet().expect("sweep");
 
     let mut front: ParetoFront<String> = ParetoFront::new();
-    for (i, &w) in weights.iter().enumerate() {
-        let mut cfg = AgentConfig::small(n, w as f32, steps);
-        cfg.seed = 40 + i as u64;
-        let result = train(&cfg, evaluator.clone());
-        for (g, p) in &result.designs {
-            front.insert(*p, format!("rl(w={w})[{}n/{}l]", g.size(), g.depth()));
+    for record in &result.records {
+        for (g, p) in &record.designs {
+            front.insert(
+                *p,
+                format!("rl(w={})[{}n/{}l]", record.w_area, g.size(), g.depth()),
+            );
         }
         println!(
-            "agent w_area={w}: {} designs visited, best scalarized {:?}",
-            result.designs.len(),
-            result
-                .best_scalarized(w, 1.0, 1.0)
-                .map(|(g, p)| (g.size(), p.area, p.delay))
+            "agent w_area={}: {} designs visited, frontier {} points",
+            record.w_area,
+            record.designs.len(),
+            record.front().len(),
         );
     }
 
@@ -56,8 +62,9 @@ fn main() {
         None => println!("\nRL frontier does not reach the classical delays"),
     }
     println!(
-        "cache: {} unique states, {:.0}% hit rate",
-        evaluator.unique_states(),
-        100.0 * evaluator.hit_rate()
+        "cache: {} unique states, {:.0}% hit rate across {} agents",
+        result.cache.unique_states,
+        100.0 * result.cache.hit_rate,
+        result.records.len(),
     );
 }

@@ -5,7 +5,6 @@
 //! ```
 
 use prefixrl::prelude::*;
-use std::sync::Arc;
 
 fn main() {
     // 1. Classical structures and the grid representation.
@@ -32,18 +31,29 @@ fn main() {
         println!("  delay {delay:.3} ns -> area {area:.1} um^2");
     }
 
-    // 4. Train a small PrefixRL agent (analytical reward for speed) and
-    //    compare its best design against the start states.
-    let cfg = AgentConfig::small(8, 0.35, 3_000);
-    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+    // 4. Train a small PrefixRL session (analytical reward for speed)
+    //    through the Experiment builder, watching its event stream, and
+    //    compare the discovered frontier against the start states.
+    let experiment = Experiment::builder()
+        .n(8)
+        .weights(Weights::single(0.35))
+        .steps(3_000)
+        .build();
     println!("\ntraining a small 8b agent (w_area = 0.35, 3k steps)...");
-    let result = train(&cfg, evaluator.clone());
+    let mut episodes = 0usize;
+    let mut observer = CallbackObserver::new(|_, event: &Event| {
+        if let Event::EpisodeEnd { episode, .. } = event {
+            episodes = *episode;
+        }
+    });
+    let result = experiment.run(&mut observer).expect("training run");
+    let _ = observer; // closure borrow of `episodes` ends here
     println!(
-        "visited {} distinct designs, cache hit rate {:.0}%",
-        result.designs.len(),
-        100.0 * evaluator.hit_rate()
+        "visited {} distinct designs over {episodes} episodes, cache hit rate {:.0}%",
+        result.records[0].designs.len(),
+        100.0 * result.cache.hit_rate
     );
-    let front = result.front();
+    let front = result.merged_front();
     println!("discovered Pareto front ({} points):", front.len());
     for (p, g) in front.iter().take(8) {
         println!(

@@ -1,17 +1,24 @@
-//! The `prefixrl` command-line tool: train agents, evaluate and render
-//! prefix-adder designs, and export Verilog, without writing any code.
+//! The `prefixrl` command-line tool: train agents, sweep weight schedules,
+//! evaluate and render prefix-adder designs, and export Verilog, without
+//! writing any code.
 //!
 //! ```text
 //! prefixrl structures --n 32                         # survey regular adders
 //! prefixrl train --n 8 --w 0.5 --steps 2000          # train one agent
+//! prefixrl sweep --n 8 --weights 5 --steps 300       # 5-agent weight sweep
 //! prefixrl eval --structure sklansky --n 32 --lib tech8
 //! prefixrl render --structure brent_kung --n 16 --dot
 //! prefixrl verilog --structure kogge_stone --n 16 --target 0.3
 //! ```
+//!
+//! `train` and `sweep` are both [`Experiment`] sessions: they share the
+//! evaluation stack, the checkpoint format (`--checkpoint` /
+//! `--checkpoint-every` / `--resume`), and the `prefixrl.experiment.v1`
+//! JSON report schema (DESIGN.md §10).
 
 use prefixrl::prelude::*;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +30,7 @@ fn main() {
     match cmd.as_str() {
         "structures" => cmd_structures(&opts),
         "train" => cmd_train(&opts),
+        "sweep" => cmd_sweep(&opts),
         "eval" => cmd_eval(&opts),
         "render" => cmd_render(&opts),
         "verilog" => cmd_verilog(&opts),
@@ -39,22 +47,19 @@ fn usage() {
     eprintln!(
         "prefixrl — deep-RL prefix-adder design (PrefixRL, DAC 2021 reproduction)\n\
          \n\
-         COMMANDS\n\
-         \x20 structures --n <N> [--lib nangate45|tech8]\n\
-         \x20     survey the regular adder structures (analytical + synthesized)\n\
-         \x20 train --n <N> --w <w_area> --steps <K> [--evaluator synthesis|analytical]\n\
-         \x20       [--actors <A>] [--eval-threads <T>] [--cache-shards <S>]\n\
-         \x20       [--seed <S>] [--out <designs.json>] [--json]\n\
-         \x20     train one PrefixRL agent and report its Pareto frontier;\n\
-         \x20     --json prints a machine-readable summary (designs, cache\n\
-         \x20     hit rate, steps/sec) for scriptable benchmarking\n\
-         \x20 eval --structure <name> --n <N> [--lib ...] [--targets <T>]\n\
-         \x20     synthesize a structure across delay targets\n\
-         \x20 render --structure <name> --n <N> [--dot]\n\
-         \x20     draw a prefix graph (ASCII, or Graphviz with --dot)\n\
-         \x20 verilog --structure <name> --n <N> [--target <ns>] [--lib ...]\n\
-         \x20     emit (optionally timing-optimized) structural Verilog"
+         COMMANDS (each accepts --help for its full option list)\n\
+         \x20 structures   survey the regular adder structures\n\
+         \x20 train        train one PrefixRL agent and report its Pareto frontier\n\
+         \x20 sweep        train one agent per scalarization weight over a shared\n\
+         \x20              evaluation cache and merge their fronts (paper Fig. 4)\n\
+         \x20 eval         synthesize a structure across delay targets\n\
+         \x20 render       draw a prefix graph (ASCII, or Graphviz with --dot)\n\
+         \x20 verilog      emit (optionally timing-optimized) structural Verilog"
     );
+}
+
+fn wants_help(opts: &HashMap<String, String>) -> bool {
+    opts.contains_key("help") || opts.contains_key("-h") || opts.contains_key("h")
 }
 
 fn parse_opts(rest: &[String]) -> HashMap<String, String> {
@@ -73,16 +78,53 @@ fn parse_opts(rest: &[String]) -> HashMap<String, String> {
     opts
 }
 
+/// Parses `--key value`, exiting with a clear diagnostic on a malformed
+/// value (a silent fallback to the default would mask typos like
+/// `--steps abc`).
 fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
-    opts.get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match opts.get(key) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "error: invalid value `{raw}` for --{key} (expected {})",
+                friendly_type_name::<T>()
+            );
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Like [`get`] but with no default: `None` when the flag is absent.
+fn get_opt<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str) -> Option<T> {
+    opts.get(key).map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "error: invalid value `{raw}` for --{key} (expected {})",
+                friendly_type_name::<T>()
+            );
+            std::process::exit(2);
+        })
+    })
+}
+
+fn friendly_type_name<T>() -> &'static str {
+    let full = std::any::type_name::<T>();
+    match full {
+        "u8" | "u16" | "u32" | "u64" | "usize" => "a non-negative integer",
+        "i8" | "i16" | "i32" | "i64" | "isize" => "an integer",
+        "f32" | "f64" => "a number",
+        _ => full,
+    }
 }
 
 fn library(opts: &HashMap<String, String>) -> Library {
     match opts.get("lib").map(String::as_str) {
         Some("tech8") => Library::tech8(),
-        _ => Library::nangate45(),
+        Some("nangate45") | None => Library::nangate45(),
+        Some(other) => {
+            eprintln!("error: unknown library `{other}` (expected nangate45|tech8)");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -105,6 +147,16 @@ fn structure(name: &str, n: u16) -> PrefixGraph {
 }
 
 fn cmd_structures(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl structures — survey the regular adder structures\n\
+             \n\
+             OPTIONS\n\
+             \x20 --n <N>                input width (default 16)\n\
+             \x20 --lib nangate45|tech8  cell library (default nangate45)"
+        );
+        return;
+    }
     let n: u16 = get(opts, "n", 16);
     let lib = library(opts);
     println!(
@@ -129,116 +181,319 @@ fn cmd_structures(opts: &HashMap<String, String>) {
     }
 }
 
+fn session_options_help() -> &'static str {
+    "\x20 --steps <K>              environment steps per agent (default 2000)\n\
+     \x20 --seed <S>               master seed; agent i trains with S+i (default 0)\n\
+     \x20 --evaluator synthesis|analytical   reward oracle (default synthesis)\n\
+     \x20 --lib nangate45|tech8    cell library for synthesis rewards\n\
+     \x20 --actors <A>             async actor threads per agent (default 1 =\n\
+     \x20                          deterministic serial runner; >1 disables\n\
+     \x20                          checkpointing)\n\
+     \x20 --eval-threads <T>       EvalService thread budget; sweeps also fan\n\
+     \x20                          agents out over this many threads\n\
+     \x20 --cache-shards <S>       shared evaluation cache shards (default 16)\n\
+     \x20 --checkpoint <path>      persist a sweep checkpoint to this file\n\
+     \x20 --checkpoint-every <K>   capture a checkpoint every K steps per agent\n\
+     \x20 --resume <path>          resume from a sweep checkpoint file\n\
+     \x20 --halt-at <K>            stop each agent at step K after checkpointing\n\
+     \x20                          (interrupt/resume testing; implies --checkpoint)\n\
+     \x20 --progress               stream episode/checkpoint events to stderr\n\
+     \x20 --json                   print the prefixrl.experiment.v1 report\n\
+     \x20 --out <file>             write the report (with graphs) to a file"
+}
+
 fn cmd_train(opts: &HashMap<String, String>) {
-    let n: u16 = get(opts, "n", 8);
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl train — train one PrefixRL agent and report its Pareto frontier\n\
+             \n\
+             OPTIONS\n\
+             \x20 --n <N>                  input width (default 8)\n\
+             \x20 --w <w_area>             scalarization weight in [0,1] (default 0.5)\n{}",
+            session_options_help()
+        );
+        return;
+    }
     let w: f64 = get(opts, "w", 0.5);
-    let steps: u64 = get(opts, "steps", 2000);
-    let seed: u64 = get(opts, "seed", 0);
-    let actors: usize = get(opts, "actors", 1).max(1);
-    let eval_threads: usize = get(opts, "eval-threads", actors).max(1);
-    let cache_shards: usize = get(opts, "cache-shards", 16).max(1);
-    let json_mode = opts.contains_key("json");
-    let mut cfg = AgentConfig::small(n, w as f32, steps);
-    cfg.seed = seed;
-    let use_synth = opts.get("evaluator").map(String::as_str) != Some("analytical");
-    let inner: Box<dyn Evaluator> = if use_synth {
-        cfg.env = prefixrl_core::env::EnvConfig::synthesis(n);
-        Box::new(SynthesisEvaluator::new(
-            library(opts),
-            SweepConfig::fast(),
-            w,
-        ))
-    } else {
-        Box::new(AnalyticalEvaluator)
-    };
-    // The shared evaluation stack: sharded cache behind the EvalService
-    // front door; every path (serial, async actors, batch) goes through it.
-    let cache = Arc::new(CachedEvaluator::with_config(
-        inner,
-        CacheConfig::with_shards(cache_shards),
-    ));
-    let service = Arc::new(EvalService::new(
-        Arc::clone(&cache) as Arc<dyn Evaluator>,
-        eval_threads,
-    ));
-    let evaluator_name = if use_synth { "synthesis" } else { "analytical" };
-    if !json_mode {
-        println!(
-            "training {n}b agent: w_area={w}, {steps} steps, evaluator={evaluator_name}, \
-             actors={actors}, eval-threads={eval_threads}, cache-shards={cache_shards}"
-        );
+    if !(0.0..=1.0).contains(&w) {
+        eprintln!("error: --w must lie in [0, 1], got {w}");
+        std::process::exit(2);
     }
-    let t = std::time::Instant::now();
-    let result = if actors > 1 {
-        prefixrl_core::parallel::train_async(&cfg, service.clone(), actors)
-    } else {
-        train(&cfg, service.clone())
-    };
-    let elapsed = t.elapsed().as_secs_f64();
-    let front = result.front();
-    if json_mode {
-        let summary = serde_json::json!({
-            "n": n,
-            "w_area": w,
-            "steps": steps,
-            "evaluator": evaluator_name,
-            "actors": actors,
-            "eval_threads": eval_threads,
-            "elapsed_sec": elapsed,
-            "steps_per_sec": steps as f64 / elapsed.max(1e-9),
-            "designs": result.designs.len(),
-            "frontier_size": front.len(),
-            "grad_steps": result.losses.len(),
-            "cache": {
-                "shards": cache.shards(),
-                "hits": cache.hits(),
-                "misses": cache.misses(),
-                "evictions": cache.evictions(),
-                "hit_rate": cache.hit_rate(),
-                "unique_states": cache.unique_states(),
-            },
-        });
-        println!("{}", serde_json::to_string_pretty(&summary).unwrap());
-    } else {
-        println!(
-            "done in {elapsed:.1}s ({:.1} steps/s): {} designs, {} grad steps, \
-             cache hit rate {:.0}% over {} shards",
-            steps as f64 / elapsed.max(1e-9),
-            result.designs.len(),
-            result.losses.len(),
-            100.0 * cache.hit_rate(),
-            cache.shards(),
+    run_session(opts, Weights::single(w));
+}
+
+fn cmd_sweep(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl sweep — train one agent per scalarization weight over one\n\
+             shared evaluation cache and merge their design fronts (paper Fig. 4:\n\
+             15 agents over w_area in [0.10, 0.99])\n\
+             \n\
+             OPTIONS\n\
+             \x20 --n <N>                  input width (default 8)\n\
+             \x20 --weights <K>            number of linspaced agents (default 5)\n\
+             \x20 --w-min <w>              first weight (default 0.10)\n\
+             \x20 --w-max <w>              last weight (default 0.99)\n\
+             \x20 --w-list <w1,w2,...>     explicit weight list (overrides the above)\n{}",
+            session_options_help()
         );
-        println!("\nPareto frontier:");
-        println!(
-            "{:>10} {:>10}  {:>5} {:>5}",
-            "area", "delay", "size", "depth"
-        );
-        for (p, g) in front.iter() {
-            println!(
-                "{:>10.2} {:>10.3}  {:>5} {:>5}",
-                p.area,
-                p.delay,
-                g.size(),
-                g.depth()
-            );
+        return;
+    }
+    let weights = match opts.get("w-list") {
+        Some(list) => {
+            let ws: Vec<f64> = list
+                .split(',')
+                .map(|tok| {
+                    tok.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("error: invalid weight `{tok}` in --w-list (expected a number)");
+                        std::process::exit(2);
+                    })
+                })
+                .collect();
+            if ws.is_empty() || ws.iter().any(|w| !(0.0..=1.0).contains(w)) {
+                eprintln!("error: --w-list needs at least one weight, all in [0, 1]");
+                std::process::exit(2);
+            }
+            Weights::list(ws)
         }
-    }
-    if let Some(path) = opts.get("out") {
-        let json = serde_json::json!({
-            "n": n, "w_area": w, "steps": steps,
-            "frontier": front.iter().map(|(p, g)| serde_json::json!({
-                "area": p.area, "delay": p.delay, "graph": g,
-            })).collect::<Vec<_>>(),
-        });
-        std::fs::write(path, serde_json::to_string_pretty(&json).unwrap()).expect("write designs");
-        if !json_mode {
-            println!("\nwrote frontier to {path}");
+        None => {
+            let k: usize = get(opts, "weights", 5);
+            let lo: f64 = get(opts, "w-min", 0.10);
+            let hi: f64 = get(opts, "w-max", 0.99);
+            if k == 0 || !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+                eprintln!(
+                    "error: need --weights >= 1 and 0 <= --w-min <= --w-max <= 1 \
+                     (got {k} over [{lo}, {hi}])"
+                );
+                std::process::exit(2);
+            }
+            Weights::linspace(lo, hi, k)
+        }
+    };
+    run_session(opts, weights);
+}
+
+/// Streams sweep events to stderr (`--progress`): one line per finished
+/// episode and per checkpoint.
+struct ProgressObserver;
+
+impl RunObserver for ProgressObserver {
+    fn on_event(&mut self, run: usize, event: &Event) {
+        match event {
+            Event::EpisodeEnd {
+                episode,
+                scalarized_return,
+            } => eprintln!("[agent {run}] episode {episode}: return {scalarized_return:+.3}"),
+            Event::CheckpointSaved { step } => {
+                eprintln!("[agent {run}] checkpoint at step {step}")
+            }
+            _ => {}
         }
     }
 }
 
+/// The shared `train`/`sweep` session driver: builds the [`Experiment`],
+/// runs or resumes it, and emits the unified report.
+fn run_session(opts: &HashMap<String, String>, weights: Weights) {
+    let n: u16 = get(opts, "n", 8);
+    let steps: u64 = get(opts, "steps", 2000);
+    let seed: u64 = get(opts, "seed", 0);
+    let actors: usize = get(opts, "actors", 1).max(1);
+    let default_threads = weights.len().max(actors);
+    let eval_threads: usize = get(opts, "eval-threads", default_threads).max(1);
+    let cache_shards: usize = get(opts, "cache-shards", 16).max(1);
+    let json_mode = opts.contains_key("json");
+    let use_synth = match opts.get("evaluator").map(String::as_str) {
+        Some("analytical") => false,
+        Some("synthesis") | None => true,
+        Some(other) => {
+            eprintln!("error: unknown evaluator `{other}` (expected synthesis|analytical)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut base = AgentConfig::small(n, 0.5, steps);
+    let inner: Box<dyn Evaluator> = if use_synth {
+        base.env = prefixrl_core::env::EnvConfig::synthesis(n);
+        // One evaluator instance is shared by every agent so the IV-D
+        // cache sharing happens; the curve point is picked at the sweep's
+        // median weight (see DESIGN.md §10).
+        let median_w = weights.values()[weights.len() / 2];
+        Box::new(SynthesisEvaluator::new(
+            library(opts),
+            SweepConfig::fast(),
+            median_w,
+        ))
+    } else {
+        Box::new(AnalyticalEvaluator)
+    };
+
+    let mut builder = Experiment::builder()
+        .n(n)
+        .weights(weights.clone())
+        .steps(steps)
+        .seed(seed)
+        .base_config(base)
+        .evaluator(inner)
+        .actors(actors)
+        .eval_threads(eval_threads)
+        .cache_shards(cache_shards);
+    if let Some(every) = get_opt::<u64>(opts, "checkpoint-every") {
+        builder = builder.checkpoint_every(every);
+    }
+    let halt_at = get_opt::<u64>(opts, "halt-at");
+    if let Some(halt) = halt_at {
+        builder = builder.halt_at(halt);
+    }
+    let checkpoint_path: Option<PathBuf> = opts
+        .get("checkpoint")
+        .map(PathBuf::from)
+        .or_else(|| opts.get("resume").map(PathBuf::from));
+    if halt_at.is_some() && checkpoint_path.is_none() {
+        eprintln!("error: --halt-at requires --checkpoint <path> (or --resume)");
+        std::process::exit(2);
+    }
+    if actors > 1
+        && (halt_at.is_some()
+            || checkpoint_path.is_some()
+            || opts.contains_key("checkpoint-every")
+            || opts.contains_key("resume"))
+    {
+        eprintln!(
+            "error: checkpointing (--checkpoint/--checkpoint-every/--resume/--halt-at) \
+             requires the deterministic serial runner; drop --actors or set it to 1"
+        );
+        std::process::exit(2);
+    }
+    if let Some(path) = &checkpoint_path {
+        builder = builder.checkpoint_path(path.clone());
+    }
+    let experiment = builder.build();
+
+    if !json_mode {
+        eprintln!(
+            "{} {n}b agent(s): weights {:?}, {steps} steps each, evaluator={}, \
+             actors={actors}, eval-threads={eval_threads}, cache-shards={cache_shards}",
+            if weights.len() > 1 {
+                "sweeping"
+            } else {
+                "training"
+            },
+            weights
+                .values()
+                .iter()
+                .map(|w| (w * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            if use_synth { "synthesis" } else { "analytical" },
+        );
+    }
+
+    let mut progress = ProgressObserver;
+    let mut null = NullObserver;
+    let observer: &mut dyn RunObserver = if opts.contains_key("progress") {
+        &mut progress
+    } else {
+        &mut null
+    };
+
+    let outcome = match opts.get("resume") {
+        Some(path) => {
+            let sweep = SweepCheckpoint::load(Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("error: cannot resume: {e}");
+                std::process::exit(1);
+            });
+            if !json_mode {
+                eprintln!(
+                    "resuming from {path}: {}/{} runs already complete",
+                    sweep.completed_runs(),
+                    sweep.runs.len()
+                );
+            }
+            experiment.resume(sweep, observer)
+        }
+        None => experiment.run(observer),
+    };
+    let result = outcome.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    if json_mode {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result.to_json(false)).unwrap()
+        );
+    } else {
+        report_human(&result);
+    }
+    if let Some(path) = opts.get("out") {
+        let report = serde_json::to_string_pretty(&result.to_json(true)).unwrap();
+        std::fs::write(path, report).unwrap_or_else(|e| {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(1);
+        });
+        if !json_mode {
+            println!("\nwrote prefixrl.experiment.v1 report to {path}");
+        }
+    }
+}
+
+fn report_human(result: &ExperimentResult) {
+    let merged = result.merged_front();
+    println!(
+        "{} in {:.1}s ({:.1} steps/s): {} agent(s), cache hit rate {:.0}% over {} shards",
+        if result.completed { "done" } else { "halted" },
+        result.elapsed_sec,
+        result.total_steps() as f64 / result.elapsed_sec.max(1e-9),
+        result.records.len(),
+        100.0 * result.cache.hit_rate,
+        result.cache.shards,
+    );
+    println!(
+        "\n{:>5} {:>8} {:>8} {:>9} {:>10} {:>9}",
+        "agent", "w_area", "designs", "frontier", "grad steps", "episodes"
+    );
+    for r in &result.records {
+        println!(
+            "{:>5} {:>8.3} {:>8} {:>9} {:>10} {:>9}",
+            r.run,
+            r.w_area,
+            r.designs.len(),
+            r.front().len(),
+            r.losses.len(),
+            r.episode_returns.len()
+        );
+    }
+    println!("\nmerged Pareto frontier ({} points):", merged.len());
+    println!(
+        "{:>10} {:>10}  {:>5} {:>5}",
+        "area", "delay", "size", "depth"
+    );
+    for (p, g) in merged.iter() {
+        println!(
+            "{:>10.2} {:>10.3}  {:>5} {:>5}",
+            p.area,
+            p.delay,
+            g.size(),
+            g.depth()
+        );
+    }
+}
+
 fn cmd_eval(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl eval — synthesize a structure across delay targets\n\
+             \n\
+             OPTIONS\n\
+             \x20 --structure <name>     ripple|sklansky|kogge_stone|brent_kung|\n\
+             \x20                        han_carlson|ladner_fischer|sparse_ks_<k>\n\
+             \x20 --n <N>                input width (default 16)\n\
+             \x20 --targets <T>          delay targets to sweep (default 8)\n\
+             \x20 --lib nangate45|tech8  cell library (default nangate45)"
+        );
+        return;
+    }
     let n: u16 = get(opts, "n", 16);
     let name = opts
         .get("structure")
@@ -265,6 +520,17 @@ fn cmd_eval(opts: &HashMap<String, String>) {
 }
 
 fn cmd_render(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl render — draw a prefix graph\n\
+             \n\
+             OPTIONS\n\
+             \x20 --structure <name>  structure to draw (default brent_kung)\n\
+             \x20 --n <N>             input width (default 16)\n\
+             \x20 --dot               emit Graphviz instead of ASCII"
+        );
+        return;
+    }
     let n: u16 = get(opts, "n", 16);
     let name = opts
         .get("structure")
@@ -279,6 +545,18 @@ fn cmd_render(opts: &HashMap<String, String>) {
 }
 
 fn cmd_verilog(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl verilog — emit structural Verilog for a structure\n\
+             \n\
+             OPTIONS\n\
+             \x20 --structure <name>     structure to emit (default brent_kung)\n\
+             \x20 --n <N>                input width (default 16)\n\
+             \x20 --target <ns>          timing-optimize to this delay first\n\
+             \x20 --lib nangate45|tech8  cell library (default nangate45)"
+        );
+        return;
+    }
     let n: u16 = get(opts, "n", 16);
     let name = opts
         .get("structure")
@@ -287,7 +565,7 @@ fn cmd_verilog(opts: &HashMap<String, String>) {
     let lib = library(opts);
     let g = structure(&name, n);
     let nl = adder::generate(&g);
-    if let Some(target) = opts.get("target").and_then(|t| t.parse::<f64>().ok()) {
+    if let Some(target) = get_opt::<f64>(opts, "target") {
         let cons = synth::sta::TimingConstraints::uniform(&lib);
         let out =
             synth::optimizer::optimize(&nl, &lib, &cons, target, &OptimizerConfig::commercial());

@@ -14,22 +14,26 @@
 //! | [`synth`] | STA, timing-driven optimization (sizing/buffering/pin swap), PCHIP area-delay curves, power |
 //! | [`nn`] | pure-Rust conv/batchnorm/residual network stack with Adam and backprop |
 //! | [`rl`] | scalarized multi-objective Double-DQN, replay, schedules |
-//! | [`prefixrl_core`] | the PrefixRL environment, Q-network, agents, caching, async training, Pareto tooling |
+//! | [`prefixrl_core`] | the PrefixRL environment, Q-network, experiment sessions (sweeps, run events, checkpoint/resume), caching, async training, Pareto tooling |
 //! | [`baselines`] | simulated annealing \[14\], pruned search \[15\], cross-layer ML \[10\], commercial chooser |
 //!
 //! # Quickstart
 //!
 //! ```
 //! use prefixrl::prelude::*;
-//! use std::sync::Arc;
 //!
-//! // Train a small agent on 8-bit adders with the analytical reward
-//! // (use SynthesisEvaluator for synthesis in the loop).
-//! let cfg = AgentConfig::tiny(8, 0.5);
-//! let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator::default()));
-//! let result = train(&cfg, evaluator);
-//! let front = result.front();
-//! assert!(!front.is_empty());
+//! // Sweep three small agents across scalarization weights on 8-bit
+//! // adders with the analytical reward (pass a SynthesisEvaluator to
+//! // `.evaluator(...)` for synthesis in the loop). All agents share one
+//! // cached evaluation service; their fronts merge into the result.
+//! let experiment = Experiment::builder()
+//!     .n(8)
+//!     .weights(Weights::linspace(0.2, 0.8, 3))
+//!     .base_config(AgentConfig::tiny(8, 0.5))
+//!     .build();
+//! let result = experiment.run_quiet().unwrap();
+//! assert_eq!(result.records.len(), 3);
+//! assert!(!result.merged_front().is_empty());
 //! ```
 //!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the

@@ -30,8 +30,7 @@ fn full_environment_step_with_synthesis_reward() {
 fn rl_designs_synthesize_to_correct_adders() {
     use rand::prelude::*;
     let cfg = AgentConfig::tiny(8, 0.5);
-    let result =
-        prefixrl_core::agent::train(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
+    let result = TrainLoop::run(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
     let lib = Library::nangate45();
     let cons = synth::sta::TimingConstraints::uniform(&lib);
     let mut rng = StdRng::seed_from_u64(5);
@@ -59,8 +58,8 @@ fn weight_controls_design_specialization() {
     small_cfg.total_steps = 600;
     let mut fast_cfg = AgentConfig::tiny(8, 0.05);
     fast_cfg.total_steps = 600;
-    let small = prefixrl_core::agent::train(&small_cfg, eval.clone());
-    let fast = prefixrl_core::agent::train(&fast_cfg, eval);
+    let small = TrainLoop::run(&small_cfg, eval.clone());
+    let fast = TrainLoop::run(&fast_cfg, eval);
     let best_small = small.best_scalarized(0.95, 0.05, 0.25).unwrap().1;
     let best_fast = fast.best_scalarized(0.05, 0.05, 0.25).unwrap().1;
     assert!(
@@ -79,8 +78,7 @@ fn weight_controls_design_specialization() {
 #[test]
 fn rl_frontier_beats_starting_states() {
     let cfg = AgentConfig::tiny(8, 0.4);
-    let result =
-        prefixrl_core::agent::train(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
+    let result = TrainLoop::run(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
     let front = result.front();
     let ripple = AnalyticalEvaluator.evaluate(&PrefixGraph::ripple(8));
     let sklansky = AnalyticalEvaluator.evaluate(&structures::sklansky(8));
@@ -146,7 +144,7 @@ fn async_training_integrates_with_synthesis_cache() {
     let mut cfg = AgentConfig::tiny(8, 0.5);
     cfg.total_steps = 120;
     cfg.env = prefixrl_core::env::EnvConfig::synthesis(8);
-    let result = prefixrl_core::parallel::train_async(&cfg, eval.clone(), 2);
+    let result = AsyncRunner { actors: 2 }.train(&cfg, eval.clone());
     assert!(!result.designs.is_empty());
     assert!(eval.hits() + eval.misses() > 0);
     for (g, p) in result.designs.iter().take(5) {
@@ -161,7 +159,9 @@ fn async_training_integrates_with_synthesis_cache() {
 fn agent_checkpoint_roundtrip() {
     let cfg = AgentConfig::tiny(8, 0.5);
     let eval: Arc<dyn Evaluator> = Arc::new(AnalyticalEvaluator);
-    let (mut dqn, _) = prefixrl_core::agent::train_with_agent(&cfg, Arc::clone(&eval));
+    let mut lp = TrainLoop::new(&cfg, Arc::clone(&eval));
+    lp.run_to_completion(0, &mut NullObserver);
+    let (mut dqn, _) = lp.into_parts();
     let bytes = dqn.online_mut().to_bytes();
     let mut restored = PrefixQNet::new(&cfg.qnet);
     restored.from_bytes(&bytes).unwrap();
