@@ -11,7 +11,7 @@ use prefixrl_core::evaluator::{AnalyticalEvaluator, ObjectivePoint};
 use prefixrl_core::pareto::ParetoFront;
 use prefixrl_core::qnet::{PrefixQNet, QNetConfig};
 use rand::SeedableRng;
-use rl::QNetwork;
+use rl::{QInfer, QNetwork};
 use std::hint::black_box;
 use std::sync::Arc;
 use synth::sweep::{sweep_graph, SweepConfig};

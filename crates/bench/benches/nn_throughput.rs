@@ -1,0 +1,212 @@
+//! Tensor-compute-engine throughput: Q-network forward/backward/inference
+//! samples/sec across `nn::compute` thread counts, against the pre-PR
+//! naive single-thread conv path (preserved in `nn::compute::reference`).
+//! Dumps `BENCH_nn.json` at the workspace root.
+//!
+//! ```sh
+//! cargo bench -p prefixrl-bench --bench nn_throughput
+//! PREFIXRL_SCALE=paper cargo bench -p prefixrl-bench --bench nn_throughput
+//! ```
+
+use nn::compute::{self, reference};
+use prefixrl_bench as support;
+use prefixrl_core::qnet::{PrefixQNet, QNetConfig};
+use rand::prelude::*;
+use rl::{QInfer, QNetwork};
+use std::time::Instant;
+
+/// Times `f` until `min_secs` of wall clock have accumulated (at least two
+/// calls) and returns seconds per call.
+fn time_per_call(mut f: impl FnMut(), min_secs: f64) -> f64 {
+    f(); // warm-up (scratch arenas, caches)
+    let t0 = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        f();
+        iters += 1;
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed >= min_secs && iters >= 2 {
+            return elapsed / iters as f64;
+        }
+    }
+}
+
+/// The conv shapes a [`QNetConfig`] instantiates, in network order.
+fn conv_shapes(cfg: &QNetConfig) -> Vec<(usize, usize, usize)> {
+    let c = cfg.channels;
+    let mut shapes = vec![(4, c, 3)];
+    for _ in 0..cfg.blocks {
+        shapes.push((c, c, 5));
+        shapes.push((c, c, 5));
+    }
+    shapes.push((c, c, 1));
+    shapes.push((c, 4, 1));
+    shapes
+}
+
+/// Forward throughput of the pre-PR network path, single-threaded: every
+/// convolution through the preserved naive im2col + scalar-GEMM oracle
+/// (`nn::compute::reference`), interleaved with the same batch-norm /
+/// LReLU / residual arithmetic the Fig. 2 body applies. This is the
+/// baseline every engine row is compared to.
+fn baseline_fwd_samples_per_sec(cfg: &QNetConfig, batch: usize, min_secs: f64) -> f64 {
+    use nn::{BatchNorm2d, Layer, LeakyReLU};
+    let n = cfg.n as usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let weights: Vec<(usize, usize, usize, Vec<f32>)> = conv_shapes(cfg)
+        .into_iter()
+        .map(|(in_c, out_c, k)| {
+            let w: Vec<f32> = (0..out_c * in_c * k * k)
+                .map(|_| rng.random::<f32>() * 0.2 - 0.1)
+                .collect();
+            (in_c, out_c, k, w)
+        })
+        .collect();
+    let out_bias: Vec<f32> = vec![0.0; 4];
+    // One BN after every conv except the output head; one activation after
+    // every BN (distinct instances: each caches its own mask, as the old
+    // path did).
+    let mut bns: Vec<BatchNorm2d> = (0..weights.len() - 1)
+        .map(|i| BatchNorm2d::new(weights[i].1))
+        .collect();
+    let mut acts: Vec<LeakyReLU> = (0..weights.len() - 1)
+        .map(|_| LeakyReLU::default())
+        .collect();
+    let x0 = nn::Tensor::from_vec(
+        [batch, 4, n, n],
+        (0..batch * 4 * n * n)
+            .map(|_| rng.random::<f32>())
+            .collect(),
+    );
+    let secs = time_per_call(
+        || {
+            // Stem.
+            let (in_c, out_c, k, w) = &weights[0];
+            let mut cur = reference::conv2d_forward(*in_c, *out_c, *k, w, None, &x0).out;
+            cur = bns[0].forward(&cur, true);
+            cur = acts[0].forward(&cur, true);
+            // Residual blocks (conv-BN-act-conv-BN, skip, act).
+            for b in 0..cfg.blocks {
+                let skip = cur.clone();
+                for half in 0..2 {
+                    let idx = 1 + 2 * b + half;
+                    let (in_c, out_c, k, w) = &weights[idx];
+                    cur = reference::conv2d_forward(*in_c, *out_c, *k, w, None, &cur).out;
+                    cur = bns[idx].forward(&cur, true);
+                    if half == 0 {
+                        cur = acts[idx].forward(&cur, true);
+                    }
+                }
+                cur.add_assign(&skip);
+                cur = acts[2 * b + 2].forward(&cur, true);
+            }
+            // Head conv-BN-act, then the 4-channel output conv.
+            let head = weights.len() - 2;
+            let (in_c, out_c, k, w) = &weights[head];
+            cur = reference::conv2d_forward(*in_c, *out_c, *k, w, None, &cur).out;
+            cur = bns[head].forward(&cur, true);
+            cur = acts[head].forward(&cur, true);
+            let (in_c, out_c, k, w) = &weights[head + 1];
+            cur = reference::conv2d_forward(*in_c, *out_c, *k, w, Some(&out_bias), &cur).out;
+            std::hint::black_box(&cur);
+        },
+        min_secs,
+    );
+    batch as f64 / secs
+}
+
+fn main() {
+    let (batch, threads_list, min_secs) = match support::scale() {
+        support::Scale::Quick => (32usize, vec![1usize, 2, 4], 0.4f64),
+        support::Scale::Paper => (96, vec![1, 2, 4, 8], 2.0),
+    };
+    let configs = [
+        ("tiny(8)", QNetConfig::tiny(8)),
+        ("small(16)", QNetConfig::small(16)),
+    ];
+    println!(
+        "nn_throughput (batch {batch}, host cpus {})\n",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>14} {:>9}",
+        "config", "threads", "fwd/s", "bwd/s", "infer/s", "fused/s", "baseline fwd/s", "speedup"
+    );
+
+    let saved_threads = compute::threads();
+    let mut rows = Vec::new();
+    for (label, cfg) in &configs {
+        let n = cfg.n as usize;
+        let feat = 4 * n * n;
+        let mut rng = StdRng::seed_from_u64(17);
+        let states: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..feat).map(|_| f32::from(rng.random::<bool>())).collect())
+            .collect();
+        let refs: Vec<&[f32]> = states.iter().map(Vec::as_slice).collect();
+        let baseline = baseline_fwd_samples_per_sec(cfg, batch, min_secs);
+        for &threads in &threads_list {
+            compute::set_threads(threads);
+            let mut q = PrefixQNet::new(cfg);
+            let num_actions = q.num_actions();
+            // Training-mode forward.
+            let fwd_secs = time_per_call(
+                || {
+                    std::hint::black_box(q.forward(&refs, true));
+                },
+                min_secs,
+            );
+            // Full gradient step (forward + backward + Adam), from which
+            // the backward-only share is derived.
+            let mut grad = vec![vec![[0.0f32; 2]; num_actions]; batch];
+            for row in &mut grad {
+                row[3] = [0.01, -0.01];
+            }
+            let step_secs = time_per_call(
+                || {
+                    std::hint::black_box(q.forward(&refs, true));
+                    q.apply_gradient(&grad);
+                },
+                min_secs,
+            );
+            let bwd_secs = (step_secs - fwd_secs).max(1e-9);
+            // Immutable inference and the fused frozen snapshot.
+            let mut scratch = nn::Scratch::new();
+            let infer_secs = time_per_call(
+                || {
+                    std::hint::black_box(q.infer(&refs, &mut scratch));
+                },
+                min_secs,
+            );
+            let frozen = q.frozen();
+            let fused_secs = time_per_call(
+                || {
+                    std::hint::black_box(frozen.infer(&refs, &mut scratch));
+                },
+                min_secs,
+            );
+            let row = support::NnRow {
+                config: label.to_string(),
+                threads,
+                fwd_samples_per_sec: batch as f64 / fwd_secs,
+                bwd_samples_per_sec: batch as f64 / bwd_secs,
+                infer_samples_per_sec: batch as f64 / infer_secs,
+                fused_infer_samples_per_sec: batch as f64 / fused_secs,
+                baseline_fwd_samples_per_sec: baseline,
+            };
+            println!(
+                "{:>10} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>14.1} {:>8.2}x",
+                row.config,
+                row.threads,
+                row.fwd_samples_per_sec,
+                row.bwd_samples_per_sec,
+                row.infer_samples_per_sec,
+                row.fused_infer_samples_per_sec,
+                row.baseline_fwd_samples_per_sec,
+                row.fwd_samples_per_sec / row.baseline_fwd_samples_per_sec.max(1e-9),
+            );
+            rows.push(row);
+        }
+    }
+    compute::set_threads(saved_threads);
+    support::write_bench_nn(batch, &rows);
+}

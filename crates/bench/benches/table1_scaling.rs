@@ -9,7 +9,7 @@ use prefixrl_bench as support;
 use prefixrl_core::env::EnvConfig;
 use prefixrl_core::evaluator::AnalyticalEvaluator;
 use prefixrl_core::qnet::{PrefixQNet, QNetConfig};
-use rl::QNetwork;
+use rl::{QInfer, QNetwork};
 use std::sync::Arc;
 use std::time::Instant;
 use synth::sweep::{sweep_graph, SweepConfig};

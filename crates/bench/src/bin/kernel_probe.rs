@@ -1,0 +1,95 @@
+//! Kernel-level probe: GFLOP/s of the three `nn::compute` GEMM variants
+//! against their preserved scalar references, on the shapes the Q-network
+//! actually hits (small/tiny configs plus the paper-scale 256-channel
+//! block conv). A quick sanity check when touching kernel code — the
+//! end-to-end picture lives in the `nn_throughput` bench.
+
+use nn::compute::{self, reference};
+use std::time::Instant;
+
+fn time(mut f: impl FnMut(), min_s: f64) -> f64 {
+    f();
+    let t0 = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        f();
+        iters += 1;
+        let e = t0.elapsed().as_secs_f64();
+        if e > min_s && iters >= 3 {
+            return e / iters as f64;
+        }
+    }
+}
+
+fn main() {
+    // (m, k, n) as seen by `gemm` in conv forwards; the transposed
+    // variants reinterpret the same volumes.
+    for (m, k, n) in [
+        (12usize, 300usize, 256usize), // small(16) 5×5 block conv
+        (12, 108, 256),                // small(16) 3×3 stem
+        (8, 200, 64),                  // tiny(8) 5×5 block conv
+        (4, 12, 256),                  // small(16) 1×1 output head
+        (256, 6400, 4096),             // paper(64) 5×5 block conv
+    ] {
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.7).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.3).cos()).collect();
+        let bt: Vec<f32> = (0..n * k).map(|i| (i as f32 * 0.1).sin()).collect();
+        let at: Vec<f32> = (0..k * m).map(|i| (i as f32 * 0.2).sin()).collect();
+        let mut c = vec![0.0f32; m * n];
+        let flop = (2 * m * k * n) as f64;
+        let report = |name: &str, t_ref: f64, t_new: f64| {
+            println!(
+                "{name:<8} {m}x{k}x{n}: ref {:6.2} GF/s  new {:6.2} GF/s  ({:.2}x)",
+                flop / t_ref / 1e9,
+                flop / t_new / 1e9,
+                t_ref / t_new
+            );
+        };
+        let t_ref = time(
+            || {
+                c.fill(0.0);
+                reference::gemm(m, k, n, &a, &b, &mut c);
+            },
+            0.3,
+        );
+        let t_new = time(
+            || {
+                c.fill(0.0);
+                compute::gemm(m, k, n, &a, &b, &mut c);
+            },
+            0.3,
+        );
+        report("gemm", t_ref, t_new);
+        let t_ref = time(
+            || {
+                c.fill(0.0);
+                reference::gemm_a_bt(m, k, n, &a, &bt, &mut c);
+            },
+            0.3,
+        );
+        let t_new = time(
+            || {
+                c.fill(0.0);
+                compute::gemm_a_bt(m, k, n, &a, &bt, &mut c);
+            },
+            0.3,
+        );
+        report("gemm_abt", t_ref, t_new);
+        let t_ref = time(
+            || {
+                c.fill(0.0);
+                reference::gemm_at_b(m, k, n, &at, &b, &mut c);
+            },
+            0.3,
+        );
+        let t_new = time(
+            || {
+                c.fill(0.0);
+                compute::gemm_at_b(m, k, n, &at, &b, &mut c);
+            },
+            0.3,
+        );
+        report("gemm_atb", t_ref, t_new);
+        std::hint::black_box(&c);
+    }
+}

@@ -1,6 +1,6 @@
 use prefixrl_core::env::EnvConfig;
 use prefixrl_core::prelude::*;
-use rl::QNetwork;
+use rl::{QInfer, QNetwork};
 use std::time::Instant;
 
 fn main() {

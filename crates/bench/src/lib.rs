@@ -131,6 +131,55 @@ pub fn write_bench_sweep(n: u16, rows: &[SweepRow]) {
     println!("[artifact] {}", path.display());
 }
 
+/// One measured point of the `nn_throughput` harness: the tensor compute
+/// engine at a given config and thread count.
+#[derive(Clone, Debug)]
+pub struct NnRow {
+    /// Q-network config label (e.g. `small(16)`).
+    pub config: String,
+    /// `nn::compute` thread budget.
+    pub threads: usize,
+    /// Training-mode forward throughput (samples/sec).
+    pub fwd_samples_per_sec: f64,
+    /// Backward + optimizer-step throughput (samples/sec).
+    pub bwd_samples_per_sec: f64,
+    /// Immutable-inference throughput through `QInfer` (samples/sec).
+    pub infer_samples_per_sec: f64,
+    /// Fused frozen-snapshot inference throughput (samples/sec).
+    pub fused_infer_samples_per_sec: f64,
+    /// Forward throughput of the pre-PR naive conv stack measured in the
+    /// same process (samples/sec; thread-independent — the old path was
+    /// single-threaded).
+    pub baseline_fwd_samples_per_sec: f64,
+}
+
+/// Dumps `BENCH_nn.json` at the workspace root: compute-engine throughput
+/// (forward / backward / inference / fused inference) per config and
+/// thread count, against the pre-PR naive single-thread baseline.
+pub fn write_bench_nn(batch: usize, rows: &[NnRow]) {
+    let value = serde_json::json!({
+        "benchmark": "nn_throughput",
+        "batch": batch,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "config": r.config,
+            "threads": r.threads,
+            "fwd_samples_per_sec": r.fwd_samples_per_sec,
+            "bwd_samples_per_sec": r.bwd_samples_per_sec,
+            "infer_samples_per_sec": r.infer_samples_per_sec,
+            "fused_infer_samples_per_sec": r.fused_infer_samples_per_sec,
+            "baseline_fwd_samples_per_sec": r.baseline_fwd_samples_per_sec,
+            "fwd_speedup_vs_baseline":
+                r.fwd_samples_per_sec / r.baseline_fwd_samples_per_sec.max(1e-9),
+            "fused_speedup_vs_baseline":
+                r.fused_infer_samples_per_sec / r.baseline_fwd_samples_per_sec.max(1e-9),
+        })).collect::<Vec<_>>(),
+    });
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_nn.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap())
+        .expect("write BENCH_nn.json");
+    println!("[artifact] {}", path.display());
+}
+
 /// Prints a named series of (area, delay) points as the paper's figures
 /// tabulate them, in increasing delay order.
 pub fn print_series(name: &str, points: &[(f64, f64)]) {

@@ -446,6 +446,7 @@ pub struct ExperimentBuilder {
     eval_threads: usize,
     cache_shards: usize,
     actors: usize,
+    nn_threads: Option<usize>,
     checkpoint_every: Option<u64>,
     checkpoint_path: Option<PathBuf>,
     halt_at: Option<u64>,
@@ -464,6 +465,7 @@ impl ExperimentBuilder {
             eval_threads: 4,
             cache_shards: 16,
             actors: 1,
+            nn_threads: None,
             checkpoint_every: None,
             checkpoint_path: None,
             halt_at: None,
@@ -545,6 +547,21 @@ impl ExperimentBuilder {
         self
     }
 
+    /// The `nn` compute thread budget (conv GEMM panels; see
+    /// `nn::compute::set_threads`). Applied globally when the experiment
+    /// runs. Results are bit-identical at every setting — only wall-clock
+    /// changes — so checkpoint/resume determinism is unaffected. Defaults
+    /// to leaving the global setting (1, or `PREFIXRL_NN_THREADS`) alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn nn_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one nn compute thread");
+        self.nn_threads = Some(threads);
+        self
+    }
+
     /// Capture a checkpoint every `steps` environment steps per agent.
     pub fn checkpoint_every(mut self, steps: u64) -> Self {
         self.checkpoint_every = Some(steps);
@@ -601,6 +618,7 @@ impl ExperimentBuilder {
             evaluator_name: self.evaluator_name,
             parallelism: self.eval_threads,
             actors: self.actors,
+            nn_threads: self.nn_threads,
             checkpoint_every: self.checkpoint_every,
             checkpoint_path: self.checkpoint_path,
             halt_at: self.halt_at,
@@ -634,6 +652,7 @@ pub struct Experiment {
     evaluator_name: String,
     parallelism: usize,
     actors: usize,
+    nn_threads: Option<usize>,
     checkpoint_every: Option<u64>,
     checkpoint_path: Option<PathBuf>,
     halt_at: Option<u64>,
@@ -727,6 +746,9 @@ impl Experiment {
         observer: &mut dyn RunObserver,
     ) -> Result<ExperimentResult, String> {
         let t0 = std::time::Instant::now();
+        if let Some(t) = self.nn_threads {
+            nn::compute::set_threads(t);
+        }
         let slots: Vec<Mutex<Option<RunState>>> = sweep
             .runs
             .into_iter()

@@ -10,11 +10,17 @@
 //!   [`crate::evalsvc`] (re-exported here for the figure harnesses and the
 //!   scaling benchmark);
 //! - [`AsyncRunner`] — actor threads run `envs_per_actor` environments in
-//!   lockstep with periodically refreshed policy snapshots, select actions
-//!   through the shared [`ScalarizedPolicy`] with **one batched Q-network
-//!   forward per decision round** (not batch-of-1), and stream transitions
-//!   over a channel to a learner thread that trains and publishes
-//!   parameters. Events stream to the run's observer from both sides.
+//!   lockstep, select actions through the shared [`ScalarizedPolicy`] with
+//!   **one batched Q-network forward per decision round** (not batch-of-1),
+//!   and stream transitions over a channel to a learner thread that trains
+//!   and publishes its policy. Publication is a **snapshot swap**: on each
+//!   target-sync the learner freezes the online network into a fused
+//!   [`FrozenQNet`] (batch-norms folded into their convolutions) behind an
+//!   `Arc`; actors notice the version bump and clone the `Arc` — a pointer
+//!   copy. Per decision, actors perform **zero weight copies and take no
+//!   locks**: acting is `&FrozenQNet` through the immutable
+//!   [`rl::QInfer`] path. Events stream to the run's observer from both
+//!   sides.
 //!
 //! Because experience arrives asynchronously, the async path is not
 //! bit-identical run to run, and it does not support checkpoint/resume —
@@ -26,22 +32,27 @@ use crate::evaluator::{Evaluator, ObjectivePoint};
 use crate::experiment::{
     Event, NullObserver, RunContext, RunObserver, RunOutcome, RunRecord, Runner,
 };
-use crate::qnet::{PrefixQNet, QNetConfig};
+use crate::qnet::{FrozenQNet, PrefixQNet, QNetConfig};
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use prefix_graph::PrefixGraph;
 use rand::prelude::*;
-use rl::{DoubleDqn, EpsilonSchedule, QNetwork, ReplayBuffer, ScalarizedPolicy, Transition};
+use rl::{DoubleDqn, EpsilonSchedule, ReplayBuffer, ScalarizedPolicy, Transition};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 pub use crate::evalsvc::evaluate_batch;
 
-/// Shared policy snapshot published by the learner.
+/// The frozen policy snapshot published by the learner.
+///
+/// Actors poll `version` (one relaxed atomic load per decision round) and
+/// only touch the lock when it bumps — and even then they clone an `Arc`,
+/// never the weights. The decision path itself is lock-free: batched
+/// inference through `&FrozenQNet`.
 struct PolicyBoard {
     version: AtomicU64,
-    params: RwLock<Vec<Vec<f32>>>,
+    snapshot: RwLock<Arc<FrozenQNet>>,
 }
 
 /// The design pool shared by all actors: canonical key → (graph, metrics).
@@ -123,10 +134,10 @@ fn run_async(
     num_actors: usize,
     observer: &mut dyn RunObserver,
 ) -> RunRecord {
-    let mut online = PrefixQNet::new(&cfg.qnet);
+    let online = PrefixQNet::new(&cfg.qnet);
     let board = Arc::new(PolicyBoard {
         version: AtomicU64::new(1),
-        params: RwLock::new(online.state()),
+        snapshot: RwLock::new(Arc::new(online.frozen())),
     });
     let (tx, rx) = channel::bounded::<Transition>(4096);
     let steps_taken = Arc::new(AtomicU64::new(0));
@@ -148,8 +159,15 @@ fn run_async(
             let episode_returns = &episode_returns;
             s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((actor as u64 + 1) * 0x9e37));
-                let mut net = PrefixQNet::new(&cfg.qnet);
-                let mut my_version = 0u64;
+                let mut scratch = nn::Scratch::new();
+                // The actor's policy net is a shared pointer to the
+                // learner's latest frozen snapshot — never a copy. The
+                // version must be read *before* the snapshot: a publish
+                // landing between the two reads then makes the in-loop
+                // check refresh immediately, instead of pinning a stale
+                // snapshot for a whole sync interval.
+                let mut my_version = board.version.load(Ordering::Acquire);
+                let mut snapshot: Arc<FrozenQNet> = board.snapshot.read().clone();
                 let policy = ScalarizedPolicy::new(cfg.dqn.weight);
                 let num_envs = cfg.envs_per_actor.max(1);
                 let mut envs: Vec<PrefixEnv> = (0..num_envs)
@@ -166,11 +184,11 @@ fn run_async(
                         break;
                     }
                     let round = (num_envs as u64).min(cfg.total_steps - claimed) as usize;
-                    // Refresh the policy snapshot when the learner published.
+                    // Swap in the newer snapshot when the learner
+                    // published one (an Arc clone, not a weight copy).
                     let published = board.version.load(Ordering::Acquire);
                     if published != my_version {
-                        let params = board.params.read().clone();
-                        net.load_state(&params).expect("same architecture");
+                        snapshot = board.snapshot.read().clone();
                         my_version = published;
                     }
                     let eps = schedule.value(claimed);
@@ -181,8 +199,14 @@ fn run_async(
                         envs[..round].iter().map(PrefixEnv::action_mask).collect();
                     let state_refs: Vec<&[f32]> = states.iter().map(Vec::as_slice).collect();
                     let mask_refs: Vec<&[bool]> = masks.iter().map(Vec::as_slice).collect();
-                    let actions =
-                        policy.select_actions(&mut net, &state_refs, &mask_refs, eps, &mut rng);
+                    let actions = policy.select_actions(
+                        &*snapshot,
+                        &state_refs,
+                        &mask_refs,
+                        eps,
+                        &mut rng,
+                        &mut scratch,
+                    );
                     for (i, action) in actions.into_iter().enumerate() {
                         let action = action.expect("legal action always exists");
                         let env = &mut envs[i];
@@ -263,7 +287,7 @@ fn run_async(
                 since_publish += 1;
                 if since_publish >= cfg.dqn.target_sync_every {
                     since_publish = 0;
-                    *board.params.write() = dqn.online_mut().state();
+                    *board.snapshot.write() = Arc::new(dqn.online().frozen());
                     board.version.fetch_add(1, Ordering::Release);
                 }
             }

@@ -4,6 +4,7 @@
 //! gradients (both input and parameter gradients) are compared against
 //! central finite differences of a random linear functional of the output.
 
+use crate::compute::Scratch;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
 use rand::prelude::*;
@@ -15,8 +16,23 @@ use rand::prelude::*;
 /// `∂L/∂θ` with central differences. Returns the maximum relative error.
 ///
 /// Training mode is used for the forward pass, so stochastic-free layers
-/// (everything in this crate) are exactly checkable.
-pub fn check_layer(mut layer: Box<dyn Layer>, shape: [usize; 4], seed: u64) -> f32 {
+/// (everything in this crate) are exactly checkable. All passes run with a
+/// private [`Scratch`] arena; use [`check_layer_with`] to supply (and
+/// stress) an external one.
+pub fn check_layer(layer: Box<dyn Layer>, shape: [usize; 4], seed: u64) -> f32 {
+    check_layer_with(layer, shape, seed, &mut Scratch::new())
+}
+
+/// [`check_layer`] running every forward and backward probe through the
+/// caller's [`Scratch`] arena — hundreds of passes over one small free
+/// list, so buffer-recycling bugs (stale contents, wrong sizes) surface as
+/// gradient errors here.
+pub fn check_layer_with(
+    mut layer: Box<dyn Layer>,
+    shape: [usize; 4],
+    seed: u64,
+    scratch: &mut Scratch,
+) -> f32 {
     let mut rng = StdRng::seed_from_u64(seed);
     let volume: usize = shape.iter().product();
     let x = Tensor::from_vec(
@@ -25,7 +41,7 @@ pub fn check_layer(mut layer: Box<dyn Layer>, shape: [usize; 4], seed: u64) -> f
             .map(|_| rng.random::<f32>() * 2.0 - 1.0)
             .collect(),
     );
-    let out = layer.forward(&x, true);
+    let out = layer.forward_with(&x, true, scratch);
     let r: Vec<f32> = (0..out.len())
         .map(|_| rng.random::<f32>() * 2.0 - 1.0)
         .collect();
@@ -33,17 +49,21 @@ pub fn check_layer(mut layer: Box<dyn Layer>, shape: [usize; 4], seed: u64) -> f
     // Analytic gradients.
     layer.zero_grad();
     let grad_out = Tensor::from_vec(out.shape(), r.clone());
-    let grad_in = layer.backward(&grad_out);
+    scratch.recycle(out);
+    let grad_in = layer.backward_with(&grad_out, scratch);
     let mut param_grads: Vec<Vec<f32>> = Vec::new();
     layer.visit_params(&mut |p| param_grads.push(p.grad.clone()));
 
-    let loss = |layer: &mut dyn Layer, x: &Tensor, r: &[f32]| -> f64 {
-        let y = layer.forward(x, true);
-        y.data()
+    let loss = |layer: &mut dyn Layer, x: &Tensor, r: &[f32], scratch: &mut Scratch| -> f64 {
+        let y = layer.forward_with(x, true, scratch);
+        let l = y
+            .data()
             .iter()
             .zip(r)
             .map(|(&a, &b)| a as f64 * b as f64)
-            .sum()
+            .sum();
+        scratch.recycle(y);
+        l
     };
 
     const EPS: f32 = 1e-2;
@@ -69,17 +89,17 @@ pub fn check_layer(mut layer: Box<dyn Layer>, shape: [usize; 4], seed: u64) -> f
         .map(|_| rng.random_range(0..volume))
         .collect();
     for &i in &probes {
-        let numeric = |layer: &mut dyn Layer, eps: f32| -> f64 {
+        let numeric = |layer: &mut dyn Layer, eps: f32, scratch: &mut Scratch| -> f64 {
             let mut xp = x.clone();
             xp.data_mut()[i] += eps;
-            let lp = loss(layer, &xp, &r);
+            let lp = loss(layer, &xp, &r, scratch);
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let lm = loss(layer, &xm, &r);
+            let lm = loss(layer, &xm, &r, scratch);
             (lp - lm) / (2.0 * eps as f64)
         };
-        let n_full = numeric(layer.as_mut(), EPS);
-        let n_half = numeric(layer.as_mut(), EPS / 2.0);
+        let n_full = numeric(layer.as_mut(), EPS, scratch);
+        let n_half = numeric(layer.as_mut(), EPS / 2.0, scratch);
         check(grad_in.data()[i], n_full, n_half);
     }
 
@@ -99,16 +119,16 @@ pub fn check_layer(mut layer: Box<dyn Layer>, shape: [usize; 4], seed: u64) -> f
                     idx += 1;
                 });
             };
-            let numeric = |layer: &mut dyn Layer, eps: f32| -> f64 {
+            let numeric = |layer: &mut dyn Layer, eps: f32, scratch: &mut Scratch| -> f64 {
                 perturb(layer, eps);
-                let lp = loss(layer, &x, &r);
+                let lp = loss(layer, &x, &r, scratch);
                 perturb(layer, -2.0 * eps);
-                let lm = loss(layer, &x, &r);
+                let lm = loss(layer, &x, &r, scratch);
                 perturb(layer, eps);
                 (lp - lm) / (2.0 * eps as f64)
             };
-            let n_full = numeric(layer.as_mut(), EPS);
-            let n_half = numeric(layer.as_mut(), EPS / 2.0);
+            let n_full = numeric(layer.as_mut(), EPS, scratch);
+            let n_half = numeric(layer.as_mut(), EPS / 2.0, scratch);
             check(pgrad[ci], n_full, n_half);
         }
     }
@@ -126,15 +146,20 @@ mod tests {
     }
 
     impl Layer for BrokenScale {
-        fn forward(&mut self, x: &Tensor, _t: bool) -> Tensor {
+        fn forward_with(&mut self, x: &Tensor, _t: bool, _s: &mut Scratch) -> Tensor {
             let mut y = x.clone();
             y.scale(self.w.data[0]);
             y
         }
-        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        fn backward_with(&mut self, grad_out: &Tensor, _s: &mut Scratch) -> Tensor {
             // BUG: claims gradient 1 regardless of w.
             self.w.grad[0] += 123.0;
             grad_out.clone()
+        }
+        fn infer(&self, x: &Tensor, _s: &mut Scratch) -> Tensor {
+            let mut y = x.clone();
+            y.scale(self.w.data[0]);
+            y
         }
         fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
             f(&mut self.w);

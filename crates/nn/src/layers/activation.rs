@@ -1,11 +1,15 @@
 //! Activation functions.
 
 use super::Layer;
+use crate::compute::Scratch;
 use crate::tensor::Tensor;
 
 /// Leaky rectified linear unit, `f(x) = x` for `x > 0` else `αx`.
 ///
 /// The paper's Q-network uses LReLU after every batch-norm (Fig. 2).
+/// Training-mode forwards cache the sign mask for backward; evaluation
+/// forwards and [`LeakyReLU::apply`] are cache-free (inference holders
+/// carry no per-activation state).
 pub struct LeakyReLU {
     alpha: f32,
     mask: Vec<bool>,
@@ -19,6 +23,29 @@ impl LeakyReLU {
             mask: Vec::new(),
         }
     }
+
+    /// The negative slope α.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Applies the activation in place without caching — the inference
+    /// fast path (fused frozen networks rectify their conv outputs with
+    /// this, allocating nothing).
+    pub fn apply(&self, t: &mut Tensor) {
+        for v in t.data_mut() {
+            if *v <= 0.0 {
+                *v *= self.alpha;
+            }
+        }
+    }
+}
+
+impl Clone for LeakyReLU {
+    /// Clones the slope; the backward cache starts empty.
+    fn clone(&self) -> Self {
+        LeakyReLU::new(self.alpha)
+    }
 }
 
 impl Default for LeakyReLU {
@@ -29,26 +56,40 @@ impl Default for LeakyReLU {
 }
 
 impl Layer for LeakyReLU {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        let mut out = x.clone();
-        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
-        for v in out.data_mut() {
-            if *v <= 0.0 {
-                *v *= self.alpha;
-            }
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let mut out = scratch.tensor(x.shape());
+        out.data_mut().copy_from_slice(x.data());
+        if train {
+            self.mask.clear();
+            self.mask.extend(x.data().iter().map(|&v| v > 0.0));
+        } else {
+            self.mask = Vec::new();
         }
+        self.apply(&mut out);
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        assert!(
+            !self.mask.is_empty() || grad_out.is_empty(),
+            "LeakyReLU::backward requires a preceding train-mode forward"
+        );
         assert_eq!(grad_out.len(), self.mask.len(), "LeakyReLU grad length");
-        let mut grad_in = grad_out.clone();
+        let mut grad_in = scratch.tensor(grad_out.shape());
+        grad_in.data_mut().copy_from_slice(grad_out.data());
         for (g, &pos) in grad_in.data_mut().iter_mut().zip(&self.mask) {
             if !pos {
                 *g *= self.alpha;
             }
         }
         grad_in
+    }
+
+    fn infer(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let mut out = scratch.tensor(x.shape());
+        out.data_mut().copy_from_slice(x.data());
+        self.apply(&mut out);
+        out
     }
 }
 
@@ -78,5 +119,21 @@ mod tests {
         let act = LeakyReLU::default();
         let err = crate::gradcheck::check_layer(Box::new(act), [2, 2, 3, 3], 3);
         assert!(err < 1e-2, "lrelu gradient error {err}");
+    }
+
+    #[test]
+    fn infer_and_apply_match_forward() {
+        let mut act = LeakyReLU::new(0.2);
+        let x = Tensor::from_vec([1, 1, 1, 4], vec![-2.0, 0.0, 0.5, 2.0]);
+        let y = act.forward(&x, true);
+        let mut scratch = Scratch::new();
+        let z = act.infer(&x, &mut scratch);
+        assert_eq!(y.data(), z.data());
+        let mut w = x.clone();
+        act.apply(&mut w);
+        assert_eq!(y.data(), w.data());
+        // Eval-mode forwards leave no mask behind.
+        act.forward(&x, false);
+        assert!(act.mask.is_empty());
     }
 }

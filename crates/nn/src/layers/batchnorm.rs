@@ -1,13 +1,17 @@
 //! 2-D batch normalization.
 
 use super::{Layer, Param};
+use crate::compute::Scratch;
 use crate::tensor::Tensor;
 
 /// Batch normalization over the channel dimension of NCHW tensors.
 ///
-/// In training mode, statistics come from the batch and running statistics
-/// are updated with momentum; in evaluation mode the running statistics are
-/// used (so a trained Q-network evaluates deterministically).
+/// In training mode, statistics come from the batch, running statistics
+/// are updated with momentum, and the normalized activations are cached
+/// for backward; in evaluation mode (and [`Layer::infer`]) the running
+/// statistics are used, nothing is cached, and nothing is mutated — so a
+/// trained Q-network evaluates deterministically and inference-only
+/// holders carry no cache memory.
 pub struct BatchNorm2d {
     channels: usize,
     gamma: Param,
@@ -16,11 +20,10 @@ pub struct BatchNorm2d {
     running_var: Vec<f32>,
     momentum: f32,
     eps: f32,
-    // Cached forward state.
+    // Cached forward state (training-mode forwards only).
     xhat: Vec<f32>,
     inv_std: Vec<f32>,
     cached_shape: [usize; 4],
-    cached_train: bool,
 }
 
 impl BatchNorm2d {
@@ -37,8 +40,22 @@ impl BatchNorm2d {
             xhat: Vec::new(),
             inv_std: Vec::new(),
             cached_shape: [0; 4],
-            cached_train: false,
         }
+    }
+
+    /// The per-channel scale γ (for [`super::Conv2d::fused`]).
+    pub fn gamma(&self) -> &[f32] {
+        &self.gamma.data
+    }
+
+    /// The per-channel shift β.
+    pub fn beta(&self) -> &[f32] {
+        &self.beta.data
+    }
+
+    /// The numerical-stability epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
     }
 
     /// The running mean per channel (for serialization and tests).
@@ -57,21 +74,47 @@ impl BatchNorm2d {
         self.running_mean.clone_from(&other.running_mean);
         self.running_var.clone_from(&other.running_var);
     }
+
+    /// The shared evaluation-mode forward: running statistics, no caching,
+    /// no mutation.
+    fn eval_forward(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let [n, c, h, w] = x.shape();
+        assert_eq!(c, self.channels, "BatchNorm2d channel mismatch");
+        let plane = h * w;
+        let mut out = scratch.tensor(x.shape());
+        for ci in 0..c {
+            let (mean, var) = (self.running_mean[ci], self.running_var[ci]);
+            let inv = 1.0 / (var + self.eps).sqrt();
+            let (g, b) = (self.gamma.data[ci], self.beta.data[ci]);
+            for s in 0..n {
+                let base = (s * c + ci) * plane;
+                for i in base..base + plane {
+                    out.data_mut()[i] = g * (x.data()[i] - mean) * inv + b;
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Layer for BatchNorm2d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        if !train {
+            // Evaluation-mode forwards leave no cache behind.
+            self.xhat = Vec::new();
+            self.cached_shape = [0; 4];
+            return self.eval_forward(x, scratch);
+        }
         let [n, c, h, w] = x.shape();
         assert_eq!(c, self.channels, "BatchNorm2d channel mismatch");
         let m = (n * h * w) as f32;
         let plane = h * w;
-        let mut out = Tensor::zeros(x.shape());
-        self.xhat = vec![0.0; x.len()];
-        self.inv_std = vec![0.0; c];
+        let mut out = scratch.tensor(x.shape());
+        self.xhat.resize(x.len(), 0.0);
+        self.inv_std.resize(c, 0.0);
         self.cached_shape = x.shape();
-        self.cached_train = train;
         for ci in 0..c {
-            let (mean, var) = if train {
+            let (mean, var) = {
                 let mut sum = 0.0f64;
                 let mut sq = 0.0f64;
                 for s in 0..n {
@@ -88,8 +131,6 @@ impl Layer for BatchNorm2d {
                 self.running_var[ci] =
                     (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
                 (mean, var)
-            } else {
-                (self.running_mean[ci], self.running_var[ci])
             };
             let inv = 1.0 / (var + self.eps).sqrt();
             self.inv_std[ci] = inv;
@@ -106,8 +147,12 @@ impl Layer for BatchNorm2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         let [n, c, h, w] = self.cached_shape;
+        assert!(
+            !self.xhat.is_empty(),
+            "BatchNorm2d::backward requires a preceding train-mode forward"
+        );
         assert_eq!(
             grad_out.shape(),
             self.cached_shape,
@@ -115,7 +160,7 @@ impl Layer for BatchNorm2d {
         );
         let plane = h * w;
         let m = (n * h * w) as f32;
-        let mut grad_in = Tensor::zeros(self.cached_shape);
+        let mut grad_in = scratch.tensor(self.cached_shape);
         for ci in 0..c {
             let mut sum_dy = 0.0f64;
             let mut sum_dy_xhat = 0.0f64;
@@ -131,28 +176,21 @@ impl Layer for BatchNorm2d {
             self.beta.grad[ci] += sum_dy as f32;
             let g = self.gamma.data[ci];
             let inv = self.inv_std[ci];
-            if self.cached_train {
-                let k = g * inv / m;
-                for s in 0..n {
-                    let base = (s * c + ci) * plane;
-                    for i in base..base + plane {
-                        let dy = grad_out.data()[i];
-                        grad_in.data_mut()[i] =
-                            k * (m * dy - sum_dy as f32 - self.xhat[i] * sum_dy_xhat as f32);
-                    }
-                }
-            } else {
-                // Eval mode: statistics are constants.
-                let k = g * inv;
-                for s in 0..n {
-                    let base = (s * c + ci) * plane;
-                    for i in base..base + plane {
-                        grad_in.data_mut()[i] = k * grad_out.data()[i];
-                    }
+            let k = g * inv / m;
+            for s in 0..n {
+                let base = (s * c + ci) * plane;
+                for i in base..base + plane {
+                    let dy = grad_out.data()[i];
+                    grad_in.data_mut()[i] =
+                        k * (m * dy - sum_dy as f32 - self.xhat[i] * sum_dy_xhat as f32);
                 }
             }
         }
         grad_in
+    }
+
+    fn infer(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.eval_forward(x, scratch)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -201,6 +239,27 @@ mod tests {
         }
         let y = bn.forward(&Tensor::from_vec([1, 1, 1, 1], vec![4.0]), false);
         assert!(y.data()[0].abs() < 0.1, "eval output {}", y.data()[0]);
+    }
+
+    #[test]
+    fn infer_matches_eval_and_leaves_no_cache() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec([1, 2, 1, 3], vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0]);
+        bn.forward(&x, true);
+        let eval = bn.forward(&x, false);
+        assert!(bn.xhat.is_empty(), "eval-mode forward retained xhat");
+        let mut scratch = Scratch::new();
+        let infer = bn.infer(&x, &mut scratch);
+        assert_eq!(eval.data(), infer.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "train-mode forward")]
+    fn backward_after_eval_forward_panics() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::ones([1, 1, 1, 2]);
+        bn.forward(&x, false);
+        bn.backward(&Tensor::ones([1, 1, 1, 2]));
     }
 
     #[test]

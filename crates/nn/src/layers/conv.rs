@@ -1,6 +1,15 @@
 //! 2-D convolution with "same" padding (stride 1), via im2col + GEMM.
+//!
+//! All matrix products route through the blocked kernels in
+//! [`crate::compute`]; batches parallelize over samples (and single samples
+//! over output-row panels) on the global thread budget, with bit-identical
+//! results at every width. Training-mode forwards cache the im2col panels
+//! for backward in a buffer that is reused call over call; evaluation-mode
+//! forwards and [`Layer::infer`] draw transient panels from the
+//! [`Scratch`] arena and leave no resident cache behind.
 
-use super::{he_normal, Layer, Param};
+use super::{he_normal, BatchNorm2d, Layer, Param};
+use crate::compute::{self, Scratch, ThreadPool};
 use crate::tensor::Tensor;
 use rand::SeedableRng;
 
@@ -14,9 +23,24 @@ pub struct Conv2d {
     k: usize,
     weight: Param,
     bias: Option<Param>,
-    // Cached forward state for backward.
+    // Cached forward state for backward (training-mode forwards only).
     cached_cols: Vec<f32>,
     cached_in_shape: [usize; 4],
+}
+
+impl Clone for Conv2d {
+    /// Clones parameters and dimensions; backward caches start empty.
+    fn clone(&self) -> Self {
+        Conv2d {
+            in_c: self.in_c,
+            out_c: self.out_c,
+            k: self.k,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            cached_cols: Vec::new(),
+            cached_in_shape: [0; 4],
+        }
+    }
 }
 
 impl Conv2d {
@@ -41,12 +65,33 @@ impl Conv2d {
         let weight: Vec<f32> = (0..out_c * fan_in)
             .map(|_| he_normal(&mut rng, fan_in))
             .collect();
+        Self::from_parts(in_c, out_c, k, weight, bias.then(|| vec![0.0; out_c]))
+    }
+
+    /// Wraps explicit weights (`[out_c, in_c·k·k]` row-major) and an
+    /// optional bias — how fused inference convolutions are assembled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even or a buffer length mismatches.
+    pub fn from_parts(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        weight: Vec<f32>,
+        bias: Option<Vec<f32>>,
+    ) -> Self {
+        assert!(k % 2 == 1, "kernel size {k} must be odd for same padding");
+        assert_eq!(weight.len(), out_c * in_c * k * k, "weight length mismatch");
+        if let Some(b) = &bias {
+            assert_eq!(b.len(), out_c, "bias length mismatch");
+        }
         Conv2d {
             in_c,
             out_c,
             k,
             weight: Param::new(weight),
-            bias: bias.then(|| Param::new(vec![0.0; out_c])),
+            bias: bias.map(Param::new),
             cached_cols: Vec::new(),
             cached_in_shape: [0; 4],
         }
@@ -56,57 +101,42 @@ impl Conv2d {
     pub fn out_channels(&self) -> usize {
         self.out_c
     }
-}
 
-/// `C[m,n] += A[m,k] · B[k,n]`, all row-major.
-fn gemm(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i in 0..m {
-        let arow = &a[i * kk..(i + 1) * kk];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    /// Folds a following [`BatchNorm2d`] (evaluation semantics: running
+    /// statistics) into this convolution, returning a bias-ful convolution
+    /// computing `bn(conv(x))` in one pass:
+    ///
+    /// `W'ₒ = γₒ/√(σ²ₒ+ε) · Wₒ` and `b'ₒ = βₒ + (bₒ − μₒ)·γₒ/√(σ²ₒ+ε)`.
+    ///
+    /// This is the inference fast path — a frozen snapshot built from fused
+    /// convolutions does half the passes of conv→BN and never touches
+    /// batch statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch-norm's channel count differs from `out_c`.
+    pub fn fused(&self, bn: &BatchNorm2d) -> Conv2d {
+        let (gamma, beta) = (bn.gamma(), bn.beta());
+        assert_eq!(gamma.len(), self.out_c, "fused: channel mismatch");
+        let (mean, var) = (bn.running_mean(), bn.running_var());
+        let fan_in = self.in_c * self.k * self.k;
+        let mut weight = self.weight.data.clone();
+        let mut bias = vec![0.0f32; self.out_c];
+        for o in 0..self.out_c {
+            let scale = gamma[o] / (var[o] + bn.eps()).sqrt();
+            for w in &mut weight[o * fan_in..(o + 1) * fan_in] {
+                *w *= scale;
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
+            let b0 = self.bias.as_ref().map_or(0.0, |b| b.data[o]);
+            bias[o] = beta[o] + (b0 - mean[o]) * scale;
         }
+        Self::from_parts(self.in_c, self.out_c, self.k, weight, Some(bias))
     }
 }
 
-/// `C[m,n] += A[m,k] · Bᵀ` where `B` is `[n,k]` row-major.
-fn gemm_a_bt(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i in 0..m {
-        let arow = &a[i * kk..(i + 1) * kk];
-        for j in 0..n {
-            let brow = &b[j * kk..(j + 1) * kk];
-            let dot: f32 = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
-            c[i * n + j] += dot;
-        }
-    }
-}
-
-/// `C[m,n] += Aᵀ · B` where `A` is `[k,m]` and `B` is `[k,n]`, row-major.
-fn gemm_at_b(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for p in 0..kk {
-        let arow = &a[p * m..(p + 1) * m];
-        let brow = &b[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
-    }
-}
-
-/// Expands one sample into its im2col matrix `[in_c·k·k, h·w]`.
-fn im2col(in_c: usize, k: usize, x: &Tensor, n: usize, col: &mut [f32]) {
-    let [_, _, h, w] = x.shape();
+/// Expands one sample `[in_c, h, w]` into its im2col matrix
+/// `[in_c·k·k, h·w]`.
+fn im2col(in_c: usize, k: usize, h: usize, w: usize, x: &[f32], col: &mut [f32]) {
     let pad = k / 2;
     let hw = h * w;
     col.fill(0.0);
@@ -127,20 +157,19 @@ fn im2col(in_c: usize, k: usize, x: &Tensor, n: usize, col: &mut [f32]) {
                         continue;
                     }
                     let iw_lo = ow_lo + kw - pad;
-                    let src_base = x.index(n, ci, ih, iw_lo);
+                    let src_base = (ci * h + ih) * w + iw_lo;
                     let dst_base = oh * w + ow_lo;
                     let len = ow_hi - ow_lo;
-                    dst[dst_base..dst_base + len]
-                        .copy_from_slice(&x.data()[src_base..src_base + len]);
+                    dst[dst_base..dst_base + len].copy_from_slice(&x[src_base..src_base + len]);
                 }
             }
         }
     }
 }
 
-/// Scatters a col-gradient back into an input-gradient sample.
-fn col2im(in_c: usize, k: usize, col: &[f32], gin: &mut Tensor, n: usize) {
-    let [_, _, h, w] = gin.shape();
+/// Scatters a col-gradient back into one input-gradient sample
+/// `[in_c, h, w]`.
+fn col2im(in_c: usize, k: usize, h: usize, w: usize, col: &[f32], gin: &mut [f32]) {
     let pad = k / 2;
     let hw = h * w;
     for ci in 0..in_c {
@@ -159,11 +188,10 @@ fn col2im(in_c: usize, k: usize, col: &[f32], gin: &mut Tensor, n: usize) {
                         continue;
                     }
                     let iw_lo = ow_lo + kw - pad;
-                    let dst_base = gin.index(n, ci, ih, iw_lo);
+                    let dst_base = (ci * h + ih) * w + iw_lo;
                     let src_base = oh * w + ow_lo;
-                    let gdata = gin.data_mut();
                     for t in 0..(ow_hi - ow_lo) {
-                        gdata[dst_base + t] += src[src_base + t];
+                        gin[dst_base + t] += src[src_base + t];
                     }
                 }
             }
@@ -178,56 +206,258 @@ fn valid_range(w: usize, kw: usize, pad: usize) -> (usize, usize) {
     (lo, hi)
 }
 
-impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        let [n, c, h, w] = x.shape();
-        assert_eq!(c, self.in_c, "Conv2d input channel mismatch");
-        let hw = h * w;
-        let q = self.in_c * self.k * self.k;
-        let mut out = Tensor::zeros([n, self.out_c, h, w]);
-        self.cached_cols = vec![0.0; n * q * hw];
-        self.cached_in_shape = x.shape();
-        for s in 0..n {
-            let col = &mut self.cached_cols[s * q * hw..(s + 1) * q * hw];
-            im2col(self.in_c, self.k, x, s, col);
-            let dst = &mut out.data_mut()[s * self.out_c * hw..(s + 1) * self.out_c * hw];
-            gemm(self.out_c, q, hw, &self.weight.data, col, dst);
-            if let Some(bias) = &self.bias {
-                for o in 0..self.out_c {
-                    let bv = bias.data[o];
-                    for v in &mut dst[o * hw..(o + 1) * hw] {
-                        *v += bv;
-                    }
-                }
+/// One sample of the forward product: `out_s += W·col_s` plus bias.
+#[allow(clippy::too_many_arguments)]
+fn forward_sample(
+    out_c: usize,
+    q: usize,
+    hw: usize,
+    weight: &[f32],
+    bias: Option<&[f32]>,
+    col: &[f32],
+    dst: &mut [f32],
+    pool: &ThreadPool,
+) {
+    compute::gemm_rows_parallel(pool, out_c, q, hw, weight, col, dst);
+    if let Some(bias) = bias {
+        for o in 0..out_c {
+            let bv = bias[o];
+            for v in &mut dst[o * hw..(o + 1) * hw] {
+                *v += bv;
             }
         }
-        out
+    }
+}
+
+/// The one forward implementation behind every entry point (train-mode and
+/// eval-mode [`Layer::forward_with`], [`Layer::infer`]).
+///
+/// `cached`, when present, is the layer's backward cache: it is resized to
+/// hold every sample's im2col panel and each worker writes its panels
+/// there. When absent, each worker recycles one scratch buffer per sample
+/// and nothing is retained. Sample batches partition across workers; a
+/// lone sample splits its output rows across the pool instead.
+#[allow(clippy::too_many_arguments)]
+fn forward_impl(
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    weight: &[f32],
+    bias: Option<&[f32]>,
+    x: &Tensor,
+    scratch: &mut Scratch,
+    cached: Option<&mut Vec<f32>>,
+) -> Tensor {
+    let [n, _, h, w] = x.shape();
+    let hw = h * w;
+    let q = in_c * k * k;
+    let mut out = scratch.tensor([n, out_c, h, w]);
+    let threads = compute::threads();
+    let ranges = if threads == 1 || n == 1 {
+        compute::partition(n, 1)
+    } else {
+        compute::partition(n, threads)
+    };
+    // With one worker and one sample, the row-panel pool picks up the
+    // parallelism instead.
+    let rows_pool = if ranges.len() == 1 && n == 1 {
+        ThreadPool::new(threads)
+    } else {
+        ThreadPool::serial()
+    };
+    // Per-worker column storage: a panel of the backward cache advancing
+    // by `q·hw` per sample, or one reused scratch buffer (stride 0).
+    let mut transient: Vec<Vec<f32>> = Vec::new();
+    let (col_panels, col_stride): (Vec<&mut [f32]>, usize) = match cached {
+        Some(cols) => {
+            cols.resize(n * q * hw, 0.0);
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len() * q * hw).collect();
+            (compute::split_by_sizes(cols, &sizes), q * hw)
+        }
+        None => {
+            transient = ranges.iter().map(|_| scratch.take(q * hw)).collect();
+            (transient.iter_mut().map(Vec::as_mut_slice).collect(), 0)
+        }
+    };
+    let out_sizes: Vec<usize> = ranges.iter().map(|r| r.len() * out_c * hw).collect();
+    let out_panels = compute::split_by_sizes(out.data_mut(), &out_sizes);
+    let jobs: Vec<_> = ranges
+        .iter()
+        .zip(col_panels)
+        .zip(out_panels)
+        .map(|((r, cols), panel)| {
+            let r = r.clone();
+            let rows_pool = &rows_pool;
+            move || {
+                for (i, s) in r.clone().enumerate() {
+                    let col = &mut cols[i * col_stride..i * col_stride + q * hw];
+                    im2col(
+                        in_c,
+                        k,
+                        h,
+                        w,
+                        &x.data()[s * in_c * hw..(s + 1) * in_c * hw],
+                        col,
+                    );
+                    let dst = &mut panel[i * out_c * hw..(i + 1) * out_c * hw];
+                    forward_sample(out_c, q, hw, weight, bias, col, dst, rows_pool);
+                }
+            }
+        })
+        .collect();
+    ThreadPool::new(jobs.len()).run(jobs);
+    for buf in transient {
+        scratch.give(buf);
+    }
+    out
+}
+
+impl Layer for Conv2d {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let [_, c, _, _] = x.shape();
+        assert_eq!(c, self.in_c, "Conv2d input channel mismatch");
+        let cached = if train {
+            self.cached_in_shape = x.shape();
+            Some(&mut self.cached_cols)
+        } else {
+            // Evaluation-mode forwards must not leave a resident im2col
+            // cache behind (every inference-only holder of the network
+            // would otherwise pin O(batch·q·h·w) floats).
+            self.cached_cols = Vec::new();
+            self.cached_in_shape = [0; 4];
+            None
+        };
+        forward_impl(
+            self.in_c,
+            self.out_c,
+            self.k,
+            &self.weight.data,
+            self.bias.as_ref().map(|b| b.data.as_slice()),
+            x,
+            scratch,
+            cached,
+        )
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         let [n, oc, h, w] = grad_out.shape();
         assert_eq!(oc, self.out_c, "Conv2d grad channel mismatch");
         let hw = h * w;
         let q = self.in_c * self.k * self.k;
-        let mut grad_in = Tensor::zeros(self.cached_in_shape);
-        let mut grad_col = vec![0.0f32; q * hw];
-        for s in 0..n {
-            let go = &grad_out.data()[s * oc * hw..(s + 1) * oc * hw];
-            let col = &self.cached_cols[s * q * hw..(s + 1) * q * hw];
-            // dW += dY · colᵀ
-            gemm_a_bt(oc, hw, q, go, col, &mut self.weight.grad);
-            // dbias += Σ dY
-            if let Some(bias) = &mut self.bias {
-                for o in 0..oc {
-                    bias.grad[o] += go[o * hw..(o + 1) * hw].iter().sum::<f32>();
-                }
+        assert_eq!(
+            self.cached_cols.len(),
+            n * q * hw,
+            "Conv2d::backward requires a preceding train-mode forward"
+        );
+        let mut grad_in = scratch.tensor(self.cached_in_shape);
+        let threads = compute::threads();
+        let (in_c, k) = (self.in_c, self.k);
+        let weight = &self.weight.data;
+        let cols = &self.cached_cols;
+        let go = grad_out.data();
+
+        // Phase A — per sample (disjoint): dcol = Wᵀ·dY, dX = col2im(dcol).
+        {
+            let ranges = compute::partition(n, threads);
+            let gin_sizes: Vec<usize> = ranges.iter().map(|r| r.len() * in_c * hw).collect();
+            let gin_panels = compute::split_by_sizes(grad_in.data_mut(), &gin_sizes);
+            let mut bufs: Vec<Vec<f32>> = ranges.iter().map(|_| scratch.take(q * hw)).collect();
+            let jobs: Vec<_> = ranges
+                .iter()
+                .zip(gin_panels)
+                .zip(bufs.iter_mut())
+                .map(|((r, panel), grad_col)| {
+                    let r = r.clone();
+                    move || {
+                        for (i, s) in r.clone().enumerate() {
+                            grad_col.fill(0.0);
+                            compute::gemm_at_b(
+                                q,
+                                oc,
+                                hw,
+                                weight,
+                                &go[s * oc * hw..(s + 1) * oc * hw],
+                                grad_col,
+                            );
+                            col2im(
+                                in_c,
+                                k,
+                                h,
+                                w,
+                                grad_col,
+                                &mut panel[i * in_c * hw..(i + 1) * in_c * hw],
+                            );
+                        }
+                    }
+                })
+                .collect();
+            ThreadPool::new(threads).run(jobs);
+            for b in bufs {
+                scratch.give(b);
             }
-            // dcol = Wᵀ · dY ; dX = col2im(dcol)
-            grad_col.fill(0.0);
-            gemm_at_b(q, oc, hw, &self.weight.data, go, &mut grad_col);
-            col2im(self.in_c, self.k, &grad_col, &mut grad_in, s);
+        }
+
+        // Phase B — per output-channel row panel (disjoint): for each row,
+        // samples accumulate in ascending order, so results are identical
+        // at every thread count. dW += dY·colᵀ and dbias += Σ dY.
+        {
+            let ranges = compute::partition(oc, threads);
+            let wg_sizes: Vec<usize> = ranges.iter().map(|r| r.len() * q).collect();
+            let wg_panels = compute::split_by_sizes(&mut self.weight.grad, &wg_sizes);
+            let bias_sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let mut bias_panels: Vec<Option<&mut [f32]>> = match &mut self.bias {
+                Some(bias) => compute::split_by_sizes(&mut bias.grad, &bias_sizes)
+                    .into_iter()
+                    .map(Some)
+                    .collect(),
+                None => ranges.iter().map(|_| None).collect(),
+            };
+            let jobs: Vec<_> = ranges
+                .iter()
+                .zip(wg_panels)
+                .zip(bias_panels.drain(..))
+                .map(|((r, wg), bias_grad)| {
+                    let r = r.clone();
+                    move || {
+                        let mut bias_grad = bias_grad;
+                        for s in 0..n {
+                            let go_s = &go[s * oc * hw..(s + 1) * oc * hw];
+                            let col_s = &cols[s * q * hw..(s + 1) * q * hw];
+                            compute::gemm_a_bt(
+                                r.len(),
+                                hw,
+                                q,
+                                &go_s[r.start * hw..r.end * hw],
+                                col_s,
+                                wg,
+                            );
+                            if let Some(bg) = bias_grad.as_deref_mut() {
+                                for (i, o) in r.clone().enumerate() {
+                                    bg[i] += go_s[o * hw..(o + 1) * hw].iter().sum::<f32>();
+                                }
+                            }
+                        }
+                    }
+                })
+                .collect();
+            ThreadPool::new(threads).run(jobs);
         }
         grad_in
+    }
+
+    fn infer(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let [_, c, _, _] = x.shape();
+        assert_eq!(c, self.in_c, "Conv2d input channel mismatch");
+        forward_impl(
+            self.in_c,
+            self.out_c,
+            self.k,
+            &self.weight.data,
+            self.bias.as_ref().map(|b| b.data.as_slice()),
+            x,
+            scratch,
+            None,
+        )
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -301,5 +531,55 @@ mod tests {
         let conv = Conv2d::new(1, 2, 5, 9);
         let err = crate::gradcheck::check_layer(Box::new(conv), [1, 1, 6, 6], 13);
         assert!(err < 3e-2, "conv5 gradient error {err}");
+    }
+
+    #[test]
+    fn eval_forward_leaves_no_cache_and_matches_train() {
+        let mut conv = Conv2d::new(3, 5, 3, 21);
+        let x = Tensor::from_vec(
+            [2, 3, 4, 4],
+            (0..96).map(|i| (i as f32) * 0.03 - 1.0).collect(),
+        );
+        let y_train = conv.forward(&x, true);
+        assert!(!conv.cached_cols.is_empty());
+        let y_eval = conv.forward(&x, false);
+        assert_eq!(y_train.data(), y_eval.data(), "conv output depends on mode");
+        assert!(
+            conv.cached_cols.is_empty(),
+            "eval-mode forward retained the im2col cache"
+        );
+        let mut scratch = Scratch::new();
+        let y_infer = conv.infer(&x, &mut scratch);
+        assert_eq!(y_train.data(), y_infer.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "train-mode forward")]
+    fn backward_after_eval_forward_panics() {
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        let x = Tensor::ones([1, 1, 3, 3]);
+        conv.forward(&x, false);
+        conv.backward(&Tensor::ones([1, 1, 3, 3]));
+    }
+
+    #[test]
+    fn fused_matches_conv_then_bn_eval() {
+        let mut conv = Conv2d::new_no_bias(2, 4, 3, 5);
+        let mut bn = BatchNorm2d::new(4);
+        // Drive the running statistics away from the identity.
+        let x = Tensor::from_vec(
+            [2, 2, 3, 3],
+            (0..36).map(|i| ((i * 7) % 11) as f32 * 0.2 - 1.0).collect(),
+        );
+        for _ in 0..20 {
+            let y = conv.forward(&x, true);
+            bn.forward(&y, true);
+        }
+        let unfused = bn.forward(&conv.forward(&x, false), false);
+        let mut fused = conv.fused(&bn);
+        let fused_out = fused.forward(&x, false);
+        for (a, b) in unfused.data().iter().zip(fused_out.data()) {
+            assert!((a - b).abs() <= 1e-5 + 1e-5 * a.abs(), "{a} vs {b}");
+        }
     }
 }

@@ -1,10 +1,14 @@
 //! Fully connected layer.
 
 use super::{he_normal, Layer, Param};
+use crate::compute::{self, Scratch};
 use crate::tensor::Tensor;
 use rand::SeedableRng;
 
 /// A dense layer over `[n, in, 1, 1]` tensors producing `[n, out, 1, 1]`.
+///
+/// Both passes run on the shared blocked kernels in [`crate::compute`];
+/// the input is cached for backward only in training mode.
 pub struct Linear {
     in_f: usize,
     out_f: usize,
@@ -28,44 +32,78 @@ impl Linear {
             cached_input: Tensor::zeros([0, 0, 0, 0]),
         }
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    /// The affine map shared by all forward entry points.
+    fn compute(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
         let [n, c, h, w] = x.shape();
         assert_eq!(c * h * w, self.in_f, "Linear input feature mismatch");
-        self.cached_input = x.clone();
-        let mut out = Tensor::zeros([n, self.out_f, 1, 1]);
+        let mut out = scratch.tensor([n, self.out_f, 1, 1]);
+        // out[s,o] = x_s · w_o (ascending-k dots, bit-stable), then + bias.
+        compute::gemm_a_bt(
+            n,
+            self.in_f,
+            self.out_f,
+            x.data(),
+            &self.weight.data,
+            out.data_mut(),
+        );
         for s in 0..n {
-            let xin = &x.data()[s * self.in_f..(s + 1) * self.in_f];
-            for o in 0..self.out_f {
-                let wrow = &self.weight.data[o * self.in_f..(o + 1) * self.in_f];
-                let dot: f32 = wrow.iter().zip(xin).map(|(a, b)| a * b).sum();
-                out.data_mut()[s * self.out_f + o] = dot + self.bias.data[o];
+            let row = &mut out.data_mut()[s * self.out_f..(s + 1) * self.out_f];
+            for (v, &b) in row.iter_mut().zip(&self.bias.data) {
+                *v += b;
             }
         }
         out
     }
+}
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+impl Layer for Linear {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        if train {
+            self.cached_input.copy_from(x);
+        } else {
+            self.cached_input = Tensor::zeros([0, 0, 0, 0]);
+        }
+        self.compute(x, scratch)
+    }
+
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         let [n, o, _, _] = grad_out.shape();
         assert_eq!(o, self.out_f, "Linear grad feature mismatch");
-        let mut grad_in = Tensor::zeros(self.cached_input.shape());
+        assert!(
+            !self.cached_input.is_empty(),
+            "Linear::backward requires a preceding train-mode forward"
+        );
+        let mut grad_in = scratch.tensor(self.cached_input.shape());
+        // dW[o,i] += Σ_s go[s,o]·x[s,i]  (samples ascending per element).
+        compute::gemm_at_b(
+            self.out_f,
+            n,
+            self.in_f,
+            grad_out.data(),
+            self.cached_input.data(),
+            &mut self.weight.grad,
+        );
+        // dX[s,i] += Σ_o go[s,o]·W[o,i].
+        compute::gemm(
+            n,
+            self.out_f,
+            self.in_f,
+            grad_out.data(),
+            &self.weight.data,
+            grad_in.data_mut(),
+        );
         for s in 0..n {
-            let xin = &self.cached_input.data()[s * self.in_f..(s + 1) * self.in_f];
             let go = &grad_out.data()[s * self.out_f..(s + 1) * self.out_f];
-            for (oi, &g) in go.iter().enumerate() {
-                self.bias.grad[oi] += g;
-                let wrow = &self.weight.data[oi * self.in_f..(oi + 1) * self.in_f];
-                let wgrad = &mut self.weight.grad[oi * self.in_f..(oi + 1) * self.in_f];
-                let gin = &mut grad_in.data_mut()[s * self.in_f..(s + 1) * self.in_f];
-                for i in 0..self.in_f {
-                    wgrad[i] += g * xin[i];
-                    gin[i] += g * wrow[i];
-                }
+            for (bg, &g) in self.bias.grad.iter_mut().zip(go) {
+                *bg += g;
             }
         }
         grad_in
+    }
+
+    fn infer(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.compute(x, scratch)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -101,5 +139,17 @@ mod tests {
         let lin = Linear::new(6, 4, 2);
         let err = crate::gradcheck::check_layer(Box::new(lin), [3, 6, 1, 1], 17);
         assert!(err < 2e-2, "linear gradient error {err}");
+    }
+
+    #[test]
+    fn infer_matches_forward_without_caching() {
+        let mut lin = Linear::new(4, 3, 9);
+        let x = Tensor::from_vec([2, 4, 1, 1], (0..8).map(|i| i as f32 * 0.5 - 2.0).collect());
+        let y = lin.forward(&x, true);
+        let mut scratch = Scratch::new();
+        let z = lin.infer(&x, &mut scratch);
+        assert_eq!(y.data(), z.data());
+        lin.forward(&x, false);
+        assert!(lin.cached_input.is_empty(), "eval forward cached its input");
     }
 }

@@ -14,6 +14,7 @@ pub use linear::Linear;
 pub use residual::ResidualBlock;
 pub use sequential::Sequential;
 
+use crate::compute::Scratch;
 use crate::tensor::Tensor;
 
 /// A trainable parameter: data plus accumulated gradient.
@@ -40,19 +41,43 @@ impl Param {
 
 /// A differentiable network layer.
 ///
-/// Layers cache whatever they need during [`Layer::forward`] and consume it
-/// in [`Layer::backward`]; a backward call must follow the forward call it
-/// differentiates. Parameters are exposed through a visitor so optimizers,
-/// serialization and target-network sync can walk any composite network in
-/// a deterministic order.
+/// Layers cache whatever they need during a **training-mode** forward pass
+/// and consume it in [`Layer::backward`]; a backward call must follow the
+/// `train == true` forward call it differentiates. Evaluation-mode forwards
+/// (`train == false`) and [`Layer::infer`] skip all caching — they cannot
+/// be backpropagated through, and they keep inference-only holders (async
+/// actors, frozen snapshots) from accumulating resident cache memory.
+///
+/// The `*_with` entry points thread a [`Scratch`] arena through the pass so
+/// transient buffers (im2col panels, column gradients, outputs) are reused
+/// call over call; the plain [`Layer::forward`]/[`Layer::backward`]
+/// wrappers allocate a throwaway arena per call for convenience. Parameters
+/// are exposed through a visitor so optimizers, serialization and
+/// target-network sync can walk any composite network in a deterministic
+/// order.
 pub trait Layer {
     /// Computes the layer output. `train` selects training behaviour
-    /// (e.g. batch statistics in [`BatchNorm2d`]).
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+    /// (e.g. batch statistics in [`BatchNorm2d`]) and backward caching.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_with(x, train, &mut Scratch::new())
+    }
+
+    /// [`Layer::forward`] drawing transient buffers from `scratch`.
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor;
 
     /// Backpropagates `grad_out` (∂L/∂output), accumulating parameter
     /// gradients and returning ∂L/∂input.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_with(grad_out, &mut Scratch::new())
+    }
+
+    /// [`Layer::backward`] drawing transient buffers from `scratch`.
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor;
+
+    /// Evaluation-mode forward through `&self`: no cache writes, no
+    /// running-statistic updates, shareable across threads. This is the
+    /// path frozen policy snapshots serve actors through.
+    fn infer(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor;
 
     /// Visits every parameter in a deterministic order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

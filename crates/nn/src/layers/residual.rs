@@ -1,6 +1,7 @@
 //! Residual blocks in the style of the paper's Fig. 2.
 
 use super::{BatchNorm2d, Conv2d, Layer, LeakyReLU, Param, Sequential};
+use crate::compute::Scratch;
 use crate::tensor::Tensor;
 
 /// A residual block: `LReLU(body(x) + x)`.
@@ -46,17 +47,27 @@ impl ResidualBlock {
 }
 
 impl Layer for ResidualBlock {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut y = self.body.forward(x, train);
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let mut y = self.body.forward_with(x, train, scratch);
         y.add_assign(x);
-        self.act.forward(&y, train)
+        let out = self.act.forward_with(&y, train, scratch);
+        scratch.recycle(y);
+        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let g = self.act.backward(grad_out);
-        let mut grad_in = self.body.backward(&g);
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let g = self.act.backward_with(grad_out, scratch);
+        let mut grad_in = self.body.backward_with(&g, scratch);
         grad_in.add_assign(&g);
+        scratch.recycle(g);
         grad_in
+    }
+
+    fn infer(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let mut y = self.body.infer(x, scratch);
+        y.add_assign(x);
+        self.act.apply(&mut y);
+        y
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

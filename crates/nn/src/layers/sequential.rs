@@ -1,9 +1,14 @@
 //! Sequential layer container.
 
 use super::{Layer, Param};
+use crate::compute::Scratch;
 use crate::tensor::Tensor;
 
 /// A chain of layers applied in order.
+///
+/// Intermediate activations/gradients are recycled into the pass's
+/// [`Scratch`] arena as soon as the next layer has consumed them, so a
+/// chained forward/backward allocates nothing once the arena is warm.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -31,20 +36,43 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, train);
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return x.clone();
+        };
+        let mut cur = first.forward_with(x, train, scratch);
+        for layer in rest {
+            let next = layer.forward_with(&cur, train, scratch);
+            scratch.recycle(cur);
+            cur = next;
         }
         cur
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut grad = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad);
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let Some((last, front)) = self.layers.split_last_mut() else {
+            return grad_out.clone();
+        };
+        let mut grad = last.backward_with(grad_out, scratch);
+        for layer in front.iter_mut().rev() {
+            let next = layer.backward_with(&grad, scratch);
+            scratch.recycle(grad);
+            grad = next;
         }
         grad
+    }
+
+    fn infer(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let Some((first, rest)) = self.layers.split_first() else {
+            return x.clone();
+        };
+        let mut cur = first.infer(x, scratch);
+        for layer in rest {
+            let next = layer.infer(&cur, scratch);
+            scratch.recycle(cur);
+            cur = next;
+        }
+        cur
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -100,5 +128,26 @@ mod tests {
         ]);
         let err = crate::gradcheck::check_layer(Box::new(net), [2, 2, 4, 4], 23);
         assert!(err < 3e-2, "sequential gradient error {err}");
+    }
+
+    #[test]
+    fn infer_matches_eval_forward_with_reused_scratch() {
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 3, 3, 7)),
+            Box::new(LeakyReLU::default()),
+            Box::new(Conv2d::new(3, 2, 1, 8)),
+        ]);
+        let x = Tensor::from_vec(
+            [2, 1, 3, 3],
+            (0..18).map(|i| (i as f32) * 0.1 - 0.9).collect(),
+        );
+        let y = net.forward(&x, false);
+        let mut scratch = Scratch::new();
+        for _ in 0..3 {
+            // Repeated inference through one arena stays bit-identical.
+            let z = net.infer(&x, &mut scratch);
+            assert_eq!(y.data(), z.data());
+            scratch.recycle(z);
+        }
     }
 }

@@ -7,10 +7,19 @@
 //! optimizers, Huber/MSE losses, parameter (de)serialization and
 //! finite-difference gradient checking.
 //!
-//! The design favours clarity and determinism over raw speed: layers own
-//! their parameters and cached activations, a network is a [`Layer`] tree,
-//! and optimizers walk parameters through a visitor, so target-network
-//! synchronization and checkpointing are just state copies.
+//! The design favours determinism *and* throughput: every matrix product
+//! routes through the register-tiled, cache-blocked kernels in [`compute`]
+//! (parallelized over disjoint row/sample panels on scoped threads, with a
+//! fixed per-element reduction order so results are bit-identical at every
+//! thread count — see [`compute::set_threads`]); transient buffers come
+//! from a reusable [`Scratch`] arena threaded through
+//! [`Layer::forward_with`]/[`Layer::backward_with`] so steady-state
+//! training allocates nothing; and inference has a dedicated fast path —
+//! immutable [`Layer::infer`] plus [`Conv2d::fused`] batch-norm folding —
+//! that skips backward caching entirely. Layers own their parameters and
+//! cached activations, a network is a [`Layer`] tree, and optimizers walk
+//! parameters through a visitor, so target-network synchronization and
+//! checkpointing are just state copies. (DESIGN.md §11.)
 //!
 //! # Example
 //!
@@ -34,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compute;
 pub mod gradcheck;
 pub mod layers;
 pub mod loss;
@@ -41,6 +51,7 @@ pub mod optim;
 pub mod serialize;
 pub mod tensor;
 
+pub use compute::{Scratch, ThreadPool};
 pub use layers::{BatchNorm2d, Conv2d, Layer, LeakyReLU, Linear, Param, ResidualBlock, Sequential};
 pub use loss::{huber_loss_grad, mse_loss_grad};
 pub use optim::{Adam, AdamState, Sgd};

@@ -75,6 +75,21 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, yielding its storage (for recycling into a
+    /// [`crate::compute::Scratch`] arena).
+    #[inline]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Copies `other` into `self`, reusing the existing allocation when
+    /// the volumes match (the zero-allocation path for cached activations).
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.shape = other.shape;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Flat index of `[n, c, h, w]`.
     #[inline]
     pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {

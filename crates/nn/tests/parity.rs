@@ -1,0 +1,232 @@
+//! Kernel-generation parity suite (DESIGN.md §11).
+//!
+//! The blocked compute engine replaced the original naive per-layer loops;
+//! these tests pin the contract that made that swap safe:
+//!
+//! - **Bit-exact forward/backward parity** with the preserved naive
+//!   implementation (the seed repo's original im2col/GEMM path, kept in
+//!   `nn::compute::reference`) across every layer shape used by
+//!   `QNetConfig::{tiny, small}`;
+//! - **Fused-BN parity** within 1e-5 of the unfused conv→BN evaluation
+//!   path on the same shapes.
+//!
+//! The thread-count determinism axis lives in `tests/determinism.rs` — a
+//! separate test binary (process) because it mutates the global
+//! `nn::compute` thread budget, which would race these assertions' thread
+//! setting inside one parallel test harness. CI runs both suites under
+//! `PREFIXRL_NN_THREADS=1` and `=4` (the `nn-parity` job).
+
+use nn::compute::{reference, Scratch};
+use nn::{BatchNorm2d, Conv2d, Layer, Tensor};
+use rand::prelude::*;
+
+/// Every `(in_c, out_c, k, h)` convolution shape instantiated by
+/// `QNetConfig::tiny(8)` (C=8 on 8×8 grids) and `QNetConfig::small(16)`
+/// (C=12 on 16×16 grids): stem 3×3, residual 5×5 pairs, head 1×1 and
+/// output 1×1.
+const QNET_SHAPES: &[(usize, usize, usize, usize)] = &[
+    // tiny(8): C=8, N=8.
+    (4, 8, 3, 8),
+    (8, 8, 5, 8),
+    (8, 8, 1, 8),
+    (8, 4, 1, 8),
+    // small(16): C=12, N=16.
+    (4, 12, 3, 16),
+    (12, 12, 5, 16),
+    (12, 12, 1, 16),
+    (12, 4, 1, 16),
+];
+
+/// Batch sizes to sweep: single rollout states and a replay mini-batch.
+const BATCHES: &[usize] = &[1, 5];
+
+fn random_tensor(rng: &mut StdRng, shape: [usize; 4]) -> Tensor {
+    let volume: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..volume)
+            .map(|_| rng.random::<f32>() * 2.0 - 1.0)
+            .collect(),
+    )
+}
+
+/// Parameter tensors (weight, then bias if present) of a layer.
+fn params(layer: &mut dyn Layer) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    layer.visit_params(&mut |p| out.push(p.data.clone()));
+    out
+}
+
+/// Accumulated parameter gradients of a layer.
+fn grads(layer: &mut dyn Layer) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    layer.visit_params(&mut |p| out.push(p.grad.clone()));
+    out
+}
+
+// ----------------------------------------------------------------- tests
+
+#[test]
+fn forward_parity_is_bitwise_on_all_qnet_shapes() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for &(in_c, out_c, k, h) in QNET_SHAPES {
+        for &batch in BATCHES {
+            let mut conv = Conv2d::new(in_c, out_c, k, 42);
+            let p = params(&mut conv);
+            let x = random_tensor(&mut rng, [batch, in_c, h, h]);
+            let naive = reference::conv2d_forward(in_c, out_c, k, &p[0], Some(&p[1]), &x);
+            let y = conv.forward(&x, true);
+            assert_eq!(
+                naive.out.data(),
+                y.data(),
+                "forward diverged at {in_c}->{out_c} k{k} h{h} batch {batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn backward_parity_is_bitwise_on_all_qnet_shapes() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for &(in_c, out_c, k, h) in QNET_SHAPES {
+        for &batch in BATCHES {
+            let mut conv = Conv2d::new(in_c, out_c, k, 43);
+            let p = params(&mut conv);
+            let x = random_tensor(&mut rng, [batch, in_c, h, h]);
+            let naive_fwd = reference::conv2d_forward(in_c, out_c, k, &p[0], Some(&p[1]), &x);
+            let grad_out = random_tensor(&mut rng, [batch, out_c, h, h]);
+            let naive = reference::conv2d_backward(
+                in_c,
+                out_c,
+                k,
+                &p[0],
+                true,
+                &naive_fwd.cols,
+                x.shape(),
+                &grad_out,
+            );
+            conv.forward(&x, true);
+            conv.zero_grad();
+            let grad_in = conv.backward(&grad_out);
+            assert_eq!(
+                naive.grad_in.data(),
+                grad_in.data(),
+                "grad_in diverged at {in_c}->{out_c} k{k} h{h} batch {batch}"
+            );
+            let g = grads(&mut conv);
+            assert_eq!(
+                naive.weight_grad, g[0],
+                "weight grad diverged at {in_c}->{out_c} k{k} h{h} batch {batch}"
+            );
+            assert_eq!(
+                naive.bias_grad.as_deref().unwrap(),
+                g[1].as_slice(),
+                "bias grad diverged at {in_c}->{out_c} k{k} h{h} batch {batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_bn_matches_unfused_eval_on_all_qnet_shapes() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for &(in_c, out_c, k, h) in QNET_SHAPES {
+        let mut conv = Conv2d::new_no_bias(in_c, out_c, k, 44);
+        let mut bn = BatchNorm2d::new(out_c);
+        // Drive the running statistics away from identity so fusion has
+        // something real to fold.
+        for _ in 0..10 {
+            let x = random_tensor(&mut rng, [2, in_c, h, h]);
+            let y = conv.forward(&x, true);
+            bn.forward(&y, true);
+        }
+        let x = random_tensor(&mut rng, [2, in_c, h, h]);
+        let unfused = bn.forward(&conv.forward(&x, false), false);
+        let mut fused = conv.fused(&bn);
+        let fused_out = fused.forward(&x, false);
+        for (i, (a, b)) in unfused.data().iter().zip(fused_out.data()).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-5 + 1e-5 * a.abs(),
+                "fused diverged at {in_c}->{out_c} k{k} h{h} elem {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gradcheck_through_a_shared_scratch_arena() {
+    // Satellite: the gradient checker itself must exercise the
+    // scratch-arena backward path. One arena serves every probe of every
+    // layer here; stale-buffer bugs would show up as gradient error.
+    let mut scratch = Scratch::new();
+    let conv_err = nn::gradcheck::check_layer_with(
+        Box::new(Conv2d::new(2, 3, 3, 7)),
+        [2, 2, 4, 4],
+        19,
+        &mut scratch,
+    );
+    assert!(conv_err < 3e-2, "conv via shared scratch: {conv_err}");
+    let bn_err = nn::gradcheck::check_layer_with(
+        Box::new(BatchNorm2d::new(3)),
+        [2, 3, 3, 3],
+        23,
+        &mut scratch,
+    );
+    assert!(bn_err < 3e-2, "batchnorm via shared scratch: {bn_err}");
+    let lin_err = nn::gradcheck::check_layer_with(
+        Box::new(nn::Linear::new(6, 4, 2)),
+        [3, 6, 1, 1],
+        29,
+        &mut scratch,
+    );
+    assert!(lin_err < 2e-2, "linear via shared scratch: {lin_err}");
+    assert!(
+        scratch.free_buffers() > 0,
+        "the shared arena never recycled a buffer"
+    );
+}
+
+#[test]
+fn linear_kernel_parity_is_bitwise() {
+    // The dense layer's kernel path against the original per-element
+    // loops.
+    let mut rng = StdRng::seed_from_u64(15);
+    let (batch, in_f, out_f) = (5, 24, 10);
+    let mut lin = nn::Linear::new(in_f, out_f, 3);
+    let p = params(&mut lin);
+    let x = random_tensor(&mut rng, [batch, in_f, 1, 1]);
+    // Naive forward: out[s,o] = w_o · x_s + b_o.
+    let mut naive = vec![0.0f32; batch * out_f];
+    for s in 0..batch {
+        let xin = &x.data()[s * in_f..(s + 1) * in_f];
+        for o in 0..out_f {
+            let wrow = &p[0][o * in_f..(o + 1) * in_f];
+            let dot: f32 = wrow.iter().zip(xin).map(|(a, b)| a * b).sum();
+            naive[s * out_f + o] = dot + p[1][o];
+        }
+    }
+    let y = lin.forward(&x, true);
+    assert_eq!(naive, y.data(), "linear forward diverged");
+    // Naive backward.
+    let grad_out = random_tensor(&mut rng, [batch, out_f, 1, 1]);
+    let mut wgrad = vec![0.0f32; out_f * in_f];
+    let mut bgrad = vec![0.0f32; out_f];
+    let mut gin = vec![0.0f32; batch * in_f];
+    for s in 0..batch {
+        let xin = &x.data()[s * in_f..(s + 1) * in_f];
+        let go = &grad_out.data()[s * out_f..(s + 1) * out_f];
+        for (oi, &g) in go.iter().enumerate() {
+            bgrad[oi] += g;
+            for i in 0..in_f {
+                wgrad[oi * in_f + i] += g * xin[i];
+                gin[s * in_f + i] += g * p[0][oi * in_f + i];
+            }
+        }
+    }
+    lin.zero_grad();
+    let grad_in = lin.backward(&grad_out);
+    let g = grads(&mut lin);
+    assert_eq!(gin, grad_in.data(), "linear grad_in diverged");
+    assert_eq!(wgrad, g[0], "linear weight grad diverged");
+    assert_eq!(bgrad, g[1], "linear bias grad diverged");
+}

@@ -6,9 +6,12 @@
 //! - [`replay::ReplayBuffer`] — uniform experience replay over vector-reward
 //!   transitions with legality masks;
 //! - [`schedule::EpsilonSchedule`] — linearly annealed ε-greedy exploration;
-//! - [`qnetwork::QNetwork`] — the interface a Q-value approximator exposes
-//!   (the paper's convolutional network lives in `prefixrl-core`; tests here
-//!   use a small linear network);
+//! - [`qnetwork::QInfer`] / [`qnetwork::QNetwork`] — the two halves of a
+//!   Q-value approximator: an immutable, shareable inference interface
+//!   (one frozen snapshot serves many actor threads with zero weight
+//!   copies) and the mutable training interface on top (the paper's
+//!   convolutional network lives in `prefixrl-core`; tests here use a
+//!   small linear network);
 //! - [`policy::ScalarizedPolicy`] — the one ε-greedy scalarized
 //!   action-selection implementation (`argmax w·Q` over legal actions,
 //!   Eq. 6), shared by the trainer, the serial agent, and async actors,
@@ -46,7 +49,7 @@ pub mod schedule;
 pub mod trainer;
 
 pub use policy::ScalarizedPolicy;
-pub use qnetwork::QNetwork;
+pub use qnetwork::{QInfer, QNetwork};
 pub use replay::{ReplayBuffer, Transition};
 pub use schedule::EpsilonSchedule;
 pub use trainer::{DoubleDqn, DqnConfig, TrainerState};

@@ -5,15 +5,19 @@
 //! exploration during training. Before this module existed the workspace
 //! carried three near-identical copies of that logic (the trainer, the
 //! serial agent, and the async actors); [`ScalarizedPolicy`] is now the
-//! single implementation every acting path routes through, and its batched
-//! entry points let actors evaluate one forward pass over many environments
-//! instead of a batch-of-1 per decision.
+//! single implementation every acting path routes through. All selection
+//! goes through the **immutable** [`QInfer`] half of the network, so a
+//! frozen snapshot shared behind an `Arc` serves any number of actor
+//! threads without copies or locks, and its batched entry points let
+//! actors evaluate one forward pass over many environments instead of a
+//! batch-of-1 per decision.
 
-use crate::qnetwork::QNetwork;
+use crate::qnetwork::QInfer;
+use nn::Scratch;
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// ε-greedy scalarized action selection over any [`QNetwork`].
+/// ε-greedy scalarized action selection over any [`QInfer`].
 ///
 /// The policy is a pure decision rule (the scalarization weight is its only
 /// state), so it is `Copy` and can be shared freely between the trainer and
@@ -66,13 +70,14 @@ impl ScalarizedPolicy {
     }
 
     /// The greedy action for one state (ε = 0).
-    pub fn greedy_action<Q: QNetwork>(
+    pub fn greedy_action<Q: QInfer + ?Sized>(
         &self,
-        net: &mut Q,
+        net: &Q,
         state: &[f32],
         mask: &[bool],
+        scratch: &mut Scratch,
     ) -> Option<usize> {
-        let q = net.forward(&[state], false).pop().expect("batch of 1");
+        let q = net.infer(&[state], scratch).pop().expect("batch of 1");
         self.greedy_from_q(&q, mask)
     }
 
@@ -81,17 +86,18 @@ impl ScalarizedPolicy {
     /// # Panics
     ///
     /// Panics if `states` and `masks` lengths differ.
-    pub fn greedy_actions<Q: QNetwork>(
+    pub fn greedy_actions<Q: QInfer + ?Sized>(
         &self,
-        net: &mut Q,
+        net: &Q,
         states: &[&[f32]],
         masks: &[&[bool]],
+        scratch: &mut Scratch,
     ) -> Vec<Option<usize>> {
         assert_eq!(states.len(), masks.len(), "states/masks length mismatch");
         if states.is_empty() {
             return Vec::new();
         }
-        net.forward(states, false)
+        net.infer(states, scratch)
             .iter()
             .zip(masks)
             .map(|(q, mask)| self.greedy_from_q(q, mask))
@@ -102,18 +108,19 @@ impl ScalarizedPolicy {
     /// implementation of the workspace (Eq. 6 plus exploration): with
     /// probability `epsilon` a uniform legal action, otherwise the masked
     /// scalarized argmax. `None` when no action is legal.
-    pub fn select_action<Q: QNetwork>(
+    pub fn select_action<Q: QInfer + ?Sized>(
         &self,
-        net: &mut Q,
+        net: &Q,
         state: &[f32],
         mask: &[bool],
         epsilon: f64,
         rng: &mut StdRng,
+        scratch: &mut Scratch,
     ) -> Option<usize> {
         match self.explore(mask, epsilon, rng) {
             Explore::Random(a) => Some(a),
             Explore::NoLegalAction => None,
-            Explore::Greedy => self.greedy_action(net, state, mask),
+            Explore::Greedy => self.greedy_action(net, state, mask, scratch),
         }
     }
 
@@ -124,13 +131,14 @@ impl ScalarizedPolicy {
     /// # Panics
     ///
     /// Panics if `states` and `masks` lengths differ.
-    pub fn select_actions<Q: QNetwork>(
+    pub fn select_actions<Q: QInfer + ?Sized>(
         &self,
-        net: &mut Q,
+        net: &Q,
         states: &[&[f32]],
         masks: &[&[bool]],
         epsilon: f64,
         rng: &mut StdRng,
+        scratch: &mut Scratch,
     ) -> Vec<Option<usize>> {
         assert_eq!(states.len(), masks.len(), "states/masks length mismatch");
         let mut actions: Vec<Option<usize>> = Vec::with_capacity(states.len());
@@ -147,7 +155,7 @@ impl ScalarizedPolicy {
         }
         if !greedy_idx.is_empty() {
             let batch: Vec<&[f32]> = greedy_idx.iter().map(|&i| states[i]).collect();
-            let q = net.forward(&batch, false);
+            let q = net.infer(&batch, scratch);
             for (&i, q) in greedy_idx.iter().zip(&q) {
                 actions[i] = self.greedy_from_q(q, masks[i]);
             }
@@ -182,18 +190,19 @@ enum Explore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qnetwork::QNetwork;
 
     /// A fixed-table Q-network: `q[s][a]`, one-hot states.
     struct TableQ {
         table: Vec<Vec<[f32; 2]>>,
     }
 
-    impl QNetwork for TableQ {
+    impl QInfer for TableQ {
         fn num_actions(&self) -> usize {
             self.table[0].len()
         }
 
-        fn forward(&mut self, states: &[&[f32]], _train: bool) -> Vec<Vec<[f32; 2]>> {
+        fn infer(&self, states: &[&[f32]], _scratch: &mut Scratch) -> Vec<Vec<[f32; 2]>> {
             states
                 .iter()
                 .map(|s| {
@@ -201,6 +210,12 @@ mod tests {
                     self.table[idx].clone()
                 })
                 .collect()
+        }
+    }
+
+    impl QNetwork for TableQ {
+        fn forward(&mut self, states: &[&[f32]], _train: bool) -> Vec<Vec<[f32; 2]>> {
+            self.infer(states, &mut Scratch::new())
         }
 
         fn apply_gradient(&mut self, _grad: &[Vec<[f32; 2]>]) {}
@@ -232,52 +247,62 @@ mod tests {
 
     #[test]
     fn greedy_tracks_weight() {
-        let mut net = table();
+        let net = table();
+        let mut s = Scratch::new();
         let area = ScalarizedPolicy::new([1.0, 0.0]);
         let delay = ScalarizedPolicy::new([0.0, 1.0]);
         let mask = [true, true, true];
-        assert_eq!(area.greedy_action(&mut net, &one_hot(0), &mask), Some(0));
-        assert_eq!(delay.greedy_action(&mut net, &one_hot(0), &mask), Some(2));
+        assert_eq!(
+            area.greedy_action(&net, &one_hot(0), &mask, &mut s),
+            Some(0)
+        );
+        assert_eq!(
+            delay.greedy_action(&net, &one_hot(0), &mask, &mut s),
+            Some(2)
+        );
     }
 
     #[test]
     fn masking_restricts_and_empties() {
-        let mut net = table();
+        let net = table();
+        let mut s = Scratch::new();
         let p = ScalarizedPolicy::new([1.0, 0.0]);
         assert_eq!(
-            p.greedy_action(&mut net, &one_hot(0), &[false, true, true]),
+            p.greedy_action(&net, &one_hot(0), &[false, true, true], &mut s),
             Some(1)
         );
         assert_eq!(
-            p.greedy_action(&mut net, &one_hot(0), &[false, false, false]),
+            p.greedy_action(&net, &one_hot(0), &[false, false, false], &mut s),
             None
         );
     }
 
     #[test]
     fn batched_matches_single() {
-        let mut net = table();
+        let net = table();
+        let mut scratch = Scratch::new();
         let p = ScalarizedPolicy::new([0.5, 0.5]);
         let (s0, s1) = (one_hot(0), one_hot(1));
         let masks: Vec<&[bool]> = vec![&[true; 3], &[true, true, false]];
-        let batched = p.greedy_actions(&mut net, &[&s0, &s1], &masks);
+        let batched = p.greedy_actions(&net, &[&s0, &s1], &masks, &mut scratch);
         let singles = vec![
-            p.greedy_action(&mut net, &s0, masks[0]),
-            p.greedy_action(&mut net, &s1, masks[1]),
+            p.greedy_action(&net, &s0, masks[0], &mut scratch),
+            p.greedy_action(&net, &s1, masks[1], &mut scratch),
         ];
         assert_eq!(batched, singles);
     }
 
     #[test]
     fn epsilon_one_is_uniform_over_legal() {
-        let mut net = table();
+        let net = table();
+        let mut scratch = Scratch::new();
         let p = ScalarizedPolicy::new([0.5, 0.5]);
         let mut rng = StdRng::seed_from_u64(0);
         let mask = [true, false, true];
         let mut counts = [0usize; 3];
         for _ in 0..1000 {
             let a = p
-                .select_action(&mut net, &one_hot(0), &mask, 1.0, &mut rng)
+                .select_action(&net, &one_hot(0), &mask, 1.0, &mut rng, &mut scratch)
                 .unwrap();
             counts[a] += 1;
         }
@@ -287,13 +312,34 @@ mod tests {
 
     #[test]
     fn epsilon_zero_batch_is_greedy() {
-        let mut net = table();
+        let net = table();
+        let mut scratch = Scratch::new();
         let p = ScalarizedPolicy::new([1.0, 0.0]);
         let mut rng = StdRng::seed_from_u64(1);
         let (s0, s1) = (one_hot(0), one_hot(1));
         let masks: Vec<&[bool]> = vec![&[true; 3], &[true; 3]];
-        let actions = p.select_actions(&mut net, &[&s0, &s1], &masks, 0.0, &mut rng);
+        let actions = p.select_actions(&net, &[&s0, &s1], &masks, 0.0, &mut rng, &mut scratch);
         assert_eq!(actions, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn shared_snapshot_selects_across_threads() {
+        // The point of the QInfer split: one network value, many selecting
+        // threads, no copies.
+        let net = std::sync::Arc::new(table());
+        let p = ScalarizedPolicy::new([1.0, 0.0]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let net = std::sync::Arc::clone(&net);
+                scope.spawn(move || {
+                    let mut scratch = Scratch::new();
+                    assert_eq!(
+                        p.greedy_action(&*net, &one_hot(0), &[true; 3], &mut scratch),
+                        Some(0)
+                    );
+                });
+            }
+        });
     }
 
     #[test]

@@ -1,21 +1,47 @@
-//! The Q-function interface consumed by the trainer.
+//! The Q-function interfaces consumed by the trainer and the actors.
+//!
+//! The approximator is split into two halves:
+//!
+//! - [`QInfer`] — the immutable inference half: evaluation-mode Q-values
+//!   through `&self`, drawing transient buffers from a caller-supplied
+//!   [`Scratch`]. Because it never mutates, one frozen network snapshot
+//!   (e.g. behind an `Arc`) can serve any number of actor threads with
+//!   zero per-decision weight copies — the paper's many-actors/one-learner
+//!   topology at thread scale.
+//! - [`QNetwork`] — the mutable training half layered on top: training
+//!   forwards, gradient application, and parameter snapshots for target
+//!   sync and checkpointing.
 
-/// A trainable multi-objective Q-value approximator over a fixed flat
-/// action space.
+use nn::Scratch;
+
+/// The immutable inference half of a multi-objective Q-approximator.
 ///
-/// Implementations map flattened state features to per-action, per-objective
-/// Q-values `[Q_area, Q_delay]`. The PrefixRL convolutional network (Fig. 2
-/// of the paper) implements this in `prefixrl-core`; the trainer's unit
-/// tests use a linear network.
-pub trait QNetwork {
+/// Implementations map flattened state features to per-action,
+/// per-objective Q-values `[Q_area, Q_delay]` in evaluation mode (running
+/// batch-norm statistics, no cache writes). `infer` must agree with
+/// [`QNetwork::forward`]`(…, false)` on any type implementing both.
+pub trait QInfer {
     /// Number of flat actions (e.g. `2·N²` for the add/delete grid).
     fn num_actions(&self) -> usize;
 
     /// Evaluates Q-values for a batch of states:
     /// `out[b][a] = [q_area, q_delay]`.
+    fn infer(&self, states: &[&[f32]], scratch: &mut Scratch) -> Vec<Vec<[f32; 2]>>;
+}
+
+/// A trainable multi-objective Q-value approximator over a fixed flat
+/// action space.
+///
+/// The PrefixRL convolutional network (Fig. 2 of the paper) implements
+/// this in `prefixrl-core`; the trainer's unit tests use a linear network.
+/// Action selection goes through the [`QInfer`] supertrait.
+pub trait QNetwork: QInfer {
+    /// Evaluates Q-values for a batch of states:
+    /// `out[b][a] = [q_area, q_delay]`.
     ///
-    /// `train` selects training-mode behaviour of stochastic layers
-    /// (batch-norm statistics); action selection uses `false`.
+    /// `train` selects training-mode behaviour of stochastic layers (batch
+    /// statistics in batch-norm) and backward caching; `false` must match
+    /// [`QInfer::infer`] exactly.
     fn forward(&mut self, states: &[&[f32]], train: bool) -> Vec<Vec<[f32; 2]>>;
 
     /// Backpropagates `grad[b][a] = [∂L/∂q_area, ∂L/∂q_delay]` through the

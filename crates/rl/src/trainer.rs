@@ -3,6 +3,7 @@
 use crate::policy::ScalarizedPolicy;
 use crate::qnetwork::QNetwork;
 use crate::replay::ReplayBuffer;
+use nn::Scratch;
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +66,10 @@ pub struct DoubleDqn<Q: QNetwork> {
     policy: ScalarizedPolicy,
     cfg: DqnConfig,
     grad_steps: u64,
+    /// Arena for the trainer's own inference passes (action selection,
+    /// bootstrap targets) — reused every step, so the hot loop stops
+    /// allocating.
+    scratch: Scratch,
 }
 
 impl<Q: QNetwork> DoubleDqn<Q> {
@@ -91,6 +96,7 @@ impl<Q: QNetwork> DoubleDqn<Q> {
             policy,
             cfg,
             grad_steps: 0,
+            scratch: Scratch::new(),
         }
     }
 
@@ -107,6 +113,12 @@ impl<Q: QNetwork> DoubleDqn<Q> {
     /// Gradient steps taken so far.
     pub fn grad_steps(&self) -> u64 {
         self.grad_steps
+    }
+
+    /// Immutable access to the online network — what frozen inference
+    /// snapshots are built from.
+    pub fn online(&self) -> &Q {
+        &self.online
     }
 
     /// Mutable access to the online network (checkpointing, inspection).
@@ -141,10 +153,11 @@ impl<Q: QNetwork> DoubleDqn<Q> {
         Ok(())
     }
 
-    /// Per-action Q-values for a single state (evaluation mode).
+    /// Per-action Q-values for a single state (evaluation mode, via the
+    /// immutable [`crate::QInfer`] path).
     pub fn q_values(&mut self, state: &[f32]) -> Vec<[f32; 2]> {
         self.online
-            .forward(&[state], false)
+            .infer(&[state], &mut self.scratch)
             .pop()
             .expect("batch of 1")
     }
@@ -152,7 +165,8 @@ impl<Q: QNetwork> DoubleDqn<Q> {
     /// The greedy action under the scalarized objective, restricted to
     /// `mask`; `None` when no action is legal.
     pub fn greedy_action(&mut self, state: &[f32], mask: &[bool]) -> Option<usize> {
-        self.policy.greedy_action(&mut self.online, state, mask)
+        self.policy
+            .greedy_action(&self.online, state, mask, &mut self.scratch)
     }
 
     /// ε-greedy acting against the online network, via the shared
@@ -165,7 +179,7 @@ impl<Q: QNetwork> DoubleDqn<Q> {
         rng: &mut StdRng,
     ) -> Option<usize> {
         self.policy
-            .select_action(&mut self.online, state, mask, epsilon, rng)
+            .select_action(&self.online, state, mask, epsilon, rng, &mut self.scratch)
     }
 
     /// Copies the online parameters into the target network.
@@ -186,7 +200,7 @@ impl<Q: QNetwork> DoubleDqn<Q> {
         let next_states: Vec<&[f32]> = batch.iter().map(|t| t.next_state.as_slice()).collect();
         // Double-DQN action selection: argmax of the *online* scalarized
         // Q over legal next actions…
-        let next_q_online = self.online.forward(&next_states, false);
+        let next_q_online = self.online.infer(&next_states, &mut self.scratch);
         let a_star: Vec<Option<usize>> = batch
             .iter()
             .zip(&next_q_online)
@@ -198,7 +212,7 @@ impl<Q: QNetwork> DoubleDqn<Q> {
             })
             .collect();
         // …evaluated by the *target* network (Eq. 4).
-        let next_q_target = self.target.forward(&next_states, false);
+        let next_q_target = self.target.infer(&next_states, &mut self.scratch);
         let targets: Vec<[f32; 2]> = batch
             .iter()
             .zip(&a_star)
@@ -245,6 +259,7 @@ impl<Q: QNetwork> DoubleDqn<Q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qnetwork::QInfer;
     use crate::replay::Transition;
     use nn::{Layer, Linear};
 
@@ -265,20 +280,18 @@ mod tests {
         }
     }
 
-    impl QNetwork for LinearQ {
-        fn num_actions(&self) -> usize {
-            self.actions
-        }
-
-        fn forward(&mut self, states: &[&[f32]], train: bool) -> Vec<Vec<[f32; 2]>> {
+    impl LinearQ {
+        fn pack(states: &[&[f32]]) -> nn::Tensor {
             let dim = states[0].len();
             let mut flat = Vec::with_capacity(states.len() * dim);
             for s in states {
                 flat.extend_from_slice(s);
             }
-            let x = nn::Tensor::from_vec([states.len(), dim, 1, 1], flat);
-            let y = self.net.forward(&x, train);
-            (0..states.len())
+            nn::Tensor::from_vec([states.len(), dim, 1, 1], flat)
+        }
+
+        fn unpack(&self, n: usize, y: &nn::Tensor) -> Vec<Vec<[f32; 2]>> {
+            (0..n)
                 .map(|b| {
                     (0..self.actions)
                         .map(|a| {
@@ -290,6 +303,26 @@ mod tests {
                         .collect()
                 })
                 .collect()
+        }
+    }
+
+    impl QInfer for LinearQ {
+        fn num_actions(&self) -> usize {
+            self.actions
+        }
+
+        fn infer(&self, states: &[&[f32]], scratch: &mut Scratch) -> Vec<Vec<[f32; 2]>> {
+            let y = self.net.infer(&Self::pack(states), scratch);
+            let out = self.unpack(states.len(), &y);
+            scratch.recycle(y);
+            out
+        }
+    }
+
+    impl QNetwork for LinearQ {
+        fn forward(&mut self, states: &[&[f32]], train: bool) -> Vec<Vec<[f32; 2]>> {
+            let y = self.net.forward(&Self::pack(states), train);
+            self.unpack(states.len(), &y)
         }
 
         fn apply_gradient(&mut self, grad: &[Vec<[f32; 2]>]) {

@@ -107,6 +107,19 @@ fn get_opt<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str) -> O
     })
 }
 
+/// Parses a worker-count flag, clamping `0` to `1` with a loud warning —
+/// a zero here would silently spin zero workers and hang or no-op the
+/// session (mirrors the PR 2 malformed-value policy of never failing
+/// silently).
+fn get_workers(opts: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    let v: usize = get(opts, key, default);
+    if v == 0 {
+        eprintln!("warning: --{key} 0 would spin zero workers; clamping to 1");
+        return 1;
+    }
+    v
+}
+
 fn friendly_type_name<T>() -> &'static str {
     let full = std::any::type_name::<T>();
     match full {
@@ -191,6 +204,9 @@ fn session_options_help() -> &'static str {
      \x20                          checkpointing)\n\
      \x20 --eval-threads <T>       EvalService thread budget; sweeps also fan\n\
      \x20                          agents out over this many threads\n\
+     \x20 --nn-threads <T>         Q-network compute threads (GEMM panels;\n\
+     \x20                          default 1; results are bit-identical at\n\
+     \x20                          every setting)\n\
      \x20 --cache-shards <S>       shared evaluation cache shards (default 16)\n\
      \x20 --checkpoint <path>      persist a sweep checkpoint to this file\n\
      \x20 --checkpoint-every <K>   capture a checkpoint every K steps per agent\n\
@@ -298,9 +314,12 @@ fn run_session(opts: &HashMap<String, String>, weights: Weights) {
     let n: u16 = get(opts, "n", 8);
     let steps: u64 = get(opts, "steps", 2000);
     let seed: u64 = get(opts, "seed", 0);
-    let actors: usize = get(opts, "actors", 1).max(1);
+    let actors = get_workers(opts, "actors", 1);
     let default_threads = weights.len().max(actors);
-    let eval_threads: usize = get(opts, "eval-threads", default_threads).max(1);
+    let eval_threads = get_workers(opts, "eval-threads", default_threads);
+    let nn_threads = opts
+        .contains_key("nn-threads")
+        .then(|| get_workers(opts, "nn-threads", 1));
     let cache_shards: usize = get(opts, "cache-shards", 16).max(1);
     let json_mode = opts.contains_key("json");
     let use_synth = match opts.get("evaluator").map(String::as_str) {
@@ -338,6 +357,9 @@ fn run_session(opts: &HashMap<String, String>, weights: Weights) {
         .actors(actors)
         .eval_threads(eval_threads)
         .cache_shards(cache_shards);
+    if let Some(t) = nn_threads {
+        builder = builder.nn_threads(t);
+    }
     if let Some(every) = get_opt::<u64>(opts, "checkpoint-every") {
         builder = builder.checkpoint_every(every);
     }
@@ -373,7 +395,8 @@ fn run_session(opts: &HashMap<String, String>, weights: Weights) {
     if !json_mode {
         eprintln!(
             "{} {n}b agent(s): weights {:?}, {steps} steps each, evaluator={}, \
-             actors={actors}, eval-threads={eval_threads}, cache-shards={cache_shards}",
+             actors={actors}, eval-threads={eval_threads}, nn-threads={}, \
+             cache-shards={cache_shards}",
             if weights.len() > 1 {
                 "sweeping"
             } else {
@@ -385,6 +408,7 @@ fn run_session(opts: &HashMap<String, String>, weights: Weights) {
                 .map(|w| (w * 100.0).round() / 100.0)
                 .collect::<Vec<_>>(),
             if use_synth { "synthesis" } else { "analytical" },
+            nn_threads.unwrap_or_else(prefixrl::nn::compute::threads),
         );
     }
 
