@@ -43,19 +43,21 @@ pub struct CommercialChoice {
     pub area: f64,
 }
 
-/// Synthesizes every library architecture at `target` and returns the
-/// best outcome (commercial-tool behaviour: meet timing at minimum area,
-/// otherwise be as fast as possible).
-pub fn choose_at_target(
+/// [`choose_at_target`] generalized over the circuit family: `emit` maps
+/// each architecture's prefix graph to the netlist the tool instantiates
+/// (`netlist::adder::generate`, `netlist::prefix_or::generate`, …), so the
+/// same chooser baselines any prefix computation.
+pub fn choose_at_target_with(
     n: u16,
     lib: &Library,
     cfg: &OptimizerConfig,
     target: f64,
+    emit: impl Fn(&prefix_graph::PrefixGraph) -> netlist::Netlist,
 ) -> CommercialChoice {
     let cons = TimingConstraints::uniform(lib);
     let mut best: Option<CommercialChoice> = None;
     for (name, graph) in commercial_library(n) {
-        let nl = netlist::adder::generate(&graph);
+        let nl = emit(&graph);
         let out = optimize(&nl, lib, &cons, target, cfg);
         let better = match &best {
             None => true,
@@ -78,6 +80,18 @@ pub fn choose_at_target(
         }
     }
     best.expect("library is nonempty")
+}
+
+/// Synthesizes every library architecture's **adder** at `target` and
+/// returns the best outcome (commercial-tool behaviour: meet timing at
+/// minimum area, otherwise be as fast as possible).
+pub fn choose_at_target(
+    n: u16,
+    lib: &Library,
+    cfg: &OptimizerConfig,
+    target: f64,
+) -> CommercialChoice {
+    choose_at_target_with(n, lib, cfg, target, netlist::adder::generate)
 }
 
 /// Sweeps the commercial chooser across delay targets between the fastest
@@ -138,6 +152,18 @@ mod tests {
             tight.architecture, loose.architecture,
             "tool must adapt its choice"
         );
+    }
+
+    #[test]
+    fn chooser_generalizes_over_emitters() {
+        // The same chooser instantiates priority-encoder spines: at any
+        // target the chosen OR-prefix circuit is far smaller than the
+        // adder pick (one gate per node vs G/P pairs).
+        let lib = Library::nangate45();
+        let cfg = OptimizerConfig::fast();
+        let adder = choose_at_target(8, &lib, &cfg, 0.5);
+        let or = choose_at_target_with(8, &lib, &cfg, 0.5, netlist::prefix_or::generate);
+        assert!(or.area < adder.area / 2.0, "{or:?} vs {adder:?}");
     }
 
     #[test]

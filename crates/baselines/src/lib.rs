@@ -22,7 +22,7 @@ pub mod crosslayer;
 pub mod pruned;
 pub mod sa;
 
-pub use commercial::commercial_library;
+pub use commercial::{choose_at_target, choose_at_target_with, commercial_library};
 pub use crosslayer::{cross_layer, CrossLayerConfig};
 pub use pruned::{pruned_search, PrunedSearchConfig};
 pub use sa::{anneal, sa_frontier, SaConfig};

@@ -12,9 +12,9 @@ use prefix_graph::{structures, PrefixGraph};
 use prefixrl_bench as support;
 use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
-use prefixrl_core::evaluator::SynthesisEvaluator;
 use prefixrl_core::frontier::sweep_front;
 use prefixrl_core::pareto::ParetoFront;
+use prefixrl_core::task::{Adder, TaskEvaluator};
 use std::sync::Arc;
 use synth::sweep::SweepConfig;
 
@@ -42,7 +42,8 @@ fn main() {
     // --- PrefixRL agents, synthesis in the loop -------------------------
     let mut rl_designs: Vec<(String, PrefixGraph)> = Vec::new();
     for (i, &w) in weights.iter().enumerate() {
-        let evaluator = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+        let evaluator = Arc::new(CachedEvaluator::new(TaskEvaluator::synthesis(
+            Adder,
             lib.clone(),
             SweepConfig::fast(),
             w,

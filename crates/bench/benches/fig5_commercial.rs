@@ -9,9 +9,10 @@ use prefix_graph::{structures, PrefixGraph};
 use prefixrl_bench as support;
 use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
-use prefixrl_core::evaluator::{ObjectivePoint, SynthesisEvaluator};
+use prefixrl_core::evaluator::ObjectivePoint;
 use prefixrl_core::frontier::sweep_front;
 use prefixrl_core::pareto::ParetoFront;
+use prefixrl_core::task::{Adder, TaskEvaluator};
 use std::sync::Arc;
 use synth::optimizer::OptimizerConfig;
 use synth::sweep::SweepConfig;
@@ -31,7 +32,8 @@ fn run(n: u16, weights: &[f64], steps: u64, targets: usize, tag: &str) {
     // Train on the OPEN library (as the paper does)…
     let mut rl_designs: Vec<(String, PrefixGraph)> = Vec::new();
     for (i, &w) in weights.iter().enumerate() {
-        let evaluator = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+        let evaluator = Arc::new(CachedEvaluator::new(TaskEvaluator::synthesis(
+            Adder,
             train_lib.clone(),
             SweepConfig::fast(),
             w,

@@ -13,9 +13,10 @@ use prefix_graph::{analytical, PrefixGraph};
 use prefixrl_bench as support;
 use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
-use prefixrl_core::evaluator::{AnalyticalEvaluator, ObjectivePoint, SynthesisEvaluator};
+use prefixrl_core::evaluator::ObjectivePoint;
 use prefixrl_core::frontier::sweep_front;
 use prefixrl_core::pareto::ParetoFront;
+use prefixrl_core::task::{Adder, TaskEvaluator};
 use std::sync::Arc;
 use synth::sweep::SweepConfig;
 
@@ -52,7 +53,7 @@ fn main() {
         .unwrap_or(4);
 
     // Analytical-PrefixRL agents (trained on [14]'s model).
-    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+    let evaluator = Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder)));
     let mut rl_designs: Vec<(String, PrefixGraph)> = Vec::new();
     for (i, &w) in weights.iter().enumerate() {
         let mut cfg = AgentConfig::small(n, w as f32, steps);
@@ -106,7 +107,8 @@ fn main() {
     // Synthesis-in-the-loop PrefixRL reference (one mid-weight agent).
     let mut loop_designs: Vec<(String, PrefixGraph)> = Vec::new();
     {
-        let ev = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+        let ev = Arc::new(CachedEvaluator::new(TaskEvaluator::synthesis(
+            Adder,
             lib.clone(),
             SweepConfig::fast(),
             0.5,

@@ -4,7 +4,7 @@
 use prefixrl_bench as support;
 use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
-use prefixrl_core::evaluator::AnalyticalEvaluator;
+use prefixrl_core::task::{Adder, TaskEvaluator};
 use std::sync::Arc;
 
 fn main() {
@@ -13,7 +13,7 @@ fn main() {
         support::Scale::Paper => (64u16, 100_000u64),
     };
     println!("Fig. 7 reproduction: learned {n}-bit PrefixRL solutions\n");
-    let evaluator = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+    let evaluator = Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder)));
     let mut shown = 0;
     for (i, w) in [0.25f32, 0.6, 0.9].into_iter().enumerate() {
         let mut cfg = AgentConfig::small(n, w, steps);

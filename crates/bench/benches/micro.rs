@@ -7,9 +7,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use netlist::Library;
 use prefix_graph::{structures, Action, Node, PrefixGraph};
 use prefixrl_core::env::{EnvConfig, PrefixEnv};
-use prefixrl_core::evaluator::{AnalyticalEvaluator, ObjectivePoint};
+use prefixrl_core::evaluator::ObjectivePoint;
 use prefixrl_core::pareto::ParetoFront;
 use prefixrl_core::qnet::{PrefixQNet, QNetConfig};
+use prefixrl_core::task::{Adder, TaskEvaluator};
 use rand::SeedableRng;
 use rl::{QInfer, QNetwork};
 use std::hint::black_box;
@@ -60,11 +61,16 @@ fn bench_synthesis(c: &mut Criterion) {
 fn bench_env_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("env");
     g.bench_function("step_analytical_16b", |b| {
-        let env = PrefixEnv::new(EnvConfig::analytical(16), Arc::new(AnalyticalEvaluator));
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(16),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         b.iter_batched(
             || {
-                let mut e =
-                    PrefixEnv::new(EnvConfig::analytical(16), Arc::new(AnalyticalEvaluator));
+                let mut e = PrefixEnv::new(
+                    EnvConfig::analytical(16),
+                    Arc::new(TaskEvaluator::analytical(Adder)),
+                );
                 let _ = &env;
                 e.reset(&mut rand::rngs::StdRng::seed_from_u64(0));
                 e
@@ -85,7 +91,10 @@ fn bench_qnet(c: &mut Criterion) {
     g.sample_size(10);
     for (n, batch) in [(8u16, 12usize), (16, 12)] {
         let mut q = PrefixQNet::new(&QNetConfig::small(n));
-        let env = PrefixEnv::new(EnvConfig::analytical(n), Arc::new(AnalyticalEvaluator));
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(n),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         let f = env.features();
         g.bench_function(format!("train_iteration_{n}b_batch{batch}"), |b| {
             b.iter(|| {

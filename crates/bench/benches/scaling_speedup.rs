@@ -8,8 +8,9 @@ use prefixrl_bench as support;
 use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::CachedEvaluator;
 use prefixrl_core::evalsvc::EvalService;
-use prefixrl_core::evaluator::{Evaluator, SynthesisEvaluator};
+use prefixrl_core::evaluator::Evaluator;
 use prefixrl_core::experiment::AsyncRunner;
+use prefixrl_core::task::{Adder, TaskEvaluator};
 use std::sync::Arc;
 use std::time::Instant;
 use synth::sweep::SweepConfig;
@@ -34,7 +35,8 @@ fn main() {
             g
         })
         .collect();
-    let evaluator: Arc<dyn Evaluator> = Arc::new(SynthesisEvaluator::new(
+    let evaluator: Arc<dyn Evaluator> = Arc::new(TaskEvaluator::synthesis(
+        Adder,
         lib.clone(),
         SweepConfig::fast(),
         0.5,
@@ -64,7 +66,8 @@ fn main() {
     // --- Cache hit rate during training -----------------------------------
     println!("\ncache hit rate during synthesis-in-loop training:");
     for width in [8u16, 12, 16] {
-        let ev = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+        let ev = Arc::new(CachedEvaluator::new(TaskEvaluator::synthesis(
+            Adder,
             lib.clone(),
             SweepConfig::fast(),
             0.5,
@@ -84,7 +87,8 @@ fn main() {
     println!("\nasync actor/learner (paper Sec. IV-D architecture):");
     let mut rows = Vec::new();
     for actors in [1usize, 2, 4] {
-        let ev = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+        let ev = Arc::new(CachedEvaluator::new(TaskEvaluator::synthesis(
+            Adder,
             lib.clone(),
             SweepConfig::fast(),
             0.5,

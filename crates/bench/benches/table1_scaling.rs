@@ -7,8 +7,8 @@ use netlist::Library;
 use prefix_graph::structures;
 use prefixrl_bench as support;
 use prefixrl_core::env::EnvConfig;
-use prefixrl_core::evaluator::AnalyticalEvaluator;
 use prefixrl_core::qnet::{PrefixQNet, QNetConfig};
+use prefixrl_core::task::{Adder, TaskEvaluator};
 use rl::{QInfer, QNetwork};
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,7 +65,7 @@ fn main() {
         let mut q = PrefixQNet::new(&qcfg);
         let env = prefixrl_core::env::PrefixEnv::new(
             EnvConfig::analytical(n),
-            Arc::new(AnalyticalEvaluator),
+            Arc::new(TaskEvaluator::analytical(Adder)),
         );
         let f = env.features();
         let states: Vec<&[f32]> = (0..batch).map(|_| f.as_slice()).collect();

@@ -20,7 +20,7 @@ fn main() {
         });
         let env = PrefixEnv::new(
             EnvConfig::analytical(n),
-            std::sync::Arc::new(AnalyticalEvaluator),
+            std::sync::Arc::new(TaskEvaluator::analytical(Adder)),
         );
         let f = env.features();
         let states: Vec<&[f32]> = (0..batch).map(|_| f.as_slice()).collect();

@@ -180,6 +180,46 @@ pub fn write_bench_nn(batch: usize, rows: &[NnRow]) {
     println!("[artifact] {}", path.display());
 }
 
+/// One measured point of the `task_throughput` harness: evaluation
+/// throughput for a `(task, backend)` pair.
+#[derive(Clone, Debug)]
+pub struct TaskRow {
+    /// Circuit task id (`adder`, `prefix-or`, `incrementer`).
+    pub task: String,
+    /// Objective backend id (`analytical`, `synthesis`, `synthesis-power`).
+    pub backend: String,
+    /// Distinct graphs in the evaluation pool.
+    pub graphs: usize,
+    /// Evaluations executed (pool × rounds).
+    pub evals: u64,
+    /// Cold (uncached) evaluation throughput.
+    pub evals_per_sec: f64,
+    /// Throughput through the sharded cache once warm.
+    pub cached_evals_per_sec: f64,
+}
+
+/// Dumps `BENCH_tasks.json` at the workspace root: evaluation throughput
+/// per `(task, backend)` pair, cold and cache-warm, machine-readable so
+/// future changes can track the pluggable-workload path against this file.
+pub fn write_bench_tasks(n: u16, rows: &[TaskRow]) {
+    let value = serde_json::json!({
+        "benchmark": "task_backend_eval_throughput",
+        "n": n,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "task": r.task,
+            "backend": r.backend,
+            "graphs": r.graphs,
+            "evals": r.evals,
+            "evals_per_sec": r.evals_per_sec,
+            "cached_evals_per_sec": r.cached_evals_per_sec,
+        })).collect::<Vec<_>>(),
+    });
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_tasks.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap())
+        .expect("write BENCH_tasks.json");
+    println!("[artifact] {}", path.display());
+}
+
 /// Prints a named series of (area, delay) points as the paper's figures
 /// tabulate them, in increasing delay order.
 pub fn print_series(name: &str, points: &[(f64, f64)]) {

@@ -22,6 +22,7 @@ use crate::evaluator::{Evaluator, ObjectivePoint};
 use crate::experiment::{Event, NullObserver, RunObserver};
 use crate::pareto::ParetoFront;
 use crate::qnet::{PrefixQNet, QNetConfig};
+use crate::task::{self, CircuitTask};
 use prefix_graph::PrefixGraph;
 use rand::prelude::*;
 use rl::{DoubleDqn, DqnConfig, EpsilonSchedule, ReplayBuffer, Transition};
@@ -181,10 +182,31 @@ pub struct TrainLoop {
 
 impl TrainLoop {
     /// Initializes a fresh run: seeds the RNG, builds online/target
-    /// networks, resets the environment, and records the start state.
+    /// networks, resets the environment, and records the start state. The
+    /// circuit task is resolved from `cfg.env.task` through the built-in
+    /// registry (panics on an unknown id); custom tasks go through
+    /// [`TrainLoop::with_task`].
     pub fn new(cfg: &AgentConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+        Self::with_env(cfg, PrefixEnv::new(cfg.env.clone(), evaluator))
+    }
+
+    /// Initializes a fresh run over an explicit (possibly custom) circuit
+    /// task; `cfg.env.task` is overwritten with the task's id so
+    /// checkpoints record it.
+    pub fn with_task(
+        cfg: &AgentConfig,
+        task: Arc<dyn CircuitTask>,
+        evaluator: Arc<dyn Evaluator>,
+    ) -> Self {
+        Self::with_env(cfg, PrefixEnv::with_task(cfg.env.clone(), task, evaluator))
+    }
+
+    fn with_env(cfg: &AgentConfig, mut env: PrefixEnv) -> Self {
+        let mut cfg = cfg.clone();
+        // The environment resolved (and possibly rewrote) the task id;
+        // keep the checkpointed config in sync with it.
+        cfg.env = env.config().clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut env = PrefixEnv::new(cfg.env.clone(), evaluator);
         let online = PrefixQNet::new(&cfg.qnet);
         let target = PrefixQNet::new(&QNetConfig {
             seed: cfg.qnet.seed ^ 0x5eed,
@@ -195,7 +217,7 @@ impl TrainLoop {
         let schedule = EpsilonSchedule::linear(cfg.eps_start, cfg.eps_end, cfg.eps_decay_steps);
         env.reset(&mut rng);
         TrainLoop {
-            cfg: cfg.clone(),
+            cfg,
             env,
             dqn,
             replay,
@@ -211,18 +233,52 @@ impl TrainLoop {
     }
 
     /// Rebuilds a loop from a [`Checkpoint`] so that continuing produces
-    /// bit-identical losses and designs to the uninterrupted run.
+    /// bit-identical losses and designs to the uninterrupted run. The
+    /// checkpoint's recorded task is resolved through the built-in
+    /// registry.
     ///
     /// # Errors
     ///
-    /// Fails on architecture mismatch between the checkpoint and the
-    /// network built from its own config (corrupt checkpoint).
+    /// Fails if the checkpoint's task id is not registered, or on
+    /// architecture mismatch between the checkpoint and the network built
+    /// from its own config (corrupt checkpoint).
     pub fn from_checkpoint(
         ckpt: &Checkpoint,
         evaluator: Arc<dyn Evaluator>,
     ) -> Result<Self, String> {
+        let task = task::by_name(&ckpt.cfg.env.task).ok_or_else(|| {
+            format!(
+                "checkpoint records unknown task `{}` (registered: {:?})",
+                ckpt.cfg.env.task,
+                task::TASK_NAMES
+            )
+        })?;
+        Self::from_checkpoint_with_task(ckpt, task, evaluator)
+    }
+
+    /// Rebuilds a loop from a [`Checkpoint`] over an explicit task,
+    /// refusing a task mismatch — resuming an adder checkpoint as a
+    /// prefix-OR run would silently train on the wrong rewards.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `task` does not match the checkpoint's recorded task, or
+    /// on architecture mismatch (corrupt checkpoint).
+    pub fn from_checkpoint_with_task(
+        ckpt: &Checkpoint,
+        task: Arc<dyn CircuitTask>,
+        evaluator: Arc<dyn Evaluator>,
+    ) -> Result<Self, String> {
+        if task.task_id() != ckpt.cfg.env.task {
+            return Err(format!(
+                "checkpoint task mismatch: checkpoint was trained on task `{}`, \
+                 resume requested task `{}`",
+                ckpt.cfg.env.task,
+                task.task_id()
+            ));
+        }
         let cfg = ckpt.cfg.clone();
-        let mut env = PrefixEnv::new(cfg.env.clone(), evaluator);
+        let mut env = PrefixEnv::with_task(cfg.env.clone(), task, evaluator);
         env.restore(ckpt.env_graph.clone(), ckpt.env_steps as usize);
         let online = PrefixQNet::new(&cfg.qnet);
         let target = PrefixQNet::new(&QNetConfig {
@@ -460,7 +516,7 @@ pub fn greedy_rollout(
 mod tests {
     use super::*;
     use crate::cache::CachedEvaluator;
-    use crate::evaluator::AnalyticalEvaluator;
+    use crate::task::{by_name, Adder, PrefixOr, TaskEvaluator};
 
     fn run(cfg: &AgentConfig, evaluator: Arc<dyn Evaluator>) -> TrainResult {
         TrainLoop::run(cfg, evaluator)
@@ -469,7 +525,7 @@ mod tests {
     #[test]
     fn tiny_training_run_completes_and_harvests_designs() {
         let cfg = AgentConfig::tiny(8, 0.5);
-        let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+        let eval = Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder)));
         let result = run(&cfg, eval.clone());
         assert_eq!(result.steps, 300);
         assert!(
@@ -490,7 +546,7 @@ mod tests {
     #[test]
     fn front_is_nonempty_and_consistent() {
         let cfg = AgentConfig::tiny(8, 0.3);
-        let result = run(&cfg, Arc::new(AnalyticalEvaluator));
+        let result = run(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
         let front = result.front();
         assert!(!front.is_empty());
         // No design may dominate a front member.
@@ -504,8 +560,8 @@ mod tests {
     #[test]
     fn training_is_deterministic_under_seed() {
         let cfg = AgentConfig::tiny(8, 0.5);
-        let a = run(&cfg, Arc::new(AnalyticalEvaluator));
-        let b = run(&cfg, Arc::new(AnalyticalEvaluator));
+        let a = run(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
+        let b = run(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
         assert_eq!(a.designs.len(), b.designs.len());
         assert_eq!(a.losses, b.losses);
         // BTreeMap-backed pools make the design ordering itself stable.
@@ -518,7 +574,10 @@ mod tests {
     #[test]
     fn deprecated_wrappers_still_train() {
         #[allow(deprecated)]
-        let result = train(&AgentConfig::tiny(8, 0.5), Arc::new(AnalyticalEvaluator));
+        let result = train(
+            &AgentConfig::tiny(8, 0.5),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         assert_eq!(result.steps, 300);
         assert!(!result.losses.is_empty());
     }
@@ -526,7 +585,7 @@ mod tests {
     #[test]
     fn greedy_rollout_emits_designs() {
         let cfg = AgentConfig::tiny(8, 0.5);
-        let eval: Arc<dyn Evaluator> = Arc::new(AnalyticalEvaluator);
+        let eval: Arc<dyn Evaluator> = Arc::new(TaskEvaluator::analytical(Adder));
         let mut lp = TrainLoop::new(&cfg, Arc::clone(&eval));
         lp.run_to_completion(0, &mut NullObserver);
         let (mut dqn, _) = lp.into_parts();
@@ -535,9 +594,38 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_records_task_and_refuses_mismatch() {
+        let cfg = AgentConfig::tiny(8, 0.5);
+        let or_eval: Arc<dyn Evaluator> = Arc::new(TaskEvaluator::analytical(PrefixOr));
+        let mut lp = TrainLoop::with_task(&cfg, by_name("prefix-or").unwrap(), or_eval.clone());
+        for _ in 0..20 {
+            lp.step_once(0, &mut NullObserver);
+        }
+        let ckpt = lp.checkpoint();
+        assert_eq!(ckpt.cfg.env.task, "prefix-or");
+        // Matching task resumes fine…
+        assert!(TrainLoop::from_checkpoint_with_task(
+            &ckpt,
+            by_name("prefix-or").unwrap(),
+            or_eval
+        )
+        .is_ok());
+        // …a different task is refused loudly.
+        let err = TrainLoop::from_checkpoint_with_task(
+            &ckpt,
+            Arc::new(Adder),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        )
+        .err()
+        .expect("mismatch must fail");
+        assert!(err.contains("task mismatch"), "{err}");
+        assert!(err.contains("prefix-or") && err.contains("adder"), "{err}");
+    }
+
+    #[test]
     fn best_scalarized_tracks_weight() {
         let cfg = AgentConfig::tiny(8, 0.5);
-        let result = run(&cfg, Arc::new(AnalyticalEvaluator));
+        let result = run(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
         let small = result.best_scalarized(1.0, 1.0, 1.0).unwrap();
         let fast = result.best_scalarized(0.0, 1.0, 1.0).unwrap();
         assert!(small.1.area <= fast.1.area);

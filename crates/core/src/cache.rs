@@ -6,6 +6,12 @@
 //! graph, so structurally identical states share one evaluation across all
 //! actors.
 //!
+//! Since the task/backend redesign (DESIGN.md §12), every key is prefixed
+//! with the inner evaluator's [`Evaluator::cache_discriminant`] — derived
+//! from `(task_id, backend_id)` for task evaluators — so two tasks (or two
+//! backends) can never alias an entry or a shard, even when they share one
+//! cache.
+//!
 //! The store is **N-way sharded** by canonical-key hash so concurrent
 //! actors contend only on the shard their state maps to, not on one global
 //! lock. Each shard has:
@@ -192,6 +198,16 @@ impl<E: Evaluator> CachedEvaluator<E> {
         &self.inner
     }
 
+    /// The cache key of `graph` under the wrapped evaluator: the inner
+    /// discriminant word followed by the canonical present-node bitset.
+    fn key_of(&self, graph: &PrefixGraph) -> Vec<u64> {
+        let canon = graph.canonical_key();
+        let mut key = Vec::with_capacity(canon.len() + 1);
+        key.push(self.inner.cache_discriminant());
+        key.extend(canon);
+        key
+    }
+
     fn shard_for(&self, key: &[u64]) -> &Shard {
         // FNV-1a over the key words; shards are typically a power of two
         // but any count works with the modulo.
@@ -229,7 +245,7 @@ impl Drop for InflightGuard<'_> {
 
 impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
     fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
-        let key = graph.canonical_key();
+        let key = self.key_of(graph);
         let shard = self.shard_for(&key);
         let mut state = lock(&shard.state);
         loop {
@@ -279,18 +295,30 @@ impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
     fn name(&self) -> &str {
         self.inner.name()
     }
+
+    fn cache_discriminant(&self) -> u64 {
+        self.inner.cache_discriminant()
+    }
+
+    fn bound_task_id(&self) -> Option<&str> {
+        self.inner.bound_task_id()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::AnalyticalEvaluator;
+    use crate::task::{Adder, TaskEvaluator};
     use prefix_graph::{structures, Action, Node};
     use std::sync::Arc;
 
+    fn adder_analytical() -> TaskEvaluator {
+        TaskEvaluator::analytical(Adder)
+    }
+
     #[test]
     fn caches_repeat_evaluations() {
-        let ev = CachedEvaluator::new(AnalyticalEvaluator);
+        let ev = CachedEvaluator::new(adder_analytical());
         let g = structures::sklansky(8);
         let a = ev.evaluate(&g);
         let b = ev.evaluate(&g);
@@ -303,7 +331,7 @@ mod tests {
 
     #[test]
     fn distinct_states_miss() {
-        let ev = CachedEvaluator::new(AnalyticalEvaluator);
+        let ev = CachedEvaluator::new(adder_analytical());
         let g = prefix_graph::PrefixGraph::ripple(8);
         ev.evaluate(&g);
         let g2 = g.with_action(Action::Add(Node::new(5, 2))).unwrap();
@@ -314,7 +342,7 @@ mod tests {
 
     #[test]
     fn same_structure_different_construction_hits() {
-        let ev = CachedEvaluator::new(AnalyticalEvaluator);
+        let ev = CachedEvaluator::new(adder_analytical());
         let mut a = prefix_graph::PrefixGraph::ripple(8);
         a.apply(Action::Add(Node::new(6, 3))).unwrap();
         let b = prefix_graph::PrefixGraph::from_min_nodes(8, [Node::new(6, 3)]);
@@ -325,7 +353,7 @@ mod tests {
 
     #[test]
     fn concurrent_access_is_safe() {
-        let ev = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+        let ev = Arc::new(CachedEvaluator::new(adder_analytical()));
         let graphs: Vec<_> = (0..4)
             .map(|i| {
                 let mut g = prefix_graph::PrefixGraph::ripple(10);
@@ -438,7 +466,7 @@ mod tests {
     #[test]
     fn capacity_bound_evicts_fifo() {
         let ev = CachedEvaluator::with_config(
-            AnalyticalEvaluator,
+            adder_analytical(),
             CacheConfig {
                 shards: 1,
                 capacity_per_shard: 1,
@@ -457,7 +485,7 @@ mod tests {
 
     #[test]
     fn shard_stats_cover_all_queries() {
-        let ev = CachedEvaluator::with_config(AnalyticalEvaluator, CacheConfig::with_shards(8));
+        let ev = CachedEvaluator::with_config(adder_analytical(), CacheConfig::with_shards(8));
         assert_eq!(ev.shards(), 8);
         let mut g = prefix_graph::PrefixGraph::ripple(12);
         for m in 2..12u16 {
@@ -475,11 +503,78 @@ mod tests {
         assert!(stats.iter().any(|s| s.entries > 0));
     }
 
+    /// An oracle whose discriminant (and result) switches at runtime,
+    /// standing in for two tasks sharing one cache: if the discriminant
+    /// were not part of the key, mode B would hit mode A's stale entry.
+    struct SwitchingOracle {
+        mode_b: std::sync::atomic::AtomicBool,
+    }
+
+    impl Evaluator for SwitchingOracle {
+        fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
+            let scale = if self.mode_b.load(Ordering::SeqCst) {
+                100.0
+            } else {
+                1.0
+            };
+            ObjectivePoint {
+                area: graph.size() as f64 * scale,
+                delay: graph.depth() as f64 * scale,
+            }
+        }
+
+        fn name(&self) -> &str {
+            "switching"
+        }
+
+        fn cache_discriminant(&self) -> u64 {
+            self.mode_b.load(Ordering::SeqCst) as u64
+        }
+    }
+
+    #[test]
+    fn discriminant_keeps_oracles_from_aliasing() {
+        let ev = CachedEvaluator::new(SwitchingOracle {
+            mode_b: std::sync::atomic::AtomicBool::new(false),
+        });
+        let g = structures::sklansky(8);
+        let a = ev.evaluate(&g);
+        assert_eq!(a.area, g.size() as f64);
+        ev.inner().mode_b.store(true, Ordering::SeqCst);
+        let b = ev.evaluate(&g);
+        assert_eq!(
+            b.area,
+            g.size() as f64 * 100.0,
+            "cache served a stale point across discriminants"
+        );
+        assert_eq!(ev.misses(), 2, "same graph, different discriminant: miss");
+        assert_eq!(ev.hits(), 0);
+        assert_eq!(ev.unique_states(), 2, "both keys live side by side");
+        // Flipping back hits the original entry.
+        ev.inner().mode_b.store(false, Ordering::SeqCst);
+        assert_eq!(ev.evaluate(&g), a);
+        assert_eq!(ev.hits(), 1);
+    }
+
+    #[test]
+    fn task_evaluators_get_distinct_keys() {
+        use crate::task::PrefixOr;
+        let adder = CachedEvaluator::new(adder_analytical());
+        let or = CachedEvaluator::new(TaskEvaluator::analytical(PrefixOr));
+        let g = structures::sklansky(8);
+        assert_ne!(
+            adder.key_of(&g),
+            or.key_of(&g),
+            "same graph must key differently per task"
+        );
+        assert_eq!(adder.key_of(&g)[1..], or.key_of(&g)[1..], "same canon");
+    }
+
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = CachedEvaluator::with_config(
-            AnalyticalEvaluator,
+            adder_analytical(),
             CacheConfig {
                 shards: 0,
                 capacity_per_shard: 1,

@@ -59,8 +59,10 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// The current checkpoint format version.
-    pub const FORMAT_VERSION: u32 = 1;
+    /// The current checkpoint format version. v2 added the circuit-task
+    /// fields (`cfg.env.task`, `SweepCheckpoint::task`); v1 files predate
+    /// the task layer and fail to parse on the missing fields.
+    pub const FORMAT_VERSION: u32 = 2;
 
     /// Validates version and online-parameter digest.
     ///
@@ -135,20 +137,25 @@ pub enum RunState {
 }
 
 /// A checkpoint of an entire multi-agent sweep: one [`RunState`] per
-/// configured weight, in run order.
+/// configured weight, in run order, stamped with the circuit task it was
+/// recorded for (resume refuses a task mismatch).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SweepCheckpoint {
     /// Format version (shared with [`Checkpoint::FORMAT_VERSION`]).
     pub version: u32,
+    /// The circuit task's stable id
+    /// ([`crate::task::CircuitTask::task_id`]).
+    pub task: String,
     /// Per-run states, indexed by run id.
     pub runs: Vec<RunState>,
 }
 
 impl SweepCheckpoint {
-    /// An all-pending sweep checkpoint for `n` runs.
-    pub fn fresh(n: usize) -> Self {
+    /// An all-pending sweep checkpoint for `n` runs of task `task_id`.
+    pub fn fresh(task_id: &str, n: usize) -> Self {
         SweepCheckpoint {
             version: Checkpoint::FORMAT_VERSION,
+            task: task_id.to_string(),
             runs: (0..n).map(|_| RunState::Pending).collect(),
         }
     }
@@ -177,6 +184,13 @@ impl SweepCheckpoint {
         for (i, run) in self.runs.iter().enumerate() {
             if let RunState::InProgress(ckpt) = run {
                 ckpt.validate().map_err(|e| format!("run {i}: {e}"))?;
+                if ckpt.cfg.env.task != self.task {
+                    return Err(format!(
+                        "run {i}: embedded checkpoint is for task `{}` but the \
+                         sweep is stamped `{}` (corrupt or hand-edited file?)",
+                        ckpt.cfg.env.task, self.task
+                    ));
+                }
             }
         }
         Ok(())
@@ -244,13 +258,13 @@ pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
 mod tests {
     use super::*;
     use crate::agent::TrainLoop;
-    use crate::evaluator::AnalyticalEvaluator;
     use crate::experiment::NullObserver;
+    use crate::task::{Adder, TaskEvaluator};
     use std::sync::Arc;
 
     fn mid_run_checkpoint() -> Checkpoint {
         let cfg = AgentConfig::tiny(8, 0.4);
-        let mut lp = TrainLoop::new(&cfg, Arc::new(AnalyticalEvaluator));
+        let mut lp = TrainLoop::new(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
         for _ in 0..120 {
             lp.step_once(0, &mut NullObserver);
         }
@@ -310,7 +324,7 @@ mod tests {
 
     #[test]
     fn sweep_checkpoint_roundtrip() {
-        let mut sweep = SweepCheckpoint::fresh(3);
+        let mut sweep = SweepCheckpoint::fresh("adder", 3);
         sweep.runs[1] = RunState::InProgress(Box::new(mid_run_checkpoint()));
         sweep.runs[2] = RunState::Done(RunRecord {
             run: 2,

@@ -14,19 +14,21 @@
 //! bootstraps.
 
 use crate::evaluator::{Evaluator, ObjectivePoint};
-use prefix_graph::{features, structures, Action, ActionKind, Node, PrefixGraph};
+use crate::task::{self, CircuitTask};
+use prefix_graph::{features, Action, ActionKind, Node, PrefixGraph};
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// Episode starting-state policy.
+/// Episode starting-state policy, indexing the task's
+/// [`CircuitTask::start_states`] set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StartState {
-    /// Always the ripple-carry graph.
+    /// Always the first start state (ripple-carry for the built-in tasks).
     Ripple,
-    /// Always the Sklansky graph.
+    /// Always the second start state (Sklansky for the built-in tasks).
     Sklansky,
-    /// Uniformly one of the two (the paper's setting).
+    /// Uniformly one of the first two (the paper's setting).
     RippleOrSklansky,
 }
 
@@ -43,10 +45,13 @@ pub struct EnvConfig {
     pub c_delay: f64,
     /// Starting-state policy.
     pub start: StartState,
+    /// The circuit task's stable id ([`CircuitTask::task_id`]). Recorded
+    /// in checkpoints; resume refuses a mismatch.
+    pub task: String,
 }
 
 impl EnvConfig {
-    /// The paper's synthesis-reward configuration.
+    /// The paper's synthesis-reward configuration (adder task).
     pub fn synthesis(n: u16) -> Self {
         EnvConfig {
             n,
@@ -54,11 +59,12 @@ impl EnvConfig {
             c_area: 0.001,
             c_delay: 10.0,
             start: StartState::RippleOrSklansky,
+            task: "adder".to_string(),
         }
     }
 
     /// Scaling suited to the analytical model's units (areas of tens of
-    /// nodes, delays of tens of units).
+    /// nodes, delays of tens of units); adder task.
     pub fn analytical(n: u16) -> Self {
         EnvConfig {
             n,
@@ -66,7 +72,14 @@ impl EnvConfig {
             c_area: 0.05,
             c_delay: 0.25,
             start: StartState::RippleOrSklansky,
+            task: "adder".to_string(),
         }
+    }
+
+    /// The same configuration retargeted at another circuit task.
+    pub fn with_task(mut self, task_id: &str) -> Self {
+        self.task = task_id.to_string();
+        self
     }
 }
 
@@ -107,6 +120,7 @@ pub fn action_to_flat(n: u16, action: Action) -> usize {
 /// The PrefixRL environment.
 pub struct PrefixEnv {
     cfg: EnvConfig,
+    task: Arc<dyn CircuitTask>,
     evaluator: Arc<dyn Evaluator>,
     graph: PrefixGraph,
     metrics: ObjectivePoint,
@@ -114,13 +128,61 @@ pub struct PrefixEnv {
 }
 
 impl PrefixEnv {
-    /// Creates an environment; the first episode starts from ripple-carry
-    /// until [`PrefixEnv::reset`] is called.
+    /// Creates an environment, resolving the task from `cfg.task` through
+    /// the built-in registry; the first episode starts from the task's
+    /// first start state until [`PrefixEnv::reset`] is called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.task` names no registered task (custom tasks go
+    /// through [`PrefixEnv::with_task`]).
     pub fn new(cfg: EnvConfig, evaluator: Arc<dyn Evaluator>) -> Self {
-        let graph = PrefixGraph::ripple(cfg.n);
+        let task = task::by_name(&cfg.task).unwrap_or_else(|| {
+            panic!(
+                "unknown task `{}` (registered: {:?}; custom tasks go through \
+                 PrefixEnv::with_task)",
+                cfg.task,
+                task::TASK_NAMES
+            )
+        });
+        Self::with_task(cfg, task, evaluator)
+    }
+
+    /// Creates an environment over an explicit (possibly custom) task.
+    /// `cfg.task` is overwritten with the task's id so checkpoints record
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evaluator` is bound to a *different* task
+    /// ([`Evaluator::bound_task_id`]): training would then stamp
+    /// checkpoints with one task while scoring rewards on another,
+    /// defeating the resume mismatch guard. Task-agnostic evaluators
+    /// (bound id `None`) are accepted for any task.
+    pub fn with_task(
+        mut cfg: EnvConfig,
+        task: Arc<dyn CircuitTask>,
+        evaluator: Arc<dyn Evaluator>,
+    ) -> Self {
+        if let Some(bound) = evaluator.bound_task_id() {
+            assert_eq!(
+                bound,
+                task.task_id(),
+                "task/evaluator mismatch: environment task is `{}` but the \
+                 evaluator scores task `{bound}`",
+                task.task_id()
+            );
+        }
+        cfg.task = task.task_id().to_string();
+        let graph = task
+            .start_states(cfg.n)
+            .into_iter()
+            .next()
+            .expect("task must provide at least one start state");
         let metrics = evaluator.evaluate(&graph);
         PrefixEnv {
             cfg,
+            task,
             evaluator,
             graph,
             metrics,
@@ -128,19 +190,26 @@ impl PrefixEnv {
         }
     }
 
-    /// Starts a new episode per the starting-state policy.
+    /// Starts a new episode per the starting-state policy, drawing from
+    /// the task's start-state set.
     pub fn reset(&mut self, rng: &mut StdRng) {
-        self.graph = match self.cfg.start {
-            StartState::Ripple => PrefixGraph::ripple(self.cfg.n),
-            StartState::Sklansky => structures::sklansky(self.cfg.n),
+        let pool = self.task.start_states(self.cfg.n);
+        assert!(!pool.is_empty(), "task must provide a start state");
+        let second = 1.min(pool.len() - 1);
+        let idx = match self.cfg.start {
+            StartState::Ripple => 0,
+            StartState::Sklansky => second,
+            // One bool draw, matching the historical two-state behaviour
+            // exactly (bit-identical resume relies on this RNG schedule).
             StartState::RippleOrSklansky => {
                 if rng.random::<bool>() {
-                    PrefixGraph::ripple(self.cfg.n)
+                    0
                 } else {
-                    structures::sklansky(self.cfg.n)
+                    second
                 }
             }
         };
+        self.graph = pool.into_iter().nth(idx).expect("index in range");
         self.metrics = self.evaluator.evaluate(&self.graph);
         self.steps = 0;
     }
@@ -204,6 +273,11 @@ impl PrefixEnv {
         &self.graph
     }
 
+    /// The circuit task this environment optimizes.
+    pub fn task(&self) -> &Arc<dyn CircuitTask> {
+        &self.task
+    }
+
     /// The current state's evaluated objectives.
     pub fn metrics(&self) -> ObjectivePoint {
         self.metrics
@@ -223,10 +297,13 @@ impl PrefixEnv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::AnalyticalEvaluator;
+    use crate::task::{Adder, PrefixOr, TaskEvaluator};
 
     fn env(n: u16) -> PrefixEnv {
-        PrefixEnv::new(EnvConfig::analytical(n), Arc::new(AnalyticalEvaluator))
+        PrefixEnv::new(
+            EnvConfig::analytical(n),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        )
     }
 
     #[test]
@@ -286,7 +363,7 @@ mod tests {
                 max_steps: 3,
                 ..EnvConfig::analytical(8)
             },
-            Arc::new(AnalyticalEvaluator),
+            Arc::new(TaskEvaluator::analytical(Adder)),
         );
         let mut rng = StdRng::seed_from_u64(1);
         e.reset(&mut rng);
@@ -319,5 +396,54 @@ mod tests {
         let mut e = env(8);
         // Deleting from ripple (empty minlist) is illegal.
         e.step(Action::Delete(Node::new(5, 2)));
+    }
+
+    #[test]
+    fn config_task_follows_explicit_task() {
+        let cfg = EnvConfig::analytical(8); // says "adder"
+        let e = PrefixEnv::with_task(
+            cfg,
+            Arc::new(PrefixOr),
+            Arc::new(TaskEvaluator::analytical(PrefixOr)),
+        );
+        assert_eq!(e.config().task, "prefix-or");
+        assert_eq!(e.task().task_id(), "prefix-or");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task")]
+    fn unknown_task_id_panics_loudly() {
+        let cfg = EnvConfig::analytical(8).with_task("divider");
+        let _ = PrefixEnv::new(cfg, Arc::new(TaskEvaluator::analytical(Adder)));
+    }
+
+    #[test]
+    #[should_panic(expected = "task/evaluator mismatch")]
+    fn task_bound_evaluator_must_match_env_task() {
+        // An adder-bound oracle under a prefix-or environment would stamp
+        // checkpoints `prefix-or` while rewarding adder synthesis.
+        let _ = PrefixEnv::with_task(
+            EnvConfig::analytical(8),
+            Arc::new(PrefixOr),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
+    }
+
+    #[test]
+    fn non_adder_tasks_step_identically() {
+        // The MDP is task-independent: same graph state space, same
+        // rewards under the (graph-level) analytical backend.
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = EnvConfig::analytical(8).with_task("prefix-or");
+        let mut e = PrefixEnv::new(cfg, Arc::new(TaskEvaluator::analytical(PrefixOr)));
+        e.reset(&mut rng);
+        let mut adder = env(8);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        adder.reset(&mut rng2);
+        assert_eq!(e.graph().canonical_key(), adder.graph().canonical_key());
+        let a = e.action_mask().iter().position(|&m| m).unwrap();
+        let ra = e.step_flat(a);
+        let rb = adder.step_flat(a);
+        assert_eq!(ra.reward, rb.reward);
     }
 }

@@ -6,7 +6,7 @@
 //!
 //! - [`EvalService`] wraps any [`Evaluator`] (typically a sharded
 //!   [`crate::cache::CachedEvaluator`] around a
-//!   [`crate::evaluator::SynthesisEvaluator`]) with a worker-pool batch
+//!   [`crate::task::TaskEvaluator`]) with a worker-pool batch
 //!   path. It implements [`Evaluator`] itself, so environments, agents,
 //!   figure harnesses, and the CLI all take it wherever an evaluator is
 //!   expected — single-state calls pass straight through while
@@ -119,14 +119,26 @@ impl Evaluator for EvalService {
     fn name(&self) -> &str {
         self.inner.name()
     }
+
+    fn cache_discriminant(&self) -> u64 {
+        self.inner.cache_discriminant()
+    }
+
+    fn bound_task_id(&self) -> Option<&str> {
+        self.inner.bound_task_id()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cache::CachedEvaluator;
-    use crate::evaluator::AnalyticalEvaluator;
+    use crate::task::{Adder, TaskEvaluator};
     use prefix_graph::structures;
+
+    fn adder_analytical() -> TaskEvaluator {
+        TaskEvaluator::analytical(Adder)
+    }
 
     fn mixed_graphs(n: u16) -> Vec<PrefixGraph> {
         vec![
@@ -141,7 +153,7 @@ mod tests {
     #[test]
     fn evaluate_batch_matches_serial() {
         let graphs = mixed_graphs(8);
-        let ev = AnalyticalEvaluator;
+        let ev = adder_analytical();
         let parallel = evaluate_batch(&graphs, &ev, 4);
         let serial: Vec<ObjectivePoint> = graphs.iter().map(|g| ev.evaluate(g)).collect();
         assert_eq!(parallel, serial);
@@ -150,20 +162,20 @@ mod tests {
     #[test]
     fn evaluate_batch_single_thread_ok() {
         let graphs = vec![PrefixGraph::ripple(8)];
-        let out = evaluate_batch(&graphs, &AnalyticalEvaluator, 1);
+        let out = evaluate_batch(&graphs, &adder_analytical(), 1);
         assert_eq!(out.len(), 1);
     }
 
     #[test]
     fn evaluate_batch_empty_spawns_nothing() {
-        let out = evaluate_batch(&[], &AnalyticalEvaluator, 8);
+        let out = evaluate_batch(&[], &adder_analytical(), 8);
         assert!(out.is_empty());
     }
 
     #[test]
     fn evaluate_batch_more_threads_than_graphs() {
         let graphs = mixed_graphs(8);
-        let out = evaluate_batch(&graphs, &AnalyticalEvaluator, 64);
+        let out = evaluate_batch(&graphs, &adder_analytical(), 64);
         assert_eq!(out.len(), graphs.len());
         assert!(out.iter().all(|p| p.area.is_finite()));
     }
@@ -171,7 +183,7 @@ mod tests {
     #[test]
     fn service_evaluate_many_equals_per_graph_evaluate() {
         for threads in [1, 2, 3, 8] {
-            let service = EvalService::new(Arc::new(AnalyticalEvaluator), threads);
+            let service = EvalService::new(Arc::new(adder_analytical()), threads);
             let graphs = mixed_graphs(16);
             let many = service.evaluate_many(&graphs);
             let singles: Vec<ObjectivePoint> = graphs.iter().map(|g| service.evaluate(g)).collect();
@@ -181,7 +193,7 @@ mod tests {
 
     #[test]
     fn service_shares_cache_across_paths() {
-        let cache = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+        let cache = Arc::new(CachedEvaluator::new(adder_analytical()));
         let service = EvalService::new(cache.clone(), 4);
         let graphs = mixed_graphs(8);
         let first = service.evaluate_many(&graphs);

@@ -1,20 +1,25 @@
-//! Reward oracles: analytical and synthesis-in-the-loop evaluation.
+//! The evaluator interface and the objective-point currency.
 //!
-//! The environment asks an [`Evaluator`] for the `(area, delay)` of a prefix
-//! graph. Two implementations mirror the paper's two settings:
+//! The environment asks an [`Evaluator`] for the `(area, delay)` of a
+//! prefix graph. Since the task/backend redesign (DESIGN.md §12), concrete
+//! oracles live in [`crate::task`]: a [`crate::task::CircuitTask`] bound to
+//! an [`crate::task::ObjectiveBackend`] through
+//! [`crate::task::TaskEvaluator`]. This module keeps:
 //!
-//! - [`AnalyticalEvaluator`] — the model of Moto & Kaneko \[14\] used for the
-//!   "Analytical-PrefixRL" agents of Section V-D (microseconds per state);
-//! - [`SynthesisEvaluator`] — the full Fig. 3 pipeline: generate the adder
-//!   netlist, run timing-driven synthesis at a handful of delay targets,
-//!   PCHIP-interpolate the area-delay curve, and return the `w`-optimal
-//!   point (tens of milliseconds per state, hence the caching and
-//!   parallelism of Section IV-D).
+//! - [`ObjectivePoint`] — the minimized `(area, delay)` pair with the one
+//!   tested strict/weak dominance definition every Pareto structure uses;
+//! - [`Evaluator`] — the engine-facing oracle trait consumed by the cache,
+//!   the evaluation service, and the environment, including the
+//!   [`Evaluator::cache_discriminant`] that keeps distinct `(task,
+//!   backend)` pairs from aliasing cached points;
+//! - the historical [`AnalyticalEvaluator`] / [`SynthesisEvaluator`] pair,
+//!   now `#[deprecated]` wrappers over the adder task.
 
+use crate::task::{Adder, AnalyticalBackend, ObjectiveBackend, SynthesisBackend};
 use netlist::Library;
-use prefix_graph::{analytical, PrefixGraph};
+use prefix_graph::PrefixGraph;
 use serde::{Deserialize, Serialize};
-use synth::sweep::{sweep_graph, SweepConfig};
+use synth::sweep::SweepConfig;
 use synth::AreaDelayCurve;
 
 /// A point in the (area, delay) objective space; both minimized.
@@ -27,12 +32,19 @@ pub struct ObjectivePoint {
 }
 
 impl ObjectivePoint {
-    /// Weak Pareto dominance for minimization (better-or-equal on both,
-    /// strictly better on at least one).
+    /// Strict Pareto dominance for minimization: better-or-equal on both
+    /// objectives and strictly better on at least one. A point never
+    /// strictly dominates itself.
     pub fn dominates(&self, other: &ObjectivePoint) -> bool {
-        self.area <= other.area
-            && self.delay <= other.delay
-            && (self.area < other.area || self.delay < other.delay)
+        self.weakly_dominates(other) && (self.area < other.area || self.delay < other.delay)
+    }
+
+    /// Weak Pareto dominance for minimization: better-or-equal on both
+    /// objectives (equality included, so every point weakly dominates
+    /// itself). This is the single definition all frontier structures
+    /// filter with.
+    pub fn weakly_dominates(&self, other: &ObjectivePoint) -> bool {
+        self.area <= other.area && self.delay <= other.delay
     }
 }
 
@@ -56,6 +68,23 @@ pub trait Evaluator: Send + Sync {
 
     /// A short name for reports.
     fn name(&self) -> &str;
+
+    /// A stable word mixed into every cache key built over this
+    /// evaluator's results, so caches never serve one oracle's point for
+    /// another's request. [`crate::task::TaskEvaluator`] derives it from
+    /// `(task_id, backend_id)`; oracle wrappers must forward it.
+    fn cache_discriminant(&self) -> u64 {
+        0
+    }
+
+    /// The task id this oracle is bound to, when it is task-bound.
+    /// [`crate::env::PrefixEnv::with_task`] cross-checks it against the
+    /// environment's task, so a checkpoint can never be stamped with one
+    /// task while rewards silently score another. `None` (the default)
+    /// means task-agnostic — no check. Wrappers must forward it.
+    fn bound_task_id(&self) -> Option<&str> {
+        None
+    }
 }
 
 impl Evaluator for Box<dyn Evaluator> {
@@ -70,42 +99,52 @@ impl Evaluator for Box<dyn Evaluator> {
     fn name(&self) -> &str {
         (**self).name()
     }
+
+    fn cache_discriminant(&self) -> u64 {
+        (**self).cache_discriminant()
+    }
+
+    fn bound_task_id(&self) -> Option<&str> {
+        (**self).bound_task_id()
+    }
 }
 
-/// The analytical model of ref. \[14\]: area = node count, node delay
-/// `1 + 0.5·fanout`.
+/// The analytical model of ref. \[14\] over the adder task.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `task::TaskEvaluator::analytical(task::Adder)` (or any other `CircuitTask`)"
+)]
 #[derive(Clone, Debug, Default)]
 pub struct AnalyticalEvaluator;
 
+#[allow(deprecated)]
 impl Evaluator for AnalyticalEvaluator {
     fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
-        let m = analytical::evaluate(graph);
-        ObjectivePoint {
-            area: m.area,
-            delay: m.delay,
-        }
+        AnalyticalBackend.score(&Adder, graph)
     }
 
     fn name(&self) -> &str {
         "analytical"
     }
+
+    fn cache_discriminant(&self) -> u64 {
+        crate::task::discriminant_of("adder", "analytical")
+    }
 }
 
-/// Synthesis-in-the-loop evaluation (the paper's Fig. 3 pipeline).
-///
-/// The returned point is the `w`-optimal point of the interpolated
-/// area-delay curve, using the paper's scaling constants
-/// (`c_area = 0.001`, `c_delay = 10` by default).
+/// Synthesis-in-the-loop evaluation of the adder task (the paper's Fig. 3
+/// pipeline).
+#[deprecated(
+    since = "0.4.0",
+    note = "adder-specific; use `task::SynthesisBackend` with a `CircuitTask` \
+            via `task::TaskEvaluator` instead"
+)]
 #[derive(Clone, Debug)]
 pub struct SynthesisEvaluator {
-    lib: Library,
-    sweep: SweepConfig,
-    w_area: f64,
-    w_delay: f64,
-    c_area: f64,
-    c_delay: f64,
+    backend: SynthesisBackend,
 }
 
+#[allow(deprecated)]
 impl SynthesisEvaluator {
     /// Creates an evaluator for scalarization weight `w_area`
     /// (`w_delay = 1 - w_area`) over the given library.
@@ -114,52 +153,52 @@ impl SynthesisEvaluator {
     ///
     /// Panics unless `0 ≤ w_area ≤ 1`.
     pub fn new(lib: Library, sweep: SweepConfig, w_area: f64) -> Self {
-        assert!((0.0..=1.0).contains(&w_area), "w_area must be in [0,1]");
         SynthesisEvaluator {
-            lib,
-            sweep,
-            w_area,
-            w_delay: 1.0 - w_area,
-            c_area: 0.001,
-            c_delay: 10.0,
+            backend: SynthesisBackend::new(lib, sweep, w_area),
         }
     }
 
     /// Overrides the paper's unit-scaling constants.
     pub fn with_scaling(mut self, c_area: f64, c_delay: f64) -> Self {
-        self.c_area = c_area;
-        self.c_delay = c_delay;
+        self.backend = self.backend.with_scaling(c_area, c_delay);
         self
     }
 
     /// The full interpolated area-delay curve of a graph (used by the
     /// figure harnesses, which bin syntheses at many delay targets).
     pub fn curve(&self, graph: &PrefixGraph) -> AreaDelayCurve {
-        sweep_graph(graph, &self.lib, &self.sweep)
+        self.backend.curve(&Adder, graph)
     }
 
     /// The library this evaluator synthesizes with.
     pub fn library(&self) -> &Library {
-        &self.lib
+        self.backend.library()
     }
 }
 
+#[allow(deprecated)]
 impl Evaluator for SynthesisEvaluator {
     fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
-        let curve = self.curve(graph);
-        let (area, delay) =
-            curve.scalarized_optimum(self.w_area, self.w_delay, self.c_area, self.c_delay);
-        ObjectivePoint { area, delay }
+        self.backend.score(&Adder, graph)
     }
 
     fn name(&self) -> &str {
         "synthesis"
+    }
+
+    fn cache_discriminant(&self) -> u64 {
+        crate::task::discriminant_of("adder", self.backend.backend_id())
+    }
+
+    fn bound_task_id(&self) -> Option<&str> {
+        Some("adder")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::task::TaskEvaluator;
     use prefix_graph::structures;
 
     #[test]
@@ -183,9 +222,27 @@ mod tests {
     }
 
     #[test]
+    fn weak_dominance_includes_equality() {
+        let a = ObjectivePoint {
+            area: 1.0,
+            delay: 1.0,
+        };
+        let b = ObjectivePoint {
+            area: 2.0,
+            delay: 1.0,
+        };
+        assert!(a.weakly_dominates(&a), "weak dominance is reflexive");
+        assert!(a.weakly_dominates(&b));
+        assert!(!b.weakly_dominates(&a));
+        // Strict implies weak, never the converse on equal points.
+        assert!(a.dominates(&b) && a.weakly_dominates(&b));
+        assert!(a.weakly_dominates(&a) && !a.dominates(&a));
+    }
+
+    #[test]
     fn analytical_matches_model() {
         let g = structures::sklansky(16);
-        let p = AnalyticalEvaluator.evaluate(&g);
+        let p = TaskEvaluator::analytical(Adder).evaluate(&g);
         assert_eq!(p.area, g.size() as f64);
         assert!(p.delay > 0.0);
     }
@@ -194,8 +251,8 @@ mod tests {
     fn synthesis_weight_moves_along_curve() {
         let lib = Library::nangate45();
         let g = structures::sklansky(16);
-        let fast = SynthesisEvaluator::new(lib.clone(), SweepConfig::fast(), 0.05);
-        let small = SynthesisEvaluator::new(lib, SweepConfig::fast(), 0.95);
+        let fast = TaskEvaluator::synthesis(Adder, lib.clone(), SweepConfig::fast(), 0.05);
+        let small = TaskEvaluator::synthesis(Adder, lib, SweepConfig::fast(), 0.95);
         let pf = fast.evaluate(&g);
         let ps = small.evaluate(&g);
         assert!(pf.delay <= ps.delay, "delay-heavy picks faster point");
@@ -205,8 +262,28 @@ mod tests {
     #[test]
     fn evaluation_is_deterministic() {
         let lib = Library::nangate45();
-        let ev = SynthesisEvaluator::new(lib, SweepConfig::fast(), 0.5);
+        let ev = TaskEvaluator::synthesis(Adder, lib, SweepConfig::fast(), 0.5);
         let g = structures::brent_kung(8);
         assert_eq!(ev.evaluate(&g), ev.evaluate(&g));
+    }
+
+    /// The deprecated pair must stay exact wrappers over the adder task.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_evaluators_match_task_api() {
+        let g = structures::brent_kung(16);
+        assert_eq!(
+            AnalyticalEvaluator.evaluate(&g),
+            TaskEvaluator::analytical(Adder).evaluate(&g)
+        );
+        assert_eq!(
+            AnalyticalEvaluator.cache_discriminant(),
+            TaskEvaluator::analytical(Adder).cache_discriminant()
+        );
+        let lib = Library::nangate45();
+        let old = SynthesisEvaluator::new(lib.clone(), SweepConfig::fast(), 0.4);
+        let new = TaskEvaluator::synthesis(Adder, lib, SweepConfig::fast(), 0.4);
+        assert_eq!(old.evaluate(&g), new.evaluate(&g));
+        assert_eq!(old.cache_discriminant(), new.cache_discriminant());
     }
 }

@@ -33,9 +33,10 @@ use crate::cache::{CacheConfig, CachedEvaluator};
 use crate::checkpoint::{Checkpoint, RunState, SweepCheckpoint};
 use crate::env::{EnvConfig, PrefixEnv};
 use crate::evalsvc::EvalService;
-use crate::evaluator::{AnalyticalEvaluator, Evaluator, ObjectivePoint};
+use crate::evaluator::{Evaluator, ObjectivePoint};
 use crate::pareto::ParetoFront;
 use crate::qnet::PrefixQNet;
+use crate::task::{self, Adder, AnalyticalBackend, CircuitTask, ObjectiveBackend, TaskEvaluator};
 use parking_lot::Mutex;
 use prefix_graph::PrefixGraph;
 use rand::prelude::*;
@@ -264,6 +265,8 @@ pub struct RunContext<'a> {
     pub run_id: usize,
     /// The agent configuration.
     pub cfg: &'a AgentConfig,
+    /// The circuit task being optimized (see [`crate::task`]).
+    pub task: Arc<dyn CircuitTask>,
     /// The (typically shared) evaluator stack.
     pub evaluator: Arc<dyn Evaluator>,
     /// Event sink.
@@ -309,8 +312,14 @@ pub struct SerialRunner;
 impl Runner for SerialRunner {
     fn run(&self, mut ctx: RunContext<'_>) -> Result<RunOutcome, String> {
         let mut lp = match ctx.resume.take() {
-            Some(ckpt) => TrainLoop::from_checkpoint(&ckpt, Arc::clone(&ctx.evaluator))?,
-            None => TrainLoop::new(ctx.cfg, Arc::clone(&ctx.evaluator)),
+            Some(ckpt) => TrainLoop::from_checkpoint_with_task(
+                &ckpt,
+                Arc::clone(&ctx.task),
+                Arc::clone(&ctx.evaluator),
+            )?,
+            None => {
+                TrainLoop::with_task(ctx.cfg, Arc::clone(&ctx.task), Arc::clone(&ctx.evaluator))
+            }
         };
         loop {
             if let Some(halt) = ctx.halt_at {
@@ -410,20 +419,30 @@ pub struct Run {
 
 impl Run {
     /// Executes this run alone with an explicit runner and evaluator —
-    /// the escape hatch under [`Experiment::run`]'s orchestration.
+    /// the escape hatch under [`Experiment::run`]'s orchestration. The
+    /// task is resolved from `cfg.env.task` through the built-in registry.
     ///
     /// # Errors
     ///
-    /// Propagates runner failures (e.g. an invalid resume checkpoint).
+    /// Fails on an unregistered task id and propagates runner failures
+    /// (e.g. an invalid resume checkpoint).
     pub fn execute(
         &self,
         runner: &dyn Runner,
         evaluator: Arc<dyn Evaluator>,
         observer: &mut dyn RunObserver,
     ) -> Result<RunOutcome, String> {
+        let task = task::by_name(&self.cfg.env.task).ok_or_else(|| {
+            format!(
+                "unknown task `{}` (registered: {:?})",
+                self.cfg.env.task,
+                task::TASK_NAMES
+            )
+        })?;
         runner.run(RunContext {
             run_id: self.id,
             cfg: &self.cfg,
+            task,
             evaluator,
             observer,
             checkpoint_every: None,
@@ -441,8 +460,9 @@ pub struct ExperimentBuilder {
     steps: u64,
     seed: u64,
     base: Option<AgentConfig>,
+    task: Arc<dyn CircuitTask>,
+    backend: Arc<dyn ObjectiveBackend>,
     evaluator: Option<Box<dyn Evaluator>>,
-    evaluator_name: String,
     eval_threads: usize,
     cache_shards: usize,
     actors: usize,
@@ -460,8 +480,9 @@ impl ExperimentBuilder {
             steps: 2000,
             seed: 0,
             base: None,
+            task: Arc::new(Adder),
+            backend: Arc::new(AnalyticalBackend),
             evaluator: None,
-            evaluator_name: "analytical".to_string(),
             eval_threads: 4,
             cache_shards: 16,
             actors: 1,
@@ -472,9 +493,25 @@ impl ExperimentBuilder {
         }
     }
 
-    /// Adder input width `N`.
+    /// Input width `N`.
     pub fn n(mut self, n: u16) -> Self {
         self.n = n;
+        self
+    }
+
+    /// The circuit task to optimize (defaults to the [`Adder`]). Built-in
+    /// tasks come from [`task::by_name`]; custom implementations of
+    /// [`CircuitTask`] plug in the same way.
+    pub fn task(mut self, task: Arc<dyn CircuitTask>) -> Self {
+        self.task = task;
+        self
+    }
+
+    /// The objective backend scoring the task (defaults to
+    /// [`AnalyticalBackend`]). Ignored when the deprecated
+    /// [`ExperimentBuilder::evaluator`] override is set.
+    pub fn backend(mut self, backend: Arc<dyn ObjectiveBackend>) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -503,10 +540,15 @@ impl ExperimentBuilder {
         self
     }
 
-    /// The inner reward oracle (defaults to [`AnalyticalEvaluator`]). The
-    /// experiment wraps it in the shared sharded cache and [`EvalService`].
+    /// Overrides the reward oracle with a raw [`Evaluator`], bypassing the
+    /// task/backend pair. The experiment still wraps it in the shared
+    /// sharded cache and [`EvalService`], and the configured task still
+    /// drives start states and checkpoints.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `.task(...)` / `.backend(...)`; custom oracles implement `ObjectiveBackend`"
+    )]
     pub fn evaluator(mut self, evaluator: Box<dyn Evaluator>) -> Self {
-        self.evaluator_name = evaluator.name().to_string();
         self.evaluator = Some(evaluator);
         self
     }
@@ -582,11 +624,27 @@ impl ExperimentBuilder {
     }
 
     /// Assembles the experiment: per-run agent configs plus the shared
-    /// cache/service evaluation stack.
+    /// cache/service evaluation stack over the configured task/backend.
     pub fn build(self) -> Experiment {
-        let inner = self
-            .evaluator
-            .unwrap_or_else(|| Box::new(AnalyticalEvaluator));
+        // With the deprecated raw-oracle override, `self.backend` never
+        // scores anything: stamp reports with the override's own name and
+        // skip backend annotations rather than report the unused default.
+        let (inner, backend_label, oracle_overridden): (Box<dyn Evaluator>, String, bool) =
+            match self.evaluator {
+                Some(ev) => {
+                    let label = ev.name().to_string();
+                    (ev, label, true)
+                }
+                None => (
+                    Box::new(TaskEvaluator::new(
+                        Arc::clone(&self.task),
+                        Arc::clone(&self.backend),
+                    )),
+                    self.backend.backend_id().to_string(),
+                    false,
+                ),
+            };
+        let evaluator_name = inner.name().to_string();
         let cache = Arc::new(CachedEvaluator::with_config(
             inner,
             CacheConfig::with_shards(self.cache_shards),
@@ -605,6 +663,7 @@ impl ExperimentBuilder {
                     Some(base) => base.clone(),
                     None => AgentConfig::small(self.n, w as f32, self.steps),
                 };
+                cfg.env.task = self.task.task_id().to_string();
                 cfg.dqn.weight = [w as f32, 1.0 - w as f32];
                 cfg.seed = self.seed.wrapping_add(id as u64);
                 cfg.qnet.seed = cfg.qnet.seed.wrapping_add(id as u64);
@@ -613,9 +672,13 @@ impl ExperimentBuilder {
             .collect();
         Experiment {
             runs,
+            task: self.task,
+            backend: self.backend,
+            backend_label,
+            oracle_overridden,
             cache,
             service,
-            evaluator_name: self.evaluator_name,
+            evaluator_name,
             parallelism: self.eval_threads,
             actors: self.actors,
             nn_threads: self.nn_threads,
@@ -647,6 +710,14 @@ pub struct CacheStats {
 /// stack.
 pub struct Experiment {
     runs: Vec<Run>,
+    task: Arc<dyn CircuitTask>,
+    backend: Arc<dyn ObjectiveBackend>,
+    /// What reports stamp as the backend: the backend id, or the
+    /// deprecated oracle override's name when one is set.
+    backend_label: String,
+    /// True when the deprecated raw-oracle override replaced the backend
+    /// (annotations are skipped — the backend never scored anything).
+    oracle_overridden: bool,
     cache: Arc<CachedEvaluator<Box<dyn Evaluator>>>,
     service: Arc<EvalService>,
     evaluator_name: String,
@@ -667,6 +738,16 @@ impl Experiment {
     /// The configured run handles, in weight order.
     pub fn runs(&self) -> &[Run] {
         &self.runs
+    }
+
+    /// The circuit task this experiment optimizes.
+    pub fn task(&self) -> &Arc<dyn CircuitTask> {
+        &self.task
+    }
+
+    /// The objective backend scoring the task.
+    pub fn backend(&self) -> &Arc<dyn ObjectiveBackend> {
+        &self.backend
     }
 
     /// The shared evaluation service (hand this to anything else that
@@ -693,7 +774,10 @@ impl Experiment {
     ///
     /// Fails if any run fails (first error wins; remaining runs finish).
     pub fn run(&self, observer: &mut dyn RunObserver) -> Result<ExperimentResult, String> {
-        self.run_from(SweepCheckpoint::fresh(self.runs.len()), observer)
+        self.run_from(
+            SweepCheckpoint::fresh(self.task.task_id(), self.runs.len()),
+            observer,
+        )
     }
 
     /// Runs with [`NullObserver`].
@@ -711,12 +795,22 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Fails if the checkpoint does not match this experiment's shape.
+    /// Fails if the checkpoint does not match this experiment's shape, or
+    /// was recorded for a different circuit task — continuing an adder
+    /// sweep as a prefix-OR sweep would silently mix oracles.
     pub fn resume(
         &self,
         sweep: SweepCheckpoint,
         observer: &mut dyn RunObserver,
     ) -> Result<ExperimentResult, String> {
+        if sweep.task != self.task.task_id() {
+            return Err(format!(
+                "cannot resume: checkpoint was recorded for task `{}`, experiment \
+                 is configured for task `{}`",
+                sweep.task,
+                self.task.task_id()
+            ));
+        }
         if sweep.runs.len() != self.runs.len() {
             return Err(format!(
                 "checkpoint has {} runs, experiment has {}",
@@ -725,6 +819,17 @@ impl Experiment {
             ));
         }
         for (run, state) in self.runs.iter().zip(&sweep.runs) {
+            if let RunState::InProgress(c) = state {
+                if c.cfg.env.task != self.task.task_id() {
+                    return Err(format!(
+                        "run {}: checkpoint task mismatch: trained on `{}`, \
+                         experiment task is `{}`",
+                        run.id,
+                        c.cfg.env.task,
+                        self.task.task_id()
+                    ));
+                }
+            }
             let ckpt_w = match state {
                 RunState::InProgress(c) => c.cfg.dqn.weight[0] as f64,
                 RunState::Done(r) => r.w_area,
@@ -788,6 +893,7 @@ impl Experiment {
                     let ctx = RunContext {
                         run_id: i,
                         cfg: &self.runs[i].cfg,
+                        task: Arc::clone(&self.task),
                         evaluator: Arc::clone(&self.service) as Arc<dyn Evaluator>,
                         observer: &mut local_observer,
                         checkpoint_every: self.checkpoint_every,
@@ -844,13 +950,32 @@ impl Experiment {
                 }
             }
         }
+        // Off-reward-path annotations (e.g. switching power) for the
+        // merged frontier, when the backend produces them. Indexed in the
+        // frontier's (deterministic, strictly-delay-increasing) iteration
+        // order, which `merged_front()` reproduces from the same records.
+        let frontier_power: Option<Vec<f64>> = if self.oracle_overridden {
+            None
+        } else {
+            let merged: ParetoFront<PrefixGraph> = records
+                .iter()
+                .flat_map(|r| r.designs.iter().map(|(g, p)| (*p, g.clone())))
+                .collect();
+            merged
+                .iter()
+                .map(|(_, g)| self.backend.annotate(self.task.as_ref(), g))
+                .collect()
+        };
         Ok(ExperimentResult {
             n: self.runs[0].cfg.env.n,
+            task: self.task.task_id().to_string(),
+            backend: self.backend_label.clone(),
             evaluator: self.evaluator_name.clone(),
             steps_per_agent: self.runs[0].cfg.total_steps,
             actors_per_agent: self.actors,
             completed,
             records,
+            frontier_power,
             cache: self.cache_stats(),
             elapsed_sec: t0.elapsed().as_secs_f64(),
         })
@@ -874,6 +999,7 @@ impl Experiment {
             .collect();
         let sweep = serde::Value::Object(vec![
             ("version".to_string(), Checkpoint::FORMAT_VERSION.to_value()),
+            ("task".to_string(), self.task.task_id().to_value()),
             ("runs".to_string(), serde::Value::Array(runs)),
         ]);
         let json = serde_json::to_string_pretty(&sweep).expect("infallible");
@@ -899,9 +1025,13 @@ impl RunObserver for LockedObserver<'_, '_> {
 
 /// Everything a (possibly multi-agent) experiment produced.
 pub struct ExperimentResult {
-    /// Adder input width.
+    /// Input width.
     pub n: u16,
-    /// Inner evaluator name.
+    /// The circuit task's stable id (e.g. `"adder"`).
+    pub task: String,
+    /// The objective backend's stable id (e.g. `"analytical"`).
+    pub backend: String,
+    /// Inner evaluator name (`task/backend` unless overridden).
     pub evaluator: String,
     /// Step budget per agent.
     pub steps_per_agent: u64,
@@ -911,6 +1041,10 @@ pub struct ExperimentResult {
     pub completed: bool,
     /// Per-agent records, in run order.
     pub records: Vec<RunRecord>,
+    /// Off-reward-path switching-power annotations (µW) for the merged
+    /// frontier, in [`ExperimentResult::merged_front`] iteration order;
+    /// `None` when the backend does not annotate.
+    pub frontier_power: Option<Vec<f64>>,
     /// Shared-cache statistics at completion.
     pub cache: CacheStats,
     /// Wall-clock seconds of this process's portion of the work.
@@ -959,6 +1093,23 @@ impl ExperimentResult {
             )
         };
         let total_requests: u64 = self.cache.hits + self.cache.misses;
+        // The merged frontier, with per-point power annotations when the
+        // backend produced them (index-aligned with merged_front order).
+        let mut merged_json = frontier_json(&self.merged_front(), include_graphs);
+        if let (serde_json::Value::Array(items), Some(powers)) =
+            (&mut merged_json, &self.frontier_power)
+        {
+            // Annotations are index-aligned with merged_front order; a
+            // length mismatch would mean silent mispairing, so drop them
+            // entirely rather than zip-truncate.
+            if items.len() == powers.len() {
+                for (item, p) in items.iter_mut().zip(powers) {
+                    if let serde_json::Value::Object(entries) = item {
+                        entries.push(("power_uw".to_string(), serde::Serialize::to_value(p)));
+                    }
+                }
+            }
+        }
         let agents: Vec<serde_json::Value> = self
             .records
             .iter()
@@ -986,6 +1137,8 @@ impl ExperimentResult {
         serde_json::json!({
             "schema": "prefixrl.experiment.v1",
             "n": self.n,
+            "task": self.task,
+            "backend": self.backend,
             "evaluator": self.evaluator,
             "agents_count": self.records.len(),
             "steps_per_agent": self.steps_per_agent,
@@ -994,7 +1147,7 @@ impl ExperimentResult {
             "elapsed_sec": self.elapsed_sec,
             "steps_per_sec": self.total_steps() as f64 / self.elapsed_sec.max(1e-9),
             "agents": serde_json::Value::Array(agents),
-            "merged_frontier": frontier_json(&self.merged_front(), include_graphs),
+            "merged_frontier": merged_json,
             "cache": {
                 "shards": self.cache.shards,
                 "hits": self.cache.hits,
@@ -1113,5 +1266,43 @@ mod tests {
         assert_eq!(json.get("agents").unwrap().as_array().unwrap().len(), 2);
         assert!(json.get("merged_frontier").is_some());
         assert!(json.get("cache").unwrap().get("hit_rate").is_some());
+        assert_eq!(
+            json.get("task").unwrap(),
+            &serde_json::Value::String("adder".into())
+        );
+        assert_eq!(
+            json.get("backend").unwrap(),
+            &serde_json::Value::String("analytical".into())
+        );
+    }
+
+    #[test]
+    fn builder_task_threads_into_run_configs() {
+        let exp = Experiment::builder()
+            .n(8)
+            .task(task::by_name("incrementer").unwrap())
+            .weights(Weights::linspace(0.3, 0.7, 2))
+            .base_config(AgentConfig::tiny(8, 0.5))
+            .build();
+        assert_eq!(exp.task().task_id(), "incrementer");
+        for run in exp.runs() {
+            assert_eq!(run.cfg.env.task, "incrementer");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_task_mismatch() {
+        let exp = Experiment::builder()
+            .n(8)
+            .task(task::by_name("prefix-or").unwrap())
+            .base_config(AgentConfig::tiny(8, 0.5))
+            .build();
+        let sweep = SweepCheckpoint::fresh("adder", 1);
+        let err = match exp.resume(sweep, &mut NullObserver) {
+            Err(e) => e,
+            Ok(_) => panic!("task mismatch must be rejected"),
+        };
+        assert!(err.contains("task `adder`"), "{err}");
+        assert!(err.contains("task `prefix-or`"), "{err}");
     }
 }

@@ -2,13 +2,19 @@
 //! into Pareto fronts — the procedure behind every figure of the paper
 //! ("we synthesize the various adders … at 40 delay targets … bin all adder
 //! circuits for an approach and present the area-delay Pareto front").
+//!
+//! Sweeps are generalized over the circuit task: [`sweep_task_front`]
+//! synthesizes whatever netlist the [`CircuitTask`] emits (adder,
+//! OR-prefix, incrementer, …); [`sweep_front`] is the adder shorthand the
+//! figure harnesses use.
 
 use crate::evaluator::ObjectivePoint;
 use crate::pareto::ParetoFront;
+use crate::task::{Adder, CircuitTask};
 use netlist::Library;
 use prefix_graph::PrefixGraph;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use synth::sweep::{sweep_graph, SweepConfig};
+use synth::sweep::{sweep_netlist, SweepConfig};
 
 /// Evenly spaced target fractions of the unoptimized delay, for dense
 /// frontier sweeps (the paper uses 40 targets; figures here default lower).
@@ -19,10 +25,11 @@ pub fn target_fractions(count: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Synthesizes every labelled graph at `targets` delay targets (in
-/// parallel over `threads` workers) and bins all achieved points into one
-/// Pareto front with the design label as payload.
-pub fn sweep_front(
+/// Synthesizes every labelled graph's **task netlist** at `targets` delay
+/// targets (in parallel over `threads` workers) and bins all achieved
+/// points into one Pareto front with the design label as payload.
+pub fn sweep_task_front(
+    task: &dyn CircuitTask,
     designs: &[(String, PrefixGraph)],
     lib: &Library,
     base: &SweepConfig,
@@ -45,7 +52,7 @@ pub fn sweep_front(
                     break;
                 }
                 let (label, graph) = &designs[i];
-                let curve = sweep_graph(graph, lib, &cfg);
+                let curve = sweep_netlist(&task.emit_netlist(graph), lib, &cfg);
                 let points: Vec<(ObjectivePoint, String)> = curve
                     .knots()
                     .map(|(delay, area)| (ObjectivePoint { area, delay }, label.clone()))
@@ -63,9 +70,21 @@ pub fn sweep_front(
     front
 }
 
+/// [`sweep_task_front`] for the adder task (the paper's figures).
+pub fn sweep_front(
+    designs: &[(String, PrefixGraph)],
+    lib: &Library,
+    base: &SweepConfig,
+    targets: usize,
+    threads: usize,
+) -> ParetoFront<String> {
+    sweep_task_front(&Adder, designs, lib, base, targets, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::task::PrefixOr;
     use prefix_graph::structures;
 
     #[test]
@@ -90,5 +109,27 @@ mod tests {
         // and a log-depth tree the fast end.
         let labels: std::collections::HashSet<&String> = front.iter().map(|(_, l)| l).collect();
         assert!(labels.len() >= 2, "front degenerate: {labels:?}");
+    }
+
+    #[test]
+    fn task_fronts_reflect_task_circuits() {
+        // OR-prefix circuits cost one gate per node, so their whole front
+        // must sit at a fraction of the adder front's area.
+        let lib = Library::nangate45();
+        let designs = vec![("sklansky".to_string(), structures::sklansky(8))];
+        let cfg = SweepConfig::fast();
+        let adder = sweep_task_front(&Adder, &designs, &lib, &cfg, 3, 1);
+        let or = sweep_task_front(&PrefixOr, &designs, &lib, &cfg, 3, 1);
+        assert!(!adder.is_empty() && !or.is_empty());
+        let max_or = or.points().iter().map(|p| p.area).fold(0.0, f64::max);
+        let min_adder = adder
+            .points()
+            .iter()
+            .map(|p| p.area)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max_or < min_adder,
+            "or front ({max_or}) must undercut adder front ({min_adder})"
+        );
     }
 }

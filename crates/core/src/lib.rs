@@ -3,9 +3,14 @@
 //! This crate is the paper's primary contribution assembled over the
 //! substrate crates:
 //!
-//! - [`evaluator`]: the reward oracles — the analytical model of ref. \[14\]
-//!   and the synthesis-in-the-loop evaluator (netlist generation, 4-target
-//!   timing-driven sweep, PCHIP interpolation, `w`-optimal point — Fig. 3);
+//! - [`task`]: the pluggable workload layer — [`task::CircuitTask`]
+//!   (adder, prefix-OR, incrementer, or any custom prefix computation)
+//!   bound to an [`task::ObjectiveBackend`] (analytical, synthesis,
+//!   synthesis with power annotation) through [`task::TaskEvaluator`];
+//! - [`evaluator`]: the oracle interface and the `(area, delay)`
+//!   objective-point currency with its strict/weak dominance definitions
+//!   (the historical adder-specific evaluators remain as deprecated
+//!   wrappers);
 //! - [`cache`]: the sharded, bounded synthesis result cache keyed by
 //!   canonical graph state, with in-flight dedup of concurrent misses
 //!   (Section IV-D reports 50%/10% hit rates at 32b/64b);
@@ -58,6 +63,7 @@ pub mod frontier;
 pub mod parallel;
 pub mod pareto;
 pub mod qnet;
+pub mod task;
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
@@ -66,14 +72,18 @@ pub mod prelude {
     pub use crate::checkpoint::{Checkpoint, SweepCheckpoint};
     pub use crate::env::{EnvConfig, PrefixEnv};
     pub use crate::evalsvc::{evaluate_batch, EvalService};
-    pub use crate::evaluator::{
-        AnalyticalEvaluator, Evaluator, ObjectivePoint, SynthesisEvaluator,
-    };
+    #[allow(deprecated)]
+    pub use crate::evaluator::{AnalyticalEvaluator, SynthesisEvaluator};
+    pub use crate::evaluator::{Evaluator, ObjectivePoint};
     pub use crate::experiment::{
         greedy_designs, AsyncRunner, CallbackObserver, ChannelObserver, Event, Experiment,
         ExperimentResult, NullObserver, RunObserver, RunRecord, Runner, SerialRunner, Weights,
     };
-    pub use crate::frontier::sweep_front;
+    pub use crate::frontier::{sweep_front, sweep_task_front};
     pub use crate::pareto::ParetoFront;
     pub use crate::qnet::{PrefixQNet, QNetConfig};
+    pub use crate::task::{
+        Adder, AnalyticalBackend, CircuitTask, Incrementer, ObjectiveBackend, PrefixOr,
+        SynthesisBackend, TaskEvaluator,
+    };
 }

@@ -33,6 +33,7 @@ use crate::experiment::{
     Event, NullObserver, RunContext, RunObserver, RunOutcome, RunRecord, Runner,
 };
 use crate::qnet::{FrozenQNet, PrefixQNet, QNetConfig};
+use crate::task::{self, CircuitTask};
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use prefix_graph::PrefixGraph;
@@ -83,7 +84,9 @@ impl AsyncRunner {
     /// Panics if the runner was built with zero actors.
     pub fn train(&self, cfg: &AgentConfig, evaluator: Arc<dyn Evaluator>) -> TrainResult {
         assert!(self.actors > 0, "need at least one actor");
-        let record = run_async(0, cfg, evaluator, self.actors, &mut NullObserver);
+        let task = task::by_name(&cfg.env.task)
+            .unwrap_or_else(|| panic!("unknown task `{}`", cfg.env.task));
+        let record = run_async(0, cfg, task, evaluator, self.actors, &mut NullObserver);
         TrainResult {
             designs: record.designs,
             losses: record.losses,
@@ -116,6 +119,7 @@ impl Runner for AsyncRunner {
         let record = run_async(
             ctx.run_id,
             ctx.cfg,
+            ctx.task,
             ctx.evaluator,
             self.actors,
             ctx.observer,
@@ -130,6 +134,7 @@ impl Runner for AsyncRunner {
 fn run_async(
     run_id: usize,
     cfg: &AgentConfig,
+    circuit_task: Arc<dyn CircuitTask>,
     evaluator: Arc<dyn Evaluator>,
     num_actors: usize,
     observer: &mut dyn RunObserver,
@@ -154,6 +159,7 @@ fn run_async(
             let steps_taken = Arc::clone(&steps_taken);
             let designs = Arc::clone(&designs);
             let evaluator = Arc::clone(&evaluator);
+            let circuit_task = Arc::clone(&circuit_task);
             let cfg = cfg.clone();
             let observer = &observer;
             let episode_returns = &episode_returns;
@@ -171,7 +177,13 @@ fn run_async(
                 let policy = ScalarizedPolicy::new(cfg.dqn.weight);
                 let num_envs = cfg.envs_per_actor.max(1);
                 let mut envs: Vec<PrefixEnv> = (0..num_envs)
-                    .map(|_| PrefixEnv::new(cfg.env.clone(), Arc::clone(&evaluator)))
+                    .map(|_| {
+                        PrefixEnv::with_task(
+                            cfg.env.clone(),
+                            Arc::clone(&circuit_task),
+                            Arc::clone(&evaluator),
+                        )
+                    })
                     .collect();
                 let mut env_returns = vec![0.0f64; num_envs];
                 for env in &mut envs {
@@ -323,7 +335,9 @@ pub fn train_async(
     num_actors: usize,
 ) -> TrainResult {
     assert!(num_actors > 0, "need at least one actor");
-    let record = run_async(0, cfg, evaluator, num_actors, &mut NullObserver);
+    let task =
+        task::by_name(&cfg.env.task).unwrap_or_else(|| panic!("unknown task `{}`", cfg.env.task));
+    let record = run_async(0, cfg, task, evaluator, num_actors, &mut NullObserver);
     TrainResult {
         designs: record.designs,
         losses: record.losses,
@@ -361,17 +375,24 @@ fn record_design(
 mod tests {
     use super::*;
     use crate::cache::CachedEvaluator;
-    use crate::evaluator::AnalyticalEvaluator;
+    use crate::task::{Adder, TaskEvaluator};
 
     fn run(cfg: &AgentConfig, evaluator: Arc<dyn Evaluator>, actors: usize) -> RunRecord {
-        run_async(0, cfg, evaluator, actors, &mut NullObserver)
+        run_async(
+            0,
+            cfg,
+            Arc::new(Adder),
+            evaluator,
+            actors,
+            &mut NullObserver,
+        )
     }
 
     #[test]
     fn async_training_completes_and_harvests() {
         let mut cfg = AgentConfig::tiny(8, 0.5);
         cfg.total_steps = 400;
-        let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+        let eval = Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder)));
         let result = run(&cfg, eval.clone(), 3);
         assert!(
             result.designs.len() > 20,
@@ -392,10 +413,10 @@ mod tests {
     fn async_and_serial_explore_comparable_design_counts() {
         let mut cfg = AgentConfig::tiny(8, 0.5);
         cfg.total_steps = 300;
-        let mut lp = crate::agent::TrainLoop::new(&cfg, Arc::new(AnalyticalEvaluator));
+        let mut lp = crate::agent::TrainLoop::new(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
         lp.run_to_completion(0, &mut NullObserver);
         let serial = lp.into_parts().1;
-        let parallel = run(&cfg, Arc::new(AnalyticalEvaluator), 2);
+        let parallel = run(&cfg, Arc::new(TaskEvaluator::analytical(Adder)), 2);
         // Same step budget → same order of magnitude of distinct designs.
         let (a, b) = (serial.designs.len() as f64, parallel.designs.len() as f64);
         assert!(a / b < 4.0 && b / a < 4.0, "serial {a} vs async {b}");
@@ -406,7 +427,7 @@ mod tests {
         let mut cfg = AgentConfig::tiny(8, 0.5);
         cfg.total_steps = 200;
         cfg.envs_per_actor = 1;
-        let result = run(&cfg, Arc::new(AnalyticalEvaluator), 2);
+        let result = run(&cfg, Arc::new(TaskEvaluator::analytical(Adder)), 2);
         assert!(
             result.designs.len() > 10,
             "{} designs",
@@ -417,7 +438,7 @@ mod tests {
     #[test]
     fn async_runner_rejects_resume() {
         let cfg = AgentConfig::tiny(8, 0.5);
-        let mut lp = crate::agent::TrainLoop::new(&cfg, Arc::new(AnalyticalEvaluator));
+        let mut lp = crate::agent::TrainLoop::new(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
         for _ in 0..10 {
             lp.step_once(0, &mut NullObserver);
         }
@@ -427,7 +448,8 @@ mod tests {
             .run(RunContext {
                 run_id: 0,
                 cfg: &cfg,
-                evaluator: Arc::new(AnalyticalEvaluator),
+                task: Arc::new(Adder),
+                evaluator: Arc::new(TaskEvaluator::analytical(Adder)),
                 observer: &mut NullObserver,
                 checkpoint_every: None,
                 on_checkpoint: None,
@@ -446,7 +468,8 @@ mod tests {
                 .run(RunContext {
                     run_id: 0,
                     cfg: &cfg,
-                    evaluator: Arc::new(AnalyticalEvaluator),
+                    task: Arc::new(Adder),
+                    evaluator: Arc::new(TaskEvaluator::analytical(Adder)),
                     observer: &mut NullObserver,
                     checkpoint_every: every,
                     on_checkpoint: None,

@@ -43,15 +43,16 @@ impl<T> ParetoFront<T> {
     }
 
     /// Offers a point; returns `true` if it joined the front.
+    ///
+    /// Filtering uses the one shared dominance definition on
+    /// [`ObjectivePoint`]: a candidate weakly dominated by a member
+    /// (strictly worse, or an exact duplicate) is rejected; an accepted
+    /// candidate evicts every member it strictly dominates.
     pub fn insert(&mut self, point: ObjectivePoint, payload: T) -> bool {
         if !point.area.is_finite() || !point.delay.is_finite() {
             return false;
         }
-        if self
-            .entries
-            .iter()
-            .any(|(p, _)| p.dominates(&point) || (p.area == point.area && p.delay == point.delay))
-        {
+        if self.entries.iter().any(|(p, _)| p.weakly_dominates(&point)) {
             return false;
         }
         self.entries.retain(|(p, _)| !point.dominates(p));

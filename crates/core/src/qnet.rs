@@ -529,14 +529,17 @@ impl QInfer for FrozenQNet {
 mod tests {
     use super::*;
     use crate::env::{EnvConfig, PrefixEnv};
-    use crate::evaluator::AnalyticalEvaluator;
+    use crate::task::{Adder, TaskEvaluator};
     use std::sync::Arc;
 
     #[test]
     fn output_layout_matches_action_space() {
         let mut q = PrefixQNet::new(&QNetConfig::tiny(8));
         assert_eq!(q.num_actions(), 128);
-        let env = PrefixEnv::new(EnvConfig::analytical(8), Arc::new(AnalyticalEvaluator));
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(8),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         let f = env.features();
         let out = q.forward(&[&f], false);
         assert_eq!(out.len(), 1);
@@ -547,7 +550,10 @@ mod tests {
     #[test]
     fn batch_forward_matches_single() {
         let mut q = PrefixQNet::new(&QNetConfig::tiny(8));
-        let env = PrefixEnv::new(EnvConfig::analytical(8), Arc::new(AnalyticalEvaluator));
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(8),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         let f = env.features();
         // Eval mode uses running statistics, so batching must not change
         // per-sample outputs.
@@ -562,7 +568,10 @@ mod tests {
     #[test]
     fn infer_is_bit_identical_to_eval_forward() {
         let mut q = PrefixQNet::new(&QNetConfig::tiny(8));
-        let env = PrefixEnv::new(EnvConfig::analytical(8), Arc::new(AnalyticalEvaluator));
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(8),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         let f = env.features();
         let fwd = q.forward(&[&f], false);
         let mut scratch = Scratch::new();
@@ -573,7 +582,10 @@ mod tests {
     #[test]
     fn frozen_snapshot_matches_eval_forward() {
         let mut q = PrefixQNet::new(&QNetConfig::tiny(8));
-        let env = PrefixEnv::new(EnvConfig::analytical(8), Arc::new(AnalyticalEvaluator));
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(8),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         let f = env.features();
         // Take some training steps so batch-norm statistics are nontrivial
         // before fusing.
@@ -616,7 +628,10 @@ mod tests {
     #[test]
     fn gradient_step_moves_selected_q() {
         let mut q = PrefixQNet::new(&QNetConfig::tiny(8));
-        let env = PrefixEnv::new(EnvConfig::analytical(8), Arc::new(AnalyticalEvaluator));
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(8),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         let f = env.features();
         let action = 40usize;
         let before = q.forward(&[&f], false)[0][action];
@@ -636,7 +651,10 @@ mod tests {
         let cfg = QNetConfig::tiny(8);
         let mut a = PrefixQNet::new(&cfg);
         let mut b = PrefixQNet::new(&QNetConfig { seed: 42, ..cfg });
-        let env = PrefixEnv::new(EnvConfig::analytical(8), Arc::new(AnalyticalEvaluator));
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(8),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         let f = env.features();
         let s = a.state();
         b.load_state(&s).unwrap();
@@ -650,7 +668,10 @@ mod tests {
         let cfg = QNetConfig::tiny(8);
         let mut q = PrefixQNet::new(&cfg);
         // Take one gradient step so the optimizer has real moments.
-        let env = PrefixEnv::new(EnvConfig::analytical(8), Arc::new(AnalyticalEvaluator));
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(8),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         let f = env.features();
         let _ = q.forward(&[&f], true);
         let mut grad = vec![vec![[0.0f32; 2]; q.num_actions()]; 1];
@@ -679,7 +700,10 @@ mod tests {
         let bytes = a.to_bytes();
         let mut b = PrefixQNet::new(&QNetConfig { seed: 9, ..cfg });
         b.from_bytes(&bytes).unwrap();
-        let env = PrefixEnv::new(EnvConfig::analytical(8), Arc::new(AnalyticalEvaluator));
+        let env = PrefixEnv::new(
+            EnvConfig::analytical(8),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
         let f = env.features();
         assert_eq!(a.forward(&[&f], false)[0][0], b.forward(&[&f], false)[0][0]);
     }

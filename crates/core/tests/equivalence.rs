@@ -7,9 +7,10 @@ use prefix_graph::{structures, PrefixGraph};
 use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::cache::{CacheConfig, CachedEvaluator};
 use prefixrl_core::evalsvc::EvalService;
-use prefixrl_core::evaluator::{AnalyticalEvaluator, Evaluator, ObjectivePoint};
+use prefixrl_core::evaluator::{Evaluator, ObjectivePoint};
 use prefixrl_core::experiment::{AsyncRunner, Experiment, Weights};
 use prefixrl_core::pareto::ParetoFront;
+use prefixrl_core::task::{Adder, TaskEvaluator};
 use std::sync::Arc;
 
 /// The serial and async runners harvest legal designs with comparable
@@ -21,8 +22,9 @@ fn serial_and_async_frontiers_comparable() {
     for n in [8u16, 16] {
         let mut cfg = AgentConfig::tiny(n, 0.5);
         cfg.total_steps = if n == 8 { 400 } else { 300 };
-        let serial = TrainLoop::run(&cfg, Arc::new(AnalyticalEvaluator));
-        let parallel = AsyncRunner { actors: 4 }.train(&cfg, Arc::new(AnalyticalEvaluator));
+        let serial = TrainLoop::run(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
+        let parallel =
+            AsyncRunner { actors: 4 }.train(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
 
         for result in [&serial, &parallel] {
             assert!(result.designs.len() > 10, "n={n}: too few designs");
@@ -32,7 +34,7 @@ fn serial_and_async_frontiers_comparable() {
         }
         let serial_front = serial.front();
         let async_front = parallel.front();
-        let eval = AnalyticalEvaluator;
+        let eval = TaskEvaluator::analytical(Adder);
         for start in [
             eval.evaluate(&PrefixGraph::ripple(n)),
             eval.evaluate(&structures::sklansky(n)),
@@ -60,7 +62,7 @@ fn four_actor_training_hits_shared_cache() {
     let mut cfg = AgentConfig::tiny(8, 0.5);
     cfg.total_steps = 400;
     let cache = Arc::new(CachedEvaluator::with_config(
-        AnalyticalEvaluator,
+        TaskEvaluator::analytical(Adder),
         CacheConfig::default(),
     ));
     let result = AsyncRunner { actors: 4 }.train(&cfg, cache.clone());
@@ -89,15 +91,13 @@ fn evaluate_many_equivalent_to_evaluate() {
         structures::ladner_fischer(16),
         structures::sparse_kogge_stone(16, 4),
     ];
-    let reference: Vec<ObjectivePoint> = graphs
-        .iter()
-        .map(|g| AnalyticalEvaluator.evaluate(g))
-        .collect();
+    let eval = TaskEvaluator::analytical(Adder);
+    let reference: Vec<ObjectivePoint> = graphs.iter().map(|g| eval.evaluate(g)).collect();
 
     // Default trait implementation.
-    assert_eq!(AnalyticalEvaluator.evaluate_many(&graphs), reference);
+    assert_eq!(eval.evaluate_many(&graphs), reference);
     // Through the sharded cache.
-    let cache = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+    let cache = Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder)));
     assert_eq!(cache.evaluate_many(&graphs), reference);
     // Through the service at several widths, cold and warm.
     for threads in [1usize, 2, 5, 16] {
@@ -116,7 +116,7 @@ fn evaluate_many_equivalent_to_evaluate() {
 #[test]
 fn sharded_cache_accounting_under_concurrency() {
     let cache = Arc::new(CachedEvaluator::with_config(
-        AnalyticalEvaluator,
+        TaskEvaluator::analytical(Adder),
         CacheConfig::with_shards(8),
     ));
     let graphs: Vec<PrefixGraph> = (0..6u16)
@@ -158,8 +158,11 @@ fn sharded_cache_accounting_under_concurrency() {
 #[test]
 fn training_through_service_matches_cache_only() {
     let cfg = AgentConfig::tiny(8, 0.5);
-    let direct = TrainLoop::run(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
-    let cache = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+    let direct = TrainLoop::run(
+        &cfg,
+        Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder))),
+    );
+    let cache = Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder)));
     let service = Arc::new(EvalService::new(cache.clone() as Arc<dyn Evaluator>, 2));
     let routed = TrainLoop::run(&cfg, service);
     assert_eq!(direct.designs.len(), routed.designs.len());
@@ -183,7 +186,7 @@ fn experiment_single_run_matches_direct_loop() {
         .build();
     let via_experiment = exp.run_quiet().unwrap();
     // The builder applies the same weight/seed the base already has.
-    let direct = TrainLoop::run(&base, Arc::new(AnalyticalEvaluator));
+    let direct = TrainLoop::run(&base, Arc::new(TaskEvaluator::analytical(Adder)));
     let record = &via_experiment.records[0];
     assert_eq!(record.steps, direct.steps);
     assert_eq!(record.losses, direct.losses);

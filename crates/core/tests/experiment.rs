@@ -3,8 +3,8 @@
 
 use prefixrl_core::agent::{AgentConfig, TrainLoop};
 use prefixrl_core::checkpoint::{Checkpoint, RunState, SweepCheckpoint};
-use prefixrl_core::evaluator::AnalyticalEvaluator;
 use prefixrl_core::experiment::{Event, Experiment, NullObserver, RunObserver, Weights};
+use prefixrl_core::task::{self, AnalyticalBackend, SynthesisBackend, TaskEvaluator};
 use std::sync::Arc;
 
 fn losses_and_keys(result: &prefixrl_core::agent::TrainResult) -> (Vec<f32>, Vec<Vec<u64>>) {
@@ -25,13 +25,13 @@ fn resume_is_bit_identical_to_uninterrupted_run() {
     let cfg = AgentConfig::tiny(8, 0.4);
 
     // Uninterrupted reference run.
-    let mut reference = TrainLoop::new(&cfg, Arc::new(AnalyticalEvaluator));
+    let mut reference = TrainLoop::new(&cfg, Arc::new(TaskEvaluator::analytical(task::Adder)));
     reference.run_to_completion(0, &mut NullObserver);
     let (_, reference) = reference.into_parts();
 
     // Interrupted run: stop at step 137, checkpoint through JSON (the
     // full save format, not just the in-memory struct), resume, finish.
-    let mut interrupted = TrainLoop::new(&cfg, Arc::new(AnalyticalEvaluator));
+    let mut interrupted = TrainLoop::new(&cfg, Arc::new(TaskEvaluator::analytical(task::Adder)));
     for _ in 0..137 {
         assert!(interrupted.step_once(0, &mut NullObserver));
     }
@@ -39,7 +39,9 @@ fn resume_is_bit_identical_to_uninterrupted_run() {
     drop(interrupted); // the "kill"
     let ckpt = Checkpoint::from_json(&json).unwrap();
     assert_eq!(ckpt.step, 137);
-    let mut resumed = TrainLoop::from_checkpoint(&ckpt, Arc::new(AnalyticalEvaluator)).unwrap();
+    let mut resumed =
+        TrainLoop::from_checkpoint(&ckpt, Arc::new(TaskEvaluator::analytical(task::Adder)))
+            .unwrap();
     resumed.run_to_completion(0, &mut NullObserver);
     let (_, resumed) = resumed.into_parts();
 
@@ -59,7 +61,7 @@ fn resume_is_bit_identical_to_uninterrupted_run() {
 #[test]
 fn resume_continues_event_stream() {
     let cfg = AgentConfig::tiny(8, 0.6);
-    let mut lp = TrainLoop::new(&cfg, Arc::new(AnalyticalEvaluator));
+    let mut lp = TrainLoop::new(&cfg, Arc::new(TaskEvaluator::analytical(task::Adder)));
     let mut first_half = 0u64;
     let mut counter = prefixrl_core::experiment::CallbackObserver::new(|_, e: &Event| {
         if matches!(e, Event::Step { .. }) {
@@ -72,7 +74,9 @@ fn resume_continues_event_stream() {
     let _ = counter; // closure borrow of `first_half` ends here
     assert_eq!(first_half, 100);
     let ckpt = lp.checkpoint();
-    let mut resumed = TrainLoop::from_checkpoint(&ckpt, Arc::new(AnalyticalEvaluator)).unwrap();
+    let mut resumed =
+        TrainLoop::from_checkpoint(&ckpt, Arc::new(TaskEvaluator::analytical(task::Adder)))
+            .unwrap();
     let mut second_half = 0u64;
     let mut counter = prefixrl_core::experiment::CallbackObserver::new(|_, e: &Event| {
         if matches!(e, Event::Step { .. }) {
@@ -200,4 +204,118 @@ fn periodic_checkpoints_stream_events() {
     assert!(result.completed);
     // 300 steps, checkpoint at 100 and 200 (not at 300: run is done).
     assert_eq!(obs.saves, 2);
+}
+
+/// Non-adder tasks run end to end through the session layer and stamp
+/// their identity on the result.
+#[test]
+fn prefix_or_and_incrementer_sessions_run_end_to_end() {
+    for name in ["prefix-or", "incrementer"] {
+        let exp = Experiment::builder()
+            .n(8)
+            .task(task::by_name(name).unwrap())
+            .backend(Arc::new(AnalyticalBackend))
+            .weights(Weights::single(0.5))
+            .base_config(AgentConfig::tiny(8, 0.5))
+            .build();
+        let result = exp.run_quiet().unwrap();
+        assert!(result.completed, "{name}");
+        assert_eq!(result.task, name);
+        assert_eq!(result.backend, "analytical");
+        assert_eq!(result.evaluator, format!("{name}/analytical"));
+        assert!(!result.records[0].designs.is_empty(), "{name}");
+        assert!(
+            result.frontier_power.is_none(),
+            "analytical never annotates"
+        );
+        let json = result.to_json(false);
+        assert_eq!(
+            json.get("task").unwrap(),
+            &serde_json::Value::String(name.into())
+        );
+    }
+}
+
+/// A sweep checkpoint written for one task refuses to resume an experiment
+/// configured for another, at both the sweep and the per-run level.
+#[test]
+fn sweep_resume_refuses_task_mismatch() {
+    // Record a genuine in-progress adder checkpoint.
+    let cfg = AgentConfig::tiny(8, 0.5);
+    let mut lp = TrainLoop::new(&cfg, Arc::new(TaskEvaluator::analytical(task::Adder)));
+    for _ in 0..10 {
+        lp.step_once(0, &mut NullObserver);
+    }
+    let mut sweep = SweepCheckpoint::fresh("adder", 1);
+    sweep.runs[0] = RunState::InProgress(Box::new(lp.checkpoint()));
+    sweep.validate().unwrap();
+
+    let or_exp = Experiment::builder()
+        .n(8)
+        .task(task::by_name("prefix-or").unwrap())
+        .weights(Weights::single(0.5))
+        .base_config(AgentConfig::tiny(8, 0.5))
+        .build();
+    let err = match or_exp.resume(sweep, &mut NullObserver) {
+        Err(e) => e,
+        Ok(_) => panic!("task mismatch must be rejected"),
+    };
+    assert!(
+        err.contains("task `adder`") && err.contains("task `prefix-or`"),
+        "{err}"
+    );
+}
+
+/// The synthesis-power backend annotates every merged-frontier point with
+/// a positive switching-power estimate, surfaced in the JSON report.
+#[test]
+fn power_annotation_surfaces_in_result_and_json() {
+    let mut cfg = AgentConfig::tiny(8, 0.5);
+    cfg.total_steps = 40;
+    cfg.env = prefixrl_core::env::EnvConfig::synthesis(8);
+    let exp = Experiment::builder()
+        .n(8)
+        .backend(Arc::new(
+            SynthesisBackend::new(
+                netlist::Library::nangate45(),
+                synth::sweep::SweepConfig::fast(),
+                0.5,
+            )
+            .with_power_annotation(),
+        ))
+        .weights(Weights::single(0.5))
+        .base_config(cfg)
+        .build();
+    let result = exp.run_quiet().unwrap();
+    assert_eq!(result.backend, "synthesis-power");
+    let powers = result.frontier_power.as_ref().expect("annotated");
+    let merged = result.merged_front();
+    assert_eq!(powers.len(), merged.len());
+    assert!(powers.iter().all(|&p| p > 0.0));
+    let json = result.to_json(false);
+    let frontier = json.get("merged_frontier").unwrap().as_array().unwrap();
+    assert!(!frontier.is_empty());
+    for entry in frontier {
+        match entry.get("power_uw").expect("power stamped per point") {
+            serde_json::Value::Number(n) => assert!(n.as_f64() > 0.0),
+            other => panic!("power_uw must be a number, got {other:?}"),
+        }
+    }
+}
+
+/// The deprecated raw-oracle override must stamp reports with the
+/// override's own name — never the unused default backend — and must not
+/// produce backend annotations.
+#[test]
+#[allow(deprecated)]
+fn deprecated_oracle_override_stamps_its_own_name() {
+    let exp = Experiment::builder()
+        .n(8)
+        .base_config(AgentConfig::tiny(8, 0.5))
+        .evaluator(Box::new(TaskEvaluator::analytical(task::Adder)))
+        .build();
+    let result = exp.run_quiet().unwrap();
+    assert_eq!(result.backend, "adder/analytical");
+    assert_eq!(result.task, "adder");
+    assert!(result.frontier_power.is_none());
 }

@@ -115,6 +115,20 @@ pub fn generate(graph: &PrefixGraph) -> Netlist {
     nl
 }
 
+/// The word-level golden model for testing: `a + 1` over an `n`-bit
+/// operand, carry-out included in the result (mirrors
+/// [`crate::prefix_or::reference`]; the bit-level generalization lives on
+/// `prefixrl_core::task::Incrementer`).
+///
+/// # Panics
+///
+/// Panics if `n > 63` or the operand exceeds `n` bits.
+pub fn reference(a: u64, n: usize) -> u64 {
+    assert!(n <= 63, "width too large");
+    assert!(a < (1u64 << n), "operand exceeds {n} bits");
+    a + 1
+}
+
 /// Evaluates an incrementer netlist, returning `a + 1` (with carry-out as
 /// the top bit).
 ///
@@ -144,7 +158,7 @@ mod tests {
         for (_, ctor) in structures::all_regular() {
             let nl = generate(&ctor(8));
             for a in 0..256u64 {
-                assert_eq!(increment(&nl, a), a + 1);
+                assert_eq!(increment(&nl, a), reference(a, 8));
             }
         }
     }

@@ -6,6 +6,13 @@
 //! 2. `1.0` if the node is in the minlist (deletable), else `0.0`;
 //! 3. the node's topological level, normalized to `[0, 1]`;
 //! 4. the node's fanout (child count), normalized to `[0, 1]`.
+//!
+//! The features are deliberately **task-independent**: every parallel
+//! prefix computation (adder, OR-prefix, incrementer, …) shares the same
+//! grid state space, so one feature extractor — and one Q-network input
+//! layout — serves every `prefixrl_core::task::CircuitTask`. What differs
+//! per task is the netlist the state maps to, which only the reward oracle
+//! sees.
 
 use crate::graph::PrefixGraph;
 

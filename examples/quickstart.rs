@@ -5,6 +5,7 @@
 //! ```
 
 use prefixrl::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // 1. Classical structures and the grid representation.
@@ -31,11 +32,17 @@ fn main() {
         println!("  delay {delay:.3} ns -> area {area:.1} um^2");
     }
 
-    // 4. Train a small PrefixRL session (analytical reward for speed)
-    //    through the Experiment builder, watching its event stream, and
-    //    compare the discovered frontier against the start states.
+    // 4. Train a small PrefixRL session through the Experiment builder,
+    //    watching its event stream, and compare the discovered frontier
+    //    against the start states. The session is explicit about its
+    //    workload: a CircuitTask (here the adder; PrefixOr and Incrementer
+    //    plug in identically — see examples/prefix_or_frontier.rs) scored
+    //    by an ObjectiveBackend (analytical for speed; SynthesisBackend
+    //    for the paper's synthesis-in-the-loop reward).
     let experiment = Experiment::builder()
         .n(8)
+        .task(Arc::new(Adder))
+        .backend(Arc::new(AnalyticalBackend))
         .weights(Weights::single(0.35))
         .steps(3_000)
         .build();

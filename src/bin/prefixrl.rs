@@ -19,6 +19,7 @@
 use prefixrl::prelude::*;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -197,7 +198,16 @@ fn cmd_structures(opts: &HashMap<String, String>) {
 fn session_options_help() -> &'static str {
     "\x20 --steps <K>              environment steps per agent (default 2000)\n\
      \x20 --seed <S>               master seed; agent i trains with S+i (default 0)\n\
-     \x20 --evaluator synthesis|analytical   reward oracle (default synthesis)\n\
+     \x20 --task adder|prefix-or|incrementer\n\
+     \x20                          circuit task to optimize (default adder);\n\
+     \x20                          any parallel prefix computation shares the\n\
+     \x20                          same MDP, only the emitted netlist differs\n\
+     \x20 --backend analytical|synthesis|synthesis-power\n\
+     \x20                          objective backend scoring the task's circuit\n\
+     \x20                          (default synthesis; synthesis-power also\n\
+     \x20                          annotates frontier points with estimated\n\
+     \x20                          switching power, off the reward path)\n\
+     \x20 --evaluator <name>       deprecated alias for --backend\n\
      \x20 --lib nangate45|tech8    cell library for synthesis rewards\n\
      \x20 --actors <A>             async actor threads per agent (default 1 =\n\
      \x20                          deterministic serial runner; >1 disables\n\
@@ -308,6 +318,63 @@ impl RunObserver for ProgressObserver {
     }
 }
 
+/// Resolves `--task`, erroring loudly with the valid names on an unknown
+/// value (no silent default past typos).
+fn circuit_task(opts: &HashMap<String, String>) -> Arc<dyn CircuitTask> {
+    let name = opts.get("task").map(String::as_str).unwrap_or("adder");
+    prefixrl_core::task::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown task `{name}` (expected one of: {})",
+            prefixrl_core::task::TASK_NAMES.join("|")
+        );
+        std::process::exit(2);
+    })
+}
+
+/// Resolves `--backend` (with `--evaluator` as a deprecated alias),
+/// erroring loudly with the valid names on an unknown value.
+fn objective_backend(
+    opts: &HashMap<String, String>,
+    median_w: f64,
+) -> (Arc<dyn ObjectiveBackend>, bool) {
+    let name = match (opts.get("backend"), opts.get("evaluator")) {
+        (Some(b), _) => b.as_str(),
+        (None, Some(e)) => {
+            eprintln!("warning: --evaluator is deprecated; use --backend {e}");
+            e.as_str()
+        }
+        (None, None) => "synthesis",
+    };
+    // One backend instance is shared by every agent so the IV-D cache
+    // sharing happens; the synthesis curve point is picked at the sweep's
+    // median weight (see DESIGN.md §10).
+    match name {
+        "analytical" => (Arc::new(AnalyticalBackend), false),
+        "synthesis" => (
+            Arc::new(SynthesisBackend::new(
+                library(opts),
+                SweepConfig::fast(),
+                median_w,
+            )),
+            true,
+        ),
+        "synthesis-power" => (
+            Arc::new(
+                SynthesisBackend::new(library(opts), SweepConfig::fast(), median_w)
+                    .with_power_annotation(),
+            ),
+            true,
+        ),
+        other => {
+            eprintln!(
+                "error: unknown backend `{other}` (expected one of: {})",
+                prefixrl_core::task::BACKEND_NAMES.join("|")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The shared `train`/`sweep` session driver: builds the [`Experiment`],
 /// runs or resumes it, and emits the unified report.
 fn run_session(opts: &HashMap<String, String>, weights: Weights) {
@@ -322,30 +389,14 @@ fn run_session(opts: &HashMap<String, String>, weights: Weights) {
         .then(|| get_workers(opts, "nn-threads", 1));
     let cache_shards: usize = get(opts, "cache-shards", 16).max(1);
     let json_mode = opts.contains_key("json");
-    let use_synth = match opts.get("evaluator").map(String::as_str) {
-        Some("analytical") => false,
-        Some("synthesis") | None => true,
-        Some(other) => {
-            eprintln!("error: unknown evaluator `{other}` (expected synthesis|analytical)");
-            std::process::exit(2);
-        }
-    };
+    let task = circuit_task(opts);
+    let median_w = weights.values()[weights.len() / 2];
+    let (backend, use_synth) = objective_backend(opts, median_w);
 
     let mut base = AgentConfig::small(n, 0.5, steps);
-    let inner: Box<dyn Evaluator> = if use_synth {
+    if use_synth {
         base.env = prefixrl_core::env::EnvConfig::synthesis(n);
-        // One evaluator instance is shared by every agent so the IV-D
-        // cache sharing happens; the curve point is picked at the sweep's
-        // median weight (see DESIGN.md §10).
-        let median_w = weights.values()[weights.len() / 2];
-        Box::new(SynthesisEvaluator::new(
-            library(opts),
-            SweepConfig::fast(),
-            median_w,
-        ))
-    } else {
-        Box::new(AnalyticalEvaluator)
-    };
+    }
 
     let mut builder = Experiment::builder()
         .n(n)
@@ -353,7 +404,8 @@ fn run_session(opts: &HashMap<String, String>, weights: Weights) {
         .steps(steps)
         .seed(seed)
         .base_config(base)
-        .evaluator(inner)
+        .task(Arc::clone(&task))
+        .backend(Arc::clone(&backend))
         .actors(actors)
         .eval_threads(eval_threads)
         .cache_shards(cache_shards);
@@ -394,20 +446,21 @@ fn run_session(opts: &HashMap<String, String>, weights: Weights) {
 
     if !json_mode {
         eprintln!(
-            "{} {n}b agent(s): weights {:?}, {steps} steps each, evaluator={}, \
-             actors={actors}, eval-threads={eval_threads}, nn-threads={}, \
+            "{} {n}b agent(s): task={}, backend={}, weights {:?}, {steps} steps \
+             each, actors={actors}, eval-threads={eval_threads}, nn-threads={}, \
              cache-shards={cache_shards}",
             if weights.len() > 1 {
                 "sweeping"
             } else {
                 "training"
             },
+            task.task_id(),
+            backend.backend_id(),
             weights
                 .values()
                 .iter()
                 .map(|w| (w * 100.0).round() / 100.0)
                 .collect::<Vec<_>>(),
-            if use_synth { "synthesis" } else { "analytical" },
             nn_threads.unwrap_or_else(prefixrl::nn::compute::threads),
         );
     }
@@ -465,11 +518,14 @@ fn run_session(opts: &HashMap<String, String>, weights: Weights) {
 fn report_human(result: &ExperimentResult) {
     let merged = result.merged_front();
     println!(
-        "{} in {:.1}s ({:.1} steps/s): {} agent(s), cache hit rate {:.0}% over {} shards",
+        "{} in {:.1}s ({:.1} steps/s): {} agent(s) on task {} ({}), cache hit \
+         rate {:.0}% over {} shards",
         if result.completed { "done" } else { "halted" },
         result.elapsed_sec,
         result.total_steps() as f64 / result.elapsed_sec.max(1e-9),
         result.records.len(),
+        result.task,
+        result.backend,
         100.0 * result.cache.hit_rate,
         result.cache.shards,
     );
@@ -489,18 +545,36 @@ fn report_human(result: &ExperimentResult) {
         );
     }
     println!("\nmerged Pareto frontier ({} points):", merged.len());
-    println!(
-        "{:>10} {:>10}  {:>5} {:>5}",
-        "area", "delay", "size", "depth"
-    );
-    for (p, g) in merged.iter() {
+    let powers = result.frontier_power.as_deref();
+    if powers.is_some() {
         println!(
-            "{:>10.2} {:>10.3}  {:>5} {:>5}",
-            p.area,
-            p.delay,
-            g.size(),
-            g.depth()
+            "{:>10} {:>10}  {:>5} {:>5} {:>10}",
+            "area", "delay", "size", "depth", "power(uW)"
         );
+    } else {
+        println!(
+            "{:>10} {:>10}  {:>5} {:>5}",
+            "area", "delay", "size", "depth"
+        );
+    }
+    for (i, (p, g)) in merged.iter().enumerate() {
+        match powers.and_then(|ps| ps.get(i)) {
+            Some(power) => println!(
+                "{:>10.2} {:>10.3}  {:>5} {:>5} {:>10.2}",
+                p.area,
+                p.delay,
+                g.size(),
+                g.depth(),
+                power
+            ),
+            None => println!(
+                "{:>10.2} {:>10.3}  {:>5} {:>5}",
+                p.area,
+                p.delay,
+                g.size(),
+                g.depth()
+            ),
+        }
     }
 }
 

@@ -21,18 +21,25 @@
 //!
 //! ```
 //! use prefixrl::prelude::*;
+//! use std::sync::Arc;
 //!
-//! // Sweep three small agents across scalarization weights on 8-bit
-//! // adders with the analytical reward (pass a SynthesisEvaluator to
-//! // `.evaluator(...)` for synthesis in the loop). All agents share one
-//! // cached evaluation service; their fronts merge into the result.
+//! // Sweep three small agents across scalarization weights on the 8-bit
+//! // prefix-OR task (priority-encoder spine) with the analytical backend.
+//! // Any parallel prefix computation plugs in the same way: pick a
+//! // CircuitTask (Adder, PrefixOr, Incrementer, or your own) and an
+//! // ObjectiveBackend (AnalyticalBackend, or SynthesisBackend for the
+//! // paper's synthesis-in-the-loop reward). All agents share one cached
+//! // evaluation service; their fronts merge into the result.
 //! let experiment = Experiment::builder()
 //!     .n(8)
+//!     .task(Arc::new(PrefixOr))
+//!     .backend(Arc::new(AnalyticalBackend))
 //!     .weights(Weights::linspace(0.2, 0.8, 3))
 //!     .base_config(AgentConfig::tiny(8, 0.5))
 //!     .build();
 //! let result = experiment.run_quiet().unwrap();
 //! assert_eq!(result.records.len(), 3);
+//! assert_eq!(result.task, "prefix-or");
 //! assert!(!result.merged_front().is_empty());
 //! ```
 //!

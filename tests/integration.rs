@@ -9,7 +9,8 @@ use std::sync::Arc;
 #[test]
 fn full_environment_step_with_synthesis_reward() {
     let lib = Library::nangate45();
-    let evaluator = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+    let evaluator = Arc::new(CachedEvaluator::new(TaskEvaluator::synthesis(
+        Adder,
         lib,
         SweepConfig::fast(),
         0.5,
@@ -30,7 +31,10 @@ fn full_environment_step_with_synthesis_reward() {
 fn rl_designs_synthesize_to_correct_adders() {
     use rand::prelude::*;
     let cfg = AgentConfig::tiny(8, 0.5);
-    let result = TrainLoop::run(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
+    let result = TrainLoop::run(
+        &cfg,
+        Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder))),
+    );
     let lib = Library::nangate45();
     let cons = synth::sta::TimingConstraints::uniform(&lib);
     let mut rng = StdRng::seed_from_u64(5);
@@ -53,7 +57,7 @@ fn rl_designs_synthesize_to_correct_adders() {
 /// area-weighted agent's, which must be at least as small.
 #[test]
 fn weight_controls_design_specialization() {
-    let eval = Arc::new(CachedEvaluator::new(AnalyticalEvaluator));
+    let eval = Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder)));
     let mut small_cfg = AgentConfig::tiny(8, 0.95);
     small_cfg.total_steps = 600;
     let mut fast_cfg = AgentConfig::tiny(8, 0.05);
@@ -78,10 +82,13 @@ fn weight_controls_design_specialization() {
 #[test]
 fn rl_frontier_beats_starting_states() {
     let cfg = AgentConfig::tiny(8, 0.4);
-    let result = TrainLoop::run(&cfg, Arc::new(CachedEvaluator::new(AnalyticalEvaluator)));
+    let result = TrainLoop::run(
+        &cfg,
+        Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder))),
+    );
     let front = result.front();
-    let ripple = AnalyticalEvaluator.evaluate(&PrefixGraph::ripple(8));
-    let sklansky = AnalyticalEvaluator.evaluate(&structures::sklansky(8));
+    let ripple = TaskEvaluator::analytical(Adder).evaluate(&PrefixGraph::ripple(8));
+    let sklansky = TaskEvaluator::analytical(Adder).evaluate(&structures::sklansky(8));
     // The starting states are in the visited set, so the front must weakly
     // improve on both.
     assert!(front.area_at_delay(ripple.delay).unwrap() <= ripple.area);
@@ -136,7 +143,8 @@ fn analytical_and_synthesis_rankings_diverge() {
 #[test]
 fn async_training_integrates_with_synthesis_cache() {
     let lib = Library::nangate45();
-    let eval = Arc::new(CachedEvaluator::new(SynthesisEvaluator::new(
+    let eval = Arc::new(CachedEvaluator::new(TaskEvaluator::synthesis(
+        Adder,
         lib,
         SweepConfig::fast(),
         0.5,
@@ -158,7 +166,7 @@ fn async_training_integrates_with_synthesis_cache() {
 #[test]
 fn agent_checkpoint_roundtrip() {
     let cfg = AgentConfig::tiny(8, 0.5);
-    let eval: Arc<dyn Evaluator> = Arc::new(AnalyticalEvaluator);
+    let eval: Arc<dyn Evaluator> = Arc::new(TaskEvaluator::analytical(Adder));
     let mut lp = TrainLoop::new(&cfg, Arc::clone(&eval));
     lp.run_to_completion(0, &mut NullObserver);
     let (mut dqn, _) = lp.into_parts();
