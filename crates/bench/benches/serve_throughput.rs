@@ -1,0 +1,109 @@
+//! Resident-service throughput: jobs/sec and submit-to-first-event
+//! latency under a burst of sweep jobs (DESIGN.md §13).
+//!
+//! Boots an in-process `prefixrl-serve` server per worker count, submits a
+//! burst of small jobs across all three circuit tasks, waits for the
+//! queue to drain, and measures end-to-end job throughput plus the
+//! latency from submit to each job's first streamed event — the two
+//! numbers that gate interactive use of the service. Writes the
+//! `BENCH_serve.json` artifact.
+//!
+//! ```sh
+//! cargo bench -p prefixrl-bench --bench serve_throughput
+//! PREFIXRL_SCALE=paper cargo bench -p prefixrl-bench --bench serve_throughput
+//! ```
+
+use prefixrl_bench::{scale, write_bench_serve, Scale, ServeRow};
+use prefixrl_serve::{Client, JobSpec, ServeConfig, Server};
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Number(n) => n.as_f64(),
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+fn main() {
+    let (n, jobs, steps): (u16, usize, u64) = match scale() {
+        Scale::Quick => (8, 6, 120),
+        Scale::Paper => (16, 12, 1000),
+    };
+    let weights = vec![0.3, 0.7];
+    let tasks = ["adder", "prefix-or", "incrementer"];
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>8} {:>6} {:>12} {:>22} {:>22} {:>10}",
+        "workers", "jobs", "jobs/s", "first-event mean (s)", "first-event max (s)", "hit rate"
+    );
+    for workers in [1usize, 2, 4] {
+        let handle = Server::spawn(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            ..ServeConfig::default()
+        })
+        .expect("server boots");
+        let client = Client::new(handle.addr().to_string());
+        client
+            .wait_until_ready(Duration::from_secs(10))
+            .expect("server ready");
+
+        let t0 = Instant::now();
+        let ids: Vec<u64> = (0..jobs)
+            .map(|i| {
+                client
+                    .submit(&JobSpec {
+                        task: tasks[i % tasks.len()].to_string(),
+                        backend: "analytical".to_string(),
+                        n,
+                        weights: weights.clone(),
+                        steps,
+                        seed: i as u64,
+                    })
+                    .expect("submit accepted")
+            })
+            .collect();
+        let mut latencies = Vec::new();
+        for id in &ids {
+            let snapshot = client
+                .wait_for_phase(*id, &["done", "failed"], Duration::from_secs(600))
+                .expect("job finishes");
+            assert_eq!(
+                snapshot.get("phase").unwrap(),
+                &Value::String("done".into()),
+                "job {id} failed"
+            );
+            latencies.push(num(snapshot.get("submit_to_first_event_sec").unwrap()));
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let ping = client.ping().expect("ping");
+        let hit_rate = num(ping.get("cache").unwrap().get("hit_rate").unwrap());
+        handle.shutdown().expect("graceful shutdown");
+
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        let max = latencies.iter().copied().fold(0.0, f64::max);
+        let row = ServeRow {
+            workers,
+            jobs,
+            weights_per_job: weights.len(),
+            steps_per_agent: steps,
+            jobs_per_sec: jobs as f64 / elapsed.max(1e-9),
+            submit_to_first_event_sec_mean: mean,
+            submit_to_first_event_sec_max: max,
+            cache_hit_rate: hit_rate,
+        };
+        println!(
+            "{:>8} {:>6} {:>12.2} {:>22.4} {:>22.4} {:>9.0}%",
+            row.workers,
+            row.jobs,
+            row.jobs_per_sec,
+            row.submit_to_first_event_sec_mean,
+            row.submit_to_first_event_sec_max,
+            100.0 * row.cache_hit_rate
+        );
+        rows.push(row);
+    }
+    write_bench_serve(n, &rows);
+}

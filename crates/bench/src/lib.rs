@@ -220,6 +220,54 @@ pub fn write_bench_tasks(n: u16, rows: &[TaskRow]) {
     println!("[artifact] {}", path.display());
 }
 
+/// One measured point of the `serve_throughput` harness: the resident
+/// service under a burst of submitted jobs.
+#[derive(Clone, Debug)]
+pub struct ServeRow {
+    /// Job worker threads.
+    pub workers: usize,
+    /// Jobs submitted in the burst.
+    pub jobs: usize,
+    /// Scalarization weights (agents) per job.
+    pub weights_per_job: usize,
+    /// Environment steps per agent.
+    pub steps_per_agent: u64,
+    /// Finished jobs per wall-clock second (submit of the first to
+    /// completion of the last).
+    pub jobs_per_sec: f64,
+    /// Mean seconds from submit to the job's first streamed event.
+    pub submit_to_first_event_sec_mean: f64,
+    /// Worst-case submit-to-first-event latency in the burst.
+    pub submit_to_first_event_sec_max: f64,
+    /// Shared-store hit rate across the burst.
+    pub cache_hit_rate: f64,
+}
+
+/// Dumps `BENCH_serve.json` at the workspace root: resident-service job
+/// throughput and submit-to-first-event latency vs worker count,
+/// machine-readable so future changes can track the serve path against
+/// this file.
+pub fn write_bench_serve(n: u16, rows: &[ServeRow]) {
+    let value = serde_json::json!({
+        "benchmark": "serve_job_throughput",
+        "n": n,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "workers": r.workers,
+            "jobs": r.jobs,
+            "weights_per_job": r.weights_per_job,
+            "steps_per_agent": r.steps_per_agent,
+            "jobs_per_sec": r.jobs_per_sec,
+            "submit_to_first_event_sec_mean": r.submit_to_first_event_sec_mean,
+            "submit_to_first_event_sec_max": r.submit_to_first_event_sec_max,
+            "cache_hit_rate": r.cache_hit_rate,
+        })).collect::<Vec<_>>(),
+    });
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap())
+        .expect("write BENCH_serve.json");
+    println!("[artifact] {}", path.display());
+}
+
 /// Prints a named series of (area, delay) points as the paper's figures
 /// tabulate them, in increasing delay order.
 pub fn print_series(name: &str, points: &[(f64, f64)]) {

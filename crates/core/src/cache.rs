@@ -12,6 +12,14 @@
 //! backends) can never alias an entry or a shard, even when they share one
 //! cache.
 //!
+//! Since the serve daemon (DESIGN.md §13), the sharded store itself is a
+//! standalone type, [`EvalCache`]: a [`CachedEvaluator`] is one evaluator
+//! *bound* to a store, and several bindings — one per `(task, backend)`
+//! pair a resident server is optimizing — can share a single
+//! `Arc<EvalCache>` so all jobs draw from one memory budget and one
+//! statistics surface while the discriminant prefix keeps their entries
+//! apart.
+//!
 //! The store is **N-way sharded** by canonical-key hash so concurrent
 //! actors contend only on the shard their state maps to, not on one global
 //! lock. Each shard has:
@@ -104,31 +112,31 @@ pub struct ShardStats {
     pub entries: usize,
 }
 
-/// A thread-safe, sharded, bounded memoizing wrapper around any
-/// [`Evaluator`].
-pub struct CachedEvaluator<E> {
-    inner: E,
+/// The sharded, bounded memo store itself, decoupled from any one inner
+/// evaluator.
+///
+/// A [`CachedEvaluator`] binds one evaluator to one store; several bindings
+/// may share a single `Arc<EvalCache>` when distinct `(task, backend)`
+/// oracles must share one memory budget and one statistics surface — the
+/// shape the `prefixrl serve` daemon runs, where every job's evaluator is a
+/// thin handle over the server's one store. Keys are prefixed with each
+/// inner evaluator's [`Evaluator::cache_discriminant`], so co-tenant
+/// oracles can never alias an entry.
+pub struct EvalCache {
     shards: Vec<Shard>,
     capacity_per_shard: usize,
 }
 
-impl<E: Evaluator> CachedEvaluator<E> {
-    /// Wraps an evaluator with the default configuration (16 shards,
-    /// 65 536 entries each).
-    pub fn new(inner: E) -> Self {
-        Self::with_config(inner, CacheConfig::default())
-    }
-
-    /// Wraps an evaluator with explicit sizing.
+impl EvalCache {
+    /// An empty store with explicit sizing.
     ///
     /// # Panics
     ///
     /// Panics if `shards` or `capacity_per_shard` is zero.
-    pub fn with_config(inner: E, cfg: CacheConfig) -> Self {
+    pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
         assert!(cfg.capacity_per_shard > 0, "need nonzero shard capacity");
-        CachedEvaluator {
-            inner,
+        EvalCache {
             shards: (0..cfg.shards).map(|_| Shard::new()).collect(),
             capacity_per_shard: cfg.capacity_per_shard,
         }
@@ -193,17 +201,63 @@ impl<E: Evaluator> CachedEvaluator<E> {
             .collect()
     }
 
-    /// Access to the wrapped evaluator.
-    pub fn inner(&self) -> &E {
-        &self.inner
+    /// Evaluates `graph` through `inner`, memoizing under the inner
+    /// evaluator's discriminant-prefixed canonical key. Concurrent misses
+    /// on one key run `inner` once; the rest wait on the shard condvar.
+    pub fn evaluate_with(&self, inner: &dyn Evaluator, graph: &PrefixGraph) -> ObjectivePoint {
+        let key = Self::key_of(inner.cache_discriminant(), graph);
+        let shard = self.shard_for(&key);
+        let mut state = lock(&shard.state);
+        loop {
+            if let Some(p) = state.map.get(&key) {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                return *p;
+            }
+            if state.inflight.contains(&key) {
+                // Another thread is evaluating this exact state: wait and
+                // re-check (the result lands in `map`; if capacity pressure
+                // evicted it before we woke, fall through to a fresh miss).
+                state = shard.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            break;
+        }
+        state.inflight.insert(key.clone());
+        drop(state);
+
+        let mut guard = InflightGuard {
+            shard,
+            key: &key,
+            armed: true,
+        };
+        let point = inner.evaluate(graph);
+        guard.armed = false;
+        drop(guard); // releases the borrow of `key`; disarmed, so a no-op
+
+        let mut state = lock(&shard.state);
+        state.inflight.remove(&key);
+        while state.map.len() >= self.capacity_per_shard {
+            let Some(oldest) = state.order.pop_front() else {
+                break;
+            };
+            state.map.remove(&oldest);
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        if state.map.insert(key.clone(), point).is_none() {
+            state.order.push_back(key);
+        }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        shard.ready.notify_all();
+        point
     }
 
-    /// The cache key of `graph` under the wrapped evaluator: the inner
+    /// The cache key of `graph` under an evaluator discriminant: the
     /// discriminant word followed by the canonical present-node bitset.
-    fn key_of(&self, graph: &PrefixGraph) -> Vec<u64> {
+    fn key_of(discriminant: u64, graph: &PrefixGraph) -> Vec<u64> {
         let canon = graph.canonical_key();
         let mut key = Vec::with_capacity(canon.len() + 1);
-        key.push(self.inner.cache_discriminant());
+        key.push(discriminant);
         key.extend(canon);
         key
     }
@@ -217,6 +271,90 @@ impl<E: Evaluator> CachedEvaluator<E> {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+}
+
+/// A thread-safe, sharded, bounded memoizing wrapper around any
+/// [`Evaluator`]: one evaluator bound to an [`EvalCache`] store (its own by
+/// default, or a shared one via [`CachedEvaluator::with_store`]).
+pub struct CachedEvaluator<E> {
+    inner: E,
+    store: std::sync::Arc<EvalCache>,
+}
+
+impl<E: Evaluator> CachedEvaluator<E> {
+    /// Wraps an evaluator with the default configuration (16 shards,
+    /// 65 536 entries each).
+    pub fn new(inner: E) -> Self {
+        Self::with_config(inner, CacheConfig::default())
+    }
+
+    /// Wraps an evaluator with explicit sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity_per_shard` is zero.
+    pub fn with_config(inner: E, cfg: CacheConfig) -> Self {
+        Self::with_store(inner, std::sync::Arc::new(EvalCache::new(cfg)))
+    }
+
+    /// Binds an evaluator to an existing (possibly shared) store. Entries
+    /// from co-tenant evaluators are isolated by the discriminant prefix;
+    /// the statistics accessors report the *store's* aggregate counters.
+    pub fn with_store(inner: E, store: std::sync::Arc<EvalCache>) -> Self {
+        CachedEvaluator { inner, store }
+    }
+
+    /// The backing store (hand a clone to another binding to share it).
+    pub fn store(&self) -> &std::sync::Arc<EvalCache> {
+        &self.store
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.store.shards()
+    }
+
+    /// Cache hits so far (a wait on another thread's in-flight evaluation
+    /// counts as a hit: the evaluator did not run again).
+    pub fn hits(&self) -> u64 {
+        self.store.hits()
+    }
+
+    /// Cache misses (inner evaluations) so far.
+    pub fn misses(&self) -> u64 {
+        self.store.misses()
+    }
+
+    /// Entries evicted by the per-shard capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.store.evictions()
+    }
+
+    /// Hit rate in `[0, 1]` (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        self.store.hit_rate()
+    }
+
+    /// Number of distinct states currently cached.
+    pub fn unique_states(&self) -> usize {
+        self.store.unique_states()
+    }
+
+    /// Per-shard statistics, for load-balance diagnostics.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.store.shard_stats()
+    }
+
+    /// Access to the wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The cache key of `graph` under the wrapped evaluator.
+    #[cfg(test)]
+    fn key_of(&self, graph: &PrefixGraph) -> Vec<u64> {
+        EvalCache::key_of(self.inner.cache_discriminant(), graph)
     }
 }
 
@@ -245,51 +383,7 @@ impl Drop for InflightGuard<'_> {
 
 impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
     fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
-        let key = self.key_of(graph);
-        let shard = self.shard_for(&key);
-        let mut state = lock(&shard.state);
-        loop {
-            if let Some(p) = state.map.get(&key) {
-                shard.hits.fetch_add(1, Ordering::Relaxed);
-                return *p;
-            }
-            if state.inflight.contains(&key) {
-                // Another thread is evaluating this exact state: wait and
-                // re-check (the result lands in `map`; if capacity pressure
-                // evicted it before we woke, fall through to a fresh miss).
-                state = shard.ready.wait(state).unwrap_or_else(|e| e.into_inner());
-                continue;
-            }
-            break;
-        }
-        state.inflight.insert(key.clone());
-        drop(state);
-
-        let mut guard = InflightGuard {
-            shard,
-            key: &key,
-            armed: true,
-        };
-        let point = self.inner.evaluate(graph);
-        guard.armed = false;
-        drop(guard); // releases the borrow of `key`; disarmed, so a no-op
-
-        let mut state = lock(&shard.state);
-        state.inflight.remove(&key);
-        while state.map.len() >= self.capacity_per_shard {
-            let Some(oldest) = state.order.pop_front() else {
-                break;
-            };
-            state.map.remove(&oldest);
-            shard.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-        if state.map.insert(key.clone(), point).is_none() {
-            state.order.push_back(key);
-        }
-        shard.misses.fetch_add(1, Ordering::Relaxed);
-        drop(state);
-        shard.ready.notify_all();
-        point
+        self.store.evaluate_with(&self.inner, graph)
     }
 
     fn name(&self) -> &str {
@@ -568,6 +662,28 @@ mod tests {
             "same graph must key differently per task"
         );
         assert_eq!(adder.key_of(&g)[1..], or.key_of(&g)[1..], "same canon");
+    }
+
+    #[test]
+    fn shared_store_isolates_tenants_and_pools_stats() {
+        use crate::task::PrefixOr;
+        let store = Arc::new(EvalCache::new(CacheConfig::with_shards(4)));
+        let adder = CachedEvaluator::with_store(adder_analytical(), Arc::clone(&store));
+        let or =
+            CachedEvaluator::with_store(TaskEvaluator::analytical(PrefixOr), Arc::clone(&store));
+        let g = structures::sklansky(8);
+        let a = adder.evaluate(&g);
+        // Same graph through the co-tenant binding: its own miss, never
+        // the adder's entry (analytical points coincide numerically, so
+        // assert via the counters, not the values).
+        let _ = or.evaluate(&g);
+        assert_eq!(store.misses(), 2, "tenants must not alias entries");
+        assert_eq!(store.unique_states(), 2);
+        // Re-querying through either binding hits the one shared store.
+        assert_eq!(adder.evaluate(&g), a);
+        let _ = or.evaluate(&g);
+        assert_eq!(store.hits(), 2);
+        assert_eq!(adder.hits(), store.hits(), "bindings report store stats");
     }
 
     #[test]

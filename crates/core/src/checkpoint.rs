@@ -241,17 +241,43 @@ fn from_json_str<T: Deserialize>(s: &str) -> Result<T, String> {
     serde_json::from_str(s)
 }
 
-/// Writes `contents` to `path` via a sibling temp file + rename, creating
-/// parent directories as needed (shared by checkpoint and sweep persists).
-pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+/// Writes `contents` to `path` via a uniquely named sibling temp file +
+/// rename, creating parent directories as needed (shared by checkpoint,
+/// sweep, and frontier-store persists).
+///
+/// The temp name *appends* to the full file name (it never replaces the
+/// extension) and embeds the pid plus a process-wide counter. With the
+/// historical `path.with_extension("tmp")` scheme, two writers whose paths
+/// differed only in extension (`a.json` vs `a.ckpt`), or two jobs
+/// checkpointing the same stem concurrently, shared one temp path: each
+/// could overwrite the other's half-written bytes and then rename the
+/// rival's file into place. Unique temp names make concurrent writers to
+/// *different* destinations fully independent; concurrent writers to the
+/// *same* destination each rename a complete file (last rename wins).
+///
+/// # Errors
+///
+/// Fails on I/O errors or a path with no file name.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
         }
     }
-    let tmp = path.with_extension("tmp");
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| format!("cannot write {}: path has no file name", path.display()))?
+        .to_os_string();
+    tmp_name.push(format!(".{}.{seq}.tmp", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
     std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
+    std::fs::rename(&tmp, path).map_err(|e| {
+        // Leave no orphaned temp behind a failed rename.
+        let _ = std::fs::remove_file(&tmp);
+        format!("rename to {}: {e}", path.display())
+    })
 }
 
 #[cfg(test)]
@@ -315,10 +341,51 @@ mod tests {
         ckpt.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(back.step, ckpt.step);
-        assert!(
-            !path.with_extension("tmp").exists(),
-            "temp file left behind"
-        );
+        assert_no_temp_files(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn assert_no_temp_files(dir: &Path) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "temp file left behind: {name:?}"
+            );
+        }
+    }
+
+    /// Regression test for the shared-temp-name clobber: two threads
+    /// persisting `a.json` and `a.ckpt` side by side. Under the old
+    /// `with_extension("tmp")` scheme both writers raced on one `a.tmp`,
+    /// so a writer could rename the rival's (possibly half-written) bytes
+    /// into its own destination; with unique sibling temp names every
+    /// read-back must see exactly the writer's own last contents.
+    #[test]
+    fn concurrent_writers_with_shared_stem_never_clobber() {
+        let dir = std::env::temp_dir().join(format!(
+            "prefixrl-atomic-stress-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::thread::scope(|s| {
+            for name in ["a.json", "a.ckpt"] {
+                let path = dir.join(name);
+                s.spawn(move || {
+                    for i in 0..400 {
+                        let body = format!("{{\"file\":\"{name}\",\"i\":{i}}}");
+                        write_atomic(&path, &body).unwrap();
+                        let back = std::fs::read_to_string(&path).unwrap();
+                        assert_eq!(
+                            back, body,
+                            "{name}: write {i} clobbered by the sibling writer"
+                        );
+                    }
+                });
+            }
+        });
+        assert_no_temp_files(&dir);
         std::fs::remove_dir_all(&dir).ok();
     }
 

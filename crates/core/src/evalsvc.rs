@@ -191,6 +191,45 @@ mod tests {
         }
     }
 
+    /// Serve-shutdown audit (DESIGN.md §13): dropping an `EvalService`
+    /// while a clone still has a batch in flight must neither hang nor
+    /// lose results. The service holds no threads or queues of its own —
+    /// batch workers are scoped to each `evaluate_many` call — so the
+    /// in-flight batch completes on the clone and the drop is inert.
+    #[test]
+    fn drop_with_inflight_batch_completes() {
+        struct Slow;
+        impl Evaluator for Slow {
+            fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                ObjectivePoint {
+                    area: graph.size() as f64,
+                    delay: graph.depth() as f64,
+                }
+            }
+            fn name(&self) -> &str {
+                "slow"
+            }
+        }
+        let service = EvalService::new(Arc::new(Slow), 4);
+        let clone = service.clone();
+        let graphs = mixed_graphs(8);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let worker = std::thread::spawn({
+            let graphs = graphs.clone();
+            move || {
+                let _ = tx.send(clone.evaluate_many(&graphs));
+            }
+        });
+        drop(service); // the original handle dies mid-batch
+        let results = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("in-flight batch lost after service drop");
+        worker.join().unwrap();
+        assert_eq!(results.len(), graphs.len());
+        assert!(results.iter().all(|p| p.area.is_finite()));
+    }
+
     #[test]
     fn service_shares_cache_across_paths() {
         let cache = Arc::new(CachedEvaluator::new(adder_analytical()));

@@ -152,6 +152,107 @@ impl RunObserver for ChannelObserver {
     }
 }
 
+// ---------------------------------------------------------------- cancel
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TokenState {
+    Running,
+    Paused,
+    Cancelled,
+}
+
+struct TokenInner {
+    state: std::sync::Mutex<TokenState>,
+    wake: std::sync::Condvar,
+}
+
+/// A cooperative cancel/pause handle threaded through every [`Runner`].
+///
+/// Cloning is cheap (clones share one state) and any clone may flip it.
+/// Runners poll the token between environment steps (serial) or decision
+/// rounds (async), so [`CancelToken::cancel`] stops a run within one event
+/// tick: the serial runner saves a checkpoint exactly as `halt_at` does
+/// (the run stays resumable), the async runner drains its actors and
+/// returns the partial record. [`CancelToken::pause`] blocks the training
+/// threads at the same poll points without losing any state until
+/// [`CancelToken::resume`]; cancelling also wakes paused runs so they can
+/// exit. Cancellation is permanent — a cancelled token never resumes.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh token in the running state.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                state: std::sync::Mutex::new(TokenState::Running),
+                wake: std::sync::Condvar::new(),
+            }),
+        }
+    }
+
+    fn state(&self) -> TokenState {
+        *self.inner.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn set(&self, to: TokenState) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        // Cancellation is sticky: pause/resume after cancel are no-ops.
+        if *state != TokenState::Cancelled || to == TokenState::Cancelled {
+            *state = to;
+        }
+        drop(state);
+        self.inner.wake.notify_all();
+    }
+
+    /// Requests cancellation; observed within one step/decision round.
+    pub fn cancel(&self) {
+        self.set(TokenState::Cancelled);
+    }
+
+    /// Requests a pause; runs block at their next poll point.
+    pub fn pause(&self) {
+        self.set(TokenState::Paused);
+    }
+
+    /// Resumes a paused token (no-op if cancelled).
+    pub fn resume(&self) {
+        self.set(TokenState::Running);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.state() == TokenState::Cancelled
+    }
+
+    /// Whether the token is currently paused.
+    pub fn is_paused(&self) -> bool {
+        self.state() == TokenState::Paused
+    }
+
+    /// The runner-side poll: blocks while paused, then reports whether the
+    /// run should stop (`true` = cancelled).
+    pub fn wait_while_paused(&self) -> bool {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        while *state == TokenState::Paused {
+            state = self
+                .inner
+                .wake
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        *state == TokenState::Cancelled
+    }
+}
+
 // --------------------------------------------------------------- weights
 
 /// The scalarization-weight schedule of a sweep.
@@ -170,19 +271,60 @@ impl Weights {
 
     /// An explicit weight list.
     ///
+    /// Duplicate weights are **rejected loudly**, not silently deduped: a
+    /// duplicate would spawn a redundant agent that burns a full sweep
+    /// slot and double-counts its designs in the merged front, and a
+    /// silent dedupe would shift the run-id ↔ weight mapping under the
+    /// caller. Callers generating weights programmatically should use
+    /// [`Weights::try_list`] (same validation, recoverable error) or
+    /// [`Weights::linspace`] (which collapses float-equal points itself).
+    ///
     /// # Panics
     ///
-    /// Panics if the list is empty or any weight lies outside `[0, 1]`.
+    /// Panics if the list is empty, any weight lies outside `[0, 1]`, or
+    /// the list contains duplicates.
     pub fn list(ws: Vec<f64>) -> Self {
-        assert!(!ws.is_empty(), "need at least one weight");
-        for &w in &ws {
-            assert!((0.0..=1.0).contains(&w), "weight {w} outside [0, 1]");
+        Self::try_list(ws).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The non-panicking form of [`Weights::list`], for callers validating
+    /// untrusted input (the serve protocol, CLI flags).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the list is empty, any weight lies outside `[0, 1]`, or
+    /// the list contains (float-equal) duplicates.
+    pub fn try_list(ws: Vec<f64>) -> Result<Self, String> {
+        if ws.is_empty() {
+            return Err("need at least one weight".to_string());
         }
-        Weights(ws)
+        for &w in &ws {
+            if !(0.0..=1.0).contains(&w) {
+                return Err(format!("weight {w} outside [0, 1]"));
+            }
+        }
+        for i in 0..ws.len() {
+            for j in (i + 1)..ws.len() {
+                if ws[i] == ws[j] {
+                    return Err(format!(
+                        "duplicate weight {} (positions {i} and {j}): each agent \
+                         must train a distinct scalarization — a duplicate burns \
+                         a sweep slot and double-counts in the merged front",
+                        ws[i]
+                    ));
+                }
+            }
+        }
+        Ok(Weights(ws))
     }
 
     /// `k` weights linearly spaced over `[lo, hi]` (the paper uses
     /// `linspace(0.10, 0.99, 15)`); `k = 1` yields `lo`.
+    ///
+    /// Float-equal neighbours are collapsed, so a degenerate range
+    /// (`linspace(0.5, 0.5 + 1e-18, 3)`, where every point rounds to the
+    /// same f64) yields *fewer than `k`* weights rather than duplicate
+    /// agents; the endpoints themselves are always preserved.
     ///
     /// # Panics
     ///
@@ -194,11 +336,13 @@ impl Weights {
         if k == 1 {
             return Self::single(lo);
         }
-        Self::list(
-            (0..k)
-                .map(|i| lo + (hi - lo) * i as f64 / (k - 1) as f64)
-                .collect(),
-        )
+        let mut ws: Vec<f64> = (0..k)
+            .map(|i| lo + (hi - lo) * i as f64 / (k - 1) as f64)
+            .collect();
+        // The sequence is nondecreasing, so consecutive dedup removes all
+        // float-equal points a tiny range collapses onto.
+        ws.dedup();
+        Self::list(ws)
     }
 
     /// The weights, in run order.
@@ -280,6 +424,10 @@ pub struct RunContext<'a> {
     /// Stop after this many environment steps, saving a checkpoint — for
     /// interrupt/resume testing and CI smoke runs.
     pub halt_at: Option<u64>,
+    /// Cooperative cancel/pause handle, polled between steps (serial) or
+    /// decision rounds (async). A run stopped by it returns a partial
+    /// outcome with `completed == false`.
+    pub cancel: CancelToken,
 }
 
 /// The outcome of one agent's (possibly halted) run.
@@ -322,6 +470,22 @@ impl Runner for SerialRunner {
             }
         };
         loop {
+            // Poll the token between steps: pause blocks right here (no
+            // state is lost), cancel snapshots and stops exactly like a
+            // halt, so a cancelled run resumes from its checkpoint.
+            if ctx.cancel.wait_while_paused() && !lp.is_done() {
+                let ckpt = lp.checkpoint();
+                let step = lp.step();
+                if let Some(cb) = ctx.on_checkpoint.as_mut() {
+                    cb(ctx.run_id, ckpt.clone());
+                }
+                ctx.observer
+                    .on_event(ctx.run_id, &Event::CheckpointSaved { step });
+                return Ok(RunOutcome {
+                    record: RunRecord::from_checkpoint(ctx.run_id, &ckpt),
+                    completed: false,
+                });
+            }
             if let Some(halt) = ctx.halt_at {
                 if lp.step() >= halt && !lp.is_done() {
                     let ckpt = lp.checkpoint();
@@ -449,9 +613,16 @@ impl Run {
             on_checkpoint: None,
             resume: None,
             halt_at: None,
+            cancel: CancelToken::new(),
         })
     }
 }
+
+/// An externally owned evaluation stack: an evaluator binding (typically
+/// over a shared [`crate::cache::EvalCache`] store) plus the
+/// [`EvalService`] wrapping it — what [`ExperimentBuilder::eval_stack`]
+/// accepts.
+pub type EvalStack = (Arc<CachedEvaluator<Box<dyn Evaluator>>>, Arc<EvalService>);
 
 /// Builder for [`Experiment`] — see the module docs for the full shape.
 pub struct ExperimentBuilder {
@@ -463,6 +634,7 @@ pub struct ExperimentBuilder {
     task: Arc<dyn CircuitTask>,
     backend: Arc<dyn ObjectiveBackend>,
     evaluator: Option<Box<dyn Evaluator>>,
+    stack: Option<EvalStack>,
     eval_threads: usize,
     cache_shards: usize,
     actors: usize,
@@ -470,6 +642,7 @@ pub struct ExperimentBuilder {
     checkpoint_every: Option<u64>,
     checkpoint_path: Option<PathBuf>,
     halt_at: Option<u64>,
+    cancel: CancelToken,
 }
 
 impl ExperimentBuilder {
@@ -483,6 +656,7 @@ impl ExperimentBuilder {
             task: Arc::new(Adder),
             backend: Arc::new(AnalyticalBackend),
             evaluator: None,
+            stack: None,
             eval_threads: 4,
             cache_shards: 16,
             actors: 1,
@@ -490,6 +664,7 @@ impl ExperimentBuilder {
             checkpoint_every: None,
             checkpoint_path: None,
             halt_at: None,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -623,36 +798,80 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Attach a [`CancelToken`] the caller keeps a clone of: cancelling it
+    /// stops every run within one event tick (serial runs checkpoint
+    /// first, so the sweep stays resumable), pausing it blocks them
+    /// between steps. This is how a resident server cancels a job without
+    /// tearing the process down.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Run over an externally owned evaluation stack instead of building a
+    /// private one: `cache` is an evaluator binding (typically a
+    /// [`crate::task::TaskEvaluator`] for this experiment's task/backend
+    /// bound to a shared [`crate::cache::EvalCache`] store) and `service`
+    /// the [`EvalService`] wrapping it. This is the multi-job server path:
+    /// every concurrent experiment evaluates through one store and one
+    /// thread-budget discipline, and [`Experiment::cache_stats`] reports
+    /// the *shared* store's aggregate counters. The caller must bind an
+    /// evaluator matching `.task(...)`/`.backend(...)` — the discriminant
+    /// keying assumes it. Takes precedence over the deprecated
+    /// `.evaluator(...)` override.
+    pub fn eval_stack(
+        mut self,
+        cache: Arc<CachedEvaluator<Box<dyn Evaluator>>>,
+        service: Arc<EvalService>,
+    ) -> Self {
+        self.stack = Some((cache, service));
+        self
+    }
+
     /// Assembles the experiment: per-run agent configs plus the shared
-    /// cache/service evaluation stack over the configured task/backend.
+    /// cache/service evaluation stack over the configured task/backend
+    /// (or the externally owned stack from
+    /// [`ExperimentBuilder::eval_stack`]).
     pub fn build(self) -> Experiment {
-        // With the deprecated raw-oracle override, `self.backend` never
-        // scores anything: stamp reports with the override's own name and
-        // skip backend annotations rather than report the unused default.
-        let (inner, backend_label, oracle_overridden): (Box<dyn Evaluator>, String, bool) =
-            match self.evaluator {
-                Some(ev) => {
-                    let label = ev.name().to_string();
-                    (ev, label, true)
-                }
-                None => (
-                    Box::new(TaskEvaluator::new(
-                        Arc::clone(&self.task),
-                        Arc::clone(&self.backend),
-                    )),
-                    self.backend.backend_id().to_string(),
-                    false,
-                ),
-            };
-        let evaluator_name = inner.name().to_string();
-        let cache = Arc::new(CachedEvaluator::with_config(
-            inner,
-            CacheConfig::with_shards(self.cache_shards),
-        ));
-        let service = Arc::new(EvalService::new(
-            Arc::clone(&cache) as Arc<dyn Evaluator>,
-            self.eval_threads,
-        ));
+        let (cache, service, backend_label, oracle_overridden) = match self.stack {
+            Some((cache, service)) => {
+                // Externally owned stack: the caller bound the evaluator,
+                // the configured backend is only used for labels and
+                // off-reward-path annotations.
+                (cache, service, self.backend.backend_id().to_string(), false)
+            }
+            None => {
+                // With the deprecated raw-oracle override, `self.backend`
+                // never scores anything: stamp reports with the override's
+                // own name and skip backend annotations rather than report
+                // the unused default.
+                let (inner, backend_label, oracle_overridden): (Box<dyn Evaluator>, String, bool) =
+                    match self.evaluator {
+                        Some(ev) => {
+                            let label = ev.name().to_string();
+                            (ev, label, true)
+                        }
+                        None => (
+                            Box::new(TaskEvaluator::new(
+                                Arc::clone(&self.task),
+                                Arc::clone(&self.backend),
+                            )),
+                            self.backend.backend_id().to_string(),
+                            false,
+                        ),
+                    };
+                let cache = Arc::new(CachedEvaluator::with_config(
+                    inner,
+                    CacheConfig::with_shards(self.cache_shards),
+                ));
+                let service = Arc::new(EvalService::new(
+                    Arc::clone(&cache) as Arc<dyn Evaluator>,
+                    self.eval_threads,
+                ));
+                (cache, service, backend_label, oracle_overridden)
+            }
+        };
+        let evaluator_name = cache.name().to_string();
         let runs = self
             .weights
             .values()
@@ -685,6 +904,7 @@ impl ExperimentBuilder {
             checkpoint_every: self.checkpoint_every,
             checkpoint_path: self.checkpoint_path,
             halt_at: self.halt_at,
+            cancel: self.cancel,
         }
     }
 }
@@ -727,6 +947,7 @@ pub struct Experiment {
     checkpoint_every: Option<u64>,
     checkpoint_path: Option<PathBuf>,
     halt_at: Option<u64>,
+    cancel: CancelToken,
 }
 
 impl Experiment {
@@ -859,6 +1080,10 @@ impl Experiment {
             .into_iter()
             .map(|s| Mutex::new(Some(s)))
             .collect();
+        // Partial records of runs a cancel stopped without a checkpoint
+        // (the async runner cannot snapshot); indexed by run id.
+        let partials: Vec<Mutex<Option<RunRecord>>> =
+            (0..slots.len()).map(|_| Mutex::new(None)).collect();
         let shared_observer = Mutex::new(observer);
         let persist_lock = Mutex::new(());
         let next = AtomicUsize::new(0);
@@ -877,6 +1102,11 @@ impl Experiment {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= self.runs.len() {
                         break;
+                    }
+                    if self.cancel.is_cancelled() {
+                        // Don't start queued runs after a cancel; their
+                        // slots stay Pending (resumable from scratch).
+                        continue;
                     }
                     let resume = match slots[i].lock().as_ref().expect("slot populated") {
                         RunState::Done(_) => continue,
@@ -900,15 +1130,25 @@ impl Experiment {
                         on_checkpoint: Some(&mut on_checkpoint),
                         resume,
                         halt_at: self.halt_at,
+                        cancel: self.cancel.clone(),
                     };
                     match runner.run(ctx) {
                         Ok(outcome) => {
                             if outcome.completed {
                                 *slots[i].lock() = Some(RunState::Done(outcome.record));
                                 self.persist(&slots, &persist_lock);
+                            } else if matches!(
+                                slots[i].lock().as_ref().expect("slot populated"),
+                                RunState::Pending
+                            ) {
+                                // Stopped without ever checkpointing (an
+                                // async cancel): keep the partial record
+                                // so its designs still reach the report.
+                                *partials[i].lock() = Some(outcome.record);
                             }
-                            // A halted run already persisted via
-                            // on_checkpoint and stays InProgress.
+                            // A halted/cancelled serial run already
+                            // persisted via on_checkpoint and stays
+                            // InProgress.
                         }
                         Err(e) => errors.lock().push(format!("run {i}: {e}")),
                     }
@@ -939,14 +1179,15 @@ impl Experiment {
                 }
                 RunState::Pending => {
                     completed = false;
-                    records.push(RunRecord {
+                    let partial = partials[i].lock().take();
+                    records.push(partial.unwrap_or(RunRecord {
                         run: i,
                         w_area: self.runs[i].w_area,
                         steps: 0,
                         designs: Vec::new(),
                         losses: Vec::new(),
                         episode_returns: Vec::new(),
-                    });
+                    }));
                 }
             }
         }
@@ -1288,6 +1529,175 @@ mod tests {
         for run in exp.runs() {
             assert_eq!(run.cfg.env.task, "incrementer");
         }
+    }
+
+    #[test]
+    fn weights_reject_duplicates_loudly() {
+        let err = Weights::try_list(vec![0.3, 0.5, 0.3]).unwrap_err();
+        assert!(err.contains("duplicate weight"), "{err}");
+        assert!(err.contains("positions 0 and 2"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate weight")]
+    fn weights_list_panics_on_duplicates() {
+        Weights::list(vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn linspace_collapses_float_equal_points_at_tiny_ranges() {
+        // Every point of this range rounds to the same f64: one agent.
+        let w = Weights::linspace(0.5, 0.5 + 1e-18, 3);
+        assert_eq!(w.values(), &[0.5]);
+        // A representable range keeps its distinct points, endpoints
+        // included.
+        let w = Weights::linspace(0.5, 0.5 + 1e-12, 3);
+        assert!(w.len() >= 2, "endpoints must survive");
+        assert_eq!(w.values()[0], 0.5);
+        assert_eq!(*w.values().last().unwrap(), 0.5 + 1e-12);
+        for pair in w.values().windows(2) {
+            assert!(pair[0] < pair[1], "collapse must leave strict order");
+        }
+    }
+
+    #[test]
+    fn cancel_token_stops_serial_run_within_one_tick() {
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let exp = Experiment::builder()
+            .n(8)
+            .weights(Weights::single(0.5))
+            .base_config(AgentConfig::tiny(8, 0.5))
+            .cancel_token(token)
+            .build();
+        let mut obs = CallbackObserver::new(move |_, e| {
+            if let Event::Step { step, .. } = e {
+                if *step >= 50 {
+                    canceller.cancel();
+                }
+            }
+        });
+        let result = exp.run(&mut obs).unwrap();
+        assert!(!result.completed);
+        // The token fired during step 50; the runner polls before the
+        // next step, so exactly 51 steps ran.
+        assert_eq!(result.records[0].steps, 51, "cancel not within one tick");
+        assert!(!result.records[0].designs.is_empty());
+    }
+
+    #[test]
+    fn cancelled_sweep_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("prefixrl-cancel-{}", std::process::id()));
+        let path = dir.join("cancelled.sweep.json");
+        let base = AgentConfig::tiny(8, 0.5);
+        let reference = Experiment::builder()
+            .n(8)
+            .weights(Weights::single(0.5))
+            .base_config(base.clone())
+            .build()
+            .run_quiet()
+            .unwrap();
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let halted = Experiment::builder()
+            .n(8)
+            .weights(Weights::single(0.5))
+            .base_config(base.clone())
+            .cancel_token(token)
+            .checkpoint_path(path.clone())
+            .build()
+            .run(&mut CallbackObserver::new(move |_, e| {
+                if let Event::Step { step, .. } = e {
+                    if *step >= 80 {
+                        canceller.cancel();
+                    }
+                }
+            }))
+            .unwrap();
+        assert!(!halted.completed);
+        let sweep = SweepCheckpoint::load(&path).unwrap();
+        let resumed = Experiment::builder()
+            .n(8)
+            .weights(Weights::single(0.5))
+            .base_config(base)
+            .build()
+            .resume(sweep, &mut NullObserver)
+            .unwrap();
+        assert!(resumed.completed);
+        assert_eq!(resumed.records[0].losses, reference.records[0].losses);
+        assert_eq!(
+            resumed.records[0].designs.len(),
+            reference.records[0].designs.len()
+        );
+        for ((ga, pa), (gb, pb)) in resumed.records[0]
+            .designs
+            .iter()
+            .zip(&reference.records[0].designs)
+        {
+            assert_eq!(ga.canonical_key(), gb.canonical_key());
+            assert_eq!(pa, pb);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pause_blocks_and_resume_continues() {
+        let token = CancelToken::new();
+        token.pause();
+        let handle = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                Experiment::builder()
+                    .n(8)
+                    .weights(Weights::single(0.5))
+                    .base_config(AgentConfig::tiny(8, 0.5))
+                    .cancel_token(token)
+                    .build()
+                    .run_quiet()
+                    .unwrap()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        assert!(!handle.is_finished(), "paused run must not progress");
+        token.resume();
+        let result = handle.join().unwrap();
+        assert!(result.completed);
+        assert_eq!(result.records[0].steps, 300);
+    }
+
+    #[test]
+    fn external_eval_stack_is_shared_across_experiments() {
+        use crate::cache::EvalCache;
+        let store = Arc::new(EvalCache::new(CacheConfig::with_shards(4)));
+        let make = || {
+            let inner: Box<dyn Evaluator> = Box::new(TaskEvaluator::analytical(Adder));
+            let cache = Arc::new(CachedEvaluator::with_store(inner, Arc::clone(&store)));
+            let service = Arc::new(EvalService::new(
+                Arc::clone(&cache) as Arc<dyn Evaluator>,
+                2,
+            ));
+            Experiment::builder()
+                .n(8)
+                .weights(Weights::single(0.5))
+                .base_config(AgentConfig::tiny(8, 0.5))
+                .eval_stack(cache, service)
+                .build()
+        };
+        let first = make().run_quiet().unwrap();
+        assert!(first.completed);
+        let misses_after_first = store.misses();
+        assert!(misses_after_first > 0);
+        // A second, identical experiment over the same external stack
+        // replays the same deterministic states: the shared store must
+        // serve it entirely from cache.
+        let second = make().run_quiet().unwrap();
+        assert!(second.completed);
+        assert_eq!(
+            store.misses(),
+            misses_after_first,
+            "second run must be all hits through the shared store"
+        );
+        assert_eq!(second.cache.misses, store.misses());
     }
 
     #[test]

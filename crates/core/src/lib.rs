@@ -68,7 +68,7 @@ pub mod task;
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::agent::{AgentConfig, TrainLoop, TrainResult};
-    pub use crate::cache::{CacheConfig, CachedEvaluator};
+    pub use crate::cache::{CacheConfig, CachedEvaluator, EvalCache};
     pub use crate::checkpoint::{Checkpoint, SweepCheckpoint};
     pub use crate::env::{EnvConfig, PrefixEnv};
     pub use crate::evalsvc::{evaluate_batch, EvalService};
@@ -76,8 +76,9 @@ pub mod prelude {
     pub use crate::evaluator::{AnalyticalEvaluator, SynthesisEvaluator};
     pub use crate::evaluator::{Evaluator, ObjectivePoint};
     pub use crate::experiment::{
-        greedy_designs, AsyncRunner, CallbackObserver, ChannelObserver, Event, Experiment,
-        ExperimentResult, NullObserver, RunObserver, RunRecord, Runner, SerialRunner, Weights,
+        greedy_designs, AsyncRunner, CallbackObserver, CancelToken, ChannelObserver, Event,
+        Experiment, ExperimentResult, NullObserver, RunObserver, RunRecord, Runner, SerialRunner,
+        Weights,
     };
     pub use crate::frontier::{sweep_front, sweep_task_front};
     pub use crate::pareto::ParetoFront;

@@ -30,7 +30,7 @@ use crate::agent::{AgentConfig, TrainResult};
 use crate::env::PrefixEnv;
 use crate::evaluator::{Evaluator, ObjectivePoint};
 use crate::experiment::{
-    Event, NullObserver, RunContext, RunObserver, RunOutcome, RunRecord, Runner,
+    CancelToken, Event, NullObserver, RunContext, RunObserver, RunOutcome, RunRecord, Runner,
 };
 use crate::qnet::{FrozenQNet, PrefixQNet, QNetConfig};
 use crate::task::{self, CircuitTask};
@@ -86,7 +86,15 @@ impl AsyncRunner {
         assert!(self.actors > 0, "need at least one actor");
         let task = task::by_name(&cfg.env.task)
             .unwrap_or_else(|| panic!("unknown task `{}`", cfg.env.task));
-        let record = run_async(0, cfg, task, evaluator, self.actors, &mut NullObserver);
+        let record = run_async(
+            0,
+            cfg,
+            task,
+            evaluator,
+            self.actors,
+            &mut NullObserver,
+            &CancelToken::new(),
+        );
         TrainResult {
             designs: record.designs,
             losses: record.losses,
@@ -123,11 +131,15 @@ impl Runner for AsyncRunner {
             ctx.evaluator,
             self.actors,
             ctx.observer,
+            &ctx.cancel,
         );
-        Ok(RunOutcome {
-            record,
-            completed: true,
-        })
+        // A cancel that lands after the actors already exhausted the
+        // budget changes nothing — the run is complete (mirrors the
+        // serial runner's `!lp.is_done()` guard); otherwise a cancelled
+        // run returns its partial record with `completed == false`: not
+        // resumable (no checkpoint), but the designs are not lost.
+        let completed = !ctx.cancel.is_cancelled() || record.steps >= ctx.cfg.total_steps;
+        Ok(RunOutcome { record, completed })
     }
 }
 
@@ -138,6 +150,7 @@ fn run_async(
     evaluator: Arc<dyn Evaluator>,
     num_actors: usize,
     observer: &mut dyn RunObserver,
+    cancel: &CancelToken,
 ) -> RunRecord {
     let online = PrefixQNet::new(&cfg.qnet);
     let board = Arc::new(PolicyBoard {
@@ -163,6 +176,7 @@ fn run_async(
             let cfg = cfg.clone();
             let observer = &observer;
             let episode_returns = &episode_returns;
+            let cancel = cancel.clone();
             s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((actor as u64 + 1) * 0x9e37));
                 let mut scratch = nn::Scratch::new();
@@ -191,6 +205,13 @@ fn run_async(
                     record_design(run_id, &designs, env, observer, 0);
                 }
                 'acting: loop {
+                    // Poll the token per decision round: pause blocks all
+                    // actors here (the learner idles on its empty channel),
+                    // cancel ends acting — the learner then drains what is
+                    // queued and exits when the last sender drops.
+                    if cancel.wait_while_paused() {
+                        break 'acting;
+                    }
                     let claimed = steps_taken.fetch_add(num_envs as u64, Ordering::Relaxed);
                     if claimed >= cfg.total_steps {
                         break;
@@ -314,10 +335,14 @@ fn run_async(
     // though the pool filled in nondeterministic order.
     let mut designs: Vec<(Vec<u64>, (PrefixGraph, ObjectivePoint))> = designs.into_iter().collect();
     designs.sort_by(|a, b| a.0.cmp(&b.0));
+    // A cancelled run executed only the rounds claimed before the token
+    // fired; a completed one claims past the budget but truncates its last
+    // round, so the executed count is exactly the budget.
+    let steps = steps_taken.load(Ordering::Relaxed).min(cfg.total_steps);
     RunRecord {
         run: run_id,
         w_area: cfg.dqn.weight[0] as f64,
-        steps: cfg.total_steps,
+        steps,
         designs: designs.into_iter().map(|(_, d)| d).collect(),
         losses,
         episode_returns: episode_returns.into_inner(),
@@ -337,7 +362,15 @@ pub fn train_async(
     assert!(num_actors > 0, "need at least one actor");
     let task =
         task::by_name(&cfg.env.task).unwrap_or_else(|| panic!("unknown task `{}`", cfg.env.task));
-    let record = run_async(0, cfg, task, evaluator, num_actors, &mut NullObserver);
+    let record = run_async(
+        0,
+        cfg,
+        task,
+        evaluator,
+        num_actors,
+        &mut NullObserver,
+        &CancelToken::new(),
+    );
     TrainResult {
         designs: record.designs,
         losses: record.losses,
@@ -385,6 +418,7 @@ mod tests {
             evaluator,
             actors,
             &mut NullObserver,
+            &CancelToken::new(),
         )
     }
 
@@ -455,6 +489,7 @@ mod tests {
                 on_checkpoint: None,
                 resume: Some(ckpt),
                 halt_at: None,
+                cancel: CancelToken::new(),
             })
             .unwrap_err();
         assert!(err.contains("resume"), "{err}");
@@ -475,9 +510,166 @@ mod tests {
                     on_checkpoint: None,
                     resume: None,
                     halt_at: halt,
+                    cancel: CancelToken::new(),
                 })
                 .unwrap_err();
             assert!(err.contains("checkpointing"), "{err}");
         }
+    }
+
+    /// Serve-shutdown audit (DESIGN.md §13): a panic inside the async
+    /// system must propagate out of `run_async`, not hang it. An
+    /// evaluator panic unwinds an actor; the scope unwind drops its
+    /// transition sender, the learner's `recv` disconnects once the last
+    /// sender is gone, surviving actors exit through the send-error break,
+    /// and the scope re-raises the panic. Symmetrically, a learner panic
+    /// drops the receiver during unwind, every blocked `tx.send` errors,
+    /// and all actors break — the `Arc<FrozenQNet>` snapshots they hold
+    /// keep the learner's published weights alive until they exit, so no
+    /// use-after-free window exists. This test pins the actor direction
+    /// (the only one with an injection point) with a watchdog.
+    #[test]
+    fn evaluator_panic_propagates_instead_of_hanging() {
+        struct PanicAfter {
+            calls: AtomicU64,
+        }
+        impl Evaluator for PanicAfter {
+            fn evaluate(&self, graph: &PrefixGraph) -> ObjectivePoint {
+                if self.calls.fetch_add(1, Ordering::SeqCst) >= 20 {
+                    panic!("synthetic oracle failure");
+                }
+                ObjectivePoint {
+                    area: graph.size() as f64,
+                    delay: graph.depth() as f64,
+                }
+            }
+            fn name(&self) -> &str {
+                "panic-after"
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut cfg = AgentConfig::tiny(8, 0.5);
+                cfg.total_steps = 100_000;
+                AsyncRunner { actors: 3 }.train(
+                    &cfg,
+                    Arc::new(PanicAfter {
+                        calls: AtomicU64::new(0),
+                    }),
+                )
+            }));
+            let _ = tx.send(outcome.is_err());
+        });
+        let panicked = rx
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("async system hung after an actor panic");
+        assert!(panicked, "the panic must propagate to the caller");
+    }
+
+    /// Serve-shutdown audit (DESIGN.md §13): a `ChannelObserver` whose
+    /// receiver is dropped mid-run must not stall training. The observer
+    /// sends with `let _ =`, and the compat channel's `send` returns an
+    /// error (rather than blocking) once the receiver is gone — even for
+    /// senders already blocked on a full channel — so events are dropped
+    /// and the run finishes.
+    #[test]
+    fn observer_receiver_dropped_mid_run_does_not_stall() {
+        let mut cfg = AgentConfig::tiny(8, 0.5);
+        cfg.total_steps = 300;
+        // Capacity 1: without the disconnect-errors guarantee the very
+        // first unconsumed event after the drop would block forever.
+        let (mut observer, rx) = crate::experiment::ChannelObserver::bounded(1);
+        let (tx, done) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let record = run_async(
+                0,
+                &cfg,
+                Arc::new(Adder),
+                Arc::new(TaskEvaluator::analytical(Adder)),
+                2,
+                &mut observer,
+                &CancelToken::new(),
+            );
+            let _ = tx.send(record);
+        });
+        // Consume one event to prove the stream was live, then hang up
+        // (the compat receiver has no recv_timeout; poll with a deadline).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            if rx.try_recv().is_ok() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no event ever arrived"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        drop(rx);
+        let record = done
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("run stalled after the observer receiver was dropped");
+        assert_eq!(record.steps, 300);
+    }
+
+    #[test]
+    fn cancel_token_stops_async_run_with_partial_record() {
+        let mut cfg = AgentConfig::tiny(8, 0.5);
+        cfg.total_steps = 1_000_000; // far beyond what a test should run
+        let token = CancelToken::new();
+        let cancel_at = 300u64;
+        let canceller = token.clone();
+        let mut observer = crate::experiment::CallbackObserver::new(move |_, e| {
+            if let Event::Step { step, .. } = e {
+                if *step >= cancel_at {
+                    canceller.cancel();
+                }
+            }
+        });
+        let record = run_async(
+            0,
+            &cfg,
+            Arc::new(Adder),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+            2,
+            &mut observer,
+            &token,
+        );
+        assert!(
+            record.steps >= cancel_at && record.steps < cfg.total_steps,
+            "cancel must stop the run early (steps = {})",
+            record.steps
+        );
+        assert!(!record.designs.is_empty(), "partial pool must survive");
+    }
+
+    #[test]
+    fn pause_and_resume_round_trips_async_run() {
+        let mut cfg = AgentConfig::tiny(8, 0.5);
+        cfg.total_steps = 200;
+        let token = CancelToken::new();
+        token.pause();
+        let handle = {
+            let token = token.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                run_async(
+                    0,
+                    &cfg,
+                    Arc::new(Adder),
+                    Arc::new(TaskEvaluator::analytical(Adder)),
+                    2,
+                    &mut NullObserver,
+                    &token,
+                )
+            })
+        };
+        // Paused before the first decision round: nothing may finish.
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        assert!(!handle.is_finished(), "paused actors must block");
+        token.resume();
+        let record = handle.join().expect("run completes after resume");
+        assert_eq!(record.steps, 200);
     }
 }

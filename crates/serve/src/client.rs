@@ -1,0 +1,220 @@
+//! A small synchronous client for the `prefixrl.serve.v1` protocol —
+//! what the `prefixrl submit|status|cancel|frontier` subcommands and the
+//! in-process tests/benches speak.
+
+use crate::jobs::JobSpec;
+use crate::protocol::PROTOCOL;
+use serde::Serialize;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One server address; every request opens a short-lived connection, so a
+/// `Client` is freely cloneable and never holds a socket across calls.
+#[derive(Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `127.0.0.1:7878`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection/I/O errors, a malformed response, or an
+    /// `"ok": false` response (the server's error message is returned).
+    pub fn request(&self, request: &Value) -> Result<Value, String> {
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let mut text = serde_json::to_string(request).expect("infallible");
+        text.push('\n');
+        writer
+            .write_all(text.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send to {}: {e}", self.addr))?;
+        let mut line = String::new();
+        BufReader::new(stream)
+            .read_line(&mut line)
+            .map_err(|e| format!("receive from {}: {e}", self.addr))?;
+        if line.trim().is_empty() {
+            return Err(format!("server {} closed without responding", self.addr));
+        }
+        let response: Value = serde_json::from_str(line.trim())
+            .map_err(|e| format!("malformed response from {}: {e}", self.addr))?;
+        match response.get("ok") {
+            Some(Value::Bool(true)) => Ok(response),
+            Some(Value::Bool(false)) => Err(match response.get("error") {
+                Some(Value::String(e)) => e.clone(),
+                _ => "unspecified server error".to_string(),
+            }),
+            _ => Err(format!("response from {} lacks `ok`", self.addr)),
+        }
+    }
+
+    fn cmd(&self, cmd: &str, mut fields: Vec<(String, Value)>) -> Result<Value, String> {
+        let mut entries = vec![
+            ("proto".to_string(), Value::String(PROTOCOL.to_string())),
+            ("cmd".to_string(), Value::String(cmd.to_string())),
+        ];
+        entries.append(&mut fields);
+        self.request(&Value::Object(entries))
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Fails while the server is unreachable.
+    pub fn ping(&self) -> Result<Value, String> {
+        self.cmd("ping", Vec::new())
+    }
+
+    /// Polls [`Client::ping`] until the server answers or `timeout`
+    /// elapses — for scripts racing a freshly booted server.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the last connection error on timeout.
+    pub fn wait_until_ready(&self, timeout: Duration) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.ping() {
+                Ok(_) => return Ok(()),
+                Err(e) if Instant::now() >= deadline => {
+                    return Err(format!("server not ready within {timeout:?}: {e}"))
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Submits a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server-side validation failures (unknown task/backend,
+    /// duplicate weights, full queue).
+    pub fn submit(&self, spec: &JobSpec) -> Result<u64, String> {
+        let response = self.cmd("submit", vec![("job".to_string(), spec.to_value())])?;
+        match response.get("id") {
+            Some(Value::Number(n)) => n.as_u64().ok_or_else(|| "non-integer id".to_string()),
+            _ => Err("submit response lacks `id`".to_string()),
+        }
+    }
+
+    /// One job's status snapshot with up to `tail` recent events.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown id.
+    pub fn status(&self, id: u64, tail: usize) -> Result<Value, String> {
+        let response = self.cmd(
+            "status",
+            vec![
+                ("id".to_string(), Value::Number(serde::Number::UInt(id))),
+                (
+                    "tail".to_string(),
+                    Value::Number(serde::Number::UInt(tail as u64)),
+                ),
+            ],
+        )?;
+        response
+            .get("job")
+            .cloned()
+            .ok_or_else(|| "status response lacks `job`".to_string())
+    }
+
+    /// Polls `status` until the job's phase is one of `phases` or
+    /// `timeout` elapses; returns the final snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown id or on timeout (reporting the last phase).
+    pub fn wait_for_phase(
+        &self,
+        id: u64,
+        phases: &[&str],
+        timeout: Duration,
+    ) -> Result<Value, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let snapshot = self.status(id, 0)?;
+            let phase = match snapshot.get("phase") {
+                Some(Value::String(p)) => p.clone(),
+                _ => return Err("status snapshot lacks `phase`".to_string()),
+            };
+            if phases.contains(&phase.as_str()) {
+                return Ok(snapshot);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "job {id} still `{phase}` after {timeout:?} (wanted one of {phases:?})"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Every job's brief snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn list(&self) -> Result<Value, String> {
+        let response = self.cmd("list", Vec::new())?;
+        response
+            .get("jobs")
+            .cloned()
+            .ok_or_else(|| "list response lacks `jobs`".to_string())
+    }
+
+    /// Cancels a job (queued: removed; running: stops within one tick).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown or already-finished job.
+    pub fn cancel(&self, id: u64) -> Result<Value, String> {
+        self.cmd(
+            "cancel",
+            vec![("id".to_string(), Value::Number(serde::Number::UInt(id)))],
+        )
+    }
+
+    /// The stored merged front for `(task, backend, n)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn frontier(&self, task: &str, backend: &str, n: u16) -> Result<Value, String> {
+        self.cmd(
+            "frontier",
+            vec![
+                ("task".to_string(), Value::String(task.to_string())),
+                ("backend".to_string(), Value::String(backend.to_string())),
+                (
+                    "n".to_string(),
+                    Value::Number(serde::Number::UInt(n as u64)),
+                ),
+            ],
+        )
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the request cannot be delivered.
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.cmd("shutdown", Vec::new()).map(|_| ())
+    }
+}

@@ -1,0 +1,67 @@
+//! `prefixrl-serve`: the resident multi-job optimization service
+//! (DESIGN.md §13).
+//!
+//! The ROADMAP's north star is serving prefix-circuit optimization as a
+//! production system, not as one-shot CLI runs — the shape related work
+//! (PrefixAgent; RL-for-logic-optimization with reusable learned effort)
+//! frames as an on-demand, query-driven design service. This crate is
+//! that first layer:
+//!
+//! - [`Server`] — a long-running daemon speaking newline-delimited JSON
+//!   (`prefixrl.serve.v1`, see [`protocol`]) on a local TCP socket;
+//! - [`JobManager`] — a bounded FIFO queue of sweep jobs executed by
+//!   worker threads as [`prefixrl_core::experiment::Experiment`] sessions
+//!   over **one shared evaluation stack** (a server-wide
+//!   [`prefixrl_core::cache::EvalCache`] store with per-`(task, backend)`
+//!   bindings), with per-job
+//!   [`prefixrl_core::experiment::CancelToken`]s, event tails, and a
+//!   persisted queue that survives a `kill -9`;
+//! - [`FrontierStore`] — the persistent cross-run artifact: every finished
+//!   job's design pool merges into a disk-backed combined Pareto front per
+//!   `(task, backend, width)` key, monotonically (merges never regress a
+//!   stored front) and restart-safely (reloaded fronts are bit-identical);
+//! - [`Client`] — the synchronous client the `prefixrl
+//!   submit|status|cancel|frontier` subcommands are built on.
+//!
+//! # Quickstart (in-process)
+//!
+//! ```
+//! use prefixrl_serve::{Client, JobSpec, ServeConfig, Server};
+//!
+//! let handle = Server::spawn(ServeConfig {
+//!     addr: "127.0.0.1:0".to_string(), // ephemeral port
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! let client = Client::new(handle.addr().to_string());
+//! let id = client
+//!     .submit(&JobSpec {
+//!         task: "adder".to_string(),
+//!         backend: "analytical".to_string(),
+//!         n: 8,
+//!         weights: vec![0.3, 0.7],
+//!         steps: 60,
+//!         seed: 0,
+//!     })
+//!     .unwrap();
+//! let done = client
+//!     .wait_for_phase(id, &["done"], std::time::Duration::from_secs(120))
+//!     .unwrap();
+//! assert_eq!(done.get("phase").unwrap(), &serde_json::Value::String("done".into()));
+//! let front = client.frontier("adder", "analytical", 8).unwrap();
+//! assert!(!front.get("points").unwrap().as_array().unwrap().is_empty());
+//! handle.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod jobs;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use jobs::{JobManager, JobPhase, JobSpec, ServeConfig};
+pub use server::{Server, ServerHandle};
+pub use store::FrontierStore;

@@ -1,0 +1,98 @@
+//! The `prefixrl.serve.v1` wire protocol: newline-delimited JSON over a
+//! local TCP socket (std::net only).
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Requests carry `"proto": "prefixrl.serve.v1"`
+//! (optional but, when present, it must match — a future v2 server can
+//! then reject v1 clients loudly instead of misparsing them) and a
+//! `"cmd"`. Responses always carry `"ok": true|false`; failures add
+//! `"error"`. The full schema is documented in DESIGN.md §13:
+//!
+//! | cmd        | request fields                  | response payload            |
+//! |------------|---------------------------------|-----------------------------|
+//! | `ping`     | —                               | `server`, `jobs`, `cache`   |
+//! | `submit`   | `job` ([`crate::JobSpec`])      | `id`                        |
+//! | `status`   | `id`, optional `tail`           | job snapshot + event tail   |
+//! | `list`     | —                               | `jobs` array                |
+//! | `cancel`   | `id`                            | `result`                    |
+//! | `frontier` | `task`, `backend`, `n`          | `points`, `count`, `key`    |
+//! | `shutdown` | —                               | acknowledges, then stops    |
+
+use serde_json::Value;
+
+/// The protocol identifier every request/response line is stamped with.
+pub const PROTOCOL: &str = "prefixrl.serve.v1";
+
+/// A `{"ok": true, ...fields}` response line.
+pub fn ok_response(mut fields: Vec<(String, Value)>) -> Value {
+    let mut entries = vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("proto".to_string(), Value::String(PROTOCOL.to_string())),
+    ];
+    entries.append(&mut fields);
+    Value::Object(entries)
+}
+
+/// A `{"ok": false, "error": ...}` response line.
+pub fn error_response(message: &str) -> Value {
+    Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("proto".to_string(), Value::String(PROTOCOL.to_string())),
+        ("error".to_string(), Value::String(message.to_string())),
+    ])
+}
+
+/// Checks a request's optional `proto` stamp against [`PROTOCOL`].
+///
+/// # Errors
+///
+/// Fails when a stamp is present and names a different protocol.
+pub fn check_proto(request: &Value) -> Result<(), String> {
+    match request.get("proto") {
+        None => Ok(()),
+        Some(Value::String(p)) if p == PROTOCOL => Ok(()),
+        Some(other) => Err(format!(
+            "unsupported protocol {other:?} (this server speaks `{PROTOCOL}`)"
+        )),
+    }
+}
+
+/// A required string field.
+///
+/// # Errors
+///
+/// Fails when the field is absent or not a string.
+pub fn req_str<'a>(request: &'a Value, key: &str) -> Result<&'a str, String> {
+    match request.get(key) {
+        Some(Value::String(s)) => Ok(s),
+        Some(other) => Err(format!("field `{key}`: expected a string, got {other:?}")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// A required non-negative integer field.
+///
+/// # Errors
+///
+/// Fails when the field is absent or not a non-negative integer.
+pub fn req_u64(request: &Value, key: &str) -> Result<u64, String> {
+    match request.get(key) {
+        Some(Value::Number(n)) => n
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}`: expected a non-negative integer")),
+        Some(other) => Err(format!("field `{key}`: expected a number, got {other:?}")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// An optional non-negative integer field with a default.
+///
+/// # Errors
+///
+/// Fails when the field is present but not a non-negative integer.
+pub fn opt_u64(request: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match request.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(_) => req_u64(request, key),
+    }
+}

@@ -1,0 +1,279 @@
+//! The TCP front of the serve daemon: an accept loop handing each
+//! connection to a line-oriented handler thread that dispatches
+//! `prefixrl.serve.v1` requests to the [`JobManager`] and
+//! [`crate::FrontierStore`].
+
+use crate::jobs::{JobManager, JobSpec, ServeConfig};
+use crate::protocol::{
+    check_proto, error_response, ok_response, opt_u64, req_str, req_u64, PROTOCOL,
+};
+use serde::Deserialize;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A bound, not-yet-serving server instance.
+pub struct Server {
+    listener: TcpListener,
+    jobs: Arc<JobManager>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listen socket, loads/creates the persistent state, and
+    /// spawns the job workers. Serving starts with [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound or the state files are
+    /// unreadable/corrupt.
+    pub fn bind(cfg: ServeConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let jobs = JobManager::new(cfg)?;
+        let workers = jobs.spawn_workers();
+        Ok(Server {
+            listener,
+            jobs,
+            stop: Arc::new(AtomicBool::new(false)),
+            workers,
+        })
+    }
+
+    /// The actually bound address (resolves `:0` ephemeral ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address (never after `bind`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// The job manager behind this server (for in-process embedding).
+    pub fn jobs(&self) -> &Arc<JobManager> {
+        &self.jobs
+    }
+
+    /// Serves until a `shutdown` request arrives, then gracefully stops
+    /// the workers (running jobs are cancelled and re-queued in the
+    /// persisted state for the next instance).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` reserves room for fatal listener
+    /// errors.
+    pub fn run(self) -> Result<(), String> {
+        let addr = self.local_addr();
+        for conn in self.listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let jobs = Arc::clone(&self.jobs);
+                    let stop = Arc::clone(&self.stop);
+                    std::thread::spawn(move || handle_connection(stream, &jobs, &stop, addr));
+                }
+                // Per-connection accept failures are transient — e.g.
+                // ECONNABORTED when a queued client (including the
+                // shutdown wake connection) resets before accept — and
+                // must never kill a resident server.
+                Err(e) => eprintln!("warning: accept on {addr}: {e}"),
+            }
+            // Check the stop flag *after* handing the accepted connection
+            // off: if an innocent client raced the shutdown's throwaway
+            // wake connection into `accept`, it still gets served instead
+            // of hanging until its read timeout.
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        self.jobs.shutdown();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Binds and serves on a background thread — the in-process embedding
+    /// used by tests, benches, and the quickstart example.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::bind`].
+    pub fn spawn(cfg: ServeConfig) -> Result<ServerHandle, String> {
+        let server = Server::bind(cfg)?;
+        let addr = server.local_addr();
+        let thread = std::thread::spawn(move || server.run());
+        Ok(ServerHandle { addr, thread })
+    }
+}
+
+/// A handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<Result<(), String>>,
+}
+
+impl ServerHandle {
+    /// The served address, e.g. for [`crate::Client::new`].
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown and waits for the server to stop.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shutdown request cannot be delivered or the server
+    /// thread ended with an error.
+    pub fn shutdown(self) -> Result<(), String> {
+        crate::Client::new(self.addr.to_string()).shutdown()?;
+        self.thread
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    jobs: &Arc<JobManager>,
+    stop: &Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match serde_json::from_str::<Value>(&line) {
+            Ok(request) => dispatch(&request, jobs),
+            Err(e) => (error_response(&format!("malformed request: {e}")), false),
+        };
+        let mut text = serde_json::to_string(&response).expect("infallible");
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // The accept loop is blocked in `accept`; a throwaway local
+            // connection wakes it so it can observe the stop flag.
+            let _ = TcpStream::connect(addr);
+            return;
+        }
+    }
+}
+
+/// Dispatches one request, returning the response and whether the server
+/// should shut down afterwards.
+fn dispatch(request: &Value, jobs: &Arc<JobManager>) -> (Value, bool) {
+    let result = (|| -> Result<(Value, bool), String> {
+        check_proto(request)?;
+        let cmd = req_str(request, "cmd")?;
+        Ok(match cmd {
+            "ping" => (
+                ok_response(vec![
+                    ("server".to_string(), Value::String("prefixrl-serve".into())),
+                    (
+                        "jobs".to_string(),
+                        Value::Number(serde::Number::UInt(
+                            jobs.list().as_array().map_or(0, <[Value]>::len) as u64,
+                        )),
+                    ),
+                    ("cache".to_string(), jobs.cache_json()),
+                ]),
+                false,
+            ),
+            "submit" => {
+                let spec_value = request
+                    .get("job")
+                    .ok_or_else(|| "missing field `job`".to_string())?;
+                let spec =
+                    JobSpec::from_value(spec_value).map_err(|e| format!("field `job`: {e}"))?;
+                let id = jobs.submit(spec)?;
+                (
+                    ok_response(vec![(
+                        "id".to_string(),
+                        Value::Number(serde::Number::UInt(id)),
+                    )]),
+                    false,
+                )
+            }
+            "status" => {
+                let id = req_u64(request, "id")?;
+                let tail = opt_u64(request, "tail", 16)? as usize;
+                (
+                    ok_response(vec![("job".to_string(), jobs.status(id, tail)?)]),
+                    false,
+                )
+            }
+            "list" => (ok_response(vec![("jobs".to_string(), jobs.list())]), false),
+            "cancel" => {
+                let id = req_u64(request, "id")?;
+                let result = jobs.cancel(id)?;
+                (
+                    ok_response(vec![(
+                        "result".to_string(),
+                        Value::String(result.to_string()),
+                    )]),
+                    false,
+                )
+            }
+            "frontier" => {
+                let task = req_str(request, "task")?;
+                let backend = req_str(request, "backend")?;
+                let n_raw = req_u64(request, "n")?;
+                // A lossy `as u16` would silently alias out-of-range
+                // widths onto someone else's key (65544 → 8).
+                let n = u16::try_from(n_raw)
+                    .map_err(|_| format!("field `n`: width {n_raw} exceeds u16"))?;
+                let points = jobs.store().front_json(task, backend, n, false);
+                let count = points.as_array().map_or(0, <[Value]>::len) as u64;
+                (
+                    ok_response(vec![
+                        (
+                            "key".to_string(),
+                            Value::String(crate::store::key_of(task, backend, n)),
+                        ),
+                        (
+                            "count".to_string(),
+                            Value::Number(serde::Number::UInt(count)),
+                        ),
+                        ("points".to_string(), points),
+                        (
+                            "keys".to_string(),
+                            Value::Array(
+                                jobs.store().keys().into_iter().map(Value::String).collect(),
+                            ),
+                        ),
+                    ]),
+                    false,
+                )
+            }
+            "shutdown" => (
+                ok_response(vec![(
+                    "result".to_string(),
+                    Value::String("shutting down".into()),
+                )]),
+                true,
+            ),
+            other => {
+                return Err(format!(
+                    "unknown cmd `{other}` (this server speaks `{PROTOCOL}`: \
+                     ping|submit|status|list|cancel|frontier|shutdown)"
+                ))
+            }
+        })
+    })();
+    match result {
+        Ok(pair) => pair,
+        Err(e) => (error_response(&e), false),
+    }
+}

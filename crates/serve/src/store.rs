@@ -1,0 +1,204 @@
+//! The persistent cross-run frontier store (DESIGN.md §13).
+//!
+//! The paper's headline artifact is the *combined* area–delay Pareto front
+//! assembled from many scalarized agents (Fig. 4). A one-shot CLI run
+//! rebuilds that front from scratch every time; a resident server instead
+//! folds every finished job's design pool into one continuously-merged
+//! front per `(task, backend, width)` key and keeps it on disk, so learned
+//! effort accumulates across jobs and survives restarts.
+//!
+//! Merging goes through [`prefixrl_core::pareto::ParetoFront::insert`],
+//! whose dominance filtering guarantees the monotonicity contract: a merge
+//! can only tighten a stored front, never regress it — a new job's
+//! dominated points are rejected, its dominating points evict what they
+//! beat. Keys isolate fully (an adder result can never surface in a
+//! prefix-OR query), and persistence uses the checkpoint machinery's
+//! unique-temp-name [`prefixrl_core::checkpoint::write_atomic`], so a
+//! crash mid-write never corrupts the previous store and the reloaded
+//! front is bit-identical to the one last persisted (floats round-trip via
+//! shortest-representation formatting).
+
+use prefix_graph::PrefixGraph;
+use prefixrl_core::checkpoint::write_atomic;
+use prefixrl_core::evaluator::ObjectivePoint;
+use prefixrl_core::pareto::ParetoFront;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The on-disk schema identifier of the store file.
+pub const STORE_SCHEMA: &str = "prefixrl.frontier-store.v1";
+
+/// The store key of a `(task, backend, width)` combination.
+pub fn key_of(task: &str, backend: &str, n: u16) -> String {
+    format!("{task}/{backend}/{n}")
+}
+
+/// A disk-backed map from `(task, backend, width)` to the combined Pareto
+/// front of every design pool ever merged under that key.
+pub struct FrontierStore {
+    path: Option<PathBuf>,
+    fronts: Mutex<BTreeMap<String, ParetoFront<PrefixGraph>>>,
+}
+
+impl FrontierStore {
+    /// An unpersisted store (tests, ephemeral servers).
+    pub fn in_memory() -> Self {
+        FrontierStore {
+            path: None,
+            fronts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Opens (or creates) a store persisted at `path`. An existing file is
+    /// loaded as-is: the fronts it returns afterwards are bit-identical to
+    /// the ones last persisted.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a malformed/mismatched store file.
+    pub fn open(path: &Path) -> Result<Self, String> {
+        let mut fronts = BTreeMap::new();
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let value: serde_json::Value = serde_json::from_str(&text)
+                    .map_err(|e| format!("parse {}: {e}", path.display()))?;
+                match value.get("schema").and_then(as_str) {
+                    Some(STORE_SCHEMA) => {}
+                    other => {
+                        return Err(format!(
+                            "{}: expected schema `{STORE_SCHEMA}`, found {other:?}",
+                            path.display()
+                        ))
+                    }
+                }
+                let entries = value
+                    .get("fronts")
+                    .and_then(serde::Value::as_object)
+                    .ok_or_else(|| format!("{}: missing `fronts` object", path.display()))?;
+                for (key, front) in entries {
+                    let front = <ParetoFront<PrefixGraph> as Deserialize>::from_value(front)
+                        .map_err(|e| format!("{}: front `{key}`: {e}", path.display()))?;
+                    fronts.insert(key.clone(), front);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("read {}: {e}", path.display())),
+        }
+        Ok(FrontierStore {
+            path: Some(path.to_path_buf()),
+            fronts: Mutex::new(fronts),
+        })
+    }
+
+    /// Merges a design pool into the front stored under
+    /// `(task, backend, n)`, creating it if absent, and persists the whole
+    /// store atomically. Returns how many points joined the front; the
+    /// stored front never regresses (dominated candidates are rejected).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on persistence I/O errors (the in-memory merge is
+    /// infallible and is kept even if the write fails).
+    pub fn merge(
+        &self,
+        task: &str,
+        backend: &str,
+        n: u16,
+        designs: &[(PrefixGraph, ObjectivePoint)],
+    ) -> Result<usize, String> {
+        let key = key_of(task, backend, n);
+        let mut fronts = lock(&self.fronts);
+        let front = fronts.entry(key).or_default();
+        let mut inserted = 0;
+        for (graph, point) in designs {
+            if front.insert(*point, graph.clone()) {
+                inserted += 1;
+            }
+        }
+        self.persist_locked(&fronts)?;
+        Ok(inserted)
+    }
+
+    /// The stored front for a key, or `None` if nothing was ever merged
+    /// under it.
+    pub fn front(&self, task: &str, backend: &str, n: u16) -> Option<ParetoFront<PrefixGraph>> {
+        lock(&self.fronts).get(&key_of(task, backend, n)).cloned()
+    }
+
+    /// Every key with a stored front, in sorted order.
+    pub fn keys(&self) -> Vec<String> {
+        lock(&self.fronts).keys().cloned().collect()
+    }
+
+    /// Serializes one stored front for the wire: an array of
+    /// `{area, delay, size, depth}` points in increasing-delay order
+    /// (graphs included with `include_graphs`).
+    pub fn front_json(
+        &self,
+        task: &str,
+        backend: &str,
+        n: u16,
+        include_graphs: bool,
+    ) -> serde_json::Value {
+        let fronts = lock(&self.fronts);
+        let Some(front) = fronts.get(&key_of(task, backend, n)) else {
+            return serde_json::Value::Array(Vec::new());
+        };
+        serde_json::Value::Array(
+            front
+                .iter()
+                .map(|(p, g)| {
+                    let mut entry = serde_json::json!({
+                        "area": p.area,
+                        "delay": p.delay,
+                        "size": g.size(),
+                        "depth": g.depth(),
+                    });
+                    if include_graphs {
+                        if let serde_json::Value::Object(entries) = &mut entry {
+                            entries.push(("graph".to_string(), Serialize::to_value(g)));
+                        }
+                    }
+                    entry
+                })
+                .collect(),
+        )
+    }
+
+    fn persist_locked(
+        &self,
+        fronts: &BTreeMap<String, ParetoFront<PrefixGraph>>,
+    ) -> Result<(), String> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let entries: Vec<(String, serde_json::Value)> = fronts
+            .iter()
+            .map(|(k, front)| (k.clone(), Serialize::to_value(front)))
+            .collect();
+        let value = serde_json::Value::Object(vec![
+            (
+                "schema".to_string(),
+                serde_json::Value::String(STORE_SCHEMA.to_string()),
+            ),
+            ("fronts".to_string(), serde_json::Value::Object(entries)),
+        ]);
+        write_atomic(
+            path,
+            &serde_json::to_string_pretty(&value).expect("infallible"),
+        )
+    }
+}
+
+fn as_str(v: &serde_json::Value) -> Option<&str> {
+    match v {
+        serde_json::Value::String(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,287 @@
+//! End-to-end service tests over real TCP: job lifecycle across three
+//! concurrent `(task, backend)` keys on one shared eval stack, mid-run
+//! cancellation within one event tick, protocol validation, and
+//! queue/frontier survival across a server restart.
+
+use prefixrl_serve::{Client, JobSpec, ServeConfig, Server};
+use serde_json::Value;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "prefixrl-serve-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(workers: usize, state_dir: Option<PathBuf>) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        state_dir,
+        ..ServeConfig::default()
+    }
+}
+
+fn spec(task: &str, steps: u64) -> JobSpec {
+    JobSpec {
+        task: task.to_string(),
+        backend: "analytical".to_string(),
+        n: 8,
+        weights: vec![0.3, 0.7],
+        steps,
+        seed: 0,
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Number(n) => n.as_f64(),
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+fn phase(snapshot: &Value) -> &str {
+    match snapshot.get("phase") {
+        Some(Value::String(p)) => p,
+        other => panic!("snapshot without phase: {other:?}"),
+    }
+}
+
+fn history(snapshot: &Value) -> Vec<String> {
+    snapshot
+        .get("history")
+        .and_then(Value::as_array)
+        .expect("history array")
+        .iter()
+        .map(|v| match v {
+            Value::String(s) => s.clone(),
+            other => panic!("non-string history entry {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn three_concurrent_jobs_share_one_stack_and_reach_done() {
+    let handle = Server::spawn(config(3, None)).unwrap();
+    let client = Client::new(handle.addr().to_string());
+    client.wait_until_ready(Duration::from_secs(10)).unwrap();
+
+    // Three different (task, backend) keys, enough steps that they
+    // overlap while running.
+    let ids: Vec<u64> = ["adder", "prefix-or", "incrementer"]
+        .iter()
+        .map(|t| client.submit(&spec(t, 400)).unwrap())
+        .collect();
+
+    // With three workers, all three must be observably running at once.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let running = ids
+            .iter()
+            .filter(|&&id| phase(&client.status(id, 0).unwrap()) == "running")
+            .count();
+        let done = ids
+            .iter()
+            .filter(|&&id| phase(&client.status(id, 0).unwrap()) == "done")
+            .count();
+        if running == 3 {
+            break;
+        }
+        assert!(
+            done < 3 && std::time::Instant::now() < deadline,
+            "never saw 3 jobs running concurrently (running={running}, done={done})"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    for id in &ids {
+        let snapshot = client
+            .wait_for_phase(*id, &["done"], Duration::from_secs(120))
+            .unwrap();
+        assert_eq!(history(&snapshot), vec!["queued", "running", "done"]);
+        assert!(
+            num(snapshot.get("events_seen").unwrap()) > 0.0,
+            "job streamed no events"
+        );
+        assert!(
+            snapshot.get("submit_to_first_event_sec").unwrap() != &Value::Null,
+            "first-event latency missing"
+        );
+    }
+
+    // Each key has its own stored front; keys never mix.
+    for task in ["adder", "prefix-or", "incrementer"] {
+        let front = client.frontier(task, "analytical", 8).unwrap();
+        assert!(
+            num(front.get("count").unwrap()) > 0.0,
+            "{task}: empty stored front"
+        );
+    }
+    let empty = client.frontier("adder", "synthesis", 8).unwrap();
+    assert_eq!(num(empty.get("count").unwrap()), 0.0);
+
+    // All three jobs evaluated through the one shared store.
+    let ping = client.ping().unwrap();
+    let cache = ping.get("cache").unwrap();
+    assert!(num(cache.get("misses").unwrap()) > 0.0);
+    assert!(num(cache.get("hits").unwrap()) > 0.0);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn cancel_stops_a_running_job_quickly() {
+    let handle = Server::spawn(config(1, None)).unwrap();
+    let client = Client::new(handle.addr().to_string());
+    client.wait_until_ready(Duration::from_secs(10)).unwrap();
+
+    // A job far too long to finish on its own in this test.
+    let id = client.submit(&spec("adder", 2_000_000)).unwrap();
+    let snapshot = client
+        .wait_for_phase(id, &["running"], Duration::from_secs(30))
+        .unwrap();
+    assert_eq!(phase(&snapshot), "running");
+    // Let it actually train a little before cancelling.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while num(client.status(id, 0).unwrap().get("events_seen").unwrap()) == 0.0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no events before cancel"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let t0 = std::time::Instant::now();
+    client.cancel(id).unwrap();
+    let snapshot = client
+        .wait_for_phase(id, &["cancelled"], Duration::from_secs(30))
+        .unwrap();
+    // "Within one event tick" at test scale: the cancel must land in
+    // seconds, not after the 2M-step budget.
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "cancel took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(history(&snapshot), vec!["queued", "running", "cancelled"]);
+    // A cancelled job never merges into the frontier store.
+    let front = client.frontier("adder", "analytical", 8).unwrap();
+    assert_eq!(num(front.get("count").unwrap()), 0.0);
+    // Cancelling again is a loud error.
+    assert!(client.cancel(id).unwrap_err().contains("already cancelled"));
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn protocol_rejects_bad_requests_loudly() {
+    let handle = Server::spawn(config(1, None)).unwrap();
+    let client = Client::new(handle.addr().to_string());
+    client.wait_until_ready(Duration::from_secs(10)).unwrap();
+
+    let err = client.submit(&spec("multiplier", 100)).unwrap_err();
+    assert!(err.contains("unknown task"), "{err}");
+    let err = client
+        .submit(&JobSpec {
+            backend: "spice".to_string(),
+            ..spec("adder", 100)
+        })
+        .unwrap_err();
+    assert!(err.contains("unknown backend"), "{err}");
+    // The duplicate-weights bugfix surfaces through the protocol.
+    let err = client
+        .submit(&JobSpec {
+            weights: vec![0.5, 0.5],
+            ..spec("adder", 100)
+        })
+        .unwrap_err();
+    assert!(err.contains("duplicate weight"), "{err}");
+    let err = client.status(999, 0).unwrap_err();
+    assert!(err.contains("no such job"), "{err}");
+    let err = client
+        .request(&serde_json::json!({"proto": "prefixrl.serve.v1", "cmd": "fly"}))
+        .unwrap_err();
+    assert!(err.contains("unknown cmd"), "{err}");
+    let err = client
+        .request(&serde_json::json!({"proto": "prefixrl.serve.v2", "cmd": "ping"}))
+        .unwrap_err();
+    assert!(err.contains("unsupported protocol"), "{err}");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn queue_and_frontier_survive_restart() {
+    let dir = temp_dir("restart");
+
+    // First server: finish one job, leave one queued behind a
+    // long-running one, then shut down gracefully (the long job is
+    // re-queued; kill -9 crash-restart is exercised by the serve-smoke CI
+    // job on the real binary).
+    let handle = Server::spawn(config(1, Some(dir.clone()))).unwrap();
+    let addr = handle.addr().to_string();
+    let client = Client::new(addr);
+    client.wait_until_ready(Duration::from_secs(10)).unwrap();
+    let finished = client.submit(&spec("adder", 120)).unwrap();
+    client
+        .wait_for_phase(finished, &["done"], Duration::from_secs(120))
+        .unwrap();
+    let front_before = serde_json::to_string(
+        client
+            .frontier("adder", "analytical", 8)
+            .unwrap()
+            .get("points")
+            .unwrap(),
+    )
+    .unwrap();
+    let long = client.submit(&spec("prefix-or", 2_000_000)).unwrap();
+    let queued = client.submit(&spec("incrementer", 100)).unwrap();
+    client
+        .wait_for_phase(long, &["running"], Duration::from_secs(30))
+        .unwrap();
+    handle.shutdown().unwrap();
+
+    // Second server on the same state dir.
+    let handle = Server::spawn(config(2, Some(dir.clone()))).unwrap();
+    let client = Client::new(handle.addr().to_string());
+    client.wait_until_ready(Duration::from_secs(10)).unwrap();
+
+    // The stored front is bit-identical across the restart.
+    let front_after = serde_json::to_string(
+        client
+            .frontier("adder", "analytical", 8)
+            .unwrap()
+            .get("points")
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(front_before, front_after, "stored front changed on restart");
+
+    // The finished job is remembered; the interrupted and queued jobs
+    // resume (the long one re-runs from scratch — cancel it rather than
+    // wait out 2M steps).
+    let snapshot = client.status(finished, 0).unwrap();
+    assert_eq!(phase(&snapshot), "done");
+    client
+        .wait_for_phase(queued, &["done"], Duration::from_secs(120))
+        .unwrap();
+    let long_snapshot = client
+        .wait_for_phase(long, &["running", "queued"], Duration::from_secs(30))
+        .unwrap();
+    assert!(
+        history(&long_snapshot).contains(&"requeued".to_string()),
+        "interrupted job must be re-queued: {long_snapshot:?}"
+    );
+    client.cancel(long).unwrap();
+    client
+        .wait_for_phase(long, &["cancelled"], Duration::from_secs(30))
+        .unwrap();
+
+    handle.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

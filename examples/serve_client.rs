@@ -1,0 +1,113 @@
+//! Serve quickstart: submit → poll → fetch-frontier against a resident
+//! optimization server, end to end (DESIGN.md §13).
+//!
+//! Boots an in-process server on an ephemeral port (the same `Server` the
+//! `prefixrl serve` subcommand runs), then drives it exactly as an
+//! external client would over TCP: submit two sweep jobs on different
+//! `(task, backend)` keys, poll their status transitions, and fetch the
+//! persistent merged frontier each finished job folded its design pool
+//! into.
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+
+use prefixrl_serve::{Client, JobSpec, ServeConfig, Server};
+use serde_json::Value;
+use std::time::Duration;
+
+fn main() {
+    // A resident server: ephemeral port, two workers, state persisted to
+    // a scratch dir (restart the example and the frontier is still there).
+    let state_dir = std::env::temp_dir().join("prefixrl-serve-quickstart");
+    let handle = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        state_dir: Some(state_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("server boots");
+    let addr = handle.addr().to_string();
+    println!(
+        "server listening on {addr} (state in {})",
+        state_dir.display()
+    );
+
+    // Out-of-process equivalent:
+    //   prefixrl serve --addr 127.0.0.1:7878 --state-dir <dir> &
+    //   prefixrl submit --task adder --w-list 0.2,0.8 --steps 400
+    let client = Client::new(addr);
+    client
+        .wait_until_ready(Duration::from_secs(10))
+        .expect("server answers ping");
+
+    // Submit: two jobs on different (task, backend, width) keys, running
+    // concurrently over the server's one shared evaluation stack.
+    let jobs: Vec<(u64, &str)> = [("adder", 0u64), ("prefix-or", 1)]
+        .into_iter()
+        .map(|(task, seed)| {
+            let id = client
+                .submit(&JobSpec {
+                    task: task.to_string(),
+                    backend: "analytical".to_string(),
+                    n: 8,
+                    weights: vec![0.2, 0.8],
+                    steps: 400,
+                    seed,
+                })
+                .expect("submit accepted");
+            println!("submitted job {id}: {task} sweep over w ∈ {{0.2, 0.8}}");
+            (id, task)
+        })
+        .collect();
+
+    // Poll: queued → running → done (status also carries an event tail,
+    // counters, and the submit-to-first-event latency).
+    for (id, task) in &jobs {
+        let snapshot = client
+            .wait_for_phase(*id, &["done", "failed"], Duration::from_secs(300))
+            .expect("job finishes");
+        println!(
+            "job {id} ({task}): phase {:?}, history {:?}, designs found {:?}, \
+             first event after {:?}s",
+            snapshot.get("phase").unwrap(),
+            snapshot.get("history").unwrap(),
+            snapshot.get("designs_found").unwrap(),
+            snapshot.get("submit_to_first_event_sec").unwrap(),
+        );
+    }
+
+    // Fetch-frontier: the cross-run artifact. Every finished job merged
+    // its pool into the disk-backed front of its own key — rerun this
+    // example and the fronts can only tighten, never regress.
+    for (_, task) in &jobs {
+        let front = client
+            .frontier(task, "analytical", 8)
+            .expect("stored frontier");
+        let points = front.get("points").and_then(Value::as_array).unwrap();
+        println!("\nstored frontier {} ({} points):", task, points.len());
+        println!(
+            "{:>10} {:>10}  {:>5} {:>5}",
+            "area", "delay", "size", "depth"
+        );
+        for p in points {
+            println!(
+                "{:>10} {:>10}  {:>5} {:>5}",
+                fmt_num(p.get("area").unwrap()),
+                fmt_num(p.get("delay").unwrap()),
+                fmt_num(p.get("size").unwrap()),
+                fmt_num(p.get("depth").unwrap()),
+            );
+        }
+    }
+
+    handle.shutdown().expect("graceful shutdown");
+    println!("\nserver stopped; state kept in {}", state_dir.display());
+}
+
+fn fmt_num(v: &Value) -> String {
+    match v {
+        Value::Number(n) => format!("{:.3}", n.as_f64()),
+        other => format!("{other:?}"),
+    }
+}

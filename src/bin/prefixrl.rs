@@ -17,9 +17,13 @@
 //! JSON report schema (DESIGN.md §10).
 
 use prefixrl::prelude::*;
+use prefixrl_serve::{Client, JobSpec, ServeConfig, Server};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// The default serve/client address of the `prefixrl.serve.v1` socket.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7878";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +39,12 @@ fn main() {
         "eval" => cmd_eval(&opts),
         "render" => cmd_render(&opts),
         "verilog" => cmd_verilog(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
+        "status" => cmd_status(&opts),
+        "cancel" => cmd_cancel(&opts),
+        "frontier" => cmd_frontier(&opts),
+        "shutdown" => cmd_shutdown(&opts),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command `{other}`");
@@ -55,7 +65,15 @@ fn usage() {
          \x20              evaluation cache and merge their fronts (paper Fig. 4)\n\
          \x20 eval         synthesize a structure across delay targets\n\
          \x20 render       draw a prefix graph (ASCII, or Graphviz with --dot)\n\
-         \x20 verilog      emit (optionally timing-optimized) structural Verilog"
+         \x20 verilog      emit (optionally timing-optimized) structural Verilog\n\
+         \n\
+         SERVICE (prefixrl.serve.v1 over a local TCP socket, DESIGN.md §13)\n\
+         \x20 serve        run the resident multi-job optimization service\n\
+         \x20 submit       enqueue a sweep job on a running server\n\
+         \x20 status       one job's status (--id) or the full job list\n\
+         \x20 cancel       cancel a queued or running job\n\
+         \x20 frontier     fetch the stored merged front of a (task, backend, n) key\n\
+         \x20 shutdown     ask the server to stop gracefully"
     );
 }
 
@@ -265,7 +283,16 @@ fn cmd_sweep(opts: &HashMap<String, String>) {
         );
         return;
     }
-    let weights = match opts.get("w-list") {
+    run_session(opts, parse_weights(opts));
+}
+
+/// Parses the sweep weight schedule (`--w-list`, or `--weights`/`--w-min`/
+/// `--w-max` linspace), exiting loudly on malformed values or duplicate
+/// weights — a duplicate would burn a sweep slot and double-count designs
+/// in the merged front, so it is rejected rather than silently deduped
+/// (linspace collapses float-equal points itself).
+fn parse_weights(opts: &HashMap<String, String>) -> Weights {
+    match opts.get("w-list") {
         Some(list) => {
             let ws: Vec<f64> = list
                 .split(',')
@@ -276,11 +303,10 @@ fn cmd_sweep(opts: &HashMap<String, String>) {
                     })
                 })
                 .collect();
-            if ws.is_empty() || ws.iter().any(|w| !(0.0..=1.0).contains(w)) {
-                eprintln!("error: --w-list needs at least one weight, all in [0, 1]");
+            Weights::try_list(ws).unwrap_or_else(|e| {
+                eprintln!("error: --w-list: {e}");
                 std::process::exit(2);
-            }
-            Weights::list(ws)
+            })
         }
         None => {
             let k: usize = get(opts, "weights", 5);
@@ -295,8 +321,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) {
             }
             Weights::linspace(lo, hi, k)
         }
-    };
-    run_session(opts, weights);
+    }
 }
 
 /// Streams sweep events to stderr (`--progress`): one line per finished
@@ -639,6 +664,212 @@ fn cmd_render(opts: &HashMap<String, String>) {
         print!("{}", prefix_graph::render::dot(&g));
     } else {
         print!("{}", prefix_graph::render::ascii(&g));
+    }
+}
+
+fn serve_client(opts: &HashMap<String, String>) -> Client {
+    Client::new(
+        opts.get("addr")
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string()),
+    )
+}
+
+/// Prints a successful protocol response as pretty JSON, or exits loudly
+/// with the server's error.
+fn report_response(result: Result<serde_json::Value, String>) {
+    match result {
+        Ok(value) => println!("{}", serde_json::to_string_pretty(&value).unwrap()),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl serve — run the resident multi-job optimization service\n\
+             \n\
+             Speaks prefixrl.serve.v1 (newline-delimited JSON over local TCP;\n\
+             DESIGN.md §13). Jobs share one sharded evaluation store, finished\n\
+             jobs merge into the persistent per-(task, backend, width) frontier\n\
+             store, and with --state-dir both the frontier store and the job\n\
+             queue survive restarts (even kill -9).\n\
+             \n\
+             OPTIONS\n\
+             \x20 --addr <ip:port>       listen address (default {DEFAULT_SERVE_ADDR};\n\
+             \x20                        port 0 picks an ephemeral port)\n\
+             \x20 --workers <W>          concurrent job workers (default 2)\n\
+             \x20 --queue-capacity <Q>   max queued-or-running jobs (default 256)\n\
+             \x20 --eval-threads <T>     per-job EvalService thread budget (default 2)\n\
+             \x20 --cache-shards <S>     shared evaluation store shards (default 16)\n\
+             \x20 --event-tail <K>       events retained per job for status (default 64)\n\
+             \x20 --state-dir <dir>      persist frontier.json + jobs.json here"
+        );
+        return;
+    }
+    let cfg = ServeConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string()),
+        workers: get_workers(opts, "workers", 2),
+        queue_capacity: get::<usize>(opts, "queue-capacity", 256).max(1),
+        eval_threads: get_workers(opts, "eval-threads", 2),
+        cache_shards: get::<usize>(opts, "cache-shards", 16).max(1),
+        event_tail: get(opts, "event-tail", 64),
+        state_dir: opts.get("state-dir").map(PathBuf::from),
+    };
+    let server = Server::bind(cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "prefixrl-serve listening on {} ({}) — stop with `prefixrl shutdown --addr {}`",
+        server.local_addr(),
+        prefixrl_serve::protocol::PROTOCOL,
+        server.local_addr(),
+    );
+    if let Err(e) = server.run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_submit(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl submit — enqueue a sweep job on a running server\n\
+             \n\
+             OPTIONS\n\
+             \x20 --addr <ip:port>       server address (default {DEFAULT_SERVE_ADDR})\n\
+             \x20 --task adder|prefix-or|incrementer   (default adder)\n\
+             \x20 --backend analytical|synthesis|synthesis-power\n\
+             \x20                        (default analytical; a synthesis binding\n\
+             \x20                        keeps the first job's median weight for\n\
+             \x20                        its curve point — shared-cache soundness)\n\
+             \x20 --n <N>                input width (default 8)\n\
+             \x20 --weights <K> / --w-min / --w-max / --w-list <w1,w2,...>\n\
+             \x20                        weight schedule (defaults as in sweep;\n\
+             \x20                        duplicates are rejected loudly)\n\
+             \x20 --steps <K>            environment steps per agent (default 2000)\n\
+             \x20 --seed <S>             master seed (default 0)"
+        );
+        return;
+    }
+    let weights = parse_weights(opts);
+    let spec = JobSpec {
+        task: opts.get("task").cloned().unwrap_or_else(|| "adder".into()),
+        backend: opts
+            .get("backend")
+            .cloned()
+            .unwrap_or_else(|| "analytical".into()),
+        n: get(opts, "n", 8),
+        weights: weights.values().to_vec(),
+        steps: get(opts, "steps", 2000),
+        seed: get(opts, "seed", 0),
+    };
+    let client = serve_client(opts);
+    match client.submit(&spec) {
+        Ok(id) => println!(
+            "{}",
+            serde_json::to_string(&serde_json::json!({ "id": id })).unwrap()
+        ),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_status(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl status — one job's status, or the full job list\n\
+             \n\
+             OPTIONS\n\
+             \x20 --addr <ip:port>  server address (default {DEFAULT_SERVE_ADDR})\n\
+             \x20 --id <K>          job id (omit to list every job)\n\
+             \x20 --tail <K>        recent events to include (default 16)"
+        );
+        return;
+    }
+    let client = serve_client(opts);
+    match get_opt::<u64>(opts, "id") {
+        Some(id) => report_response(client.status(id, get(opts, "tail", 16))),
+        None => report_response(client.list()),
+    }
+}
+
+fn cmd_cancel(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl cancel — cancel a queued or running job\n\
+             \n\
+             OPTIONS\n\
+             \x20 --addr <ip:port>  server address (default {DEFAULT_SERVE_ADDR})\n\
+             \x20 --id <K>          job id (required); a running job stops\n\
+             \x20                   within one event tick"
+        );
+        return;
+    }
+    let Some(id) = get_opt::<u64>(opts, "id") else {
+        eprintln!("error: --id is required");
+        std::process::exit(2);
+    };
+    report_response(serve_client(opts).cancel(id));
+}
+
+fn cmd_frontier(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl frontier — fetch a stored merged Pareto front\n\
+             \n\
+             The server merges every finished job's design pool into one\n\
+             persistent front per (task, backend, width) key; this returns the\n\
+             current combined front for one key (and lists all stored keys).\n\
+             \n\
+             OPTIONS\n\
+             \x20 --addr <ip:port>  server address (default {DEFAULT_SERVE_ADDR})\n\
+             \x20 --task <name>     circuit task (default adder)\n\
+             \x20 --backend <name>  objective backend (default analytical)\n\
+             \x20 --n <N>           input width (default 8)"
+        );
+        return;
+    }
+    let task = opts.get("task").cloned().unwrap_or_else(|| "adder".into());
+    let backend = opts
+        .get("backend")
+        .cloned()
+        .unwrap_or_else(|| "analytical".into());
+    let n: u16 = get(opts, "n", 8);
+    report_response(serve_client(opts).frontier(&task, &backend, n));
+}
+
+fn cmd_shutdown(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl shutdown — ask the server to stop gracefully\n\
+             \n\
+             Running jobs are cancelled and re-queued in the persisted state,\n\
+             so a restart with the same --state-dir resumes them.\n\
+             \n\
+             OPTIONS\n\
+             \x20 --addr <ip:port>  server address (default {DEFAULT_SERVE_ADDR})"
+        );
+        return;
+    }
+    match serve_client(opts).shutdown() {
+        Ok(()) => println!(
+            "{}",
+            serde_json::to_string(&serde_json::json!({ "result": "shutting down" })).unwrap()
+        ),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
