@@ -1,14 +1,18 @@
 //! Tensor-compute-engine throughput: Q-network forward/backward/inference
 //! samples/sec across `nn::compute` thread counts, against the pre-PR
-//! naive single-thread conv path (preserved in `nn::compute::reference`).
-//! Dumps `BENCH_nn.json` at the workspace root.
+//! naive single-thread conv path (preserved in `nn::compute::reference`),
+//! plus raw-GEMM GFLOP/s for the SIMD lane tier vs the blocked scalar
+//! engine vs the naive reference (with a bitwise SIMD/scalar identity
+//! check at every thread count). Dumps `BENCH_nn.json` at the workspace
+//! root.
 //!
 //! ```sh
 //! cargo bench -p prefixrl-bench --bench nn_throughput
 //! PREFIXRL_SCALE=paper cargo bench -p prefixrl-bench --bench nn_throughput
 //! ```
 
-use nn::compute::{self, reference};
+use nn::compute::{self, reference, ThreadPool};
+use nn::simd;
 use prefixrl_bench as support;
 use prefixrl_core::qnet::{PrefixQNet, QNetConfig};
 use rand::prelude::*;
@@ -115,6 +119,69 @@ fn baseline_fwd_samples_per_sec(cfg: &QNetConfig, batch: usize, min_secs: f64) -
     batch as f64 / secs
 }
 
+/// Raw-GEMM GFLOP/s of the SIMD lane tier vs the scalar engine vs the
+/// naive reference at one shape, across thread counts, verifying bitwise
+/// SIMD/scalar identity at each. The reference kernel (single-threaded by
+/// construction) is measured once per shape.
+fn gemm_rows(
+    m: usize,
+    k: usize,
+    n: usize,
+    threads_list: &[usize],
+    min_secs: f64,
+) -> Vec<support::GemmRow> {
+    let mut rng = StdRng::seed_from_u64(29);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.random::<f32>() - 0.5).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.random::<f32>() - 0.5).collect();
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let mut c = vec![0.0f32; m * n];
+    let reference_secs = time_per_call(
+        || {
+            c.fill(0.0);
+            reference::gemm(m, k, n, &a, &b, &mut c);
+            std::hint::black_box(&c);
+        },
+        min_secs,
+    );
+    let simd_was_on = simd::enabled();
+    let mut rows = Vec::new();
+    for (ti, &threads) in threads_list.iter().enumerate() {
+        let pool = ThreadPool::new(threads);
+        let mut measure = |vectors: bool| {
+            simd::set_enabled(vectors);
+            let secs = time_per_call(
+                || {
+                    c.fill(0.0);
+                    compute::gemm_rows_parallel(&pool, m, k, n, &a, &b, &mut c);
+                    std::hint::black_box(&c);
+                },
+                min_secs,
+            );
+            (flops / secs / 1e9, c.clone())
+        };
+        let (scalar_gflops, scalar_c) = measure(false);
+        let (simd_gflops, simd_c) = measure(true);
+        rows.push(support::GemmRow {
+            m,
+            k,
+            n,
+            threads,
+            // The reference kernel has no threading axis; report it on
+            // the first row of the shape only.
+            reference_gflops: if ti == 0 {
+                flops / reference_secs / 1e9
+            } else {
+                0.0
+            },
+            scalar_gflops,
+            simd_gflops,
+            bit_identical: scalar_c == simd_c,
+        });
+    }
+    simd::set_enabled(simd_was_on);
+    rows
+}
+
 fn main() {
     let (batch, threads_list, min_secs) = match support::scale() {
         support::Scale::Quick => (32usize, vec![1usize, 2, 4], 0.4f64),
@@ -125,9 +192,42 @@ fn main() {
         ("small(16)", QNetConfig::small(16)),
     ];
     println!(
-        "nn_throughput (batch {batch}, host cpus {})\n",
-        std::thread::available_parallelism().map_or(1, |p| p.get())
+        "nn_throughput (batch {batch}, host cpus {}, simd compiled: {}, enabled: {})\n",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+        simd::compiled(),
+        simd::enabled(),
     );
+
+    // Raw GEMM kernels first: the paper-scale im2col product (one 5×5
+    // residual convolution at C=256 on the 32×32 grid packs to
+    // m=256, k=6400, n=1024) and the small(16) training shape.
+    println!(
+        "{:>6} {:>6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "m", "k", "n", "threads", "ref", "scalar", "simd", "simd/ref", "bitexact"
+    );
+    let mut gemm_table = Vec::new();
+    for &(m, k, n) in &[(256usize, 6400usize, 1024usize), (12, 300, 256)] {
+        let rows = gemm_rows(m, k, n, &threads_list, min_secs);
+        let reference = rows[0].reference_gflops;
+        for r in &rows {
+            println!(
+                "{:>6} {:>6} {:>6} {:>8} {:>8.2} {:>8.2} {:>8.2} {:>8.2}x {:>9}",
+                r.m,
+                r.k,
+                r.n,
+                r.threads,
+                reference,
+                r.scalar_gflops,
+                r.simd_gflops,
+                r.simd_gflops / reference.max(1e-9),
+                r.bit_identical,
+            );
+            assert!(r.bit_identical, "SIMD diverged from scalar at {r:?}");
+        }
+        gemm_table.extend(rows);
+    }
+    println!();
+
     println!(
         "{:>10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>14} {:>9}",
         "config", "threads", "fwd/s", "bwd/s", "infer/s", "fused/s", "baseline fwd/s", "speedup"
@@ -208,5 +308,5 @@ fn main() {
         }
     }
     compute::set_threads(saved_threads);
-    support::write_bench_nn(batch, &rows);
+    support::write_bench_nn(batch, &rows, &gemm_table);
 }

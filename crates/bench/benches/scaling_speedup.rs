@@ -84,33 +84,44 @@ fn main() {
     }
 
     // --- Async actor/learner throughput ----------------------------------
+    // Each actor count runs twice: greedy forwards routed through the
+    // cross-actor inference broker (one fused, memoized Q-network forward
+    // over the unique pending states per service cycle — the default) and
+    // per-actor. Each environment step is one policy decision, so
+    // env-steps/s is decisions/s. The analytical evaluator keeps this
+    // section *inference-bound* — it isolates the decision path the
+    // broker batches, where the synthesis sections above already measure
+    // the oracle-bound path.
     println!("\nasync actor/learner (paper Sec. IV-D architecture):");
     let mut rows = Vec::new();
-    for actors in [1usize, 2, 4] {
-        let ev = Arc::new(CachedEvaluator::new(TaskEvaluator::synthesis(
-            Adder,
-            lib.clone(),
-            SweepConfig::fast(),
-            0.5,
-        )));
-        let mut cfg = AgentConfig::tiny(8, 0.5);
-        cfg.total_steps = steps;
-        let t = Instant::now();
-        let result = AsyncRunner { actors }.train(&cfg, ev.clone());
-        let steps_per_sec = steps as f64 / t.elapsed().as_secs_f64();
-        println!(
-            "  {actors} actors: {steps_per_sec:>6.1} env-steps/s ({} designs, hit rate {:.0}%)",
-            result.designs.len(),
-            100.0 * ev.hit_rate(),
-        );
-        rows.push(support::ScalingRow {
-            actors,
-            envs_per_actor: cfg.envs_per_actor,
-            steps,
-            steps_per_sec,
-            cache_hit_rate: ev.hit_rate(),
-            designs: result.designs.len(),
-        });
+    for actors in [1usize, 2, 4, 8] {
+        for broker in [false, true] {
+            let ev = Arc::new(CachedEvaluator::new(TaskEvaluator::analytical(Adder)));
+            let cfg = AgentConfig::small(16, 0.5, steps);
+            let runner = AsyncRunner {
+                actors,
+                batched_inference: broker,
+            };
+            let t = Instant::now();
+            let result = runner.train(&cfg, ev.clone());
+            let steps_per_sec = steps as f64 / t.elapsed().as_secs_f64();
+            println!(
+                "  {actors} actors, broker {:>3}: {steps_per_sec:>6.1} decisions/s \
+                 ({} designs, hit rate {:.0}%)",
+                if broker { "on" } else { "off" },
+                result.designs.len(),
+                100.0 * ev.hit_rate(),
+            );
+            rows.push(support::ScalingRow {
+                actors,
+                broker,
+                envs_per_actor: cfg.envs_per_actor,
+                steps,
+                steps_per_sec,
+                cache_hit_rate: ev.hit_rate(),
+                designs: result.designs.len(),
+            });
+        }
     }
-    support::write_bench_scaling(8, &rows);
+    support::write_bench_scaling(16, &rows);
 }

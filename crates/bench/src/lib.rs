@@ -53,11 +53,16 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
 pub struct ScalingRow {
     /// Actor thread count.
     pub actors: usize,
+    /// Whether greedy forwards were batched through the cross-actor
+    /// inference broker (one fused forward per service cycle) or run
+    /// per-actor.
+    pub broker: bool,
     /// Environments stepped in lockstep per actor.
     pub envs_per_actor: usize,
     /// Environment steps executed.
     pub steps: u64,
-    /// Training throughput.
+    /// Training throughput (each environment step is one policy
+    /// decision, so this is also decisions/sec).
     pub steps_per_sec: f64,
     /// Shared evaluation-cache hit rate in `[0, 1]`.
     pub cache_hit_rate: f64,
@@ -74,9 +79,11 @@ pub fn write_bench_scaling(widths: u16, rows: &[ScalingRow]) {
         "n": widths,
         "rows": rows.iter().map(|r| serde_json::json!({
             "actors": r.actors,
+            "broker": r.broker,
             "envs_per_actor": r.envs_per_actor,
             "steps": r.steps,
             "steps_per_sec": r.steps_per_sec,
+            "decisions_per_sec": r.steps_per_sec,
             "cache_hit_rate": r.cache_hit_rate,
             "designs": r.designs,
         })).collect::<Vec<_>>(),
@@ -153,13 +160,58 @@ pub struct NnRow {
     pub baseline_fwd_samples_per_sec: f64,
 }
 
+/// One measured point of the raw-GEMM kernel benchmark: the SIMD lane
+/// tier against the scalar engine and the naive reference at one shape
+/// and thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct GemmRow {
+    /// Output rows (the im2col row-block height).
+    pub m: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// `nn::compute` worker threads.
+    pub threads: usize,
+    /// Naive reference kernel (`nn::compute::reference::gemm`) GFLOP/s.
+    /// Zero for rows where re-measuring the (slow, thread-independent)
+    /// reference was skipped.
+    pub reference_gflops: f64,
+    /// Blocked scalar engine GFLOP/s (`simd::set_enabled(false)`).
+    pub scalar_gflops: f64,
+    /// AVX lane tier GFLOP/s (`simd::set_enabled(true)`).
+    pub simd_gflops: f64,
+    /// Whether the SIMD and scalar results were bitwise identical at this
+    /// shape and thread count (must always be true).
+    pub bit_identical: bool,
+}
+
 /// Dumps `BENCH_nn.json` at the workspace root: compute-engine throughput
 /// (forward / backward / inference / fused inference) per config and
-/// thread count, against the pre-PR naive single-thread baseline.
-pub fn write_bench_nn(batch: usize, rows: &[NnRow]) {
+/// thread count, against the pre-PR naive single-thread baseline, plus
+/// raw-GEMM GFLOP/s rows for the SIMD lane tier vs the scalar engine vs
+/// the naive reference.
+pub fn write_bench_nn(batch: usize, rows: &[NnRow], gemm_rows: &[GemmRow]) {
     let value = serde_json::json!({
         "benchmark": "nn_throughput",
         "batch": batch,
+        "simd_compiled": nn::simd::compiled(),
+        "gemm_rows": gemm_rows.iter().map(|r| serde_json::json!({
+            "m": r.m,
+            "k": r.k,
+            "n": r.n,
+            "threads": r.threads,
+            "reference_gflops": r.reference_gflops,
+            "scalar_gflops": r.scalar_gflops,
+            "simd_gflops": r.simd_gflops,
+            "simd_speedup_vs_reference": if r.reference_gflops > 0.0 {
+                r.simd_gflops / r.reference_gflops
+            } else {
+                0.0
+            },
+            "simd_speedup_vs_scalar": r.simd_gflops / r.scalar_gflops.max(1e-9),
+            "bit_identical": r.bit_identical,
+        })).collect::<Vec<_>>(),
         "rows": rows.iter().map(|r| serde_json::json!({
             "config": r.config,
             "threads": r.threads,

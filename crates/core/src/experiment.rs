@@ -638,6 +638,7 @@ pub struct ExperimentBuilder {
     eval_threads: usize,
     cache_shards: usize,
     actors: usize,
+    batched_inference: bool,
     nn_threads: Option<usize>,
     checkpoint_every: Option<u64>,
     checkpoint_path: Option<PathBuf>,
@@ -660,6 +661,7 @@ impl ExperimentBuilder {
             eval_threads: 4,
             cache_shards: 16,
             actors: 1,
+            batched_inference: true,
             nn_threads: None,
             checkpoint_every: None,
             checkpoint_path: None,
@@ -761,6 +763,18 @@ impl ExperimentBuilder {
     pub fn actors(mut self, actors: usize) -> Self {
         assert!(actors > 0, "need at least one actor");
         self.actors = actors;
+        self
+    }
+
+    /// Whether async runs route greedy forwards through the cross-actor
+    /// inference broker — one fused Q-network forward over every actor's
+    /// pending states per service cycle (see
+    /// [`AsyncRunner::batched_inference`]). Defaults to `true`; only
+    /// meaningful with [`ExperimentBuilder::actors`] `> 1`. Trajectories
+    /// are unaffected either way (the fused net is per-sample), only
+    /// decision throughput changes.
+    pub fn batched_inference(mut self, on: bool) -> Self {
+        self.batched_inference = on;
         self
     }
 
@@ -900,6 +914,7 @@ impl ExperimentBuilder {
             evaluator_name,
             parallelism: self.eval_threads,
             actors: self.actors,
+            batched_inference: self.batched_inference,
             nn_threads: self.nn_threads,
             checkpoint_every: self.checkpoint_every,
             checkpoint_path: self.checkpoint_path,
@@ -943,6 +958,7 @@ pub struct Experiment {
     evaluator_name: String,
     parallelism: usize,
     actors: usize,
+    batched_inference: bool,
     nn_threads: Option<usize>,
     checkpoint_every: Option<u64>,
     checkpoint_path: Option<PathBuf>,
@@ -1091,6 +1107,7 @@ impl Experiment {
         let runner: Box<dyn Runner> = if self.actors > 1 {
             Box::new(AsyncRunner {
                 actors: self.actors,
+                batched_inference: self.batched_inference,
             })
         } else {
             Box::new(SerialRunner)

@@ -22,6 +22,38 @@
 //!   [`rl::QInfer`] path. Events stream to the run's observer from both
 //!   sides.
 //!
+//! # The cross-actor inference broker
+//!
+//! With [`AsyncRunner::batched_inference`] on (the default), actors do not
+//! run their greedy forwards locally. Each round an actor sends its
+//! greedy-state batch to a dedicated **broker thread** and blocks on a
+//! private reply channel; the broker drains every request currently
+//! queued, concatenates the states, runs **one fused forward over the
+//! combined batch**, splits the Q-rows back per request and replies. Many
+//! small per-actor batches become one large GEMM per service cycle — the
+//! thread-scale analogue of the paper's batched inference server in front
+//! of its 192 synthesis workers.
+//!
+//! Centralizing inference also lets the broker **memoize**: Q-values are a
+//! pure function of (snapshot, state), so each service cycle runs its
+//! fused forward only over the *unique states not already answered under
+//! the current snapshot* and serves everything else from a bit-exact memo
+//! table (cleared on every publish). Actors frequently pose identical
+//! states — shared reset states early in training, revisited prefixes
+//! under the greedy policy — and only a central service can deduplicate
+//! them across actors; per-actor inference recomputes every one.
+//!
+//! Correctness rests on the fused net being **per-sample**: convolutions,
+//! folded batch-norms and LeakyReLU never mix rows, so a state's Q-values
+//! are bit-identical whatever batch they ride in (pinned by a test in
+//! `crate::qnet`). Exploration coins are drawn on the actor *before* the
+//! request is sent, so an actor consumes its RNG identically in broker and
+//! local mode. Shutdown is by disconnection in both directions: actors
+//! exiting drop their request senders (broker's `recv` errs → broker
+//! exits); a broker panic drops the request receiver and every in-flight
+//! reply sender, actors see the error as a cancelled decision and break,
+//! and the scope re-raises the panic.
+//!
 //! Because experience arrives asynchronously, the async path is not
 //! bit-identical run to run, and it does not support checkpoint/resume —
 //! the deterministic [`crate::experiment::SerialRunner`] does.
@@ -38,8 +70,8 @@ use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use prefix_graph::PrefixGraph;
 use rand::prelude::*;
-use rl::{DoubleDqn, EpsilonSchedule, ReplayBuffer, ScalarizedPolicy, Transition};
-use std::collections::HashMap;
+use rl::{DoubleDqn, EpsilonSchedule, QInfer, ReplayBuffer, ScalarizedPolicy, Transition};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -59,6 +91,20 @@ struct PolicyBoard {
 /// The design pool shared by all actors: canonical key → (graph, metrics).
 type DesignPool = Mutex<HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>>;
 
+/// One actor's greedy-state batch awaiting Q-values, plus the private
+/// reply channel the actor blocks on. The broker answers each request
+/// with exactly `states.len()` Q-rows.
+struct InferRequest {
+    states: Vec<Vec<f32>>,
+    reply: channel::Sender<Vec<Vec<[f32; 2]>>>,
+}
+
+/// Entry cap for the broker's per-snapshot memo table — a backstop for
+/// pathological state churn between publishes (publishes clear the table
+/// long before this in practice). Keys are full feature vectors, so the
+/// cap is what bounds worst-case broker memory.
+const BROKER_MEMO_CAP: usize = 1 << 12;
+
 /// The asynchronous actor/learner runner: `actors` parallel experience
 /// generators feed one learner thread.
 ///
@@ -71,9 +117,24 @@ type DesignPool = Mutex<HashMap<Vec<u64>, (PrefixGraph, ObjectivePoint)>>;
 pub struct AsyncRunner {
     /// Number of actor threads (≥ 1).
     pub actors: usize,
+    /// Route greedy forwards through the cross-actor inference broker
+    /// (one fused forward over all actors' pending states per service
+    /// cycle — see the module docs) instead of running them per-actor.
+    /// Defaults to `true`; trajectories are unaffected either way because
+    /// the fused net is per-sample.
+    pub batched_inference: bool,
 }
 
 impl AsyncRunner {
+    /// An async runner with `actors` actor threads and the cross-actor
+    /// inference broker enabled (the default configuration).
+    pub fn new(actors: usize) -> Self {
+        AsyncRunner {
+            actors,
+            batched_inference: true,
+        }
+    }
+
     /// Convenience: trains one agent to completion unobserved — the
     /// one-shot equivalent of the old `train_async` free function. Sweeps
     /// and observed runs should go through
@@ -92,6 +153,7 @@ impl AsyncRunner {
             task,
             evaluator,
             self.actors,
+            self.batched_inference,
             &mut NullObserver,
             &CancelToken::new(),
         );
@@ -130,6 +192,7 @@ impl Runner for AsyncRunner {
             ctx.task,
             ctx.evaluator,
             self.actors,
+            self.batched_inference,
             ctx.observer,
             &ctx.cancel,
         );
@@ -143,12 +206,14 @@ impl Runner for AsyncRunner {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_async(
     run_id: usize,
     cfg: &AgentConfig,
     circuit_task: Arc<dyn CircuitTask>,
     evaluator: Arc<dyn Evaluator>,
     num_actors: usize,
+    batched_inference: bool,
     observer: &mut dyn RunObserver,
     cancel: &CancelToken,
 ) -> RunRecord {
@@ -165,9 +230,95 @@ fn run_async(
     let episode_returns: Mutex<Vec<f64>> = Mutex::new(Vec::new());
 
     let losses = std::thread::scope(|s| {
+        // The inference broker: drains every queued request, runs one
+        // fused forward over the concatenation, scatters the Q-rows back.
+        // Capacity `num_actors` means a round of actors never blocks on
+        // the request send (each actor has at most one request in flight).
+        let broker_tx = if batched_inference {
+            let (btx, brx) = channel::bounded::<InferRequest>(num_actors);
+            let board = Arc::clone(&board);
+            s.spawn(move || {
+                let mut scratch = nn::Scratch::new();
+                let mut my_version = board.version.load(Ordering::Acquire);
+                let mut snapshot: Arc<FrozenQNet> = board.snapshot.read().clone();
+                let mut pending: Vec<InferRequest> = Vec::new();
+                // Q-rows already computed under the current snapshot,
+                // keyed by the state's exact f32 bit pattern. A memo hit
+                // returns precisely the bits a fresh forward would
+                // (inference is deterministic and per-sample), so this
+                // changes no actor's trajectory — it only skips forwards.
+                let mut memo: HashMap<Vec<u32>, Vec<[f32; 2]>> = HashMap::new();
+                // Blocking recv for the first request of a cycle, then a
+                // non-blocking drain of whatever else is already queued.
+                // No waiting for stragglers: the memo table makes batch
+                // size a minor factor (a state computed this cycle is a
+                // memo hit next cycle, whichever request it rides in), so
+                // serving immediately minimizes decision latency and
+                // context switches. Batch composition cannot change any
+                // Q-value, so drain depth is a throughput knob only.
+                // Exits when the last actor drops its sender.
+                while let Ok(first) = brx.recv() {
+                    pending.push(first);
+                    while let Ok(more) = brx.try_recv() {
+                        pending.push(more);
+                    }
+                    let published = board.version.load(Ordering::Acquire);
+                    if published != my_version {
+                        snapshot = board.snapshot.read().clone();
+                        my_version = published;
+                        memo.clear();
+                    }
+                    // One bit-exact key per pending state, request order.
+                    let keys: Vec<Vec<u32>> = pending
+                        .iter()
+                        .flat_map(|r| r.states.iter())
+                        .map(|s| s.iter().map(|v| v.to_bits()).collect())
+                        .collect();
+                    // The fused forward covers only the unique states not
+                    // already memoized under this snapshot.
+                    let mut fresh: Vec<(&Vec<u32>, &[f32])> = Vec::new();
+                    {
+                        let mut states = pending.iter().flat_map(|r| r.states.iter());
+                        let mut seen: HashSet<&Vec<u32>> = HashSet::new();
+                        for key in &keys {
+                            let s = states.next().expect("one state per key");
+                            if !memo.contains_key(key) && seen.insert(key) {
+                                fresh.push((key, s));
+                            }
+                        }
+                    }
+                    if !fresh.is_empty() {
+                        if memo.len() + fresh.len() > BROKER_MEMO_CAP {
+                            memo.clear();
+                        }
+                        let batch: Vec<&[f32]> = fresh.iter().map(|&(_, s)| s).collect();
+                        let q = snapshot.infer(&batch, &mut scratch);
+                        for (&(key, _), row) in fresh.iter().zip(q) {
+                            memo.insert(key.clone(), row);
+                        }
+                    }
+                    let mut key_it = keys.iter();
+                    for req in pending.drain(..) {
+                        let reply: Vec<Vec<[f32; 2]>> = key_it
+                            .by_ref()
+                            .take(req.states.len())
+                            .map(|k| memo[k].clone())
+                            .collect();
+                        // A send error means the requesting actor already
+                        // exited (cancel landed mid-request) — drop the rows.
+                        let _ = req.reply.send(reply);
+                    }
+                }
+            });
+            Some(btx)
+        } else {
+            None
+        };
+
         // Actors.
         for actor in 0..num_actors {
             let tx = tx.clone();
+            let broker_tx = broker_tx.clone();
             let board = Arc::clone(&board);
             let steps_taken = Arc::clone(&steps_taken);
             let designs = Arc::clone(&designs);
@@ -180,6 +331,13 @@ fn run_async(
             s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((actor as u64 + 1) * 0x9e37));
                 let mut scratch = nn::Scratch::new();
+                // Broker mode: a private bounded(1) reply lane per actor.
+                // The reply sender is cloned into each request so the
+                // broker can answer; the receiver stays here.
+                let broker = broker_tx.map(|btx| {
+                    let (reply_tx, reply_rx) = channel::bounded::<Vec<Vec<[f32; 2]>>>(1);
+                    (btx, reply_tx, reply_rx)
+                });
                 // The actor's policy net is a shared pointer to the
                 // learner's latest frozen snapshot — never a copy. The
                 // version must be read *before* the snapshot: a publish
@@ -232,14 +390,40 @@ fn run_async(
                         envs[..round].iter().map(PrefixEnv::action_mask).collect();
                     let state_refs: Vec<&[f32]> = states.iter().map(Vec::as_slice).collect();
                     let mask_refs: Vec<&[bool]> = masks.iter().map(Vec::as_slice).collect();
-                    let actions = policy.select_actions(
-                        &*snapshot,
-                        &state_refs,
-                        &mask_refs,
-                        eps,
-                        &mut rng,
-                        &mut scratch,
-                    );
+                    let actions = match &broker {
+                        Some((btx, reply_tx, reply_rx)) => {
+                            let picked = policy.select_actions_with(
+                                &state_refs,
+                                &mask_refs,
+                                eps,
+                                &mut rng,
+                                |batch| {
+                                    let req = InferRequest {
+                                        states: batch.iter().map(|s| s.to_vec()).collect(),
+                                        reply: reply_tx.clone(),
+                                    };
+                                    btx.send(req).ok()?;
+                                    reply_rx.recv().ok()
+                                },
+                            );
+                            match picked {
+                                Some(actions) => actions,
+                                // Broker gone mid-decision (it panicked and
+                                // its unwind dropped our reply sender):
+                                // abandon the round so the scope can
+                                // re-raise the broker's panic.
+                                None => break 'acting,
+                            }
+                        }
+                        None => policy.select_actions(
+                            &*snapshot,
+                            &state_refs,
+                            &mask_refs,
+                            eps,
+                            &mut rng,
+                            &mut scratch,
+                        ),
+                    };
                     for (i, action) in actions.into_iter().enumerate() {
                         let action = action.expect("legal action always exists");
                         let env = &mut envs[i];
@@ -291,6 +475,9 @@ fn run_async(
             });
         }
         drop(tx);
+        // The actors hold the only remaining request senders: the broker
+        // (if any) exits exactly when the last actor does.
+        drop(broker_tx);
 
         // Learner (runs on this thread).
         let target = PrefixQNet::new(&QNetConfig {
@@ -368,6 +555,7 @@ pub fn train_async(
         task,
         evaluator,
         num_actors,
+        true,
         &mut NullObserver,
         &CancelToken::new(),
     );
@@ -417,6 +605,7 @@ mod tests {
             Arc::new(Adder),
             evaluator,
             actors,
+            true,
             &mut NullObserver,
             &CancelToken::new(),
         )
@@ -469,6 +658,50 @@ mod tests {
         );
     }
 
+    /// The broker must be a pure transport: routing greedy forwards
+    /// through it instead of running them on the actor may not perturb a
+    /// trajectory. With one actor the run is fully deterministic once the
+    /// learner never publishes (`target_sync_every` beyond the step
+    /// budget pins the initial snapshot), so broker-on and broker-off
+    /// must agree **bitwise** — same steps, same designs with the same
+    /// metrics, same episode returns in the same order. Exploration coins
+    /// are drawn before the request is sent, so RNG consumption matches
+    /// by construction; this test pins the rest of the plumbing (request
+    /// framing, reply scatter, state copies).
+    #[test]
+    fn broker_and_local_inference_produce_identical_trajectories() {
+        let mut cfg = AgentConfig::tiny(8, 0.5);
+        cfg.total_steps = 240;
+        cfg.dqn.target_sync_every = u64::MAX; // never publish: frozen policy
+        let mut records = [true, false].map(|batched| {
+            run_async(
+                0,
+                &cfg,
+                Arc::new(Adder),
+                Arc::new(TaskEvaluator::analytical(Adder)),
+                1,
+                batched,
+                &mut NullObserver,
+                &CancelToken::new(),
+            )
+        });
+        let [with_broker, without] = &mut records;
+        assert_eq!(with_broker.steps, without.steps);
+        assert_eq!(
+            with_broker.episode_returns, without.episode_returns,
+            "episode returns diverged"
+        );
+        assert_eq!(
+            with_broker.designs.len(),
+            without.designs.len(),
+            "design pools diverged"
+        );
+        for ((ga, pa), (gb, pb)) in with_broker.designs.iter().zip(&without.designs) {
+            assert_eq!(ga.canonical_key(), gb.canonical_key());
+            assert_eq!((pa.area, pa.delay), (pb.area, pb.delay));
+        }
+    }
+
     #[test]
     fn async_runner_rejects_resume() {
         let cfg = AgentConfig::tiny(8, 0.5);
@@ -477,7 +710,7 @@ mod tests {
             lp.step_once(0, &mut NullObserver);
         }
         let ckpt = lp.checkpoint();
-        let runner = AsyncRunner { actors: 2 };
+        let runner = AsyncRunner::new(2);
         let err = runner
             .run(RunContext {
                 run_id: 0,
@@ -499,7 +732,7 @@ mod tests {
     fn async_runner_rejects_checkpoint_requests() {
         let cfg = AgentConfig::tiny(8, 0.5);
         for (every, halt) in [(Some(50), None), (None, Some(50))] {
-            let err = AsyncRunner { actors: 2 }
+            let err = AsyncRunner::new(2)
                 .run(RunContext {
                     run_id: 0,
                     cfg: &cfg,
@@ -552,7 +785,7 @@ mod tests {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut cfg = AgentConfig::tiny(8, 0.5);
                 cfg.total_steps = 100_000;
-                AsyncRunner { actors: 3 }.train(
+                AsyncRunner::new(3).train(
                     &cfg,
                     Arc::new(PanicAfter {
                         calls: AtomicU64::new(0),
@@ -588,6 +821,7 @@ mod tests {
                 Arc::new(Adder),
                 Arc::new(TaskEvaluator::analytical(Adder)),
                 2,
+                true,
                 &mut observer,
                 &CancelToken::new(),
             );
@@ -633,6 +867,7 @@ mod tests {
             Arc::new(Adder),
             Arc::new(TaskEvaluator::analytical(Adder)),
             2,
+            true,
             &mut observer,
             &token,
         );
@@ -660,6 +895,7 @@ mod tests {
                     Arc::new(Adder),
                     Arc::new(TaskEvaluator::analytical(Adder)),
                     2,
+                    true,
                     &mut NullObserver,
                     &token,
                 )

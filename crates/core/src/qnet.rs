@@ -625,6 +625,60 @@ mod tests {
         });
     }
 
+    /// The inference-broker contract (see `parallel.rs`): the fused net is
+    /// per-sample — convolutions, folded batch-norms and LeakyReLU never
+    /// mix rows — so a state's Q-values are *bit-identical* whatever batch
+    /// they ride in. This is what lets the broker concatenate many actors'
+    /// states into one forward without perturbing any actor's trajectory.
+    #[test]
+    fn frozen_inference_is_independent_of_batch_composition() {
+        let mut q = PrefixQNet::new(&QNetConfig::tiny(8));
+        let mut env = PrefixEnv::new(
+            EnvConfig::analytical(8),
+            Arc::new(TaskEvaluator::analytical(Adder)),
+        );
+        // Distinct states along a trajectory, with nontrivial BN statistics
+        // folded into the snapshot.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut states: Vec<Vec<f32>> = Vec::new();
+        env.reset(&mut rng);
+        for _ in 0..6 {
+            states.push(env.features());
+            let legal = env.action_mask();
+            let a = (0..legal.len()).find(|&a| legal[a]).unwrap();
+            let _ = env.step_flat(a);
+            let _ = q.forward(&[&states[0]], true);
+            let mut grad = vec![vec![[0.0f32; 2]; q.num_actions()]; 1];
+            grad[0][11][0] = 0.25;
+            q.apply_gradient(&grad);
+        }
+        let frozen = q.frozen();
+        let mut scratch = Scratch::new();
+        let refs: Vec<&[f32]> = states.iter().map(Vec::as_slice).collect();
+        let combined = frozen.infer(&refs, &mut scratch);
+        // Batch of one, prefixes, suffixes, reversed order: every
+        // composition must reproduce the combined rows exactly.
+        for (i, s) in refs.iter().enumerate() {
+            assert_eq!(
+                frozen.infer(&[s], &mut scratch)[0],
+                combined[i],
+                "singleton {i}"
+            );
+        }
+        for split in 1..refs.len() {
+            let lo = frozen.infer(&refs[..split], &mut scratch);
+            let hi = frozen.infer(&refs[split..], &mut scratch);
+            assert_eq!(lo, combined[..split], "prefix split {split}");
+            assert_eq!(hi, combined[split..], "suffix split {split}");
+        }
+        let rev: Vec<&[f32]> = refs.iter().rev().copied().collect();
+        let reversed = frozen.infer(&rev, &mut scratch);
+        for (i, row) in reversed.iter().enumerate() {
+            assert_eq!(*row, combined[refs.len() - 1 - i], "reversed {i}");
+        }
+    }
+
     #[test]
     fn gradient_step_moves_selected_q() {
         let mut q = PrefixQNet::new(&QNetConfig::tiny(8));

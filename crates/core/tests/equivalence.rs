@@ -23,8 +23,7 @@ fn serial_and_async_frontiers_comparable() {
         let mut cfg = AgentConfig::tiny(n, 0.5);
         cfg.total_steps = if n == 8 { 400 } else { 300 };
         let serial = TrainLoop::run(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
-        let parallel =
-            AsyncRunner { actors: 4 }.train(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
+        let parallel = AsyncRunner::new(4).train(&cfg, Arc::new(TaskEvaluator::analytical(Adder)));
 
         for result in [&serial, &parallel] {
             assert!(result.designs.len() > 10, "n={n}: too few designs");
@@ -65,7 +64,7 @@ fn four_actor_training_hits_shared_cache() {
         TaskEvaluator::analytical(Adder),
         CacheConfig::default(),
     ));
-    let result = AsyncRunner { actors: 4 }.train(&cfg, cache.clone());
+    let result = AsyncRunner::new(4).train(&cfg, cache.clone());
     assert!(!result.designs.is_empty());
     assert!(cache.shards() >= 8, "default shard count must be ≥ 8");
     assert!(

@@ -4,13 +4,17 @@
 //!
 //! Every matrix product in this crate routes through the three kernels
 //! here. They are register-tiled (`MR`×`NR` accumulator tiles) and
-//! cache-blocked (`KC`/`NC` panels), but keep one hard invariant: **every
-//! output element accumulates its products in ascending-`k` order, one
-//! product at a time** — exactly the order of the scalar reference kernels
-//! in [`reference`]. Floating-point addition is not associative, so this
+//! cache-blocked (`KC`/`NC` panels), with explicit [`crate::simd`] lanes
+//! in the hot tiles when the (default-on) `simd` feature is active and the
+//! CPU has AVX — but keep one hard invariant: **every output element
+//! accumulates its products in ascending-`k` order, one product at a
+//! time** — exactly the order of the scalar reference kernels in
+//! [`reference`]. Floating-point addition is not associative, so this
 //! fixed reduction order is what makes results bit-identical across kernel
-//! generations *and* across thread counts: parallelism only ever partitions
-//! disjoint output rows (or samples) between workers, never a reduction.
+//! generations, SIMD on or off, *and* across thread counts: vector lanes
+//! only ever span independent output columns (never a reduction), and
+//! parallelism only ever partitions disjoint output rows (or samples)
+//! between workers.
 //!
 //! Threading is opt-in and global: [`set_threads`] (or the
 //! `PREFIXRL_NN_THREADS` environment variable) picks the worker budget,
@@ -126,6 +130,28 @@ pub fn partition(tasks: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Minimum useful work (in multiply-add flops) per extra worker thread.
+///
+/// Spawning a scoped thread plus the partitioning bookkeeping costs on the
+/// order of 10µs; below ~256k flops of work per worker that overhead
+/// exceeds the compute it offloads, which is exactly the regression
+/// BENCH_nn.json showed at tiny/small configs (2/4-thread rows slower
+/// than 1). The floor is deliberately coarse — it only needs to separate
+/// "paper-scale panels" from "toy panels".
+pub const MIN_FLOPS_PER_WORKER: usize = 1 << 18;
+
+/// The number of workers actually worth using for `flops` of arithmetic:
+/// `threads` capped so every worker gets at least
+/// [`MIN_FLOPS_PER_WORKER`], and never less than one.
+///
+/// Using fewer workers than the configured budget never changes results —
+/// partitioning is over disjoint outputs — so layers call this to fall
+/// back to serial (or narrower) execution on small batches where thread
+/// spawn overhead would dominate.
+pub fn plan_workers(threads: usize, flops: usize) -> usize {
+    threads.min(flops / MIN_FLOPS_PER_WORKER).max(1)
+}
+
 /// Splits one buffer into consecutive disjoint `&mut` chunks of the given
 /// sizes (for handing panels to pool workers).
 ///
@@ -212,16 +238,141 @@ const MR: usize = 4;
 /// Columns per register tile.
 const NR: usize = 8;
 /// k-panel (cache block) for kernels whose accumulators live in `c`.
-const KC: usize = 512;
+const KC: usize = 256;
 /// Column panel (cache block).
 const NC: usize = 1024;
 
 /// `C[m,n] += A[m,k] · B[k,n]`, all row-major.
 ///
 /// Bit-identical to [`reference::gemm`]: each `C[i,j]` receives its `k`
-/// products one at a time in ascending-`k` order.
+/// products one at a time in ascending-`k` order. Full tiles take the
+/// [`crate::simd`] AVX path when it is enabled — lanes span the `NR`
+/// output columns, so the per-element order is untouched.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::enabled() {
+        B_PACK.with(|cell| {
+            let pack = &mut cell.borrow_mut();
+            // SAFETY: `simd::enabled()` requires AVX in CPUID.
+            unsafe { gemm_avx(m, k, n, a, b, c, pack) };
+        });
+        return;
+    }
+    gemm_scalar(m, k, n, a, b, c)
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+std::thread_local! {
+    /// Reusable packed-`B` buffer for [`gemm`]'s AVX path (`KC`×`NC`
+    /// worst case; thread-local so row-panel workers don't contend).
+    static B_PACK: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Columns per AVX register tile: two [`crate::simd::F32x8`] per row.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+const NRV: usize = 16;
+
+/// AVX form of [`gemm`]: identical blocking to the scalar form, but each
+/// `B` block is first packed into contiguous `kc`×[`NRV`] panels (pure
+/// data movement — the reduction order cannot change) so the microkernel
+/// streams `B` sequentially instead of striding a cache line per `k`
+/// step. The register tile is `MR`×`NRV` (two [`crate::simd::F32x8`] per
+/// row — eight independent accumulator chains, one broadcast of `A` per
+/// row per `k` step feeding both halves); per lane the recurrence is
+/// exactly the scalar tile's `acc += a[i,p] * b[p,j]` in ascending `p`,
+/// with separate multiply and add instructions (no FMA contraction). The
+/// inner loop runs on raw pointers: bounds are established once per tile
+/// by the packing layout, so the hot path carries no checks.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx")]
+unsafe fn gemm_avx(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    pack: &mut Vec<f32>,
+) {
+    use crate::simd::F32x8;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let full_panels = nc / NRV;
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            // Pack the full NRV-wide panels of this B block: panel `t`
+            // holds columns jc+t*NRV.. as kc rows of NRV contiguous floats.
+            pack.clear();
+            pack.resize(full_panels * kc * NRV, 0.0);
+            for t in 0..full_panels {
+                let dst = &mut pack[t * kc * NRV..(t + 1) * kc * NRV];
+                let j0 = jc + t * NRV;
+                for (off, p) in (pc..pc + kc).enumerate() {
+                    dst[off * NRV..off * NRV + NRV]
+                        .copy_from_slice(&b[p * n + j0..p * n + j0 + NRV]);
+                }
+            }
+            for i0 in (0..m).step_by(MR) {
+                let mr = MR.min(m - i0);
+                if mr == MR {
+                    let ap = a.as_ptr();
+                    let cp = c.as_mut_ptr();
+                    for t in 0..full_panels {
+                        let j0 = jc + t * NRV;
+                        let mut acc = [[F32x8::zero(); 2]; MR];
+                        let mut arows = [std::ptr::null::<f32>(); MR];
+                        for ir in 0..MR {
+                            let crow = cp.add((i0 + ir) * n + j0);
+                            acc[ir][0] = F32x8::load_ptr(crow);
+                            acc[ir][1] = F32x8::load_ptr(crow.add(F32x8::LANES));
+                            arows[ir] = ap.add((i0 + ir) * k + pc);
+                        }
+                        let mut pp = pack.as_ptr().add(t * kc * NRV);
+                        for off in 0..kc {
+                            let b0 = F32x8::load_ptr(pp);
+                            let b1 = F32x8::load_ptr(pp.add(F32x8::LANES));
+                            for ir in 0..MR {
+                                let av = F32x8::splat(*arows[ir].add(off));
+                                acc[ir][0] = acc[ir][0].add(av.mul(b0));
+                                acc[ir][1] = acc[ir][1].add(av.mul(b1));
+                            }
+                            pp = pp.add(NRV);
+                        }
+                        for (ir, a) in acc.iter().enumerate() {
+                            let crow = cp.add((i0 + ir) * n + j0);
+                            a[0].store_ptr(crow);
+                            a[1].store_ptr(crow.add(F32x8::LANES));
+                        }
+                    }
+                }
+                // Remainder columns (nc % NRV) — and remainder rows over
+                // the whole block — use the scalar per-element loop (same
+                // ascending-k order).
+                let (rem_lo, rem_hi) = if mr == MR {
+                    (jc + full_panels * NRV, jc + nc)
+                } else {
+                    (jc, jc + nc)
+                };
+                for i in i0..i0 + mr {
+                    if rem_lo >= rem_hi {
+                        break;
+                    }
+                    for j in rem_lo..rem_hi {
+                        let mut acc = c[i * n + j];
+                        for p in pc..pc + kc {
+                            acc += a[i * k + p] * b[p * n + j];
+                        }
+                        c[i * n + j] = acc;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scalar form of [`gemm`].
+fn gemm_scalar(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
@@ -292,11 +443,132 @@ fn tile_ab(
 /// Bit-identical to [`reference::gemm_a_bt`]: each element's dot product
 /// accumulates from zero in ascending-`k` order and is then added to `C`
 /// once — so the full `k` extent stays in the register tile (no k-panel
-/// blocking, which would split that single add). Both operands stream
-/// contiguously in `k`; a lean 2×4 tile gives eight independent
-/// accumulator chains (ILP) without spilling.
+/// blocking, which would split that single add).
+///
+/// The AVX path transposes sixteen `B` rows at a time into a `k`×16
+/// panel (a thread-local buffer, so parallel conv-backward workers do
+/// not contend) and keeps sixteen dot products per `A` row in two
+/// registers: per lane that is still one dot from zero in ascending `k`,
+/// then one add into `C` — the same element order as the scalar tile.
 pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::enabled() {
+        BT_PANEL.with(|cell| {
+            let panel = &mut cell.borrow_mut();
+            // SAFETY: `simd::enabled()` requires AVX in CPUID.
+            unsafe { gemm_a_bt_avx(m, k, n, a, b, c, panel) };
+        });
+        return;
+    }
+    gemm_a_bt_scalar(m, k, n, a, b, c)
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+std::thread_local! {
+    /// Reusable `k`×16 transposed-`B` panel for [`gemm_a_bt`]'s AVX path.
+    static BT_PANEL: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// AVX form of [`gemm_a_bt`]: full [`NRV`]-column panels vectorized with
+/// the same `MR`×`NRV` raw-pointer microkernel shape as [`gemm_avx`]
+/// (here each accumulator is a dot from zero — the panel must span the
+/// full `k` extent so that single add into `C` is never split), remainder
+/// columns via the scalar dot loop.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_a_bt_avx(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    panel: &mut Vec<f32>,
+) {
+    use crate::simd::F32x8;
+    panel.clear();
+    panel.resize(k * NRV, 0.0);
+    let mut j0 = 0;
+    while j0 + NRV <= n {
+        // Transpose the sixteen B rows into k×16 so each `p` step streams
+        // one contiguous lane row.
+        for jr in 0..NRV {
+            let brow = &b[(j0 + jr) * k..][..k];
+            for (p, &bv) in brow.iter().enumerate() {
+                panel[p * NRV + jr] = bv;
+            }
+        }
+        // Four A rows per pass: the panel row loaded once per `p` feeds
+        // eight independent accumulator chains (each still its own dot
+        // from zero in ascending `p`).
+        let ap = a.as_ptr();
+        let cp = c.as_mut_ptr();
+        let mut i0 = 0;
+        while i0 + MR <= m {
+            let mut arows = [std::ptr::null::<f32>(); MR];
+            for (ir, arow) in arows.iter_mut().enumerate() {
+                *arow = ap.add((i0 + ir) * k);
+            }
+            let mut acc = [[F32x8::zero(); 2]; MR];
+            let mut pp = panel.as_ptr();
+            for off in 0..k {
+                let b0 = F32x8::load_ptr(pp);
+                let b1 = F32x8::load_ptr(pp.add(F32x8::LANES));
+                for ir in 0..MR {
+                    let av = F32x8::splat(*arows[ir].add(off));
+                    acc[ir][0] = acc[ir][0].add(av.mul(b0));
+                    acc[ir][1] = acc[ir][1].add(av.mul(b1));
+                }
+                pp = pp.add(NRV);
+            }
+            for (ir, a) in acc.iter().enumerate() {
+                let crow = cp.add((i0 + ir) * n + j0);
+                F32x8::load_ptr(crow).add(a[0]).store_ptr(crow);
+                F32x8::load_ptr(crow.add(F32x8::LANES))
+                    .add(a[1])
+                    .store_ptr(crow.add(F32x8::LANES));
+            }
+            i0 += MR;
+        }
+        for i in i0..m {
+            let arow = &a[i * k..][..k];
+            let mut acc0 = F32x8::zero();
+            let mut acc1 = F32x8::zero();
+            for (p, &av) in arow.iter().enumerate() {
+                let avs = F32x8::splat(av);
+                acc0 = acc0.add(avs.mul(F32x8::load(&panel[p * NRV..])));
+                acc1 = acc1.add(avs.mul(F32x8::load(&panel[p * NRV + F32x8::LANES..])));
+            }
+            let crow = &mut c[i * n + j0..][..NRV];
+            F32x8::load(crow).add(acc0).store(crow);
+            F32x8::load(&crow[F32x8::LANES..])
+                .add(acc1)
+                .store(&mut crow[F32x8::LANES..]);
+        }
+        j0 += NRV;
+    }
+    // Remainder columns (n % 16): the scalar dot, element order unchanged.
+    if j0 < n {
+        for i in 0..m {
+            let arow = &a[i * k..][..k];
+            for j in j0..n {
+                let brow = &b[j * k..][..k];
+                let mut acc = 0.0f32;
+                for (p, &av) in arow.iter().enumerate() {
+                    acc += av * brow[p];
+                }
+                c[i * n + j] += acc;
+            }
+        }
+    }
+}
+
+/// Scalar form of [`gemm_a_bt`]: both operands stream contiguously in
+/// `k`; a lean 2×4 tile gives eight independent accumulator chains (ILP)
+/// without spilling.
+fn gemm_a_bt_scalar(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     const TM: usize = 2;
     const TN: usize = 4;
     let mut i0 = 0;
@@ -347,10 +619,47 @@ pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
 /// Bit-identical to [`reference::gemm_at_b`]: `k` ascending in the outer
 /// loop, each product added directly into its `C` element. The axpy shape
 /// is kept deliberately — the `C` row is a contiguous run of independent
-/// lanes, which vectorizes; a register tile would serialize strided loads
-/// instead. Row slices are hoisted so the inner loop is bounds-check-free.
+/// lanes, which the AVX form vectorizes eight at a time (same per-element
+/// order); a register tile would serialize strided loads instead. Row
+/// slices are hoisted so the inner loop is bounds-check-free.
 pub fn gemm_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert!(a.len() >= k * m && b.len() >= k * n && c.len() >= m * n);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::enabled() {
+        // SAFETY: `simd::enabled()` requires AVX in CPUID.
+        unsafe { gemm_at_b_avx(m, k, n, a, b, c) };
+        return;
+    }
+    gemm_at_b_scalar(m, k, n, a, b, c)
+}
+
+/// AVX form of [`gemm_at_b`]: each `C` row is an axpy of independent
+/// lanes.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx")]
+unsafe fn gemm_at_b_avx(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    use crate::simd::F32x8;
+    let nv = n / F32x8::LANES * F32x8::LANES;
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            let crow = &mut c[i * n..(i + 1) * n];
+            let avs = F32x8::splat(av);
+            for j in (0..nv).step_by(F32x8::LANES) {
+                F32x8::load(&crow[j..])
+                    .add(avs.mul(F32x8::load(&brow[j..])))
+                    .store(&mut crow[j..]);
+            }
+            for (cv, &bv) in crow[nv..].iter_mut().zip(&brow[nv..]) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Scalar form of [`gemm_at_b`].
+fn gemm_at_b_scalar(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for p in 0..k {
         let arow = &a[p * m..(p + 1) * m];
         let brow = &b[p * n..(p + 1) * n];
@@ -366,7 +675,9 @@ pub fn gemm_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
 /// [`gemm`] with output rows split into panels across `pool` workers.
 ///
 /// Each worker runs the serial kernel on a disjoint row range, so results
-/// are bit-identical for every pool width.
+/// are bit-identical for every pool width — including when the
+/// [`plan_workers`] floor shrinks the effective width (small products run
+/// serial rather than paying thread-spawn overhead).
 pub fn gemm_rows_parallel(
     pool: &ThreadPool,
     m: usize,
@@ -376,11 +687,12 @@ pub fn gemm_rows_parallel(
     b: &[f32],
     c: &mut [f32],
 ) {
-    if pool.threads() == 1 || m < 2 * MR {
+    let workers = plan_workers(pool.threads(), m * k * n);
+    if workers == 1 || m < 2 * MR {
         gemm(m, k, n, a, b, c);
         return;
     }
-    let ranges = partition(m, pool.threads());
+    let ranges = partition(m, workers);
     let sizes: Vec<usize> = ranges.iter().map(|r| r.len() * n).collect();
     let panels = split_by_sizes(&mut c[..m * n], &sizes);
     let jobs: Vec<_> = ranges
@@ -680,6 +992,18 @@ mod tests {
             gemm_rows_parallel(&ThreadPool::new(width), m, k, n, &a, &b, &mut par);
             assert_eq!(serial, par, "width {width} diverged");
         }
+    }
+
+    #[test]
+    fn plan_workers_floors_small_work() {
+        // Tiny products run serial regardless of the configured budget.
+        assert_eq!(plan_workers(8, 0), 1);
+        assert_eq!(plan_workers(8, MIN_FLOPS_PER_WORKER - 1), 1);
+        // Each extra worker requires another MIN_FLOPS_PER_WORKER of work.
+        assert_eq!(plan_workers(8, 3 * MIN_FLOPS_PER_WORKER), 3);
+        // Big work saturates at the configured budget.
+        assert_eq!(plan_workers(4, 100 * MIN_FLOPS_PER_WORKER), 4);
+        assert_eq!(plan_workers(1, usize::MAX), 1);
     }
 
     #[test]

@@ -2,17 +2,21 @@
 
 use super::Layer;
 use crate::compute::Scratch;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Leaky rectified linear unit, `f(x) = x` for `x > 0` else `αx`.
 ///
 /// The paper's Q-network uses LReLU after every batch-norm (Fig. 2).
-/// Training-mode forwards cache the sign mask for backward; evaluation
-/// forwards and [`LeakyReLU::apply`] are cache-free (inference holders
-/// carry no per-activation state).
+/// Forward and backward are pure elementwise multiplies by a per-element
+/// scale `s ∈ {1.0, α}` (exact: `x·1.0 == x` bitwise), which is what lets
+/// them run on the [`crate::simd`] lanes while staying bit-identical to
+/// the historical branchy form. Training-mode forwards cache the scale
+/// vector for backward; evaluation forwards and [`LeakyReLU::apply`] are
+/// cache-free (inference holders carry no per-activation state).
 pub struct LeakyReLU {
     alpha: f32,
-    mask: Vec<bool>,
+    scale: Vec<f32>,
 }
 
 impl LeakyReLU {
@@ -20,7 +24,7 @@ impl LeakyReLU {
     pub fn new(alpha: f32) -> Self {
         LeakyReLU {
             alpha,
-            mask: Vec::new(),
+            scale: Vec::new(),
         }
     }
 
@@ -33,11 +37,7 @@ impl LeakyReLU {
     /// fast path (fused frozen networks rectify their conv outputs with
     /// this, allocating nothing).
     pub fn apply(&self, t: &mut Tensor) {
-        for v in t.data_mut() {
-            if *v <= 0.0 {
-                *v *= self.alpha;
-            }
-        }
+        simd::lrelu_apply(t.data_mut(), self.alpha);
     }
 }
 
@@ -58,30 +58,26 @@ impl Default for LeakyReLU {
 impl Layer for LeakyReLU {
     fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
         let mut out = scratch.tensor(x.shape());
-        out.data_mut().copy_from_slice(x.data());
         if train {
-            self.mask.clear();
-            self.mask.extend(x.data().iter().map(|&v| v > 0.0));
+            self.scale.resize(x.len(), 0.0);
+            simd::lrelu_forward_scale(x.data(), out.data_mut(), &mut self.scale, self.alpha);
         } else {
-            self.mask = Vec::new();
+            self.scale = Vec::new();
+            out.data_mut().copy_from_slice(x.data());
+            self.apply(&mut out);
         }
-        self.apply(&mut out);
         out
     }
 
     fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         assert!(
-            !self.mask.is_empty() || grad_out.is_empty(),
+            !self.scale.is_empty() || grad_out.is_empty(),
             "LeakyReLU::backward requires a preceding train-mode forward"
         );
-        assert_eq!(grad_out.len(), self.mask.len(), "LeakyReLU grad length");
+        assert_eq!(grad_out.len(), self.scale.len(), "LeakyReLU grad length");
         let mut grad_in = scratch.tensor(grad_out.shape());
         grad_in.data_mut().copy_from_slice(grad_out.data());
-        for (g, &pos) in grad_in.data_mut().iter_mut().zip(&self.mask) {
-            if !pos {
-                *g *= self.alpha;
-            }
-        }
+        simd::mul_assign(grad_in.data_mut(), &self.scale);
         grad_in
     }
 
@@ -132,8 +128,8 @@ mod tests {
         let mut w = x.clone();
         act.apply(&mut w);
         assert_eq!(y.data(), w.data());
-        // Eval-mode forwards leave no mask behind.
+        // Eval-mode forwards leave no scale cache behind.
         act.forward(&x, false);
-        assert!(act.mask.is_empty());
+        assert!(act.scale.is_empty());
     }
 }

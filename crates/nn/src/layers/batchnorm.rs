@@ -2,6 +2,7 @@
 
 use super::{Layer, Param};
 use crate::compute::Scratch;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Batch normalization over the channel dimension of NCHW tensors.
@@ -88,9 +89,15 @@ impl BatchNorm2d {
             let (g, b) = (self.gamma.data[ci], self.beta.data[ci]);
             for s in 0..n {
                 let base = (s * c + ci) * plane;
-                for i in base..base + plane {
-                    out.data_mut()[i] = g * (x.data()[i] - mean) * inv + b;
-                }
+                // Vectorized normalize over the contiguous channel plane.
+                simd::bn_apply(
+                    &x.data()[base..base + plane],
+                    &mut out.data_mut()[base..base + plane],
+                    mean,
+                    inv,
+                    g,
+                    b,
+                );
             }
         }
         out
@@ -137,11 +144,18 @@ impl Layer for BatchNorm2d {
             let (g, b) = (self.gamma.data[ci], self.beta.data[ci]);
             for s in 0..n {
                 let base = (s * c + ci) * plane;
-                for i in base..base + plane {
-                    let xh = (x.data()[i] - mean) * inv;
-                    self.xhat[i] = xh;
-                    out.data_mut()[i] = g * xh + b;
-                }
+                // Vectorized normalize + xhat cache over the contiguous
+                // plane (the f64 statistics reductions above stay scalar:
+                // they are sequential sums whose order must not change).
+                simd::bn_normalize_cache(
+                    &x.data()[base..base + plane],
+                    &mut out.data_mut()[base..base + plane],
+                    &mut self.xhat[base..base + plane],
+                    mean,
+                    inv,
+                    g,
+                    b,
+                );
             }
         }
         out

@@ -220,11 +220,8 @@ fn forward_sample(
 ) {
     compute::gemm_rows_parallel(pool, out_c, q, hw, weight, col, dst);
     if let Some(bias) = bias {
-        for o in 0..out_c {
-            let bv = bias[o];
-            for v in &mut dst[o * hw..(o + 1) * hw] {
-                *v += bv;
-            }
+        for (o, &bv) in bias.iter().enumerate().take(out_c) {
+            crate::simd::add_scalar(&mut dst[o * hw..(o + 1) * hw], bv);
         }
     }
 }
@@ -252,14 +249,18 @@ fn forward_impl(
     let hw = h * w;
     let q = in_c * k * k;
     let mut out = scratch.tensor([n, out_c, h, w]);
-    let threads = compute::threads();
+    // Cap the worker count so each gets a worthwhile amount of GEMM work —
+    // small batches run serial instead of paying thread-spawn overhead
+    // (results are identical either way; partitioning is over disjoint
+    // samples).
+    let threads = compute::plan_workers(compute::threads(), n * out_c * q * hw);
     let ranges = if threads == 1 || n == 1 {
         compute::partition(n, 1)
     } else {
         compute::partition(n, threads)
     };
     // With one worker and one sample, the row-panel pool picks up the
-    // parallelism instead.
+    // parallelism instead (gemm_rows_parallel applies its own work floor).
     let rows_pool = if ranges.len() == 1 && n == 1 {
         ThreadPool::new(threads)
     } else {
@@ -350,7 +351,9 @@ impl Layer for Conv2d {
             "Conv2d::backward requires a preceding train-mode forward"
         );
         let mut grad_in = scratch.tensor(self.cached_in_shape);
-        let threads = compute::threads();
+        // Same work floor as forward: both phases are dominated by one
+        // GEMM of n·q·oc·hw multiply-adds, so small batches run serial.
+        let threads = compute::plan_workers(compute::threads(), n * q * oc * hw);
         let (in_c, k) = (self.in_c, self.k);
         let weight = &self.weight.data;
         let cols = &self.cached_cols;

@@ -9,9 +9,11 @@
 //!
 //! The design favours determinism *and* throughput: every matrix product
 //! routes through the register-tiled, cache-blocked kernels in [`compute`]
-//! (parallelized over disjoint row/sample panels on scoped threads, with a
-//! fixed per-element reduction order so results are bit-identical at every
-//! thread count — see [`compute::set_threads`]); transient buffers come
+//! (explicit AVX lanes via [`simd`] under the default-on `simd` feature,
+//! parallelized over disjoint row/sample panels on scoped threads, with a
+//! fixed per-element reduction order so results are bit-identical with
+//! vectors on or off and at every thread count — see
+//! [`compute::set_threads`] and [`simd::set_enabled`]); transient buffers come
 //! from a reusable [`Scratch`] arena threaded through
 //! [`Layer::forward_with`]/[`Layer::backward_with`] so steady-state
 //! training allocates nothing; and inference has a dedicated fast path —
@@ -49,6 +51,7 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 pub mod serialize;
+pub mod simd;
 pub mod tensor;
 
 pub use compute::{Scratch, ThreadPool};

@@ -116,9 +116,7 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "tensor shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        crate::simd::add_assign(&mut self.data, &other.data);
     }
 
     /// Multiplies every element by a scalar.

@@ -1,0 +1,183 @@
+//! SIMD lane parity suite (DESIGN.md §14).
+//!
+//! The AVX kernel tier in `nn::simd`/`nn::compute` promises **bit-exact**
+//! agreement with the preserved naive kernels in `nn::compute::reference`
+//! at every lane width: lanes only span disjoint output elements, every
+//! element's `k`-reduction stays ascending and one-product-at-a-time, and
+//! no FMA contraction is emitted. These tests pin that contract across
+//! the places it could break:
+//!
+//! - lane-remainder shapes (`n % 8`, `n % 16`, `m % 4`, tiny `k`) where the
+//!   vector path hands the tail to scalar code;
+//! - cache-blocking boundaries (`k > KC`, `n > NC`) where packed panels
+//!   are stitched back together;
+//! - unaligned operands (subslices offset by one element — the kernels
+//!   must not assume 32-byte alignment);
+//! - full conv forward/backward through the layer stack;
+//! - thread-count invariance on top of lane invariance.
+//!
+//! Everything runs twice — vectors force-enabled and force-disabled via
+//! [`nn::simd::set_enabled`] — inside **one** test body: the switch is
+//! process-global, so concurrent `#[test]` threads toggling it would race.
+//! On builds without the `simd` feature (or without AVX) the toggle is a
+//! no-op and both passes exercise the scalar engine, so the suite is
+//! feature-portable by construction.
+
+use nn::compute::{self, reference, ThreadPool};
+use nn::{simd, Conv2d, Layer, Tensor};
+use rand::prelude::*;
+
+fn filled(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect()
+}
+
+/// All three GEMM orientations against their reference twins, bitwise,
+/// with operands deliberately offset one element from their allocation so
+/// nothing is 32-byte aligned.
+fn check_gemm_family(rng: &mut StdRng, m: usize, k: usize, n: usize) {
+    let ctx = format!("m={m} k={k} n={n} (simd enabled: {})", simd::enabled());
+    let a_buf = filled(rng, m * k + 1);
+    let b_buf = filled(rng, k * n + 1);
+    let (a, b) = (&a_buf[1..], &b_buf[1..]);
+    // C = A·B, accumulating into a non-zero C (the engine adds into C).
+    let c_init = filled(rng, m * n + 1);
+    let mut c = c_init[1..].to_vec();
+    let mut c_ref = c.clone();
+    compute::gemm(m, k, n, a, b, &mut c);
+    reference::gemm(m, k, n, a, b, &mut c_ref);
+    assert_eq!(c, c_ref, "gemm diverged at {ctx}");
+
+    // C = A·Bᵀ with B stored row-major [n × k].
+    let bt_buf = filled(rng, n * k + 1);
+    let bt = &bt_buf[1..];
+    let mut c = c_init[1..].to_vec();
+    let mut c_ref = c.clone();
+    compute::gemm_a_bt(m, k, n, a, bt, &mut c);
+    reference::gemm_a_bt(m, k, n, a, bt, &mut c_ref);
+    assert_eq!(c, c_ref, "gemm_a_bt diverged at {ctx}");
+
+    // C = Aᵀ·B with A stored row-major [k × m].
+    let at_buf = filled(rng, k * m + 1);
+    let at = &at_buf[1..];
+    let mut c = c_init[1..].to_vec();
+    let mut c_ref = c.clone();
+    compute::gemm_at_b(m, k, n, at, b, &mut c);
+    reference::gemm_at_b(m, k, n, at, b, &mut c_ref);
+    assert_eq!(c, c_ref, "gemm_at_b diverged at {ctx}");
+}
+
+/// Conv forward and backward (input/weight/bias gradients) against the
+/// preserved naive im2col path, bitwise.
+fn check_conv(rng: &mut StdRng, in_c: usize, out_c: usize, k: usize, h: usize, batch: usize) {
+    let ctx = format!(
+        "conv {in_c}->{out_c} k{k} h{h} batch {batch} (simd enabled: {})",
+        simd::enabled()
+    );
+    let mut conv = Conv2d::new(in_c, out_c, k, 42);
+    let mut p = Vec::new();
+    conv.visit_params(&mut |pr| p.push(pr.data.clone()));
+    let x = Tensor::from_vec([batch, in_c, h, h], filled(rng, batch * in_c * h * h));
+    let naive_fwd = reference::conv2d_forward(in_c, out_c, k, &p[0], Some(&p[1]), &x);
+    let y = conv.forward(&x, true);
+    assert_eq!(naive_fwd.out.data(), y.data(), "forward diverged at {ctx}");
+
+    let grad_out = Tensor::from_vec([batch, out_c, h, h], filled(rng, batch * out_c * h * h));
+    let naive_bwd = reference::conv2d_backward(
+        in_c,
+        out_c,
+        k,
+        &p[0],
+        true,
+        &naive_fwd.cols,
+        x.shape(),
+        &grad_out,
+    );
+    conv.zero_grad();
+    let grad_in = conv.backward(&grad_out);
+    assert_eq!(
+        naive_bwd.grad_in.data(),
+        grad_in.data(),
+        "grad_in diverged at {ctx}"
+    );
+    let mut g = Vec::new();
+    conv.visit_params(&mut |pr| g.push(pr.grad.clone()));
+    assert_eq!(naive_bwd.weight_grad, g[0], "weight grad diverged at {ctx}");
+    assert_eq!(
+        naive_bwd.bias_grad.as_deref().unwrap(),
+        g[1].as_slice(),
+        "bias grad diverged at {ctx}"
+    );
+}
+
+/// The row-parallel entry must agree with the serial engine bitwise at
+/// every worker count (lanes and threads both only split disjoint
+/// outputs).
+fn check_parallel(rng: &mut StdRng, m: usize, k: usize, n: usize) {
+    let a = filled(rng, m * k);
+    let b = filled(rng, k * n);
+    let mut serial = vec![0.0f32; m * n];
+    compute::gemm(m, k, n, &a, &b, &mut serial);
+    for threads in [1usize, 2, 4, 7] {
+        let pool = ThreadPool::new(threads);
+        let mut c = vec![0.0f32; m * n];
+        compute::gemm_rows_parallel(&pool, m, k, n, &a, &b, &mut c);
+        assert_eq!(
+            c,
+            serial,
+            "parallel gemm diverged at m={m} k={k} n={n}, {threads} threads \
+             (simd enabled: {})",
+            simd::enabled()
+        );
+    }
+}
+
+#[test]
+fn simd_and_scalar_kernels_are_bit_identical_to_reference() {
+    for force_on in [true, false] {
+        simd::set_enabled(force_on);
+        let mut rng = StdRng::seed_from_u64(0x51_3D ^ force_on as u64);
+        // Degenerate and lane-remainder shapes: every combination of a
+        // full/partial 4-row block, full/partial 8- and 16-column tiles,
+        // and k values that start, straddle, or fill a KC panel.
+        for &m in &[1usize, 3, 4, 5, 9] {
+            for &k in &[1usize, 7, 16, 17] {
+                for &n in &[1usize, 7, 8, 15, 16, 17, 31, 33] {
+                    check_gemm_family(&mut rng, m, k, n);
+                }
+            }
+        }
+        // Cache-blocking boundaries: k crossing KC=256, n crossing
+        // NC=1024, both with ragged remainders.
+        check_gemm_family(&mut rng, 9, 300, 68);
+        check_gemm_family(&mut rng, 5, 37, 1050);
+        // A paper-tile shape: the im2col panel of one 5×5 residual-block
+        // convolution row-block at C=256 on the 32×32 grid has k=6400,
+        // n=1024; this keeps the same ragged geometry at test-budget size.
+        check_gemm_family(&mut rng, 12, 403, 260);
+        // 1×1 convs reduce to plain GEMM with k = in_c.
+        for &(in_c, out_c, kk, h, batch) in &[
+            (4usize, 8usize, 3usize, 8usize, 2usize),
+            (8, 8, 5, 8, 1),
+            (8, 4, 1, 8, 3),
+            (12, 12, 5, 16, 2),
+            (3, 5, 1, 7, 1), // odd everything
+        ] {
+            check_conv(&mut rng, in_c, out_c, kk, h, batch);
+        }
+        check_parallel(&mut rng, 23, 65, 130);
+    }
+    simd::set_enabled(true);
+}
+
+#[test]
+fn dispatch_reports_are_consistent() {
+    // `enabled()` may only be true when the lane code is compiled in; on
+    // x86-64 with the default feature it should actually engage.
+    if simd::enabled() {
+        assert!(simd::compiled());
+    }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    assert!(simd::compiled());
+    #[cfg(not(feature = "simd"))]
+    assert!(!simd::compiled() && !simd::enabled());
+}

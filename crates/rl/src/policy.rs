@@ -140,6 +140,39 @@ impl ScalarizedPolicy {
         rng: &mut StdRng,
         scratch: &mut Scratch,
     ) -> Vec<Option<usize>> {
+        self.select_actions_with(states, masks, epsilon, rng, |batch| {
+            Some(net.infer(batch, scratch))
+        })
+        .expect("local inference cannot be cancelled")
+    }
+
+    /// [`ScalarizedPolicy::select_actions`] with the greedy forward pass
+    /// delegated to a caller-supplied evaluator — how actors route their
+    /// decisions through a shared inference broker instead of a local
+    /// network while keeping coin draws and argmax logic (and therefore
+    /// trajectories) identical.
+    ///
+    /// The evaluator receives only the states whose coins came up greedy
+    /// (in state order) and must return one Q-row per state; it may return
+    /// `None` to signal the inference service is gone (shutdown), which
+    /// propagates as `None` here. Exploration coins are drawn in state
+    /// order *before* the evaluator runs, exactly as in `select_actions`,
+    /// so the two entry points consume the actor RNG identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` and `masks` lengths differ.
+    pub fn select_actions_with<F>(
+        &self,
+        states: &[&[f32]],
+        masks: &[&[bool]],
+        epsilon: f64,
+        rng: &mut StdRng,
+        infer: F,
+    ) -> Option<Vec<Option<usize>>>
+    where
+        F: FnOnce(&[&[f32]]) -> Option<Vec<Vec<[f32; 2]>>>,
+    {
         assert_eq!(states.len(), masks.len(), "states/masks length mismatch");
         let mut actions: Vec<Option<usize>> = Vec::with_capacity(states.len());
         let mut greedy_idx = Vec::new();
@@ -155,12 +188,13 @@ impl ScalarizedPolicy {
         }
         if !greedy_idx.is_empty() {
             let batch: Vec<&[f32]> = greedy_idx.iter().map(|&i| states[i]).collect();
-            let q = net.infer(&batch, scratch);
+            let q = infer(&batch)?;
+            assert_eq!(q.len(), batch.len(), "evaluator returned a short batch");
             for (&i, q) in greedy_idx.iter().zip(&q) {
                 actions[i] = self.greedy_from_q(q, masks[i]);
             }
         }
-        actions
+        Some(actions)
     }
 
     /// Draws the exploration coin for one state.

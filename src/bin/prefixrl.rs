@@ -230,6 +230,10 @@ fn session_options_help() -> &'static str {
      \x20 --actors <A>             async actor threads per agent (default 1 =\n\
      \x20                          deterministic serial runner; >1 disables\n\
      \x20                          checkpointing)\n\
+     \x20 --no-broker              with --actors > 1: run greedy forwards\n\
+     \x20                          per-actor instead of batching them through\n\
+     \x20                          the cross-actor inference broker (same\n\
+     \x20                          trajectories, lower decision throughput)\n\
      \x20 --eval-threads <T>       EvalService thread budget; sweeps also fan\n\
      \x20                          agents out over this many threads\n\
      \x20 --nn-threads <T>         Q-network compute threads (GEMM panels;\n\
@@ -432,6 +436,7 @@ fn run_session(opts: &HashMap<String, String>, weights: Weights) {
         .task(Arc::clone(&task))
         .backend(Arc::clone(&backend))
         .actors(actors)
+        .batched_inference(!opts.contains_key("no-broker"))
         .eval_threads(eval_threads)
         .cache_shards(cache_shards);
     if let Some(t) = nn_threads {

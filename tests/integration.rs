@@ -152,7 +152,7 @@ fn async_training_integrates_with_synthesis_cache() {
     let mut cfg = AgentConfig::tiny(8, 0.5);
     cfg.total_steps = 120;
     cfg.env = prefixrl_core::env::EnvConfig::synthesis(8);
-    let result = AsyncRunner { actors: 2 }.train(&cfg, eval.clone());
+    let result = AsyncRunner::new(2).train(&cfg, eval.clone());
     assert!(!result.designs.is_empty());
     assert!(eval.hits() + eval.misses() > 0);
     for (g, p) in result.designs.iter().take(5) {
