@@ -102,8 +102,81 @@ struct InferRequest {
 /// Entry cap for the broker's per-snapshot memo table — a backstop for
 /// pathological state churn between publishes (publishes clear the table
 /// long before this in practice). Keys are full feature vectors, so the
-/// cap is what bounds worst-case broker memory.
+/// cap is what bounds worst-case broker memory: [`BrokerMemo::resolve`]
+/// never lets the table exceed it, even when a single cycle's fresh set
+/// is larger than the whole cap.
 const BROKER_MEMO_CAP: usize = 1 << 12;
+
+/// The broker's per-snapshot Q-row memo: state bit-pattern → Q-rows.
+/// Cleared on every snapshot publish; holds at most `cap` entries.
+struct BrokerMemo {
+    cap: usize,
+    rows: HashMap<Vec<u32>, Vec<[f32; 2]>>,
+}
+
+impl BrokerMemo {
+    fn new(cap: usize) -> Self {
+        BrokerMemo {
+            cap,
+            rows: HashMap::new(),
+        }
+    }
+
+    /// Drop every memoized row (the snapshot changed).
+    fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Resolve one decision cycle: return one Q-row per key, in key
+    /// order, running `infer` at most once over the deduplicated states
+    /// not already memoized. `keys[i]` must be the bit pattern of
+    /// `states[i]`.
+    ///
+    /// Replies are assembled from a cycle-local map into which memo hits
+    /// are copied *before* any eviction, so the cap backstop below can
+    /// never drop a row the current cycle still needs.
+    fn resolve(
+        &mut self,
+        keys: &[Vec<u32>],
+        states: &[&[f32]],
+        infer: impl FnOnce(&[&[f32]]) -> Vec<Vec<[f32; 2]>>,
+    ) -> Vec<Vec<[f32; 2]>> {
+        debug_assert_eq!(keys.len(), states.len());
+        let mut cycle: HashMap<&Vec<u32>, Vec<[f32; 2]>> = HashMap::new();
+        let mut fresh: Vec<(&Vec<u32>, &[f32])> = Vec::new();
+        let mut seen: HashSet<&Vec<u32>> = HashSet::new();
+        for (key, &state) in keys.iter().zip(states) {
+            if !seen.insert(key) {
+                continue;
+            }
+            match self.rows.get(key) {
+                Some(hit) => {
+                    cycle.insert(key, hit.clone());
+                }
+                None => fresh.push((key, state)),
+            }
+        }
+        if !fresh.is_empty() {
+            let batch: Vec<&[f32]> = fresh.iter().map(|&(_, s)| s).collect();
+            let q = infer(&batch);
+            debug_assert_eq!(q.len(), fresh.len());
+            // Cap backstop: evict earlier cycles' rows, then memoize the
+            // fresh rows only while room remains, so the table never
+            // exceeds `cap` entries. The reply scatter reads `cycle`,
+            // never the memo, so eviction cannot lose a row mid-cycle.
+            if self.rows.len() + fresh.len() > self.cap {
+                self.rows.clear();
+            }
+            for (&(key, _), row) in fresh.iter().zip(q) {
+                if self.rows.len() < self.cap {
+                    self.rows.insert(key.clone(), row.clone());
+                }
+                cycle.insert(key, row);
+            }
+        }
+        keys.iter().map(|k| cycle[k].clone()).collect()
+    }
+}
 
 /// The asynchronous actor/learner runner: `actors` parallel experience
 /// generators feed one learner thread.
@@ -247,7 +320,7 @@ fn run_async(
                 // returns precisely the bits a fresh forward would
                 // (inference is deterministic and per-sample), so this
                 // changes no actor's trajectory — it only skips forwards.
-                let mut memo: HashMap<Vec<u32>, Vec<[f32; 2]>> = HashMap::new();
+                let mut memo = BrokerMemo::new(BROKER_MEMO_CAP);
                 // Blocking recv for the first request of a cycle, then a
                 // non-blocking drain of whatever else is already queued.
                 // No waiting for stragglers: the memo table makes batch
@@ -274,36 +347,18 @@ fn run_async(
                         .flat_map(|r| r.states.iter())
                         .map(|s| s.iter().map(|v| v.to_bits()).collect())
                         .collect();
+                    let states: Vec<&[f32]> = pending
+                        .iter()
+                        .flat_map(|r| r.states.iter().map(Vec::as_slice))
+                        .collect();
                     // The fused forward covers only the unique states not
                     // already memoized under this snapshot.
-                    let mut fresh: Vec<(&Vec<u32>, &[f32])> = Vec::new();
-                    {
-                        let mut states = pending.iter().flat_map(|r| r.states.iter());
-                        let mut seen: HashSet<&Vec<u32>> = HashSet::new();
-                        for key in &keys {
-                            let s = states.next().expect("one state per key");
-                            if !memo.contains_key(key) && seen.insert(key) {
-                                fresh.push((key, s));
-                            }
-                        }
-                    }
-                    if !fresh.is_empty() {
-                        if memo.len() + fresh.len() > BROKER_MEMO_CAP {
-                            memo.clear();
-                        }
-                        let batch: Vec<&[f32]> = fresh.iter().map(|&(_, s)| s).collect();
-                        let q = snapshot.infer(&batch, &mut scratch);
-                        for (&(key, _), row) in fresh.iter().zip(q) {
-                            memo.insert(key.clone(), row);
-                        }
-                    }
-                    let mut key_it = keys.iter();
+                    let rows =
+                        memo.resolve(&keys, &states, |batch| snapshot.infer(batch, &mut scratch));
+                    let mut row_it = rows.into_iter();
                     for req in pending.drain(..) {
-                        let reply: Vec<Vec<[f32; 2]>> = key_it
-                            .by_ref()
-                            .take(req.states.len())
-                            .map(|k| memo[k].clone())
-                            .collect();
+                        let reply: Vec<Vec<[f32; 2]>> =
+                            row_it.by_ref().take(req.states.len()).collect();
                         // A send error means the requesting actor already
                         // exited (cancel landed mid-request) — drop the rows.
                         let _ = req.reply.send(reply);
@@ -700,6 +755,80 @@ mod tests {
             assert_eq!(ga.canonical_key(), gb.canonical_key());
             assert_eq!((pa.area, pa.delay), (pb.area, pb.delay));
         }
+    }
+
+    fn bit_keys(states: &[Vec<f32>]) -> Vec<Vec<u32>> {
+        states
+            .iter()
+            .map(|s| s.iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    fn slices(states: &[Vec<f32>]) -> Vec<&[f32]> {
+        states.iter().map(Vec::as_slice).collect()
+    }
+
+    /// Per-state fake forward: Q-row is a function of the state alone,
+    /// so a memoized reply and a recomputed reply are distinguishable
+    /// from a wrong-row reply but not from each other.
+    fn fake_infer(batch: &[&[f32]]) -> Vec<Vec<[f32; 2]>> {
+        batch.iter().map(|s| vec![[s[0], -s[0]]]).collect()
+    }
+
+    /// Regression: memo-cap eviction used to `clear()` rows that the
+    /// current cycle's reply scatter still needed — a state that is a
+    /// memo *hit* this cycle is excluded from the fused batch, so after
+    /// eviction its lookup panicked and took down the whole run. Trip
+    /// the cap in a cycle that contains such a duplicate and check every
+    /// row still comes back, with the table staying within the cap.
+    #[test]
+    fn broker_memo_cap_eviction_preserves_current_cycle_hits() {
+        let mut memo = BrokerMemo::new(4);
+        let warm: Vec<Vec<f32>> = (0..3).map(|i| vec![i as f32]).collect();
+        let rows = memo.resolve(&bit_keys(&warm), &slices(&warm), fake_infer);
+        assert_eq!(rows.len(), 3);
+        // 3 memoized + 2 fresh > cap 4, and the first state is a hit.
+        let trip: Vec<Vec<f32>> = vec![vec![0.0], vec![10.0], vec![11.0]];
+        let rows = memo.resolve(&bit_keys(&trip), &slices(&trip), fake_infer);
+        assert_eq!(
+            rows,
+            vec![vec![[0.0, 0.0]], vec![[10.0, -10.0]], vec![[11.0, -11.0]],]
+        );
+        assert!(memo.rows.len() <= 4, "{} entries", memo.rows.len());
+    }
+
+    /// The cap is a hard bound even when one cycle's fresh set alone
+    /// exceeds it: the overflow portion is served but not memoized.
+    #[test]
+    fn broker_memo_never_exceeds_cap() {
+        let mut memo = BrokerMemo::new(2);
+        let big: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32 + 1.0]).collect();
+        let rows = memo.resolve(&bit_keys(&big), &slices(&big), fake_infer);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row, &vec![[i as f32 + 1.0, -(i as f32 + 1.0)]]);
+        }
+        assert!(memo.rows.len() <= 2, "{} entries", memo.rows.len());
+    }
+
+    /// Repeats — across cycles and within one cycle — reach the fused
+    /// forward exactly once; every key still gets its row.
+    #[test]
+    fn broker_memo_deduplicates_hits_and_in_cycle_repeats() {
+        let mut memo = BrokerMemo::new(16);
+        let states: Vec<Vec<f32>> = vec![vec![1.0], vec![2.0], vec![1.0]];
+        let forwarded = std::cell::Cell::new(0usize);
+        let counting = |batch: &[&[f32]]| {
+            forwarded.set(forwarded.get() + batch.len());
+            fake_infer(batch)
+        };
+        let first = memo.resolve(&bit_keys(&states), &slices(&states), counting);
+        assert_eq!(forwarded.get(), 2, "in-cycle repeat reached the net");
+        let second = memo.resolve(&bit_keys(&states), &slices(&states), counting);
+        assert_eq!(forwarded.get(), 2, "memo hit reached the net");
+        assert_eq!(first, second);
+        memo.clear();
+        memo.resolve(&bit_keys(&states), &slices(&states), counting);
+        assert_eq!(forwarded.get(), 4, "clear() must drop memoized rows");
     }
 
     #[test]

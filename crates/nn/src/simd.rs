@@ -27,7 +27,14 @@
 //! 3. **Branch-free selects use exact multiplicative identities.** LReLU
 //!    becomes `x * s` with `s ∈ {1.0, α}`; `x * 1.0` is exact for every
 //!    finite and infinite `f32`, so the blend is bitwise equal to the
-//!    branchy scalar form.
+//!    branchy scalar form. One caveat: the *historical* branchy LReLU
+//!    (`if v <= 0 { v *= α }`) left NaN untouched, while the
+//!    multiplicative form scales NaN lanes (`NaN > 0` is false, so
+//!    `s = α`). The product is still NaN — only its payload/sign bits
+//!    are platform-defined — and the vector and scalar paths multiply
+//!    with the same operand order, so *they* stay bit-identical to each
+//!    other. What is lost is bit-equivalence with the pre-SIMD kernels
+//!    on NaN activations, i.e. only after training has already diverged.
 //!
 //! # Dispatch
 //!
@@ -614,16 +621,41 @@ mod tests {
 
             set_enabled(true);
         }
+
+        // NaN lanes (module docs, rule 3 caveat): both LReLU paths
+        // compute `NaN * alpha` with identical operand order, so even
+        // the NaN output bits must agree between vector and scalar.
+        let mut a = vec![f32::NAN, -f32::NAN, -1.0, 2.0];
+        a.resize(17, f32::NAN); // one full vector body plus a tail
+        let mut b = a.clone();
+        set_enabled(true);
+        lrelu_apply(&mut a, 0.01);
+        set_enabled(false);
+        lrelu_apply(&mut b, 0.01);
+        set_enabled(true);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b), "NaN lrelu_apply parity");
     }
 
     /// The multiplicative LReLU form is bitwise equal to the historical
-    /// branchy form (`if v <= 0 { v *= alpha }`) — the identity that made
-    /// the scale-vector refactor safe.
+    /// branchy form (`if v <= 0 { v *= alpha }`) for every non-NaN input
+    /// — the identity that made the scale-vector refactor safe. NaN is
+    /// the one documented divergence (module docs, rule 3): the branchy
+    /// form left NaN untouched, the multiplicative form computes
+    /// `NaN * alpha`. Accepted behavior is "NaN stays NaN", with
+    /// platform-defined payload bits.
     #[test]
     fn multiplicative_lrelu_equals_branchy_form() {
         let mut rng = StdRng::seed_from_u64(78);
         let mut a = randv(&mut rng, 1000);
-        a.extend_from_slice(&[0.0, -0.0, f32::MIN_POSITIVE, -f32::MIN_POSITIVE]);
+        a.extend_from_slice(&[
+            0.0,
+            -0.0,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ]);
         let mut b = a.clone();
         lrelu_apply(&mut a, 0.01);
         for v in &mut b {
@@ -635,5 +667,10 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
         }
+        // NaN: not bit-preserved (unlike the branchy form), but never
+        // anything other than NaN.
+        let mut n = vec![f32::NAN, -f32::NAN];
+        lrelu_apply(&mut n, 0.01);
+        assert!(n.iter().all(|v| v.is_nan()), "{n:?}");
     }
 }
