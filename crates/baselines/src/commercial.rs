@@ -8,6 +8,8 @@
 
 use netlist::Library;
 use prefix_graph::{structures, PrefixGraph};
+use prefixrl_core::evaluator::ObjectivePoint;
+use prefixrl_core::pareto::better_at_target;
 use synth::optimizer::{optimize, OptimizerConfig};
 use synth::sta::{self, TimingConstraints};
 
@@ -59,17 +61,20 @@ pub fn choose_at_target_with(
     for (name, graph) in commercial_library(n) {
         let nl = emit(&graph);
         let out = optimize(&nl, lib, &cons, target, cfg);
+        let candidate = ObjectivePoint {
+            area: out.area,
+            delay: out.delay,
+        };
         let better = match &best {
             None => true,
-            Some(b) => {
-                let b_met = b.delay <= target + 1e-9;
-                match (out.met, b_met) {
-                    (true, false) => true,
-                    (false, true) => false,
-                    (true, true) => out.area < b.area,
-                    (false, false) => out.delay < b.delay,
-                }
-            }
+            Some(b) => better_at_target(
+                &candidate,
+                &ObjectivePoint {
+                    area: b.area,
+                    delay: b.delay,
+                },
+                target,
+            ),
         };
         if better {
             best = Some(CommercialChoice {

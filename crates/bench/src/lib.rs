@@ -320,6 +320,48 @@ pub fn write_bench_serve(n: u16, rows: &[ServeRow]) {
     println!("[artifact] {}", path.display());
 }
 
+/// One measured point of the `query_throughput` harness: the frontier
+/// read tier (DESIGN.md §15) under concurrent lookup load.
+#[derive(Clone, Debug)]
+pub struct QueryRow {
+    /// What was measured: `in_process_best_at_delay`,
+    /// `in_process_best_at_weight`, `in_process_under_writer`,
+    /// `wire_query`, or `wire_query_batch`.
+    pub scenario: String,
+    /// Concurrent reader threads (wire scenarios: one connection each).
+    pub readers: usize,
+    /// Total queries answered across all readers.
+    pub queries: u64,
+    /// Queries per wall-clock second, summed over readers.
+    pub qps: f64,
+    /// Worst single-query latency observed, µs (0 when not tracked) —
+    /// the "reads never block on a merge" evidence in the writer
+    /// scenario.
+    pub max_latency_us: f64,
+}
+
+/// Dumps `BENCH_query.json` at the workspace root: snapshot lookup
+/// throughput (in-process and wire-level) vs reader threads, plus reader
+/// tail latency under a concurrent fsyncing writer — machine-readable so
+/// the ≥1M lookups/sec read-tier budget is tracked against this file.
+pub fn write_bench_query(points_in_front: usize, rows: &[QueryRow]) {
+    let value = serde_json::json!({
+        "benchmark": "frontier_query_throughput",
+        "points_in_front": points_in_front,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "scenario": r.scenario.clone(),
+            "readers": r.readers,
+            "queries": r.queries,
+            "qps": r.qps,
+            "max_latency_us": r.max_latency_us,
+        })).collect::<Vec<_>>(),
+    });
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_query.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap())
+        .expect("write BENCH_query.json");
+    println!("[artifact] {}", path.display());
+}
+
 /// Prints a named series of (area, delay) points as the paper's figures
 /// tabulate them, in increasing delay order.
 pub fn print_series(name: &str, points: &[(f64, f64)]) {

@@ -9,6 +9,35 @@
 use crate::evaluator::ObjectivePoint;
 use serde::{Deserialize, Serialize};
 
+/// Absolute slack applied when checking a delay target (ns at synthesis
+/// scale): a point whose delay exceeds the target by less than this still
+/// counts as meeting it.
+pub const TARGET_EPS: f64 = 1e-9;
+
+/// The commercial-tool selection rule between two candidates at a delay
+/// target: meeting the target beats missing it; among candidates that
+/// meet it, lower area wins; among candidates that miss it, lower delay
+/// wins (be as fast as possible when timing cannot be met). Returns
+/// `true` when `candidate` should replace `incumbent`.
+///
+/// Shared by `baselines::choose_at_target_with` and the serve query
+/// tier's `best_at_delay`, so the CLI baseline sweep and a served query
+/// answer the same question identically.
+pub fn better_at_target(
+    candidate: &ObjectivePoint,
+    incumbent: &ObjectivePoint,
+    target: f64,
+) -> bool {
+    let c_met = candidate.delay <= target + TARGET_EPS;
+    let i_met = incumbent.delay <= target + TARGET_EPS;
+    match (c_met, i_met) {
+        (true, false) => true,
+        (false, true) => false,
+        (true, true) => candidate.area < incumbent.area,
+        (false, false) => candidate.delay < incumbent.delay,
+    }
+}
+
 /// A minimization Pareto front over `(area, delay)` with payloads.
 ///
 /// Inserting a dominated point is a no-op; inserting a dominating point
@@ -187,6 +216,26 @@ mod tests {
         assert!(f.insert(pt(10.0, 1.0), 1));
         assert!(!f.insert(pt(10.0, 1.0), 2));
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn better_at_target_follows_commercial_rule() {
+        let target = 1.0;
+        // Meeting the target beats missing it, in both directions.
+        assert!(better_at_target(&pt(90.0, 0.9), &pt(10.0, 1.5), target));
+        assert!(!better_at_target(&pt(10.0, 1.5), &pt(90.0, 0.9), target));
+        // Both meet: lower area wins.
+        assert!(better_at_target(&pt(50.0, 1.0), &pt(60.0, 0.5), target));
+        assert!(!better_at_target(&pt(60.0, 0.5), &pt(50.0, 1.0), target));
+        // Neither meets: lower delay wins.
+        assert!(better_at_target(&pt(90.0, 1.2), &pt(10.0, 1.4), target));
+        assert!(!better_at_target(&pt(10.0, 1.4), &pt(90.0, 1.2), target));
+        // The 1e-9 slack counts a hairline miss as met.
+        assert!(better_at_target(
+            &pt(50.0, 1.0 + 0.5e-9),
+            &pt(10.0, 1.5),
+            target
+        ));
     }
 
     #[test]

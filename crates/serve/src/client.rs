@@ -209,6 +209,126 @@ impl Client {
         )
     }
 
+    /// One read-tier query (see [`crate::query`]): `extra` carries the
+    /// mode parameters, e.g. `[("delay", 2.5)]` for `best_at_delay`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a query the server rejects (unknown mode,
+    /// weight outside `[0, 1]`, aliasing names).
+    pub fn query(
+        &self,
+        task: &str,
+        backend: &str,
+        n: u16,
+        mode: &str,
+        extra: Vec<(String, Value)>,
+    ) -> Result<Value, String> {
+        let mut fields = vec![
+            ("task".to_string(), Value::String(task.to_string())),
+            ("backend".to_string(), Value::String(backend.to_string())),
+            (
+                "n".to_string(),
+                Value::Number(serde::Number::UInt(n as u64)),
+            ),
+            ("mode".to_string(), Value::String(mode.to_string())),
+        ];
+        fields.extend(extra);
+        self.cmd("query", fields)
+    }
+
+    /// The minimum-area stored design with delay ≤ `delay` (the fastest
+    /// design, flagged `met: false`, when nothing is that fast).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::query`].
+    pub fn query_best_at_delay(
+        &self,
+        task: &str,
+        backend: &str,
+        n: u16,
+        delay: f64,
+    ) -> Result<Value, String> {
+        self.query(
+            task,
+            backend,
+            n,
+            "best_at_delay",
+            vec![(
+                "delay".to_string(),
+                Value::Number(serde::Number::Float(delay)),
+            )],
+        )
+    }
+
+    /// The scalarized-argmin stored design at area-weight `w ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::query`].
+    pub fn query_best_at_weight(
+        &self,
+        task: &str,
+        backend: &str,
+        n: u16,
+        w: f64,
+    ) -> Result<Value, String> {
+        self.query(
+            task,
+            backend,
+            n,
+            "best_at_weight",
+            vec![("w".to_string(), Value::Number(serde::Number::Float(w)))],
+        )
+    }
+
+    /// Every stored design with delay in `[delay_lo, delay_hi]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::query`].
+    pub fn query_range(
+        &self,
+        task: &str,
+        backend: &str,
+        n: u16,
+        delay_lo: f64,
+        delay_hi: f64,
+    ) -> Result<Value, String> {
+        self.query(
+            task,
+            backend,
+            n,
+            "range",
+            vec![
+                (
+                    "delay_lo".to_string(),
+                    Value::Number(serde::Number::Float(delay_lo)),
+                ),
+                (
+                    "delay_hi".to_string(),
+                    Value::Number(serde::Number::Float(delay_hi)),
+                ),
+            ],
+        )
+    }
+
+    /// A batch of query payloads answered against one snapshot (every
+    /// result reflects the same `epoch`). Each payload is the object
+    /// [`Client::query`] would send, minus `proto`/`cmd`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an over-cap batch; per-query failures come
+    /// back inline in `results`.
+    pub fn query_batch(&self, queries: Vec<Value>) -> Result<Value, String> {
+        self.cmd(
+            "query_batch",
+            vec![("queries".to_string(), Value::Array(queries))],
+        )
+    }
+
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors

@@ -41,6 +41,9 @@ pub struct ServeConfig {
     pub event_tail: usize,
     /// Where `frontier.json` / `jobs.json` persist; `None` = ephemeral.
     pub state_dir: Option<PathBuf>,
+    /// WAL records accumulated before the frontier store compacts
+    /// (see [`crate::store::FrontierStore::open_with`]).
+    pub compact_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +56,7 @@ impl Default for ServeConfig {
             cache_shards: 16,
             event_tail: 64,
             state_dir: None,
+            compact_every: crate::store::COMPACT_EVERY_DEFAULT,
         }
     }
 }
@@ -306,7 +310,10 @@ impl JobManager {
             Some(dir) => {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
-                Arc::new(FrontierStore::open(&dir.join("frontier.json"))?)
+                Arc::new(FrontierStore::open_with(
+                    &dir.join("frontier.json"),
+                    cfg.compact_every,
+                )?)
             }
             None => Arc::new(FrontierStore::in_memory()),
         };

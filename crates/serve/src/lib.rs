@@ -19,9 +19,18 @@
 //! - [`FrontierStore`] — the persistent cross-run artifact: every finished
 //!   job's design pool merges into a disk-backed combined Pareto front per
 //!   `(task, backend, width)` key, monotonically (merges never regress a
-//!   stored front) and restart-safely (reloaded fronts are bit-identical);
+//!   stored front) and restart-safely (reloaded fronts are bit-identical).
+//!   Persistence is a write-ahead merge log with periodic compaction
+//!   (DESIGN.md §15): each merge fsyncs one appended record, not the
+//!   whole store;
+//! - [`query`] — the read tier: every merge publishes an immutable
+//!   [`FrontierSnapshot`] (per-key fronts pre-sorted by delay with
+//!   precomputed scalarization data) via an epoch-stamped `Arc` swap, so
+//!   the `query`/`query_batch` verbs answer `best_at_delay`,
+//!   `best_at_weight` and `range` lookups without ever taking the store
+//!   mutex — reads never block on a concurrent merge;
 //! - [`Client`] — the synchronous client the `prefixrl
-//!   submit|status|cancel|frontier` subcommands are built on.
+//!   submit|status|cancel|frontier|query` subcommands are built on.
 //!
 //! # Quickstart (in-process)
 //!
@@ -50,6 +59,9 @@
 //! assert_eq!(done.get("phase").unwrap(), &serde_json::Value::String("done".into()));
 //! let front = client.frontier("adder", "analytical", 8).unwrap();
 //! assert!(!front.get("points").unwrap().as_array().unwrap().is_empty());
+//! let best = client.query_best_at_delay("adder", "analytical", 8, 1e9).unwrap();
+//! let result = best.get("result").unwrap();
+//! assert_eq!(result.get("found").unwrap(), &serde_json::Value::Bool(true));
 //! handle.shutdown().unwrap();
 //! ```
 
@@ -58,10 +70,12 @@
 pub mod client;
 pub mod jobs;
 pub mod protocol;
+pub mod query;
 pub mod server;
 pub mod store;
 
 pub use client::Client;
 pub use jobs::{JobManager, JobPhase, JobSpec, ServeConfig};
+pub use query::{FrontView, FrontierSnapshot, QueryPoint, SnapshotCell};
 pub use server::{Server, ServerHandle};
 pub use store::FrontierStore;

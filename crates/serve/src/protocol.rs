@@ -15,8 +15,20 @@
 //! | `status`   | `id`, optional `tail`           | job snapshot + event tail   |
 //! | `list`     | —                               | `jobs` array                |
 //! | `cancel`   | `id`                            | `result`                    |
-//! | `frontier` | `task`, `backend`, `n`          | `points`, `count`, `key`    |
+//! | `frontier` | `task`, `backend`, `n`          | `points`, `count`, `key`, `known` |
+//! | `query`    | `task`, `backend`, `n`, `mode`, mode params | `key`, `known`, `found`, `point`/`points`, `epoch` |
+//! | `query_batch` | `queries` array of query payloads | `results` array, `epoch`  |
 //! | `shutdown` | —                               | acknowledges, then stops    |
+//!
+//! Query modes (DESIGN.md §15): `best_at_delay` takes `delay` and
+//! answers with the minimum-area point meeting it (`met: false` + the
+//! fastest point when nothing does); `best_at_weight` takes `w ∈ [0, 1]`
+//! and answers the scalarized argmin; `range` takes `delay_lo`/`delay_hi`
+//! and answers every point inside the inclusive window. All three accept
+//! `include_graph: true` to attach stored graphs. `frontier`'s `points`
+//! is `null` — and `known` false — for a key never merged, distinguishing
+//! it from a merged key whose front is empty (`[]`). A batch is answered
+//! against one snapshot: every result reflects the same `epoch`.
 
 use serde_json::Value;
 
@@ -94,5 +106,31 @@ pub fn opt_u64(request: &Value, key: &str, default: u64) -> Result<u64, String> 
     match request.get(key) {
         None | Some(Value::Null) => Ok(default),
         Some(_) => req_u64(request, key),
+    }
+}
+
+/// A required numeric field, as `f64` (integers widen losslessly).
+///
+/// # Errors
+///
+/// Fails when the field is absent or not a number.
+pub fn req_f64(request: &Value, key: &str) -> Result<f64, String> {
+    match request.get(key) {
+        Some(Value::Number(n)) => Ok(n.as_f64()),
+        Some(other) => Err(format!("field `{key}`: expected a number, got {other:?}")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// An optional boolean field with a default.
+///
+/// # Errors
+///
+/// Fails when the field is present but not a boolean.
+pub fn opt_bool(request: &Value, key: &str, default: bool) -> Result<bool, String> {
+    match request.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(other) => Err(format!("field `{key}`: expected a boolean, got {other:?}")),
     }
 }

@@ -188,6 +188,7 @@ fn dispatch(request: &Value, jobs: &Arc<JobManager>) -> (Value, bool) {
                         )),
                     ),
                     ("cache".to_string(), jobs.cache_json()),
+                    ("frontier".to_string(), jobs.store().stats_json()),
                 ]),
                 false,
             ),
@@ -235,6 +236,9 @@ fn dispatch(request: &Value, jobs: &Arc<JobManager>) -> (Value, bool) {
                 let n = u16::try_from(n_raw)
                     .map_err(|_| format!("field `n`: width {n_raw} exceeds u16"))?;
                 let points = jobs.store().front_json(task, backend, n, false);
+                // `null` points = key never merged; `[]` = merged but
+                // empty. Clients can tell the two apart via `known`.
+                let known = !matches!(points, Value::Null);
                 let count = points.as_array().map_or(0, <[Value]>::len) as u64;
                 (
                     ok_response(vec![
@@ -242,6 +246,7 @@ fn dispatch(request: &Value, jobs: &Arc<JobManager>) -> (Value, bool) {
                             "key".to_string(),
                             Value::String(crate::store::key_of(task, backend, n)),
                         ),
+                        ("known".to_string(), Value::Bool(known)),
                         (
                             "count".to_string(),
                             Value::Number(serde::Number::UInt(count)),
@@ -257,6 +262,62 @@ fn dispatch(request: &Value, jobs: &Arc<JobManager>) -> (Value, bool) {
                     false,
                 )
             }
+            // The read tier: `query`/`query_batch` resolve against the
+            // store's immutable snapshot only — they never take the store
+            // mutex, so a concurrent merge's WAL fsync cannot stall them.
+            "query" => {
+                let snapshot = jobs.store().snapshot();
+                let answer = crate::query::answer_query(&snapshot, request)?;
+                (
+                    ok_response(vec![
+                        ("result".to_string(), answer),
+                        (
+                            "epoch".to_string(),
+                            Value::Number(serde::Number::UInt(snapshot.epoch())),
+                        ),
+                    ]),
+                    false,
+                )
+            }
+            "query_batch" => {
+                let queries = match request.get("queries") {
+                    Some(Value::Array(qs)) => qs,
+                    Some(other) => {
+                        return Err(format!("field `queries`: expected an array, got {other:?}"))
+                    }
+                    None => return Err("missing field `queries`".to_string()),
+                };
+                if queries.len() > crate::query::MAX_BATCH {
+                    return Err(format!(
+                        "field `queries`: batch of {} exceeds the {} cap",
+                        queries.len(),
+                        crate::query::MAX_BATCH
+                    ));
+                }
+                // One snapshot for the whole batch: every answer reflects
+                // the same epoch, even if merges land mid-batch.
+                let snapshot = jobs.store().snapshot();
+                let results: Vec<Value> = queries
+                    .iter()
+                    .map(|q| match crate::query::answer_query(&snapshot, q) {
+                        Ok(answer) => answer,
+                        Err(e) => Value::Object(vec![
+                            ("ok".to_string(), Value::Bool(false)),
+                            ("error".to_string(), Value::String(e)),
+                        ]),
+                    })
+                    .collect();
+                (
+                    ok_response(vec![
+                        ("results".to_string(), Value::Array(results)),
+                        (
+                            "epoch".to_string(),
+                            Value::Number(serde::Number::UInt(snapshot.epoch())),
+                        ),
+                    ]),
+                    false,
+                )
+            }
             "shutdown" => (
                 ok_response(vec![(
                     "result".to_string(),
@@ -267,7 +328,7 @@ fn dispatch(request: &Value, jobs: &Arc<JobManager>) -> (Value, bool) {
             other => {
                 return Err(format!(
                     "unknown cmd `{other}` (this server speaks `{PROTOCOL}`: \
-                     ping|submit|status|list|cancel|frontier|shutdown)"
+                     ping|submit|status|list|cancel|frontier|query|query_batch|shutdown)"
                 ))
             }
         })

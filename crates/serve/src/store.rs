@@ -1,4 +1,4 @@
-//! The persistent cross-run frontier store (DESIGN.md §13).
+//! The persistent cross-run frontier store (DESIGN.md §13, §15).
 //!
 //! The paper's headline artifact is the *combined* area–delay Pareto front
 //! assembled from many scalarized agents (Fig. 4). A one-shot CLI run
@@ -12,34 +12,105 @@
 //! can only tighten a stored front, never regress it — a new job's
 //! dominated points are rejected, its dominating points evict what they
 //! beat. Keys isolate fully (an adder result can never surface in a
-//! prefix-OR query), and persistence uses the checkpoint machinery's
-//! unique-temp-name [`prefixrl_core::checkpoint::write_atomic`], so a
-//! crash mid-write never corrupts the previous store and the reloaded
-//! front is bit-identical to the one last persisted (floats round-trip via
-//! shortest-representation formatting).
+//! prefix-OR query).
+//!
+//! Persistence is a write-ahead merge log plus periodic compaction
+//! (DESIGN.md §15). Each merge appends **one** WAL record — only the
+//! designs the front actually accepted — and fsyncs just that delta,
+//! instead of rewriting the whole store; every [`COMPACT_EVERY_DEFAULT`]
+//! records (configurable via [`FrontierStore::open_with`]) the store is
+//! compacted: the full map is written through the checkpoint machinery's
+//! unique-temp-name [`prefixrl_core::checkpoint::write_atomic`] in the
+//! same `prefixrl.frontier-store.v1` format as before, fsynced, and the
+//! log truncated back to its header. Opening replays the log over the
+//! compacted snapshot; because [`ParetoFront::insert`] is deterministic
+//! and idempotent (re-offering a present point is a no-op), replay after
+//! any crash point — torn final record, compaction interrupted between
+//! snapshot write and log truncation — reproduces a front bit-identical
+//! to the pre-crash one (floats round-trip via shortest-representation
+//! formatting).
+//!
+//! Reads never touch the write path: every merge publishes an immutable
+//! [`FrontierSnapshot`] into a [`SnapshotCell`] (an `Arc` swap stamped
+//! with a monotone epoch), and all query traffic — the `frontier`,
+//! `query` and `query_batch` verbs, `keys`, `front_json` — resolves
+//! against the snapshot without taking the store mutex.
 
+use crate::query::{FrontView, FrontierSnapshot, SnapshotCell};
 use prefix_graph::PrefixGraph;
 use prefixrl_core::checkpoint::write_atomic;
 use prefixrl_core::evaluator::ObjectivePoint;
 use prefixrl_core::pareto::ParetoFront;
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use std::collections::BTreeMap;
+use std::io::{Seek, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// The on-disk schema identifier of the store file.
+/// The on-disk schema identifier of the compacted store file.
 pub const STORE_SCHEMA: &str = "prefixrl.frontier-store.v1";
+
+/// The schema identifier on the write-ahead log's header line.
+pub const WAL_SCHEMA: &str = "prefixrl.frontier-wal.v1";
+
+/// How many WAL records accumulate before the store compacts, unless
+/// overridden via [`FrontierStore::open_with`].
+pub const COMPACT_EVERY_DEFAULT: u64 = 64;
 
 /// The store key of a `(task, backend, width)` combination.
 pub fn key_of(task: &str, backend: &str, n: u16) -> String {
     format!("{task}/{backend}/{n}")
 }
 
+/// Rejects task/backend names that would alias composite keys: `/` is the
+/// key separator, so `task="a/b", backend="c"` and `task="a",
+/// backend="b/c"` would otherwise collide on `a/b/c/<n>`. Empty names are
+/// rejected for the same reason (`"a/"` + `"b"` vs `"a"` + `"/b"`).
+///
+/// # Errors
+///
+/// Fails with a message naming the offending field.
+pub fn validate_names(task: &str, backend: &str) -> Result<(), String> {
+    for (field, name) in [("task", task), ("backend", backend)] {
+        if name.is_empty() {
+            return Err(format!("field `{field}`: name must not be empty"));
+        }
+        if name.contains('/') {
+            return Err(format!(
+                "field `{field}`: name `{name}` contains `/`, which is the store's \
+                 key separator and would alias another (task, backend, n) key"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The open write-ahead log of a persisted store.
+struct Wal {
+    file: std::fs::File,
+    path: PathBuf,
+    /// Records currently in the log (not counting the header line).
+    records: u64,
+}
+
+/// The mutable half of the store, under one mutex: the authoritative
+/// fronts plus the persistence state. Readers never take this mutex —
+/// they go through [`FrontierStore::snapshot`].
+struct Inner {
+    fronts: BTreeMap<String, ParetoFront<PrefixGraph>>,
+    wal: Option<Wal>,
+    compactions: u64,
+}
+
 /// A disk-backed map from `(task, backend, width)` to the combined Pareto
-/// front of every design pool ever merged under that key.
+/// front of every design pool ever merged under that key, with a
+/// lock-free snapshot tier for readers.
 pub struct FrontierStore {
     path: Option<PathBuf>,
-    fronts: Mutex<BTreeMap<String, ParetoFront<PrefixGraph>>>,
+    compact_every: u64,
+    inner: Mutex<Inner>,
+    cell: SnapshotCell,
 }
 
 impl FrontierStore {
@@ -47,60 +118,78 @@ impl FrontierStore {
     pub fn in_memory() -> Self {
         FrontierStore {
             path: None,
-            fronts: Mutex::new(BTreeMap::new()),
+            compact_every: COMPACT_EVERY_DEFAULT,
+            inner: Mutex::new(Inner {
+                fronts: BTreeMap::new(),
+                wal: None,
+                compactions: 0,
+            }),
+            cell: SnapshotCell::default(),
         }
     }
 
-    /// Opens (or creates) a store persisted at `path`. An existing file is
-    /// loaded as-is: the fronts it returns afterwards are bit-identical to
-    /// the ones last persisted.
+    /// Opens (or creates) a store persisted at `path` with the default
+    /// compaction threshold. See [`FrontierStore::open_with`].
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors or a malformed/mismatched store file.
+    /// Fails on I/O errors or a malformed/mismatched store or log file.
     pub fn open(path: &Path) -> Result<Self, String> {
-        let mut fronts = BTreeMap::new();
-        match std::fs::read_to_string(path) {
-            Ok(text) => {
-                let value: serde_json::Value = serde_json::from_str(&text)
-                    .map_err(|e| format!("parse {}: {e}", path.display()))?;
-                match value.get("schema").and_then(as_str) {
-                    Some(STORE_SCHEMA) => {}
-                    other => {
-                        return Err(format!(
-                            "{}: expected schema `{STORE_SCHEMA}`, found {other:?}",
-                            path.display()
-                        ))
-                    }
-                }
-                let entries = value
-                    .get("fronts")
-                    .and_then(serde::Value::as_object)
-                    .ok_or_else(|| format!("{}: missing `fronts` object", path.display()))?;
-                for (key, front) in entries {
-                    let front = <ParetoFront<PrefixGraph> as Deserialize>::from_value(front)
-                        .map_err(|e| format!("{}: front `{key}`: {e}", path.display()))?;
-                    fronts.insert(key.clone(), front);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(format!("read {}: {e}", path.display())),
-        }
-        Ok(FrontierStore {
+        Self::open_with(path, COMPACT_EVERY_DEFAULT)
+    }
+
+    /// Opens (or creates) a store persisted at `path`, compacting after
+    /// every `compact_every` WAL records. An existing store is loaded
+    /// from the compacted snapshot and the log replayed over it: the
+    /// fronts it serves afterwards are bit-identical to the ones last
+    /// merged. A torn final log line (crash mid-append) is discarded;
+    /// a log already over the threshold is compacted on open.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a malformed/mismatched store or log file
+    /// (anything other than a torn final line).
+    pub fn open_with(path: &Path, compact_every: u64) -> Result<Self, String> {
+        let compact_every = compact_every.max(1);
+        let mut fronts = load_compacted(path)?;
+        let wal_path = wal_path_of(path);
+        let records = replay_wal(&wal_path, &mut fronts)?;
+        let wal = open_wal(&wal_path, records)?;
+        let store = FrontierStore {
             path: Some(path.to_path_buf()),
-            fronts: Mutex::new(fronts),
-        })
+            compact_every,
+            inner: Mutex::new(Inner {
+                fronts,
+                wal: Some(wal),
+                compactions: 0,
+            }),
+            cell: SnapshotCell::default(),
+        };
+        {
+            let mut inner = lock(&store.inner);
+            // A log already over the threshold (e.g. the previous process
+            // died right before compacting) is absorbed on open.
+            if records >= compact_every {
+                store.compact_locked(&mut inner)?;
+            }
+            store.cell.publish(initial_snapshot(&inner.fronts));
+        }
+        Ok(store)
     }
 
     /// Merges a design pool into the front stored under
-    /// `(task, backend, n)`, creating it if absent, and persists the whole
-    /// store atomically. Returns how many points joined the front; the
-    /// stored front never regresses (dominated candidates are rejected).
+    /// `(task, backend, n)`, creating it if absent; appends the accepted
+    /// delta to the write-ahead log (fsyncing only that record) and
+    /// publishes a fresh read snapshot. Returns how many points joined
+    /// the front; the stored front never regresses (dominated candidates
+    /// are rejected).
     ///
     /// # Errors
     ///
-    /// Fails only on persistence I/O errors (the in-memory merge is
-    /// infallible and is kept even if the write fails).
+    /// Fails on a task/backend name containing `/` (which would alias
+    /// another key — nothing is merged), or on persistence I/O errors
+    /// (the in-memory merge is kept and published even if the write
+    /// fails).
     pub fn merge(
         &self,
         task: &str,
@@ -108,57 +197,87 @@ impl FrontierStore {
         n: u16,
         designs: &[(PrefixGraph, ObjectivePoint)],
     ) -> Result<usize, String> {
+        validate_names(task, backend)?;
         let key = key_of(task, backend, n);
-        let mut fronts = lock(&self.fronts);
-        let front = fronts.entry(key).or_default();
-        let mut inserted = 0;
+        let mut inner = lock(&self.inner);
+        let newly_created = !inner.fronts.contains_key(&key);
+        let front = inner.fronts.entry(key.clone()).or_default();
+        let mut accepted: Vec<(PrefixGraph, ObjectivePoint)> = Vec::new();
         for (graph, point) in designs {
             if front.insert(*point, graph.clone()) {
-                inserted += 1;
+                accepted.push((graph.clone(), *point));
             }
         }
-        self.persist_locked(&fronts)?;
+        let inserted = accepted.len();
+        // Publish before touching the disk: readers see the merged front
+        // immediately and never wait on the WAL fsync. The snapshot swap
+        // happens under the store mutex, so publishes are serialized and
+        // epochs stay in merge order.
+        let view = Arc::new(FrontView::build(&key, front));
+        self.cell.publish(self.cell.load().successor(&key, view));
+        // Log only when replay needs the record: an accepted delta, or
+        // the bare creation of a new (possibly empty-front) key.
+        if inserted > 0 || newly_created {
+            self.append_record_locked(&mut inner, &key, &accepted)?;
+        }
         Ok(inserted)
     }
 
-    /// The stored front for a key, or `None` if nothing was ever merged
-    /// under it.
-    pub fn front(&self, task: &str, backend: &str, n: u16) -> Option<ParetoFront<PrefixGraph>> {
-        lock(&self.fronts).get(&key_of(task, backend, n)).cloned()
+    /// The current immutable read snapshot (an `Arc` clone — never takes
+    /// the store mutex, never blocks on a concurrent merge's fsync).
+    pub fn snapshot(&self) -> Arc<FrontierSnapshot> {
+        self.cell.load()
     }
 
-    /// Every key with a stored front, in sorted order.
-    pub fn keys(&self) -> Vec<String> {
-        lock(&self.fronts).keys().cloned().collect()
+    /// The epoch of the current snapshot (lock-free; bumps on every
+    /// merge, resets to 0 when a store is reopened).
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
     }
 
-    /// Serializes one stored front for the wire: an array of
-    /// `{area, delay, size, depth}` points in increasing-delay order
-    /// (graphs included with `include_graphs`).
-    pub fn front_json(
+    /// Runs `f` on the stored front for a key — `None` if nothing was
+    /// ever merged under it — without cloning it. The store mutex is held
+    /// for the duration of `f`; for read-mostly traffic prefer
+    /// [`FrontierStore::snapshot`].
+    pub fn with_front<R>(
         &self,
         task: &str,
         backend: &str,
         n: u16,
-        include_graphs: bool,
-    ) -> serde_json::Value {
-        let fronts = lock(&self.fronts);
-        let Some(front) = fronts.get(&key_of(task, backend, n)) else {
-            return serde_json::Value::Array(Vec::new());
+        f: impl FnOnce(Option<&ParetoFront<PrefixGraph>>) -> R,
+    ) -> R {
+        let inner = lock(&self.inner);
+        f(inner.fronts.get(&key_of(task, backend, n)))
+    }
+
+    /// Every key with a stored front, in sorted order (snapshot read).
+    pub fn keys(&self) -> Vec<String> {
+        self.snapshot().keys()
+    }
+
+    /// Serializes one stored front for the wire: an array of
+    /// `{area, delay, size, depth}` points in increasing-delay order
+    /// (graphs included with `include_graphs`), or [`Value::Null`] if the
+    /// key was never merged — distinguishable from a merged-but-empty
+    /// front, which is `[]`. Resolves against the current snapshot.
+    pub fn front_json(&self, task: &str, backend: &str, n: u16, include_graphs: bool) -> Value {
+        let snapshot = self.snapshot();
+        let Some(view) = snapshot.front(task, backend, n) else {
+            return Value::Null;
         };
-        serde_json::Value::Array(
-            front
-                .iter()
-                .map(|(p, g)| {
+        Value::Array(
+            (0..view.len())
+                .map(|i| {
+                    let p = &view.points()[i];
                     let mut entry = serde_json::json!({
                         "area": p.area,
                         "delay": p.delay,
-                        "size": g.size(),
-                        "depth": g.depth(),
+                        "size": p.size,
+                        "depth": p.depth,
                     });
                     if include_graphs {
-                        if let serde_json::Value::Object(entries) = &mut entry {
-                            entries.push(("graph".to_string(), Serialize::to_value(g)));
+                        if let Value::Object(entries) = &mut entry {
+                            entries.push(("graph".to_string(), Serialize::to_value(view.graph(i))));
                         }
                     }
                     entry
@@ -167,34 +286,265 @@ impl FrontierStore {
         )
     }
 
-    fn persist_locked(
+    /// Persistence counters for the `ping` diagnostics payload:
+    /// `{epoch, keys, wal_records, compactions}`.
+    pub fn stats_json(&self) -> Value {
+        let snapshot = self.snapshot();
+        let inner = lock(&self.inner);
+        serde_json::json!({
+            "epoch": snapshot.epoch(),
+            "keys": snapshot.keys().len() as u64,
+            "wal_records": inner.wal.as_ref().map_or(0, |w| w.records),
+            "compactions": inner.compactions,
+        })
+    }
+
+    /// Appends one merge record to the WAL, fsyncs it, and compacts when
+    /// the record count reaches the threshold.
+    fn append_record_locked(
         &self,
-        fronts: &BTreeMap<String, ParetoFront<PrefixGraph>>,
+        inner: &mut Inner,
+        key: &str,
+        accepted: &[(PrefixGraph, ObjectivePoint)],
     ) -> Result<(), String> {
+        if inner.wal.is_none() {
+            return Ok(());
+        }
+        let record = Value::Object(vec![
+            ("key".to_string(), Value::String(key.to_string())),
+            (
+                "designs".to_string(),
+                Serialize::to_value(&accepted.to_vec()),
+            ),
+        ]);
+        let mut line = serde_json::to_string(&record).expect("infallible");
+        line.push('\n');
+        {
+            let wal = inner.wal.as_mut().expect("checked above");
+            wal.file
+                .write_all(line.as_bytes())
+                .map_err(|e| format!("append {}: {e}", wal.path.display()))?;
+            // Fsync only the delta — this is the whole point of the WAL:
+            // merge durability no longer costs a full-store rewrite.
+            wal.file
+                .sync_data()
+                .map_err(|e| format!("sync {}: {e}", wal.path.display()))?;
+            wal.records += 1;
+            if wal.records < self.compact_every {
+                return Ok(());
+            }
+        }
+        self.compact_locked(inner)
+    }
+
+    /// Writes the full compacted snapshot (fsynced), then truncates the
+    /// WAL back to its header. A crash between the two leaves both the
+    /// snapshot *and* the log containing the same merges — harmless,
+    /// because replay through [`ParetoFront::insert`] is idempotent.
+    fn compact_locked(&self, inner: &mut Inner) -> Result<(), String> {
         let Some(path) = &self.path else {
             return Ok(());
         };
-        let entries: Vec<(String, serde_json::Value)> = fronts
-            .iter()
-            .map(|(k, front)| (k.clone(), Serialize::to_value(front)))
-            .collect();
-        let value = serde_json::Value::Object(vec![
-            (
-                "schema".to_string(),
-                serde_json::Value::String(STORE_SCHEMA.to_string()),
-            ),
-            ("fronts".to_string(), serde_json::Value::Object(entries)),
-        ]);
-        write_atomic(
-            path,
-            &serde_json::to_string_pretty(&value).expect("infallible"),
-        )
+        write_atomic(path, &compacted_text(&inner.fronts))?;
+        // `write_atomic` renames but does not fsync; sync before
+        // truncating the log so the snapshot can never be lost while the
+        // records it absorbed are.
+        std::fs::File::open(path)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| format!("sync {}: {e}", path.display()))?;
+        if let Some(wal) = inner.wal.as_mut() {
+            truncate_to_header(&mut wal.file, &wal.path)?;
+            wal.records = 0;
+        }
+        inner.compactions += 1;
+        Ok(())
     }
 }
 
-fn as_str(v: &serde_json::Value) -> Option<&str> {
+/// The compacted full-store file contents — the pre-WAL
+/// `prefixrl.frontier-store.v1` format, unchanged.
+fn compacted_text(fronts: &BTreeMap<String, ParetoFront<PrefixGraph>>) -> String {
+    let entries: Vec<(String, Value)> = fronts
+        .iter()
+        .map(|(k, front)| (k.clone(), Serialize::to_value(front)))
+        .collect();
+    let value = Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::String(STORE_SCHEMA.to_string()),
+        ),
+        ("fronts".to_string(), Value::Object(entries)),
+    ]);
+    serde_json::to_string_pretty(&value).expect("infallible")
+}
+
+/// Loads the compacted snapshot file, or an empty map when absent.
+fn load_compacted(path: &Path) -> Result<BTreeMap<String, ParetoFront<PrefixGraph>>, String> {
+    let mut fronts = BTreeMap::new();
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let value: Value = serde_json::from_str(&text)
+                .map_err(|e| format!("parse {}: {e}", path.display()))?;
+            match value.get("schema").and_then(as_str) {
+                Some(STORE_SCHEMA) => {}
+                other => {
+                    return Err(format!(
+                        "{}: expected schema `{STORE_SCHEMA}`, found {other:?}",
+                        path.display()
+                    ))
+                }
+            }
+            let entries = value
+                .get("fronts")
+                .and_then(Value::as_object)
+                .ok_or_else(|| format!("{}: missing `fronts` object", path.display()))?;
+            for (key, front) in entries {
+                let front = <ParetoFront<PrefixGraph> as Deserialize>::from_value(front)
+                    .map_err(|e| format!("{}: front `{key}`: {e}", path.display()))?;
+                fronts.insert(key.clone(), front);
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    }
+    Ok(fronts)
+}
+
+/// The log path next to a store path: `frontier.json` → `frontier.wal`.
+fn wal_path_of(store_path: &Path) -> PathBuf {
+    store_path.with_extension("wal")
+}
+
+/// The log's first line: `{"schema": "prefixrl.frontier-wal.v1"}\n`.
+fn wal_header() -> String {
+    let value = serde_json::json!({ "schema": WAL_SCHEMA });
+    let mut line = serde_json::to_string(&value).expect("infallible");
+    line.push('\n');
+    line
+}
+
+/// Replays an existing log over `fronts`, returning how many records it
+/// holds. A torn **final** line — the crash-mid-append case — is
+/// truncated away; a torn line anywhere else is corruption and fails
+/// loudly. A missing or empty log is zero records.
+fn replay_wal(
+    wal_path: &Path,
+    fronts: &mut BTreeMap<String, ParetoFront<PrefixGraph>>,
+) -> Result<u64, String> {
+    let text = match std::fs::read_to_string(wal_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(format!("read {}: {e}", wal_path.display())),
+    };
+    // A complete line — header or record — always ends in '\n' before its
+    // fsync returns, so anything after the last '\n' is a torn tail.
+    let complete = &text[..text.rfind('\n').map_or(0, |i| i + 1)];
+    let torn = text.len() - complete.len();
+    if torn > 0 {
+        truncate_file(wal_path, complete.len() as u64)?;
+    }
+    let mut records = 0u64;
+    for (i, line) in complete.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{} line {}: {e}", wal_path.display(), i + 1))?;
+        if i == 0 {
+            match value.get("schema").and_then(as_str) {
+                Some(WAL_SCHEMA) => continue,
+                other => {
+                    return Err(format!(
+                        "{}: expected schema `{WAL_SCHEMA}`, found {other:?}",
+                        wal_path.display()
+                    ))
+                }
+            }
+        }
+        let key = value
+            .get("key")
+            .and_then(as_str)
+            .ok_or_else(|| format!("{} line {}: missing `key`", wal_path.display(), i + 1))?;
+        let designs = value
+            .get("designs")
+            .ok_or_else(|| format!("{} line {}: missing `designs`", wal_path.display(), i + 1))?;
+        let designs = <Vec<(PrefixGraph, ObjectivePoint)> as Deserialize>::from_value(designs)
+            .map_err(|e| format!("{} line {}: {e}", wal_path.display(), i + 1))?;
+        let front = fronts.entry(key.to_string()).or_default();
+        for (graph, point) in designs {
+            // Idempotent: a record already absorbed by the compacted
+            // snapshot (crash between snapshot write and log truncation)
+            // re-offers points the front holds, which `insert` rejects.
+            front.insert(point, graph);
+        }
+        records += 1;
+    }
+    Ok(records)
+}
+
+/// Opens the log for appending, writing the schema header if the file is
+/// new or empty.
+fn open_wal(wal_path: &Path, records: u64) -> Result<Wal, String> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(wal_path)
+        .map_err(|e| format!("open {}: {e}", wal_path.display()))?;
+    let len = file
+        .metadata()
+        .map_err(|e| format!("stat {}: {e}", wal_path.display()))?
+        .len();
+    if len == 0 {
+        file.write_all(wal_header().as_bytes())
+            .map_err(|e| format!("write {}: {e}", wal_path.display()))?;
+        file.sync_data()
+            .map_err(|e| format!("sync {}: {e}", wal_path.display()))?;
+    }
+    Ok(Wal {
+        file,
+        path: wal_path.to_path_buf(),
+        records,
+    })
+}
+
+/// Truncates an open log back to its header line and repositions the
+/// write cursor.
+fn truncate_to_header(file: &mut std::fs::File, path: &Path) -> Result<(), String> {
+    let header_len = wal_header().len() as u64;
+    file.set_len(header_len)
+        .map_err(|e| format!("truncate {}: {e}", path.display()))?;
+    file.seek(std::io::SeekFrom::End(0))
+        .map_err(|e| format!("seek {}: {e}", path.display()))?;
+    file.sync_data()
+        .map_err(|e| format!("sync {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Truncates a closed file to `len` bytes (torn-tail repair on open).
+fn truncate_file(path: &Path, len: u64) -> Result<(), String> {
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("open {}: {e}", path.display()))?;
+    file.set_len(len)
+        .map_err(|e| format!("truncate {}: {e}", path.display()))?;
+    file.sync_data()
+        .map_err(|e| format!("sync {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Builds the epoch-0 snapshot of a freshly opened store.
+fn initial_snapshot(fronts: &BTreeMap<String, ParetoFront<PrefixGraph>>) -> FrontierSnapshot {
+    let views = fronts
+        .iter()
+        .map(|(k, f)| (k.clone(), Arc::new(FrontView::build(k, f))))
+        .collect();
+    FrontierSnapshot::with_fronts(0, views)
+}
+
+fn as_str(v: &Value) -> Option<&str> {
     match v {
-        serde_json::Value::String(s) => Some(s),
+        Value::String(s) => Some(s),
         _ => None,
     }
 }

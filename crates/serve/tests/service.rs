@@ -122,8 +122,12 @@ fn three_concurrent_jobs_share_one_stack_and_reach_done() {
             "{task}: empty stored front"
         );
     }
+    // A key nothing was merged under is *unknown* — `points` is null and
+    // `known` false, distinguishable from a merged-but-empty front.
     let empty = client.frontier("adder", "synthesis", 8).unwrap();
     assert_eq!(num(empty.get("count").unwrap()), 0.0);
+    assert_eq!(empty.get("known"), Some(&Value::Bool(false)));
+    assert_eq!(empty.get("points"), Some(&Value::Null));
 
     // All three jobs evaluated through the one shared store.
     let ping = client.ping().unwrap();
@@ -169,9 +173,11 @@ fn cancel_stops_a_running_job_quickly() {
         t0.elapsed()
     );
     assert_eq!(history(&snapshot), vec!["queued", "running", "cancelled"]);
-    // A cancelled job never merges into the frontier store.
+    // A cancelled job never merges into the frontier store — its key
+    // stays entirely unknown.
     let front = client.frontier("adder", "analytical", 8).unwrap();
     assert_eq!(num(front.get("count").unwrap()), 0.0);
+    assert_eq!(front.get("known"), Some(&Value::Bool(false)));
     // Cancelling again is a loud error.
     assert!(client.cancel(id).unwrap_err().contains("already cancelled"));
 
@@ -211,6 +217,135 @@ fn protocol_rejects_bad_requests_loudly() {
         .request(&serde_json::json!({"proto": "prefixrl.serve.v2", "cmd": "ping"}))
         .unwrap_err();
     assert!(err.contains("unsupported protocol"), "{err}");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn query_verbs_answer_over_the_wire() {
+    let handle = Server::spawn(config(1, None)).unwrap();
+    let client = Client::new(handle.addr().to_string());
+    client.wait_until_ready(Duration::from_secs(10)).unwrap();
+
+    // Nothing merged yet: every query answers known = false, not an
+    // error, and the snapshot epoch is 0.
+    let miss = client
+        .query_best_at_delay("adder", "analytical", 8, 10.0)
+        .unwrap();
+    assert_eq!(num(miss.get("epoch").unwrap()), 0.0);
+    let result = miss.get("result").unwrap();
+    assert_eq!(result.get("known"), Some(&Value::Bool(false)));
+    assert_eq!(result.get("found"), Some(&Value::Bool(false)));
+
+    let id = client.submit(&spec("adder", 200)).unwrap();
+    client
+        .wait_for_phase(id, &["done"], Duration::from_secs(120))
+        .unwrap();
+
+    // The merge bumped the published epoch without any explicit publish
+    // call — the store publishes on merge.
+    let best = client
+        .query_best_at_delay("adder", "analytical", 8, 1e9)
+        .unwrap();
+    assert!(num(best.get("epoch").unwrap()) >= 1.0);
+    let result = best.get("result").unwrap();
+    assert_eq!(result.get("found"), Some(&Value::Bool(true)));
+    assert_eq!(result.get("met"), Some(&Value::Bool(true)));
+    let point = result.get("point").unwrap();
+    let best_area = num(point.get("area").unwrap());
+    let best_delay = num(point.get("delay").unwrap());
+    assert!(best_area > 0.0 && best_delay > 0.0);
+
+    // A delay target below the whole front degrades to the fastest
+    // design, flagged met = false.
+    let unmet = client
+        .query_best_at_delay("adder", "analytical", 8, 1e-6)
+        .unwrap();
+    let result = unmet.get("result").unwrap();
+    assert_eq!(result.get("found"), Some(&Value::Bool(true)));
+    assert_eq!(result.get("met"), Some(&Value::Bool(false)));
+
+    // Weight extremes agree with the front's ends.
+    let smallest = client
+        .query_best_at_weight("adder", "analytical", 8, 1.0)
+        .unwrap();
+    let small_area = num(smallest
+        .get("result")
+        .unwrap()
+        .get("point")
+        .unwrap()
+        .get("area")
+        .unwrap());
+    assert!(
+        (small_area - best_area).abs() < 1e-12,
+        "w=1 must find the minimum-area point"
+    );
+
+    // A full-width range returns the whole front; a graph rides along
+    // when asked for.
+    let all = client
+        .query_range("adder", "analytical", 8, 0.0, 1e9)
+        .unwrap();
+    let count = num(all.get("result").unwrap().get("count").unwrap());
+    assert!(count >= 1.0);
+
+    let with_graph = client
+        .query(
+            "adder",
+            "analytical",
+            8,
+            "best_at_delay",
+            vec![
+                (
+                    "delay".to_string(),
+                    Value::Number(serde_json::Number::Float(1e9)),
+                ),
+                ("include_graph".to_string(), Value::Bool(true)),
+            ],
+        )
+        .unwrap();
+    assert!(
+        with_graph
+            .get("result")
+            .unwrap()
+            .get("point")
+            .unwrap()
+            .get("graph")
+            .is_some(),
+        "include_graph must attach the stored graph"
+    );
+
+    // A batch resolves against one snapshot: same epoch for all results,
+    // and per-query failures come back inline instead of failing the
+    // batch.
+    let batch = client
+        .query_batch(vec![
+            serde_json::json!({
+                "task": "adder", "backend": "analytical", "n": 8,
+                "mode": "best_at_weight", "w": 0.0,
+            }),
+            serde_json::json!({
+                "task": "adder", "backend": "analytical", "n": 8,
+                "mode": "range", "delay_lo": 0.0, "delay_hi": 1e9,
+            }),
+            serde_json::json!({
+                "task": "a/b", "backend": "analytical", "n": 8,
+                "mode": "best_at_weight", "w": 0.0,
+            }),
+        ])
+        .unwrap();
+    let results = batch.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].get("found"), Some(&Value::Bool(true)));
+    assert!(num(results[1].get("count").unwrap()) == count);
+    assert!(
+        results[2]
+            .get("error")
+            .map(|e| matches!(e, Value::String(s) if s.contains("alias")))
+            .unwrap_or(false),
+        "aliasing name must fail inline: {:?}",
+        results[2]
+    );
 
     handle.shutdown().unwrap();
 }

@@ -1,6 +1,8 @@
-//! Frontier-store contracts: restart survival (bit-identical reload),
-//! cross-job merge dominance (a stored front never regresses), and key
-//! isolation (no task's results leak into another's query).
+//! Frontier-store contracts: restart survival (bit-identical reload
+//! through WAL replay), cross-job merge dominance (a stored front never
+//! regresses), key isolation (no task's results leak into another's
+//! query), and the write-ahead-log lifecycle (torn tails, compaction,
+//! idempotent replay after an interrupted compaction).
 
 use prefix_graph::{structures, PrefixGraph};
 use prefixrl_core::evaluator::{Evaluator, ObjectivePoint};
@@ -50,8 +52,13 @@ fn restart_returns_bit_identical_front() {
             .unwrap();
         serde_json::to_string(&store.front_json("adder", "analytical", 16, true)).unwrap()
     };
-    // "Kill" the server (drop the store) and reload from disk: the
-    // returned front must be bit-identical, graphs included.
+    // "Kill" the server (drop the store) and reload from disk — with the
+    // default threshold nothing compacted, so this reload is pure WAL
+    // replay. The returned front must be bit-identical, graphs included.
+    assert!(
+        path.with_extension("wal").exists(),
+        "merges must leave a write-ahead log"
+    );
     let store = FrontierStore::open(&path).unwrap();
     let after = serde_json::to_string(&store.front_json("adder", "analytical", 16, true)).unwrap();
     assert_eq!(before, after, "reload must be bit-identical");
@@ -68,11 +75,10 @@ fn cross_job_merges_never_regress_the_stored_front() {
     store
         .merge("adder", "analytical", 16, &pool(Adder, 16))
         .unwrap();
-    let first = store.front("adder", "analytical", 16).unwrap();
+    let stored = store.with_front("adder", "analytical", 16, |f| f.unwrap().points());
 
     // A second job's pool: one point dominating a stored one, one
     // dominated point, one duplicate.
-    let stored = first.points();
     let better = ObjectivePoint {
         area: stored[0].area - 1.0,
         delay: stored[0].delay - 0.01,
@@ -98,19 +104,21 @@ fn cross_job_merges_never_regress_the_stored_front() {
 
     // Monotonicity: at every previously covered delay, the achievable
     // area must be no worse than before.
-    let merged = store.front("adder", "analytical", 16).unwrap();
-    for p in &stored {
-        let now = merged.area_at_delay(p.delay).expect("coverage kept");
-        assert!(
-            now <= p.area + 1e-12,
-            "front regressed at delay {}: {} > {}",
-            p.delay,
-            now,
-            p.area
-        );
-    }
-    assert!(!merged.dominates_point(&better), "new optimum must be kept");
-    assert!(merged.dominates_point(&worse), "dominated point rejected");
+    store.with_front("adder", "analytical", 16, |merged| {
+        let merged = merged.unwrap();
+        for p in &stored {
+            let now = merged.area_at_delay(p.delay).expect("coverage kept");
+            assert!(
+                now <= p.area + 1e-12,
+                "front regressed at delay {}: {} > {}",
+                p.delay,
+                now,
+                p.area
+            );
+        }
+        assert!(!merged.dominates_point(&better), "new optimum must be kept");
+        assert!(merged.dominates_point(&worse), "dominated point rejected");
+    });
 }
 
 #[test]
@@ -124,27 +132,19 @@ fn keys_isolate_tasks_backends_and_widths() {
         .merge("prefix-or", "analytical", 8, &pool(PrefixOr, 8))
         .unwrap();
 
-    assert!(store.front("adder", "analytical", 8).is_some());
-    assert!(store.front("prefix-or", "analytical", 8).is_some());
+    let known = |t: &str, b: &str, n: u16| store.with_front(t, b, n, |f| f.is_some());
+    assert!(known("adder", "analytical", 8));
+    assert!(known("prefix-or", "analytical", 8));
     // No leakage into other keys along any axis.
-    assert!(
-        store.front("adder", "synthesis", 8).is_none(),
-        "backend axis"
-    );
-    assert!(
-        store.front("adder", "analytical", 16).is_none(),
-        "width axis"
-    );
-    assert!(
-        store.front("incrementer", "analytical", 8).is_none(),
-        "task axis"
-    );
+    assert!(!known("adder", "synthesis", 8), "backend axis");
+    assert!(!known("adder", "analytical", 16), "width axis");
+    assert!(!known("incrementer", "analytical", 8), "task axis");
     // And an adder query never reflects the prefix-or merge: both merged
     // the same graphs, so equality of fronts would be possible only via
     // sharing — check the counts are independent per key.
-    let adder = store.front("adder", "analytical", 8).unwrap();
-    let or = store.front("prefix-or", "analytical", 8).unwrap();
-    assert!(!adder.is_empty() && !or.is_empty());
+    let adder_len = store.with_front("adder", "analytical", 8, |f| f.unwrap().len());
+    let or_len = store.with_front("prefix-or", "analytical", 8, |f| f.unwrap().len());
+    assert!(adder_len > 0 && or_len > 0);
 }
 
 #[test]
@@ -162,15 +162,185 @@ fn concurrent_merges_on_one_key_are_safe() {
             });
         }
     });
-    let front = store.front("adder", "analytical", 12).unwrap();
     // Identical pools merged repeatedly: the front equals one merge's.
     let reference = FrontierStore::in_memory();
     reference
         .merge("adder", "analytical", 12, &designs)
         .unwrap();
+    let expected = reference.with_front("adder", "analytical", 12, |f| f.unwrap().points());
+    let actual = store.with_front("adder", "analytical", 12, |f| f.unwrap().points());
+    assert_eq!(actual, expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_key_is_distinguishable_from_empty_front() {
+    let store = FrontierStore::in_memory();
+    // Never merged: `null` on the wire.
+    assert!(matches!(
+        store.front_json("adder", "analytical", 8, false),
+        serde_json::Value::Null
+    ));
+    // Merged but nothing joined (non-finite points are rejected): the key
+    // exists with an empty front — `[]`, not `null`.
+    let inserted = store
+        .merge(
+            "adder",
+            "analytical",
+            8,
+            &[(
+                PrefixGraph::ripple(8),
+                ObjectivePoint {
+                    area: f64::NAN,
+                    delay: 1.0,
+                },
+            )],
+        )
+        .unwrap();
+    assert_eq!(inserted, 0);
+    match store.front_json("adder", "analytical", 8, false) {
+        serde_json::Value::Array(points) => assert!(points.is_empty()),
+        other => panic!("expected [], got {other:?}"),
+    }
+}
+
+#[test]
+fn aliasing_names_are_rejected() {
+    let store = FrontierStore::in_memory();
+    let designs = pool(Adder, 8);
+    // `task="a/b", backend="c"` and `task="a", backend="b/c"` would both
+    // produce the composite key `a/b/c/8`; the store must refuse both.
+    for (task, backend) in [
+        ("a/b", "c"),
+        ("a", "b/c"),
+        ("", "analytical"),
+        ("adder", ""),
+    ] {
+        let err = store.merge(task, backend, 8, &designs).unwrap_err();
+        assert!(
+            err.contains("alias") || err.contains("empty"),
+            "({task:?}, {backend:?}): unexpected error {err:?}"
+        );
+    }
+    assert!(store.keys().is_empty(), "nothing may be merged");
+}
+
+#[test]
+fn torn_wal_tail_is_discarded_on_open() {
+    let dir = temp_dir("torn");
+    let path = dir.join("frontier.json");
+    let expected = {
+        let store = FrontierStore::open(&path).unwrap();
+        store
+            .merge("adder", "analytical", 8, &pool(Adder, 8))
+            .unwrap();
+        serde_json::to_string(&store.front_json("adder", "analytical", 8, true)).unwrap()
+    };
+    // Simulate a crash mid-append: garbage without a trailing newline.
+    let wal = path.with_extension("wal");
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(br#"{"key":"adder/analytical/8","desig"#)
+            .unwrap();
+    }
+    let store = FrontierStore::open(&path).unwrap();
+    let after = serde_json::to_string(&store.front_json("adder", "analytical", 8, true)).unwrap();
+    assert_eq!(expected, after, "torn tail must not corrupt the store");
+    // The repaired log stays appendable: further merges and reloads work.
+    store
+        .merge("adder", "analytical", 4, &pool(Adder, 4))
+        .unwrap();
+    let reloaded = FrontierStore::open(&path).unwrap();
     assert_eq!(
-        front.points(),
-        reference.front("adder", "analytical", 12).unwrap().points()
+        reloaded.keys(),
+        vec!["adder/analytical/4", "adder/analytical/8"]
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_truncates_the_log_and_preserves_answers() {
+    let dir = temp_dir("compact");
+    let path = dir.join("frontier.json");
+    let wal = path.with_extension("wal");
+    let store = FrontierStore::open_with(&path, 3).unwrap();
+    let designs = pool(Adder, 8);
+    // Three record-producing merges trip the threshold. Each pool is a
+    // fresh key so every merge appends a record.
+    for n in [4u16, 6, 8] {
+        store
+            .merge("adder", "analytical", n, &pool(Adder, n))
+            .unwrap();
+    }
+    let stats = store.stats_json();
+    assert_eq!(
+        stats.get("compactions").and_then(|v| match v {
+            serde_json::Value::Number(n) => n.as_u64(),
+            _ => None,
+        }),
+        Some(1),
+        "threshold of 3 must have compacted once: {stats:?}"
+    );
+    let wal_after = std::fs::read_to_string(&wal).unwrap();
+    assert_eq!(
+        wal_after.lines().count(),
+        1,
+        "compaction must truncate the log to its header"
+    );
+    assert!(
+        std::fs::read_to_string(&path)
+            .unwrap()
+            .contains("adder/analytical/8"),
+        "compacted snapshot must hold the merged fronts"
+    );
+    // A post-compaction merge appends to the truncated log.
+    store
+        .merge("adder", "analytical", 10, &designs[..1])
+        .unwrap();
+    assert_eq!(std::fs::read_to_string(&wal).unwrap().lines().count(), 2);
+    // Reload answers identically.
+    let before = serde_json::to_string(&store.front_json("adder", "analytical", 8, true)).unwrap();
+    drop(store);
+    let reloaded = FrontierStore::open_with(&path, 3).unwrap();
+    let after =
+        serde_json::to_string(&reloaded.front_json("adder", "analytical", 8, true)).unwrap();
+    assert_eq!(before, after);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_compaction_replays_idempotently() {
+    let dir = temp_dir("idempotent");
+    let path = dir.join("frontier.json");
+    let wal = path.with_extension("wal");
+    let before = {
+        let store = FrontierStore::open(&path).unwrap();
+        store
+            .merge("adder", "analytical", 8, &pool(Adder, 8))
+            .unwrap();
+        serde_json::to_string(&store.front_json("adder", "analytical", 8, true)).unwrap()
+    };
+    // Simulate a crash *between* compaction's snapshot write and its log
+    // truncation: save the pre-compaction log, let an open with
+    // threshold 1 compact (snapshot written, log truncated), then put the
+    // old log back — snapshot AND log now both carry the same merge.
+    let pre_compaction_log = std::fs::read(&wal).unwrap();
+    {
+        let _store = FrontierStore::open_with(&path, 1).unwrap();
+        assert!(
+            std::fs::read_to_string(&path)
+                .unwrap()
+                .contains("adder/analytical/8"),
+            "threshold-1 open must compact the replayed record"
+        );
+    }
+    std::fs::write(&wal, &pre_compaction_log).unwrap();
+    // Replaying snapshot + already-absorbed records must converge to the
+    // same front, bit for bit.
+    let reloaded = FrontierStore::open(&path).unwrap();
+    let after =
+        serde_json::to_string(&reloaded.front_json("adder", "analytical", 8, true)).unwrap();
+    assert_eq!(before, after, "idempotent replay must not duplicate points");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -44,6 +44,7 @@ fn main() {
         "status" => cmd_status(&opts),
         "cancel" => cmd_cancel(&opts),
         "frontier" => cmd_frontier(&opts),
+        "query" => cmd_query(&opts),
         "shutdown" => cmd_shutdown(&opts),
         "help" | "--help" | "-h" => usage(),
         other => {
@@ -73,6 +74,8 @@ fn usage() {
          \x20 status       one job's status (--id) or the full job list\n\
          \x20 cancel       cancel a queued or running job\n\
          \x20 frontier     fetch the stored merged front of a (task, backend, n) key\n\
+         \x20 query        best-at-delay / best-at-weight / delay-range lookups\n\
+         \x20              against the server's lock-free read snapshot\n\
          \x20 shutdown     ask the server to stop gracefully"
     );
 }
@@ -711,7 +714,10 @@ fn cmd_serve(opts: &HashMap<String, String>) {
              \x20 --eval-threads <T>     per-job EvalService thread budget (default 2)\n\
              \x20 --cache-shards <S>     shared evaluation store shards (default 16)\n\
              \x20 --event-tail <K>       events retained per job for status (default 64)\n\
-             \x20 --state-dir <dir>      persist frontier.json + jobs.json here"
+             \x20 --state-dir <dir>      persist frontier.json + frontier.wal +\n\
+             \x20                        jobs.json here\n\
+             \x20 --compact-every <K>    WAL records before the frontier store\n\
+             \x20                        compacts (default 64)"
         );
         return;
     }
@@ -726,6 +732,7 @@ fn cmd_serve(opts: &HashMap<String, String>) {
         cache_shards: get::<usize>(opts, "cache-shards", 16).max(1),
         event_tail: get(opts, "event-tail", 64),
         state_dir: opts.get("state-dir").map(PathBuf::from),
+        compact_every: get::<u64>(opts, "compact-every", 64).max(1),
     };
     let server = Server::bind(cfg).unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -840,7 +847,11 @@ fn cmd_frontier(opts: &HashMap<String, String>) {
              \x20 --addr <ip:port>  server address (default {DEFAULT_SERVE_ADDR})\n\
              \x20 --task <name>     circuit task (default adder)\n\
              \x20 --backend <name>  objective backend (default analytical)\n\
-             \x20 --n <N>           input width (default 8)"
+             \x20 --n <N>           input width (default 8)\n\
+             \n\
+             Exits 1 with `no such key` when nothing was ever merged under\n\
+             the (task, backend, n) key — distinct from a stored-but-empty\n\
+             front, which prints normally with count 0."
         );
         return;
     }
@@ -850,7 +861,125 @@ fn cmd_frontier(opts: &HashMap<String, String>) {
         .cloned()
         .unwrap_or_else(|| "analytical".into());
     let n: u16 = get(opts, "n", 8);
-    report_response(serve_client(opts).frontier(&task, &backend, n));
+    let response = serve_client(opts).frontier(&task, &backend, n);
+    if let Ok(value) = &response {
+        if value.get("known") == Some(&serde_json::Value::Bool(false)) {
+            let keys = value
+                .get("keys")
+                .and_then(serde_json::Value::as_array)
+                .map(|ks| {
+                    ks.iter()
+                        .filter_map(|k| match k {
+                            serde_json::Value::String(s) => Some(s.as_str()),
+                            _ => None,
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .unwrap_or_default();
+            eprintln!(
+                "error: no such key `{task}/{backend}/{n}` — nothing has ever been \
+                 merged under it (stored keys: [{keys}])"
+            );
+            std::process::exit(1);
+        }
+    }
+    report_response(response);
+}
+
+fn cmd_query(opts: &HashMap<String, String>) {
+    if wants_help(opts) {
+        eprintln!(
+            "prefixrl query — look up stored designs on the server's read tier\n\
+             \n\
+             Answers come from the server's lock-free frontier snapshot\n\
+             (DESIGN.md §15): reads never wait on a running merge. Exactly one\n\
+             query mode is required.\n\
+             \n\
+             MODES\n\
+             \x20 --at-delay <D>    minimum-area stored design with delay <= D\n\
+             \x20                   (falls back to the fastest design, met=false,\n\
+             \x20                   when nothing is that fast)\n\
+             \x20 --at-weight <W>   scalarized argmin at area-weight W in [0, 1]\n\
+             \x20                   (W=0 fastest, W=1 smallest)\n\
+             \x20 --range <LO:HI>   every stored design with LO <= delay <= HI\n\
+             \n\
+             OPTIONS\n\
+             \x20 --addr <ip:port>  server address (default {DEFAULT_SERVE_ADDR})\n\
+             \x20 --task <name>     circuit task (default adder)\n\
+             \x20 --backend <name>  objective backend (default analytical)\n\
+             \x20 --n <N>           input width (default 8)\n\
+             \x20 --include-graph   attach the stored prefix graph(s)\n\
+             \n\
+             Exits 1 with `no such key` when nothing was ever merged under\n\
+             the (task, backend, n) key."
+        );
+        return;
+    }
+    let task = opts.get("task").cloned().unwrap_or_else(|| "adder".into());
+    let backend = opts
+        .get("backend")
+        .cloned()
+        .unwrap_or_else(|| "analytical".into());
+    let n: u16 = get(opts, "n", 8);
+    let mut extra: Vec<(String, serde_json::Value)> = Vec::new();
+    if opts.contains_key("include-graph") {
+        extra.push(("include_graph".to_string(), serde_json::Value::Bool(true)));
+    }
+    let modes_given = ["at-delay", "at-weight", "range"]
+        .iter()
+        .filter(|m| opts.contains_key(**m))
+        .count();
+    if modes_given != 1 {
+        eprintln!("error: exactly one of --at-delay, --at-weight, --range is required");
+        std::process::exit(2);
+    }
+    let mode = if let Some(delay) = get_opt::<f64>(opts, "at-delay") {
+        extra.push((
+            "delay".to_string(),
+            serde_json::Value::Number(serde_json::Number::Float(delay)),
+        ));
+        "best_at_delay"
+    } else if let Some(w) = get_opt::<f64>(opts, "at-weight") {
+        extra.push((
+            "w".to_string(),
+            serde_json::Value::Number(serde_json::Number::Float(w)),
+        ));
+        "best_at_weight"
+    } else {
+        let raw = opts.get("range").expect("checked above");
+        let Some((lo, hi)) = raw.split_once(':') else {
+            eprintln!("error: --range expects <LO:HI>, got `{raw}`");
+            std::process::exit(2);
+        };
+        let parse = |s: &str| -> f64 {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: --range expects numeric <LO:HI>, got `{raw}`");
+                std::process::exit(2);
+            })
+        };
+        extra.push((
+            "delay_lo".to_string(),
+            serde_json::Value::Number(serde_json::Number::Float(parse(lo))),
+        ));
+        extra.push((
+            "delay_hi".to_string(),
+            serde_json::Value::Number(serde_json::Number::Float(parse(hi))),
+        ));
+        "range"
+    };
+    let response = serve_client(opts).query(&task, &backend, n, mode, extra);
+    if let Ok(value) = &response {
+        let known = value.get("result").and_then(|r| r.get("known")).cloned();
+        if known == Some(serde_json::Value::Bool(false)) {
+            eprintln!(
+                "error: no such key `{task}/{backend}/{n}` — nothing has ever been \
+                 merged under it"
+            );
+            std::process::exit(1);
+        }
+    }
+    report_response(response);
 }
 
 fn cmd_shutdown(opts: &HashMap<String, String>) {
