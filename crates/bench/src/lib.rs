@@ -291,8 +291,14 @@ pub struct ServeRow {
     pub submit_to_first_event_sec_mean: f64,
     /// Worst-case submit-to-first-event latency in the burst.
     pub submit_to_first_event_sec_max: f64,
-    /// Shared-store hit rate across the burst.
+    /// Shared-store hit rate across *this row's* burst, computed from the
+    /// hit/miss counter deltas between the burst's start and its drain —
+    /// not the cumulative rate of whatever ran before on the stack.
     pub cache_hit_rate: f64,
+    /// Cache hits this burst (the delta's numerator context).
+    pub cache_hits: u64,
+    /// Cache misses this burst.
+    pub cache_misses: u64,
 }
 
 /// Dumps `BENCH_serve.json` at the workspace root: resident-service job
@@ -312,6 +318,8 @@ pub fn write_bench_serve(n: u16, rows: &[ServeRow]) {
             "submit_to_first_event_sec_mean": r.submit_to_first_event_sec_mean,
             "submit_to_first_event_sec_max": r.submit_to_first_event_sec_max,
             "cache_hit_rate": r.cache_hit_rate,
+            "cache_hits": r.cache_hits,
+            "cache_misses": r.cache_misses,
         })).collect::<Vec<_>>(),
     });
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
@@ -359,6 +367,52 @@ pub fn write_bench_query(points_in_front: usize, rows: &[QueryRow]) {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_query.json");
     std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap())
         .expect("write BENCH_query.json");
+    println!("[artifact] {}", path.display());
+}
+
+/// One measured point of the `cluster_throughput` harness: the sharded
+/// serve cluster (DESIGN.md §16) under merge, routed-query, and failover
+/// load.
+#[derive(Clone, Debug)]
+pub struct ClusterRow {
+    /// What was measured: `merge_throughput`, `router_query_batch`,
+    /// `single_node_query_batch`, `single_node_wire_query`, or
+    /// `failover_read`.
+    pub scenario: String,
+    /// Serve shards participating.
+    pub shards: usize,
+    /// Operations completed (merges, queries, or failover reads).
+    pub ops: u64,
+    /// Operations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Worst single-operation latency observed, µs (0 when not tracked).
+    pub max_latency_us: f64,
+    /// Operations that failed (must be 0 — failover reads included).
+    pub failures: u64,
+}
+
+/// Dumps `BENCH_cluster.json` at the workspace root: aggregate merge
+/// throughput vs shard count, router scatter/gather query rate vs the
+/// single-node wire rate, and primary-kill failover read latency —
+/// machine-readable so the ≥1.7× @ 3 shards merge-scaling budget and the
+/// <1 s zero-failure failover budget are tracked against this file.
+pub fn write_bench_cluster(n: u16, rows: &[ClusterRow], notes: &str) {
+    let value = serde_json::json!({
+        "benchmark": "cluster_throughput",
+        "n": n,
+        "notes": notes,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "scenario": r.scenario.clone(),
+            "shards": r.shards,
+            "ops": r.ops,
+            "ops_per_sec": r.ops_per_sec,
+            "max_latency_us": r.max_latency_us,
+            "failures": r.failures,
+        })).collect::<Vec<_>>(),
+    });
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cluster.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap())
+        .expect("write BENCH_cluster.json");
     println!("[artifact] {}", path.display());
 }
 

@@ -4,6 +4,7 @@
 //! event tails, and a persisted queue (`jobs.json`) so a killed server
 //! resumes where it stopped.
 
+use crate::cluster::{ReplPeerStatus, Topology};
 use crate::store::{key_of, FrontierStore};
 use prefix_graph::PrefixGraph;
 use prefixrl_core::agent::AgentConfig;
@@ -44,6 +45,12 @@ pub struct ServeConfig {
     /// WAL records accumulated before the frontier store compacts
     /// (see [`crate::store::FrontierStore::open_with`]).
     pub compact_every: u64,
+    /// Cluster membership: `None` runs the classic single-node daemon;
+    /// `Some` makes this server shard `topology.shard_id` of an N-node
+    /// cluster — it owns the keys hashing to its id, publishes their
+    /// merges to replication subscribers, and follows its ring sources
+    /// (see [`crate::cluster`] and DESIGN.md §16).
+    pub cluster: Option<Topology>,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +64,7 @@ impl Default for ServeConfig {
             event_tail: 64,
             state_dir: None,
             compact_every: crate::store::COMPACT_EVERY_DEFAULT,
+            cluster: None,
         }
     }
 }
@@ -295,6 +303,9 @@ pub struct JobManager {
     state: Mutex<ManagerState>,
     work: Condvar,
     stop: AtomicBool,
+    /// Per-source follower subscription state, reported by the `cluster`
+    /// verb. Keyed by source shard id; empty outside cluster mode.
+    repl_status: Mutex<BTreeMap<usize, ReplPeerStatus>>,
 }
 
 impl JobManager {
@@ -304,8 +315,12 @@ impl JobManager {
     ///
     /// # Errors
     ///
-    /// Fails on unreadable/corrupt state files.
+    /// Fails on unreadable/corrupt state files or an invalid cluster
+    /// topology.
     pub fn new(cfg: ServeConfig) -> Result<Arc<JobManager>, String> {
+        if let Some(topology) = &cfg.cluster {
+            topology.validate()?;
+        }
         let store = match &cfg.state_dir {
             Some(dir) => {
                 std::fs::create_dir_all(dir)
@@ -317,6 +332,15 @@ impl JobManager {
             }
             None => Arc::new(FrontierStore::in_memory()),
         };
+        let mut repl_status = BTreeMap::new();
+        if let Some(topology) = &cfg.cluster {
+            // Enabled before any worker or follower thread exists, so no
+            // merge can race the hub's creation.
+            store.enable_replication(topology.clone());
+            for source in topology.replica_sources() {
+                repl_status.insert(source, ReplPeerStatus::default());
+            }
+        }
         let mut state = ManagerState {
             jobs: BTreeMap::new(),
             queue: VecDeque::new(),
@@ -331,6 +355,7 @@ impl JobManager {
             state: Mutex::new(state),
             work: Condvar::new(),
             stop: AtomicBool::new(false),
+            repl_status: Mutex::new(repl_status),
             cfg,
         });
         manager.persist_jobs();
@@ -340,6 +365,29 @@ impl JobManager {
     /// The frontier store this manager merges into.
     pub fn store(&self) -> &Arc<FrontierStore> {
         &self.store
+    }
+
+    /// The configuration this manager was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Updates one replication source's reported status.
+    pub(crate) fn set_repl_status(&self, source: usize, f: impl FnOnce(&mut ReplPeerStatus)) {
+        let mut status = lock(&self.repl_status);
+        f(status.entry(source).or_default());
+    }
+
+    /// Follower subscription states as a JSON array, for the `cluster`
+    /// verb (empty outside cluster mode or with zero replicas).
+    pub fn repl_status_json(&self) -> serde_json::Value {
+        let status = lock(&self.repl_status);
+        serde_json::Value::Array(
+            status
+                .iter()
+                .map(|(&source, s)| s.to_json(source))
+                .collect(),
+        )
     }
 
     /// Aggregate statistics of the server-wide shared evaluation store.
@@ -361,10 +409,22 @@ impl JobManager {
     ///
     /// Fails on an unknown task/backend, invalid weights (empty, out of
     /// range, or duplicated), a zero step budget, an out-of-range width,
-    /// or a full queue.
+    /// a full queue, or — in cluster mode — a key this shard does not
+    /// own (writes never fail over; the error names the owning shard).
     pub fn submit(&self, spec: JobSpec) -> Result<u64, String> {
         if !(2..=64).contains(&spec.n) {
             return Err(format!("width {} outside [2, 64]", spec.n));
+        }
+        if let Some(topology) = &self.cfg.cluster {
+            let key = key_of(&spec.task, &spec.backend, spec.n);
+            if !topology.owns(&key) {
+                let owner = topology.primary_of(&key);
+                return Err(format!(
+                    "wrong shard: key `{key}` is owned by shard {owner} ({}), \
+                     not this shard {} — submit there (writes never fail over)",
+                    topology.peers[owner], topology.shard_id
+                ));
+            }
         }
         if spec.steps == 0 {
             return Err("need a nonzero step budget".to_string());

@@ -30,7 +30,15 @@
 //!   `best_at_weight` and `range` lookups without ever taking the store
 //!   mutex — reads never block on a concurrent merge;
 //! - [`Client`] — the synchronous client the `prefixrl
-//!   submit|status|cancel|frontier|query` subcommands are built on.
+//!   submit|status|cancel|frontier|query` subcommands are built on, over
+//!   one persistent `TCP_NODELAY` connection with reconnect-on-error;
+//! - [`cluster`] — the multi-node tier (DESIGN.md §16): stable-hash key
+//!   partitioning ([`cluster::shard_of`] / [`cluster::Topology`]),
+//!   WAL-shipping replication (each primary streams its fsynced merge
+//!   records to ring followers via `repl_subscribe`, with epoch/offset
+//!   resume and snapshot resync), and a fan-out [`cluster::Router`] that
+//!   routes queries to owning shards, scatters batches, and fails reads
+//!   over to followers when a primary is down.
 //!
 //! # Quickstart (in-process)
 //!
@@ -68,13 +76,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod jobs;
 pub mod protocol;
 pub mod query;
 pub mod server;
 pub mod store;
 
-pub use client::Client;
+pub use client::{Client, ClientError};
+pub use cluster::{Router, Topology};
 pub use jobs::{JobManager, JobPhase, JobSpec, ServeConfig};
 pub use query::{FrontView, FrontierSnapshot, QueryPoint, SnapshotCell};
 pub use server::{Server, ServerHandle};

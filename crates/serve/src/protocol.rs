@@ -18,6 +18,8 @@
 //! | `frontier` | `task`, `backend`, `n`          | `points`, `count`, `key`, `known` |
 //! | `query`    | `task`, `backend`, `n`, `mode`, mode params | `key`, `known`, `found`, `point`/`points`, `epoch` |
 //! | `query_batch` | `queries` array of query payloads | `results` array, `epoch`  |
+//! | `repl_subscribe` | `epoch`, `from_seq`, `follower` | stream header, then `repl_snapshot`/`repl_record` lines |
+//! | `cluster`  | optional `key`                  | `topology`, hub + follower state, key owner |
 //! | `shutdown` | —                               | acknowledges, then stops    |
 //!
 //! Query modes (DESIGN.md §15): `best_at_delay` takes `delay` and
@@ -34,6 +36,12 @@ use serde_json::Value;
 
 /// The protocol identifier every request/response line is stamped with.
 pub const PROTOCOL: &str = "prefixrl.serve.v1";
+
+/// Hard cap on one request line, in bytes. A peer that sends this much
+/// without a newline has lost framing (or is hostile); the server answers
+/// with an error and drops the connection rather than buffering without
+/// bound. Generous enough for a `query_batch` at [`crate::query::MAX_BATCH`].
+pub const MAX_REQUEST_LINE: u64 = 8 * 1024 * 1024;
 
 /// A `{"ok": true, ...fields}` response line.
 pub fn ok_response(mut fields: Vec<(String, Value)>) -> Value {

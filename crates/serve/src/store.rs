@@ -36,6 +36,7 @@
 //! `query` and `query_batch` verbs, `keys`, `front_json` — resolves
 //! against the snapshot without taking the store mutex.
 
+use crate::cluster::{ReplHandshake, ReplicationHub, Topology};
 use crate::query::{FrontView, FrontierSnapshot, SnapshotCell};
 use prefix_graph::PrefixGraph;
 use prefixrl_core::checkpoint::write_atomic;
@@ -63,6 +64,25 @@ pub fn key_of(task: &str, backend: &str, n: u16) -> String {
     format!("{task}/{backend}/{n}")
 }
 
+/// Splits a composite store key back into `(task, backend, n)` — the
+/// inverse of [`key_of`], unambiguous because [`validate_names`] bans `/`
+/// inside names.
+///
+/// # Errors
+///
+/// Fails on a key that is not exactly `task/backend/width`.
+pub fn parse_key(key: &str) -> Result<(String, String, u16), String> {
+    let parts: Vec<&str> = key.split('/').collect();
+    let [task, backend, n] = parts.as_slice() else {
+        return Err(format!("malformed store key `{key}` (want task/backend/n)"));
+    };
+    validate_names(task, backend).map_err(|e| format!("store key `{key}`: {e}"))?;
+    let n: u16 = n
+        .parse()
+        .map_err(|_| format!("store key `{key}`: width `{n}` is not a u16"))?;
+    Ok(((*task).to_string(), (*backend).to_string(), n))
+}
+
 /// Rejects task/backend names that would alias composite keys: `/` is the
 /// key separator, so `task="a/b", backend="c"` and `task="a",
 /// backend="b/c"` would otherwise collide on `a/b/c/<n>`. Empty names are
@@ -86,12 +106,27 @@ pub fn validate_names(task: &str, backend: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Zeroed headroom kept preallocated (and pre-written, so its extents
+/// are past the unwritten→written metadata transition) beyond the log's
+/// logical end. Record appends then overwrite allocated blocks in place,
+/// and their `fdatasync` has no file-size or extent change to journal —
+/// on ext4 a metadata-carrying fsync is a journal commit, and journal
+/// commits serialize **across files**, which would defeat the point of
+/// sharded per-store WALs syncing concurrently (BENCH_cluster.json).
+const WAL_PREALLOC_CHUNK: u64 = 256 * 1024;
+
 /// The open write-ahead log of a persisted store.
 struct Wal {
     file: std::fs::File,
     path: PathBuf,
     /// Records currently in the log (not counting the header line).
     records: u64,
+    /// Logical end of the log: every byte below is header or record
+    /// bytes; `len..allocated` is preallocated zeros. The write cursor
+    /// sits at `len` between operations.
+    len: u64,
+    /// Physical zero-filled extent of the file.
+    allocated: u64,
 }
 
 /// The mutable half of the store, under one mutex: the authoritative
@@ -101,6 +136,16 @@ struct Inner {
     fronts: BTreeMap<String, ParetoFront<PrefixGraph>>,
     wal: Option<Wal>,
     compactions: u64,
+    repl: Option<ReplState>,
+}
+
+/// Replication state of a cluster-mode store: the fan-out hub plus the
+/// topology deciding which keys this node ships (only the ones it owns —
+/// replicated keys are never re-shipped, so records can't cascade around
+/// the follower ring).
+struct ReplState {
+    hub: Arc<ReplicationHub>,
+    topology: Topology,
 }
 
 /// A disk-backed map from `(task, backend, width)` to the combined Pareto
@@ -123,6 +168,7 @@ impl FrontierStore {
                 fronts: BTreeMap::new(),
                 wal: None,
                 compactions: 0,
+                repl: None,
             }),
             cell: SnapshotCell::default(),
         }
@@ -162,6 +208,7 @@ impl FrontierStore {
                 fronts,
                 wal: Some(wal),
                 compactions: 0,
+                repl: None,
             }),
             cell: SnapshotCell::default(),
         };
@@ -218,9 +265,101 @@ impl FrontierStore {
         // Log only when replay needs the record: an accepted delta, or
         // the bare creation of a new (possibly empty-front) key.
         if inserted > 0 || newly_created {
-            self.append_record_locked(&mut inner, &key, &accepted)?;
+            let designs = Serialize::to_value(&accepted.to_vec());
+            self.append_record_locked(&mut inner, &key, designs.clone())?;
+            // Ship only after the fsync above returned, and only keys this
+            // node owns: a primary's durable state is always a superset of
+            // what its followers have seen, and replica-applied keys are
+            // never re-shipped (no cascades around the follower ring).
+            if let Some(repl) = &inner.repl {
+                if repl.topology.owns(&key) {
+                    repl.hub.publish(&key, designs);
+                }
+            }
         }
         Ok(inserted)
+    }
+
+    /// Switches the store into cluster mode: merges of keys this topology
+    /// owns are published to the replication hub after their WAL fsync.
+    /// Call once, before serving.
+    pub fn enable_replication(&self, topology: Topology) {
+        let mut inner = lock(&self.inner);
+        inner.repl = Some(ReplState {
+            hub: Arc::new(ReplicationHub::new()),
+            topology,
+        });
+    }
+
+    /// The replication epoch of this store open (`None` when not in
+    /// cluster mode).
+    pub fn replication_epoch(&self) -> Option<u64> {
+        lock(&self.inner).repl.as_ref().map(|r| r.hub.epoch())
+    }
+
+    /// `(next_seq, live_subscribers)` of the replication hub, for the
+    /// `cluster` diagnostics verb.
+    pub fn replication_stats(&self) -> Option<(u64, usize)> {
+        lock(&self.inner).repl.as_ref().map(|r| r.hub.stats())
+    }
+
+    /// Applies one replicated record (or one snapshot entry) from a
+    /// primary: deserializes the shipped designs and merges them under
+    /// `key` through the same idempotent path local merges take. The
+    /// record lands in this node's own WAL for durability, but is never
+    /// re-published (this node does not own the key).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed key or designs payload, or on local
+    /// persistence errors.
+    pub fn apply_replica(&self, key: &str, designs: &Value) -> Result<usize, String> {
+        let (task, backend, n) = parse_key(key)?;
+        let designs = <Vec<(PrefixGraph, ObjectivePoint)> as Deserialize>::from_value(designs)
+            .map_err(|e| format!("replicated designs for `{key}`: {e}"))?;
+        self.merge(&task, &backend, n, &designs)
+    }
+
+    /// Resolves a `repl_subscribe` handshake atomically against the merge
+    /// path: registers the subscriber and cuts either an offset resume
+    /// (epoch match, backlog still covers `from_seq`) or a full
+    /// owned-keys snapshot, all under the store mutex so no record can
+    /// fall between the cut and the live stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the store is not in cluster mode.
+    pub fn subscribe_replication(
+        &self,
+        from_epoch: u64,
+        from_seq: u64,
+    ) -> Result<ReplHandshake, String> {
+        let inner = lock(&self.inner);
+        let Some(repl) = &inner.repl else {
+            return Err(
+                "replication is not enabled on this server (start it with --peers)".to_string(),
+            );
+        };
+        let (needs_snapshot, resume_seq, replay, rx) = repl.hub.subscribe(from_epoch, from_seq);
+        let snapshot = if needs_snapshot {
+            Some(Value::Object(
+                inner
+                    .fronts
+                    .iter()
+                    .filter(|(key, _)| repl.topology.owns(key))
+                    .map(|(key, front)| (key.clone(), designs_json(front)))
+                    .collect(),
+            ))
+        } else {
+            None
+        };
+        Ok(ReplHandshake {
+            epoch: repl.hub.epoch(),
+            resume_seq,
+            snapshot,
+            replay,
+            rx,
+        })
     }
 
     /// The current immutable read snapshot (an `Arc` clone — never takes
@@ -305,30 +444,36 @@ impl FrontierStore {
         &self,
         inner: &mut Inner,
         key: &str,
-        accepted: &[(PrefixGraph, ObjectivePoint)],
+        designs: Value,
     ) -> Result<(), String> {
         if inner.wal.is_none() {
             return Ok(());
         }
         let record = Value::Object(vec![
             ("key".to_string(), Value::String(key.to_string())),
-            (
-                "designs".to_string(),
-                Serialize::to_value(&accepted.to_vec()),
-            ),
+            ("designs".to_string(), designs),
         ]);
         let mut line = serde_json::to_string(&record).expect("infallible");
         line.push('\n');
         {
             let wal = inner.wal.as_mut().expect("checked above");
+            let bytes = line.as_bytes();
+            if wal.len + bytes.len() as u64 > wal.allocated {
+                preallocate(wal, bytes.len() as u64)?;
+            }
+            // In-place write within the preallocated extent — the cursor
+            // sits at `wal.len`, inside already-written blocks.
             wal.file
-                .write_all(line.as_bytes())
+                .write_all(bytes)
                 .map_err(|e| format!("append {}: {e}", wal.path.display()))?;
             // Fsync only the delta — this is the whole point of the WAL:
-            // merge durability no longer costs a full-store rewrite.
+            // merge durability no longer costs a full-store rewrite. With
+            // the extent preallocated there is no metadata to journal, so
+            // this is pure data writeback (see [`WAL_PREALLOC_CHUNK`]).
             wal.file
                 .sync_data()
                 .map_err(|e| format!("sync {}: {e}", wal.path.display()))?;
+            wal.len += bytes.len() as u64;
             wal.records += 1;
             if wal.records < self.compact_every {
                 return Ok(());
@@ -353,12 +498,26 @@ impl FrontierStore {
             .and_then(|f| f.sync_all())
             .map_err(|e| format!("sync {}: {e}", path.display()))?;
         if let Some(wal) = inner.wal.as_mut() {
-            truncate_to_header(&mut wal.file, &wal.path)?;
+            truncate_to_header(wal)?;
             wal.records = 0;
         }
         inner.compactions += 1;
         Ok(())
     }
+}
+
+/// One front as the `[(graph, point), …]` designs array replication
+/// ships — the same shape merge records carry, so followers apply
+/// snapshot entries and records through one code path.
+fn designs_json(front: &ParetoFront<PrefixGraph>) -> Value {
+    Value::Array(
+        front
+            .iter()
+            .map(|(point, graph)| {
+                Value::Array(vec![Serialize::to_value(graph), Serialize::to_value(point)])
+            })
+            .collect(),
+    )
 }
 
 /// The compacted full-store file contents — the pre-WAL
@@ -424,9 +583,11 @@ fn wal_header() -> String {
 }
 
 /// Replays an existing log over `fronts`, returning how many records it
-/// holds. A torn **final** line — the crash-mid-append case — is
-/// truncated away; a torn line anywhere else is corruption and fails
-/// loudly. A missing or empty log is zero records.
+/// holds. A torn **final** line — the crash-mid-append case, and the
+/// preallocated zero tail every closed log carries (see
+/// [`WAL_PREALLOC_CHUNK`]) — is truncated away; a torn line anywhere
+/// else is corruption and fails loudly. A missing or empty log is zero
+/// records.
 fn replay_wal(
     wal_path: &Path,
     fronts: &mut BTreeMap<String, ParetoFront<PrefixGraph>>,
@@ -437,7 +598,9 @@ fn replay_wal(
         Err(e) => return Err(format!("read {}: {e}", wal_path.display())),
     };
     // A complete line — header or record — always ends in '\n' before its
-    // fsync returns, so anything after the last '\n' is a torn tail.
+    // fsync returns, so anything after the last '\n' is a torn tail:
+    // preallocated zeros (NUL never occurs inside a record), a half-
+    // written record, or both.
     let complete = &text[..text.rfind('\n').map_or(0, |i| i + 1)];
     let torn = text.len() - complete.len();
     if torn > 0 {
@@ -482,15 +645,23 @@ fn replay_wal(
     Ok(records)
 }
 
-/// Opens the log for appending, writing the schema header if the file is
-/// new or empty.
+/// Opens the log for writing, appending the schema header if the file is
+/// new or empty, and preallocating the zeroed headroom record appends
+/// write into. [`replay_wal`] ran first, so the file's physical size *is*
+/// the logical end (any zero tail from a previous run was truncated away
+/// with the torn-tail repair).
 fn open_wal(wal_path: &Path, records: u64) -> Result<Wal, String> {
+    // Not `append` mode: appends always land at the physical end of the
+    // file, which preallocation pushes past the logical end. The cursor
+    // is positioned explicitly instead, and the existing contents (the
+    // surviving log) must not be truncated.
     let mut file = std::fs::OpenOptions::new()
         .create(true)
-        .append(true)
+        .write(true)
+        .truncate(false)
         .open(wal_path)
         .map_err(|e| format!("open {}: {e}", wal_path.display()))?;
-    let len = file
+    let mut len = file
         .metadata()
         .map_err(|e| format!("stat {}: {e}", wal_path.display()))?
         .len();
@@ -499,25 +670,60 @@ fn open_wal(wal_path: &Path, records: u64) -> Result<Wal, String> {
             .map_err(|e| format!("write {}: {e}", wal_path.display()))?;
         file.sync_data()
             .map_err(|e| format!("sync {}: {e}", wal_path.display()))?;
+        len = wal_header().len() as u64;
     }
-    Ok(Wal {
+    let mut wal = Wal {
         file,
         path: wal_path.to_path_buf(),
         records,
-    })
+        len,
+        allocated: len,
+    };
+    preallocate(&mut wal, 0)?;
+    Ok(wal)
 }
 
-/// Truncates an open log back to its header line and repositions the
-/// write cursor.
-fn truncate_to_header(file: &mut std::fs::File, path: &Path) -> Result<(), String> {
-    let header_len = wal_header().len() as u64;
-    file.set_len(header_len)
-        .map_err(|e| format!("truncate {}: {e}", path.display()))?;
-    file.seek(std::io::SeekFrom::End(0))
-        .map_err(|e| format!("seek {}: {e}", path.display()))?;
-    file.sync_data()
-        .map_err(|e| format!("sync {}: {e}", path.display()))?;
+/// Extends the log's zero-filled headroom to at least `needed` bytes past
+/// the logical end (one [`WAL_PREALLOC_CHUNK`] minimum) and re-positions
+/// the cursor at the logical end. The zeros are written and `sync_all`ed
+/// once here, so the extent allocation's metadata journaling is paid up
+/// front instead of on every record's fsync. A crash leaves a zero tail
+/// after the last record's newline, which the next open discards exactly
+/// like a torn append.
+fn preallocate(wal: &mut Wal, needed: u64) -> Result<(), String> {
+    let target = wal.len + needed.max(WAL_PREALLOC_CHUNK);
+    if wal.allocated < target {
+        wal.file
+            .seek(std::io::SeekFrom::Start(wal.allocated))
+            .map_err(|e| format!("seek {}: {e}", wal.path.display()))?;
+        let zeros = vec![0u8; (target - wal.allocated) as usize];
+        wal.file
+            .write_all(&zeros)
+            .map_err(|e| format!("preallocate {}: {e}", wal.path.display()))?;
+        wal.file
+            .sync_all()
+            .map_err(|e| format!("sync {}: {e}", wal.path.display()))?;
+        wal.allocated = target;
+    }
+    wal.file
+        .seek(std::io::SeekFrom::Start(wal.len))
+        .map_err(|e| format!("seek {}: {e}", wal.path.display()))?;
     Ok(())
+}
+
+/// Truncates an open log back to its header line and re-preallocates its
+/// headroom.
+fn truncate_to_header(wal: &mut Wal) -> Result<(), String> {
+    let header_len = wal_header().len() as u64;
+    wal.file
+        .set_len(header_len)
+        .map_err(|e| format!("truncate {}: {e}", wal.path.display()))?;
+    wal.file
+        .sync_data()
+        .map_err(|e| format!("sync {}: {e}", wal.path.display()))?;
+    wal.len = header_len;
+    wal.allocated = header_len;
+    preallocate(wal, 0)
 }
 
 /// Truncates a closed file to `len` bytes (torn-tail repair on open).

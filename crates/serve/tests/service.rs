@@ -222,6 +222,76 @@ fn protocol_rejects_bad_requests_loudly() {
 }
 
 #[test]
+fn hostile_connections_do_not_kill_the_accept_loop() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let handle = Server::spawn(config(1, None)).unwrap();
+    let addr = handle.addr();
+    let client = Client::new(addr.to_string());
+    client.wait_until_ready(Duration::from_secs(10)).unwrap();
+
+    // Malformed JSON: a loud inline error, connection still usable.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"{this is not json\n").unwrap();
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("malformed request"), "{line}");
+    s.write_all(b"{\"cmd\":\"ping\"}\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+
+    // Mid-handshake disconnects: one peer vanishes with no bytes, one
+    // with a truncated request and no newline.
+    drop(TcpStream::connect(addr).unwrap());
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"{\"proto\":\"prefixrl.serve.v1\",\"cmd\":\"pi")
+        .unwrap();
+    drop(s);
+
+    // An oversized line (past the request cap, newline never sent) gets
+    // an error response and a closed connection, not unbounded buffering.
+    let mut s = TcpStream::connect(addr).unwrap();
+    let chunk = vec![b'x'; 1 << 20];
+    let mut sent = 0u64;
+    while sent <= prefixrl_serve::protocol::MAX_REQUEST_LINE {
+        // The server may close mid-send once the cap trips; that's fine.
+        if s.write_all(&chunk).is_err() {
+            break;
+        }
+        sent += chunk.len() as u64;
+    }
+    let mut response = String::new();
+    let _ = BufReader::new(s).read_line(&mut response);
+    assert!(
+        response.contains("request line exceeds"),
+        "oversized line must be answered loudly, got: {response:?}"
+    );
+
+    // Unknown verbs and cluster verbs on a non-clustered server refuse
+    // loudly over a normal client.
+    let err = client
+        .request(&serde_json::json!({"cmd": "gossip"}))
+        .unwrap_err();
+    assert!(err.contains("unknown cmd"), "{err}");
+    let err = client
+        .request(&serde_json::json!({"cmd": "repl_subscribe", "epoch": 0, "from_seq": 0}))
+        .unwrap_err();
+    assert!(err.contains("replication is not enabled"), "{err}");
+    let err = client
+        .request(&serde_json::json!({"cmd": "cluster"}))
+        .unwrap_err();
+    assert!(err.contains("not part of a cluster"), "{err}");
+
+    // After all of the above the accept loop still serves.
+    assert!(client.ping().is_ok(), "server died serving hostile peers");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
 fn query_verbs_answer_over_the_wire() {
     let handle = Server::spawn(config(1, None)).unwrap();
     let client = Client::new(handle.addr().to_string());

@@ -17,7 +17,7 @@
 //! JSON report schema (DESIGN.md §10).
 
 use prefixrl::prelude::*;
-use prefixrl_serve::{Client, JobSpec, ServeConfig, Server};
+use prefixrl_serve::{Client, JobSpec, Router, ServeConfig, Server, Topology};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -683,6 +683,36 @@ fn serve_client(opts: &HashMap<String, String>) -> Client {
     )
 }
 
+/// Parses `--peers a,b,c` into a peer list (exits loudly on empties).
+fn parse_peers(raw: &str) -> Vec<String> {
+    let peers: Vec<String> = raw
+        .split(',')
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect();
+    if peers.is_empty() {
+        eprintln!("error: --peers expects a comma-separated list of ip:port addresses");
+        std::process::exit(2);
+    }
+    peers
+}
+
+/// A fan-out [`Router`] over `--peers`/`--replicas` when given — client
+/// commands then route each key to its owning shard with follower
+/// failover — or `None` for classic single-server `--addr` mode.
+fn cluster_router(opts: &HashMap<String, String>) -> Option<Router> {
+    let peers = parse_peers(opts.get("peers")?);
+    let replicas: usize = get(opts, "replicas", if peers.len() > 1 { 1 } else { 0 });
+    let topology = Topology::new(0, peers, replicas).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    Some(Router::new(topology).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }))
+}
+
 /// Prints a successful protocol response as pretty JSON, or exits loudly
 /// with the server's error.
 fn report_response(result: Result<serde_json::Value, String>) {
@@ -717,15 +747,38 @@ fn cmd_serve(opts: &HashMap<String, String>) {
              \x20 --state-dir <dir>      persist frontier.json + frontier.wal +\n\
              \x20                        jobs.json here\n\
              \x20 --compact-every <K>    WAL records before the frontier store\n\
-             \x20                        compacts (default 64)"
+             \x20                        compacts (default 64)\n\
+             \n\
+             CLUSTER (DESIGN.md §16; all three flags together)\n\
+             \x20 --shard-id <K>         this node's shard id (0-based)\n\
+             \x20 --peers <a,b,c>        every shard's listen address, in shard-id\n\
+             \x20                        order; --addr defaults to peers[shard-id]\n\
+             \x20 --replicas <R>         followers per primary on the peer ring\n\
+             \x20                        (default 1 with >1 peers; 0 disables\n\
+             \x20                        replication)"
         );
         return;
     }
+    let cluster = opts.get("peers").map(|raw| {
+        let peers = parse_peers(raw);
+        let Some(shard_id) = get_opt::<usize>(opts, "shard-id") else {
+            eprintln!("error: --peers requires --shard-id (which entry this node is)");
+            std::process::exit(2);
+        };
+        let replicas: usize = get(opts, "replicas", if peers.len() > 1 { 1 } else { 0 });
+        Topology::new(shard_id, peers, replicas).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    });
+    let addr = opts.get("addr").cloned().unwrap_or_else(|| {
+        cluster
+            .as_ref()
+            .map(|t| t.peers[t.shard_id].clone())
+            .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string())
+    });
     let cfg = ServeConfig {
-        addr: opts
-            .get("addr")
-            .cloned()
-            .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string()),
+        addr,
         workers: get_workers(opts, "workers", 2),
         queue_capacity: get::<usize>(opts, "queue-capacity", 256).max(1),
         eval_threads: get_workers(opts, "eval-threads", 2),
@@ -733,17 +786,31 @@ fn cmd_serve(opts: &HashMap<String, String>) {
         event_tail: get(opts, "event-tail", 64),
         state_dir: opts.get("state-dir").map(PathBuf::from),
         compact_every: get::<u64>(opts, "compact-every", 64).max(1),
+        cluster,
     };
     let server = Server::bind(cfg).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
-    eprintln!(
-        "prefixrl-serve listening on {} ({}) — stop with `prefixrl shutdown --addr {}`",
-        server.local_addr(),
-        prefixrl_serve::protocol::PROTOCOL,
-        server.local_addr(),
-    );
+    if let Some(topology) = &server.jobs().config().cluster {
+        eprintln!(
+            "prefixrl-serve shard {}/{} listening on {} ({}, {} replica(s)/primary) — \
+             stop with `prefixrl shutdown --addr {}`",
+            topology.shard_id,
+            topology.num_shards(),
+            server.local_addr(),
+            prefixrl_serve::protocol::PROTOCOL,
+            topology.replicas,
+            server.local_addr(),
+        );
+    } else {
+        eprintln!(
+            "prefixrl-serve listening on {} ({}) — stop with `prefixrl shutdown --addr {}`",
+            server.local_addr(),
+            prefixrl_serve::protocol::PROTOCOL,
+            server.local_addr(),
+        );
+    }
     if let Err(e) = server.run() {
         eprintln!("error: {e}");
         std::process::exit(1);
@@ -757,6 +824,8 @@ fn cmd_submit(opts: &HashMap<String, String>) {
              \n\
              OPTIONS\n\
              \x20 --addr <ip:port>       server address (default {DEFAULT_SERVE_ADDR})\n\
+             \x20 --peers <a,b,c>        cluster mode: route to the shard owning the\n\
+             \x20                        job's key (with --replicas, default 1)\n\
              \x20 --task adder|prefix-or|incrementer   (default adder)\n\
              \x20 --backend analytical|synthesis|synthesis-power\n\
              \x20                        (default analytical; a synthesis binding\n\
@@ -783,12 +852,16 @@ fn cmd_submit(opts: &HashMap<String, String>) {
         steps: get(opts, "steps", 2000),
         seed: get(opts, "seed", 0),
     };
-    let client = serve_client(opts);
-    match client.submit(&spec) {
-        Ok(id) => println!(
-            "{}",
-            serde_json::to_string(&serde_json::json!({ "id": id })).unwrap()
-        ),
+    let result = match cluster_router(opts) {
+        Some(router) => router
+            .submit(&spec)
+            .map(|(id, shard)| serde_json::json!({ "id": id, "shard": shard as u64 })),
+        None => serve_client(opts)
+            .submit(&spec)
+            .map(|id| serde_json::json!({ "id": id })),
+    };
+    match result {
+        Ok(value) => println!("{}", serde_json::to_string(&value).unwrap()),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -845,6 +918,8 @@ fn cmd_frontier(opts: &HashMap<String, String>) {
              \n\
              OPTIONS\n\
              \x20 --addr <ip:port>  server address (default {DEFAULT_SERVE_ADDR})\n\
+             \x20 --peers <a,b,c>   cluster mode: route to the owning shard, fail\n\
+             \x20                   reads over to followers (--replicas, default 1)\n\
              \x20 --task <name>     circuit task (default adder)\n\
              \x20 --backend <name>  objective backend (default analytical)\n\
              \x20 --n <N>           input width (default 8)\n\
@@ -861,7 +936,10 @@ fn cmd_frontier(opts: &HashMap<String, String>) {
         .cloned()
         .unwrap_or_else(|| "analytical".into());
     let n: u16 = get(opts, "n", 8);
-    let response = serve_client(opts).frontier(&task, &backend, n);
+    let response = match cluster_router(opts) {
+        Some(router) => router.frontier(&task, &backend, n),
+        None => serve_client(opts).frontier(&task, &backend, n),
+    };
     if let Ok(value) = &response {
         if value.get("known") == Some(&serde_json::Value::Bool(false)) {
             let keys = value
@@ -906,6 +984,8 @@ fn cmd_query(opts: &HashMap<String, String>) {
              \n\
              OPTIONS\n\
              \x20 --addr <ip:port>  server address (default {DEFAULT_SERVE_ADDR})\n\
+             \x20 --peers <a,b,c>   cluster mode: route to the owning shard, fail\n\
+             \x20                   reads over to followers (--replicas, default 1)\n\
              \x20 --task <name>     circuit task (default adder)\n\
              \x20 --backend <name>  objective backend (default analytical)\n\
              \x20 --n <N>           input width (default 8)\n\
@@ -968,7 +1048,10 @@ fn cmd_query(opts: &HashMap<String, String>) {
         ));
         "range"
     };
-    let response = serve_client(opts).query(&task, &backend, n, mode, extra);
+    let response = match cluster_router(opts) {
+        Some(router) => router.query(&task, &backend, n, mode, extra),
+        None => serve_client(opts).query(&task, &backend, n, mode, extra),
+    };
     if let Ok(value) = &response {
         let known = value.get("result").and_then(|r| r.get("known")).cloned();
         if known == Some(serde_json::Value::Bool(false)) {
